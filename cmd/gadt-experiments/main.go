@@ -1,0 +1,50 @@
+// Command gadt-experiments regenerates every figure and session of the
+// paper (see DESIGN.md's per-experiment index).
+//
+// Usage:
+//
+//	gadt-experiments             # run everything
+//	gadt-experiments -exp F8     # run one experiment
+//	gadt-experiments -list       # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gadt/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment ID to run (default: all)")
+	list := flag.Bool("list", false, "list experiments")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *exp != "" {
+		e := experiments.Lookup(*exp)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *exp)
+			os.Exit(1)
+		}
+		out, err := e.Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s — %s ===\n%s", e.ID, e.Title, out)
+		return
+	}
+	out, err := experiments.RunAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

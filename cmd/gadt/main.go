@@ -1,0 +1,190 @@
+// Command gadt is the interactive generalized algorithmic debugger: it
+// transforms a Pascal program, runs it building the execution tree, and
+// guides the user through bug localization with yes/no/assertion
+// answers, optionally consulting a T-GEN test-report database and
+// pruning the tree by dynamic slicing.
+//
+// Usage:
+//
+//	gadt [flags] program.pas
+//
+//	-input string      program input (passed to read/readln)
+//	-strategy string   top-down | divide | bottom-up (default top-down)
+//	-no-slicing        disable dynamic slicing on "n <output>" answers
+//	-no-transform      trace the original program (side-effect-free only)
+//	-reports file      T-GEN report database (JSON) to consult
+//	-spec file         T-GEN specification matching -reports
+//	-tree              print the execution tree before debugging
+//
+// Interactive replies: y(es), n(o), `n <output>` (wrong output →
+// slicing), `a <expr>` (assertion), t(rust), d(ontknow).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gadt/internal/assertion"
+	"gadt/internal/debugger"
+	"gadt/internal/gadt"
+	"gadt/internal/pascal/interp"
+	"gadt/internal/tgen"
+)
+
+// terminalChooser implements the paper's menu-based test-frame selection
+// (Section 5.3.2) on stdin/stdout.
+type terminalChooser struct{}
+
+func (terminalChooser) Choose(unit string, cat *tgen.Category, eligible []*tgen.Choice, ins []interp.Binding) *tgen.Choice {
+	var vals []string
+	for _, b := range ins {
+		vals = append(vals, b.String())
+	}
+	fmt.Printf("classify the call %s(%s)\n", unit, strings.Join(vals, ", "))
+	fmt.Printf("  category %s:\n", cat.Name)
+	for i, ch := range eligible {
+		fmt.Printf("    %d) %s\n", i+1, ch.Name)
+	}
+	fmt.Printf("  choice (1-%d, empty to skip)> ", len(eligible))
+	r := bufio.NewReader(os.Stdin)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return nil
+	}
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return nil
+	}
+	i, err := strconv.Atoi(line)
+	if err != nil || i < 1 || i > len(eligible) {
+		return nil
+	}
+	return eligible[i-1]
+}
+
+func main() {
+	input := flag.String("input", "", "program input")
+	strategy := flag.String("strategy", "top-down", "top-down | divide | bottom-up")
+	noSlicing := flag.Bool("no-slicing", false, "disable dynamic slicing")
+	noTransform := flag.Bool("no-transform", false, "trace the original program")
+	reports := flag.String("reports", "", "T-GEN report database (JSON)")
+	specFile := flag.String("spec", "", "T-GEN specification for -reports")
+	showTree := flag.Bool("tree", false, "print the execution tree first")
+	reference := flag.String("reference", "", "known-good reference program answering queries instead of the user")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: gadt [flags] program.pas")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *input, *strategy, !*noSlicing, !*noTransform, *reports, *specFile, *showTree, *reference); err != nil {
+		fmt.Fprintln(os.Stderr, "gadt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(file, input, strategy string, slicing, doTransform bool, reports, specFile string, showTree bool, reference string) error {
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	sys, err := gadt.Load(file, string(src))
+	if err != nil {
+		return err
+	}
+
+	var run *gadt.Run
+	if doTransform {
+		run, err = sys.Trace(input)
+		if err != nil {
+			return err
+		}
+	} else {
+		run = sys.TraceOriginal(input)
+	}
+	fmt.Printf("program output:\n%s", run.Output)
+	if run.RunErr != nil {
+		fmt.Printf("the program stopped with a runtime error: %v\n", run.RunErr)
+	}
+	if showTree {
+		fmt.Printf("\nexecution tree (%d nodes):\n", run.Tree.Size())
+		run.Tree.Render(os.Stdout, nil, nil)
+	}
+
+	cfg := gadt.DebugConfig{Slicing: slicing}
+	switch strategy {
+	case "top-down", "":
+		cfg.Strategy = debugger.TopDown
+	case "divide":
+		cfg.Strategy = debugger.DivideAndQuery
+	case "bottom-up":
+		cfg.Strategy = debugger.BottomUp
+	default:
+		return fmt.Errorf("unknown strategy %q", strategy)
+	}
+
+	db := assertion.NewDB()
+	cfg.Assertions = db
+
+	if reports != "" {
+		if specFile == "" {
+			return fmt.Errorf("-reports requires -spec")
+		}
+		specSrc, err := os.ReadFile(specFile)
+		if err != nil {
+			return err
+		}
+		spec, err := tgen.ParseSpec(string(specSrc))
+		if err != nil {
+			return err
+		}
+		rdb, err := tgen.LoadReportDB(reports)
+		if err != nil {
+			return err
+		}
+		// When match expressions cannot classify a call, fall back to
+		// the paper's menu-based frame selection on the terminal.
+		cfg.Tests = &tgen.MenuLookup{
+			Lookup:  tgen.Lookup{Spec: spec, DB: rdb},
+			Chooser: terminalChooser{},
+		}
+	}
+
+	var oracle debugger.Oracle
+	if reference != "" {
+		refSrc, err := os.ReadFile(reference)
+		if err != nil {
+			return err
+		}
+		if doTransform {
+			oracle, err = gadt.IntendedOracle(string(refSrc))
+		} else {
+			oracle, err = gadt.IntendedOracleOriginal(string(refSrc))
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nanswering queries from the reference implementation %s\n", reference)
+	} else {
+		oracle = &debugger.InteractiveOracle{In: os.Stdin, Out: os.Stdout, DB: db}
+		fmt.Println("\nstarting algorithmic debugging; reply y, n, n <output>, a <assertion>, t, d")
+	}
+	out, err := run.Debug(oracle, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	if out.Localized() {
+		fmt.Printf("%s.\n", out.Reason)
+	} else {
+		fmt.Println("no bug could be localized (all answers were 'correct').")
+	}
+	fmt.Printf("questions: %d  answered by tests: %d  by assertions: %d  remembered: %d  slices: %d\n",
+		out.Questions, out.ByTests, out.ByAssertions, out.ByMemo, out.Slices)
+	return nil
+}

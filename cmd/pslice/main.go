@@ -1,0 +1,75 @@
+// Command pslice computes interprocedural static program slices
+// (Section 4 of the paper / Weiser's slicing).
+//
+// Usage:
+//
+//	pslice -var mul program.pas             # slice on mul at program end
+//	pslice -var s2 -routine partialsums -output program.pas
+//
+// With -output the criterion is the named output parameter (or function
+// result) of the routine; otherwise the value of -var at the end of
+// -routine (default: the program block).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gadt/internal/gadt"
+	"gadt/internal/slicing/static"
+)
+
+func main() {
+	varName := flag.String("var", "", "variable to slice on (required)")
+	routine := flag.String("routine", "", "routine context (default: program block)")
+	onOutput := flag.Bool("output", false, "slice on the routine's output parameter -var")
+	stats := flag.Bool("stats", false, "print slice statistics only")
+	flag.Parse()
+
+	if flag.NArg() != 1 || *varName == "" {
+		fmt.Fprintln(os.Stderr, "usage: pslice -var name [-routine r] [-output] program.pas")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *varName, *routine, *onOutput, *stats); err != nil {
+		fmt.Fprintln(os.Stderr, "pslice:", err)
+		os.Exit(1)
+	}
+}
+
+func run(file, varName, routine string, onOutput, stats bool) error {
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	sys, err := gadt.Load(file, string(src))
+	if err != nil {
+		return err
+	}
+	r := sys.Info.Main
+	if routine != "" {
+		if r = sys.Info.LookupRoutine(routine); r == nil {
+			return fmt.Errorf("routine %s not found", routine)
+		}
+	}
+	v := static.LookupVar(sys.Info, r, varName)
+	if v == nil {
+		return fmt.Errorf("variable %s not visible in %s", varName, r.Name)
+	}
+	slicer := sys.StaticSlicer()
+	var sl *static.Slice
+	if onOutput {
+		sl, err = slicer.OnOutput(r, v)
+		if err != nil {
+			return err
+		}
+	} else {
+		sl = slicer.OnVarAtEnd(r, v)
+	}
+	fmt.Printf("slice on %s at %s: %s\n", varName, r.Name, sl.Describe())
+	if !stats {
+		fmt.Print(sl.Render())
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+// Command ptrace executes a Pascal program and prints its execution tree
+// (the paper's tracing phase, Section 5.2).
+//
+// Usage:
+//
+//	ptrace [-input "1 2"] [-original] [-transformed-source] program.pas
+//
+// By default the program is transformed first (loop units, goto
+// breaking, globals to parameters); -original traces the untouched
+// program instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gadt/internal/gadt"
+)
+
+func main() {
+	input := flag.String("input", "", "program input")
+	original := flag.Bool("original", false, "trace the untransformed program")
+	showSrc := flag.Bool("transformed-source", false, "also print the transformed program")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ptrace [flags] program.pas")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *input, *original, *showSrc); err != nil {
+		fmt.Fprintln(os.Stderr, "ptrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(file, input string, original, showSrc bool) error {
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	sys, err := gadt.Load(file, string(src))
+	if err != nil {
+		return err
+	}
+	var r *gadt.Run
+	if original {
+		r = sys.TraceOriginal(input)
+	} else {
+		r, err = sys.Trace(input)
+		if err != nil {
+			return err
+		}
+		if showSrc {
+			xsrc, err := sys.TransformedSource()
+			if err != nil {
+				return err
+			}
+			fmt.Println("--- transformed program ---")
+			fmt.Print(xsrc)
+			fmt.Println("---")
+		}
+	}
+	fmt.Printf("program output:\n%s", r.Output)
+	if r.RunErr != nil {
+		fmt.Printf("runtime error: %v\n", r.RunErr)
+	}
+	fmt.Printf("execution tree (%d nodes, %d statements executed):\n", r.Tree.Size(), r.Steps)
+	r.Tree.Render(os.Stdout, nil, nil)
+	return nil
+}

@@ -1,0 +1,124 @@
+// Command tgen parses a T-GEN category-partition test specification and
+// generates its test frames, grouped into scripts (Section 2 of the
+// paper). With -subject it also executes one generated test case per
+// frame against the named unit of a Pascal program, checking the outputs
+// against an `expect` assertion, and writes the report database.
+//
+// Usage:
+//
+//	tgen spec.tgen                               # list frames
+//	tgen -subject prog.pas -expect 'b = sum(a, n)' \
+//	     -reports out.json spec.tgen             # run test cases
+//
+// Concrete test inputs are derived from each frame's match expressions
+// by a small search over integer arguments (see -max).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gadt/internal/assertion"
+	"gadt/internal/gadt"
+	"gadt/internal/pascal/interp"
+	"gadt/internal/tgen"
+)
+
+func main() {
+	subject := flag.String("subject", "", "Pascal program containing the unit under test")
+	expect := flag.String("expect", "", "assertion the outputs must satisfy (e.g. 'b = sum(a, n)')")
+	reports := flag.String("reports", "", "write the report database to this JSON file")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tgen [flags] spec.tgen")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *subject, *expect, *reports); err != nil {
+		fmt.Fprintln(os.Stderr, "tgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(specFile, subject, expect, reports string) error {
+	specSrc, err := os.ReadFile(specFile)
+	if err != nil {
+		return err
+	}
+	spec, err := tgen.ParseSpec(string(specSrc))
+	if err != nil {
+		return err
+	}
+	frames := spec.Generate()
+	fmt.Printf("unit %s: %d categories, %d frames\n", spec.Unit, len(spec.Categories), len(frames))
+	for _, f := range frames {
+		fmt.Printf("  %-40s scripts=%v results=%v\n", f, f.Scripts, f.Results)
+	}
+	for name, fs := range tgen.FramesByScript(frames) {
+		fmt.Printf("%s: %d frame(s)\n", name, len(fs))
+	}
+	if subject == "" {
+		return nil
+	}
+	if expect == "" {
+		return fmt.Errorf("-subject requires -expect")
+	}
+	src, err := os.ReadFile(subject)
+	if err != nil {
+		return err
+	}
+	sys, err := gadt.Load(subject, string(src))
+	if err != nil {
+		return err
+	}
+	check, err := assertion.Parse(spec.Unit, expect)
+	if err != nil {
+		return err
+	}
+	runner := &tgen.Runner{
+		Info: sys.Info,
+		Spec: spec,
+		Gen:  tgen.SearchGenerator(sys.Info, spec, 5000),
+		Chk: func(_ *tgen.Frame, ci *interp.CallInfo) bool {
+			env := make(assertion.Env)
+			for _, b := range ci.Ins {
+				env["old_"+b.Name] = b.Value
+				env[b.Name] = b.Value
+			}
+			for _, b := range ci.Outs {
+				env[b.Name] = b.Value
+			}
+			if ci.Result != nil {
+				env["result"] = ci.Result
+			}
+			return check.Eval(env) == assertion.Holds
+		},
+	}
+	db, err := runner.RunAll()
+	if err != nil {
+		return err
+	}
+	pass, total := db.PassCount()
+	fmt.Printf("executed %d test case(s): %d passed, %d failed\n", total, pass, total-pass)
+	for _, f := range frames {
+		if db.Lookup(f.Code()) == nil {
+			fmt.Printf("  SKIP %-40s no concrete input found (unsatisfiable or beyond search pool)\n", f.Code())
+		}
+	}
+	for code, r := range db.Reports {
+		status := "PASS"
+		if !r.Pass {
+			status = "FAIL"
+		}
+		fmt.Printf("  %s %-40s in=%v out=%v %s\n", status, code, r.Inputs, r.Outputs, r.Note)
+	}
+	if reports != "" {
+		if err := db.Save(reports); err != nil {
+			return err
+		}
+		fmt.Printf("report database written to %s\n", reports)
+	}
+	return nil
+}

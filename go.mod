@@ -1,0 +1,3 @@
+module gadt
+
+go 1.22

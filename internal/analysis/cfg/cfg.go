@@ -1,0 +1,328 @@
+// Package cfg builds per-routine control-flow graphs for the GADT Pascal
+// subset.
+//
+// Nodes are atomic statements (assignments, calls, I/O) plus synthetic
+// condition nodes for structured control and synthetic init/incr nodes
+// for for-loops. Local gotos become edges; gotos that leave the routine
+// (the paper's "exit side-effects") become edges to the routine's Exit
+// node and are recorded in Graph.EscapingGotos.
+package cfg
+
+import (
+	"fmt"
+	"strings"
+
+	"gadt/internal/pascal/ast"
+	"gadt/internal/pascal/printer"
+	"gadt/internal/pascal/sem"
+)
+
+// Kind classifies CFG nodes.
+type Kind int
+
+const (
+	Entry Kind = iota
+	Exit
+	Stmt    // assignment, call, goto, empty
+	Cond    // branch condition of if/while/repeat/case
+	ForInit // synthetic: v := from
+	ForCond // synthetic: v <= limit (or >= for downto)
+	ForIncr // synthetic: v := v ± 1
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Entry:
+		return "entry"
+	case Exit:
+		return "exit"
+	case Cond:
+		return "cond"
+	case ForInit:
+		return "for-init"
+	case ForCond:
+		return "for-cond"
+	case ForIncr:
+		return "for-incr"
+	}
+	return "stmt"
+}
+
+// Node is one CFG node.
+type Node struct {
+	ID   int
+	Kind Kind
+
+	// Stmt is set for Stmt nodes and for the For* synthetic nodes (the
+	// enclosing *ast.ForStmt); Cond carries the branch expression for
+	// Cond nodes (the selector expression for case).
+	Stmt ast.Stmt
+	Cond ast.Expr
+
+	Succs []*Node
+	Preds []*Node
+}
+
+// String renders a short human-readable description of the node.
+func (n *Node) String() string {
+	switch n.Kind {
+	case Entry, Exit:
+		return n.Kind.String()
+	case Cond:
+		return "cond " + printer.PrintExpr(n.Cond)
+	case ForInit, ForCond, ForIncr:
+		fs := n.Stmt.(*ast.ForStmt)
+		return fmt.Sprintf("%s %s", n.Kind, fs.Var.Name)
+	}
+	s := printer.PrintStmt(n.Stmt)
+	return strings.TrimRight(s, "\n")
+}
+
+// Graph is the CFG of one routine.
+type Graph struct {
+	Routine *sem.Routine
+	Entry   *Node
+	Exit    *Node
+	Nodes   []*Node
+
+	// EscapingGotos lists goto statements whose target label is declared
+	// in an enclosing routine (global gotos).
+	EscapingGotos []*ast.GotoStmt
+
+	// NodeOf maps an atomic source statement to its CFG node. Synthetic
+	// condition nodes are reachable through CondOf.
+	NodeOf map[ast.Stmt]*Node
+	// CondOf maps a structured statement to its condition node(s).
+	CondOf map[ast.Stmt][]*Node
+}
+
+// Build constructs the CFG of routine r using resolved goto targets from
+// info.
+func Build(info *sem.Info, r *sem.Routine) *Graph {
+	b := &builder{
+		info: info,
+		g: &Graph{
+			Routine: r,
+			NodeOf:  make(map[ast.Stmt]*Node),
+			CondOf:  make(map[ast.Stmt][]*Node),
+		},
+		labels: make(map[string]*Node),
+	}
+	b.g.Entry = b.newNode(Entry)
+	b.g.Exit = b.newNode(Exit)
+
+	exits := b.stmt(r.Block.Body, []*Node{b.g.Entry})
+	for _, n := range exits {
+		b.edge(n, b.g.Exit)
+	}
+	// Wire pending local gotos now that all labels are known.
+	for _, pg := range b.pendingGotos {
+		target, ok := b.labels[pg.label]
+		if !ok {
+			// Label exists per sem but was not seen: defensive fallback.
+			b.edge(pg.node, b.g.Exit)
+			continue
+		}
+		b.edge(pg.node, target)
+	}
+	return b.g
+}
+
+// BuildAll constructs CFGs for every routine of an analyzed program.
+func BuildAll(info *sem.Info) map[*sem.Routine]*Graph {
+	out := make(map[*sem.Routine]*Graph, len(info.Routines))
+	for _, r := range info.Routines {
+		out[r] = Build(info, r)
+	}
+	return out
+}
+
+type pendingGoto struct {
+	node  *Node
+	label string
+}
+
+type builder struct {
+	info         *sem.Info
+	g            *Graph
+	labels       map[string]*Node
+	pendingGotos []pendingGoto
+}
+
+func (b *builder) newNode(k Kind) *Node {
+	n := &Node{ID: len(b.g.Nodes), Kind: k}
+	b.g.Nodes = append(b.g.Nodes, n)
+	return n
+}
+
+func (b *builder) edge(from, to *Node) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+func (b *builder) connect(preds []*Node, to *Node) {
+	for _, p := range preds {
+		b.edge(p, to)
+	}
+}
+
+// stmt adds nodes for s with the given predecessors and returns the set
+// of nodes whose fall-through continues after s. Nodes that transfer
+// control elsewhere (goto) return no exits.
+func (b *builder) stmt(s ast.Stmt, preds []*Node) []*Node {
+	switch s := s.(type) {
+	case nil:
+		return preds
+	case *ast.CompoundStmt:
+		cur := preds
+		for _, c := range s.Stmts {
+			cur = b.stmt(c, cur)
+		}
+		return cur
+	case *ast.EmptyStmt:
+		return preds
+	case *ast.AssignStmt, *ast.CallStmt:
+		n := b.newNode(Stmt)
+		n.Stmt = s
+		b.g.NodeOf[s] = n
+		b.connect(preds, n)
+		return []*Node{n}
+	case *ast.GotoStmt:
+		n := b.newNode(Stmt)
+		n.Stmt = s
+		b.g.NodeOf[s] = n
+		b.connect(preds, n)
+		li := b.info.GotoTgt[s]
+		if li == nil || li.Routine != b.g.Routine {
+			// Escaping goto: control leaves this routine.
+			b.g.EscapingGotos = append(b.g.EscapingGotos, s)
+			b.edge(n, b.g.Exit)
+		} else {
+			b.pendingGotos = append(b.pendingGotos, pendingGoto{node: n, label: s.Label})
+		}
+		return nil
+	case *ast.LabeledStmt:
+		// The label attaches to the first node of the inner statement;
+		// introduce a join node so backward gotos have a stable target
+		// even when the inner statement is structured.
+		join := b.newNode(Stmt)
+		join.Stmt = &ast.EmptyStmt{SemiPos: s.Pos()}
+		b.g.NodeOf[s] = join
+		b.labels[s.Label] = join
+		b.connect(preds, join)
+		return b.stmt(s.Stmt, []*Node{join})
+	case *ast.IfStmt:
+		cond := b.newNode(Cond)
+		cond.Cond = s.Cond
+		cond.Stmt = s
+		b.g.CondOf[s] = append(b.g.CondOf[s], cond)
+		b.connect(preds, cond)
+		thenExits := b.stmt(s.Then, []*Node{cond})
+		if s.Else == nil {
+			return append(thenExits, cond)
+		}
+		elseExits := b.stmt(s.Else, []*Node{cond})
+		return append(thenExits, elseExits...)
+	case *ast.WhileStmt:
+		cond := b.newNode(Cond)
+		cond.Cond = s.Cond
+		cond.Stmt = s
+		b.g.CondOf[s] = append(b.g.CondOf[s], cond)
+		b.connect(preds, cond)
+		bodyExits := b.stmt(s.Body, []*Node{cond})
+		b.connect(bodyExits, cond)
+		return []*Node{cond}
+	case *ast.RepeatStmt:
+		// Body executes at least once; condition tested after.
+		first := b.newNode(Stmt)
+		first.Stmt = &ast.EmptyStmt{SemiPos: s.Pos()}
+		b.g.NodeOf[s] = first
+		b.connect(preds, first)
+		cur := []*Node{first}
+		for _, c := range s.Stmts {
+			cur = b.stmt(c, cur)
+		}
+		cond := b.newNode(Cond)
+		cond.Cond = s.Cond
+		cond.Stmt = s
+		b.g.CondOf[s] = append(b.g.CondOf[s], cond)
+		b.connect(cur, cond)
+		b.edge(cond, first) // loop back when condition false
+		return []*Node{cond}
+	case *ast.ForStmt:
+		init := b.newNode(ForInit)
+		init.Stmt = s
+		b.g.NodeOf[s] = init
+		b.connect(preds, init)
+		cond := b.newNode(ForCond)
+		cond.Stmt = s
+		b.g.CondOf[s] = append(b.g.CondOf[s], cond)
+		b.edge(init, cond)
+		bodyExits := b.stmt(s.Body, []*Node{cond})
+		incr := b.newNode(ForIncr)
+		incr.Stmt = s
+		b.connect(bodyExits, incr)
+		b.edge(incr, cond)
+		return []*Node{cond}
+	case *ast.CaseStmt:
+		cond := b.newNode(Cond)
+		cond.Cond = s.Expr
+		cond.Stmt = s
+		b.g.CondOf[s] = append(b.g.CondOf[s], cond)
+		b.connect(preds, cond)
+		var exits []*Node
+		for _, arm := range s.Arms {
+			exits = append(exits, b.stmt(arm.Body, []*Node{cond})...)
+		}
+		if s.Else != nil {
+			exits = append(exits, b.stmt(s.Else, []*Node{cond})...)
+		} else {
+			exits = append(exits, cond) // no matching arm falls through
+		}
+		return exits
+	}
+	// Unknown statement: treat as opaque.
+	n := b.newNode(Stmt)
+	n.Stmt = s
+	b.g.NodeOf[s] = n
+	b.connect(preds, n)
+	return []*Node{n}
+}
+
+// Reachable returns the set of nodes reachable from Entry.
+func (g *Graph) Reachable() map[*Node]bool {
+	seen := make(map[*Node]bool)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, s := range n.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+// Dot renders the graph in Graphviz format (debugging aid).
+func (g *Graph) Dot() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", g.Routine.Name)
+	for _, n := range g.Nodes {
+		fmt.Fprintf(&sb, "  n%d [label=%q];\n", n.ID, fmt.Sprintf("%d: %s", n.ID, n))
+	}
+	for _, n := range g.Nodes {
+		for _, s := range n.Succs {
+			fmt.Fprintf(&sb, "  n%d -> n%d;\n", n.ID, s.ID)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

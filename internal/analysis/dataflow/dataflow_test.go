@@ -1,0 +1,251 @@
+package dataflow_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gadt/internal/analysis/callgraph"
+	"gadt/internal/analysis/cfg"
+	"gadt/internal/analysis/dataflow"
+	"gadt/internal/analysis/sideeffect"
+	"gadt/internal/paper"
+	"gadt/internal/pascal/ast"
+	"gadt/internal/pascal/parser"
+	"gadt/internal/pascal/sem"
+)
+
+func analyzeRoutine(t *testing.T, src, routine string) (*sem.Info, *cfg.Graph, *dataflow.Result) {
+	t.Helper()
+	prog := parser.MustParse("t.pas", src)
+	info, err := sem.Analyze(prog)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	r := info.Main
+	if routine != "" {
+		r = info.LookupRoutine(routine)
+		if r == nil {
+			t.Fatalf("routine %s missing", routine)
+		}
+	}
+	g := cfg.Build(info, r)
+	se := sideeffect.Analyze(info, callgraph.Build(info))
+	df := dataflow.ReachingDefs(info, g, se)
+	return info, g, df
+}
+
+func findVar(info *sem.Info, r *sem.Routine, name string) *sem.VarSym {
+	for ; r != nil; r = r.Parent {
+		for _, v := range r.AllVars() {
+			if v.Name == name {
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+func TestStraightLineKills(t *testing.T) {
+	info, g, df := analyzeRoutine(t, `
+program t;
+var x, y: integer;
+begin
+  x := 1;
+  x := 2;
+  y := x;
+end.`, "")
+	x := findVar(info, info.Main, "x")
+	// At exit, only the second definition of x reaches.
+	defs := df.ReachingAt(g.Exit, x)
+	if len(defs) != 1 {
+		t.Fatalf("defs of x at exit = %d, want 1", len(defs))
+	}
+	as, ok := defs[0].Node.Stmt.(*ast.AssignStmt)
+	if !ok {
+		t.Fatalf("def node = %v", defs[0].Node)
+	}
+	if lit, ok := as.Rhs.(*ast.IntLit); !ok || lit.Value != 2 {
+		t.Errorf("reaching def is %v, want x := 2", as.Rhs)
+	}
+}
+
+func TestBranchMerge(t *testing.T) {
+	info, g, df := analyzeRoutine(t, `
+program t;
+var c, x: integer;
+begin
+  read(c);
+  if c > 0 then
+    x := 1
+  else
+    x := 2;
+  c := x;
+end.`, "")
+	x := findVar(info, info.Main, "x")
+	defs := df.ReachingAt(g.Exit, x)
+	if len(defs) != 2 {
+		t.Fatalf("defs of x at exit = %d, want 2 (both branches)", len(defs))
+	}
+}
+
+func TestLoopCarried(t *testing.T) {
+	info, g, df := analyzeRoutine(t, `
+program t;
+var i, s: integer;
+begin
+  s := 0;
+  for i := 1 to 3 do
+    s := s + i;
+end.`, "")
+	s := findVar(info, info.Main, "s")
+	// Inside the loop, both s := 0 and s := s + i reach the use of s.
+	var bodyNode *cfg.Node
+	for _, n := range g.Nodes {
+		if n.Kind == cfg.Stmt {
+			if as, ok := n.Stmt.(*ast.AssignStmt); ok {
+				if _, isBin := as.Rhs.(*ast.BinaryExpr); isBin {
+					bodyNode = n
+				}
+			}
+		}
+	}
+	if bodyNode == nil {
+		t.Fatal("loop body assignment not found")
+	}
+	defs := df.ReachingAt(bodyNode, s)
+	if len(defs) != 2 {
+		t.Fatalf("defs of s at loop body = %d, want 2 (init + loop-carried)", len(defs))
+	}
+}
+
+func TestEntryDefsForParamsAndNonlocals(t *testing.T) {
+	info, g, df := analyzeRoutine(t, paper.GlobalSideEffects, "p")
+	p := info.LookupRoutine("p")
+	y := findVar(info, p, "y")
+	x := findVar(info, info.Main, "x")
+	// y (param) and x (non-local) have synthetic entry definitions.
+	foundY, foundX := false, false
+	for _, d := range df.Defs {
+		if d.Node == g.Entry {
+			if d.Var == y {
+				foundY = true
+			}
+			if d.Var == x {
+				foundX = true
+			}
+		}
+	}
+	if !foundY {
+		t.Error("no entry def for parameter y")
+	}
+	if !foundX {
+		t.Error("no entry def for non-local x")
+	}
+}
+
+func TestCallDefsAreMay(t *testing.T) {
+	info, g, df := analyzeRoutine(t, `
+program t;
+var x: integer;
+procedure maybe(var v: integer);
+begin
+  if v > 0 then v := 0;
+end;
+begin
+  x := 5;
+  maybe(x);
+  writeln(x);
+end.`, "")
+	x := findVar(info, info.Main, "x")
+	// After the call, both x := 5 and the call's definition reach.
+	defs := df.ReachingAt(g.Exit, x)
+	if len(defs) != 2 {
+		t.Fatalf("defs of x at exit = %d, want 2 (assign + may-def call)", len(defs))
+	}
+}
+
+func TestPartialArrayUpdateIsMay(t *testing.T) {
+	info, g, df := analyzeRoutine(t, `
+program t;
+type arr = array [1 .. 3] of integer;
+var a: arr;
+    i: integer;
+begin
+  a[1] := 10;
+  read(i);
+  a[i] := 20;
+  writeln(a[1]);
+end.`, "")
+	a := findVar(info, info.Main, "a")
+	defs := df.ReachingAt(g.Exit, a)
+	// Entry def killed? No: element assignments are may-defs, so entry,
+	// a[1] := 10 and a[i] := 20 all reach.
+	if len(defs) != 3 {
+		t.Fatalf("defs of a at exit = %d, want 3", len(defs))
+	}
+}
+
+func TestFlowDeps(t *testing.T) {
+	_, g, df := analyzeRoutine(t, `
+program t;
+var x, y: integer;
+begin
+  x := 1;
+  y := x + 2;
+end.`, "")
+	var yAssign *cfg.Node
+	for _, n := range g.Nodes {
+		if n.Kind == cfg.Stmt {
+			if as, ok := n.Stmt.(*ast.AssignStmt); ok {
+				if id, ok := as.Lhs.(*ast.Ident); ok && id.Name == "y" {
+					yAssign = n
+				}
+			}
+		}
+	}
+	deps := df.FlowDeps(yAssign)
+	if len(deps) != 1 {
+		t.Fatalf("flow deps of y := x + 2: %d, want 1", len(deps))
+	}
+}
+
+// TestQuickBitSet checks BitSet operations against a map-based model.
+func TestQuickBitSet(t *testing.T) {
+	const n = 130 // cross the word boundary
+	prop := func(aBits, bBits []uint8) bool {
+		a, b := dataflow.NewBitSet(n), dataflow.NewBitSet(n)
+		am, bm := map[int]bool{}, map[int]bool{}
+		for _, x := range aBits {
+			i := int(x) % n
+			a.Set(i)
+			am[i] = true
+		}
+		for _, x := range bBits {
+			i := int(x) % n
+			b.Set(i)
+			bm[i] = true
+		}
+		u := a.Clone()
+		u.UnionWith(b)
+		d := a.Clone()
+		d.DiffWith(b)
+		for i := 0; i < n; i++ {
+			if u.Has(i) != (am[i] || bm[i]) {
+				return false
+			}
+			if d.Has(i) != (am[i] && !bm[i]) {
+				return false
+			}
+			if a.Has(i) != am[i] { // Clone must not share storage
+				return false
+			}
+		}
+		if !a.Equal(a.Clone()) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

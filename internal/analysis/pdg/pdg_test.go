@@ -1,0 +1,275 @@
+package pdg
+
+import (
+	"testing"
+
+	"gadt/internal/analysis/cfg"
+	"gadt/internal/paper"
+	"gadt/internal/pascal/ast"
+	"gadt/internal/pascal/parser"
+	"gadt/internal/pascal/sem"
+)
+
+func buildCFG(t *testing.T, src, routine string) (*sem.Info, *cfg.Graph) {
+	t.Helper()
+	prog := parser.MustParse("t.pas", src)
+	info, err := sem.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := info.Main
+	if routine != "" {
+		r = info.LookupRoutine(routine)
+	}
+	return info, cfg.Build(info, r)
+}
+
+func TestPostDomStraightLine(t *testing.T) {
+	_, g := buildCFG(t, `
+program t;
+var x: integer;
+begin
+  x := 1;
+  x := 2;
+end.`, "")
+	ipdom := postDoms(g)
+	// Every node's ipdom chain reaches Exit.
+	for _, n := range g.Nodes {
+		cur, ok := n, true
+		for cur != g.Exit {
+			cur, ok = ipdom[cur], true
+			if !ok || cur == nil {
+				t.Fatalf("node %v has no postdominator chain to exit", n)
+			}
+		}
+	}
+}
+
+func TestPostDomDiamond(t *testing.T) {
+	_, g := buildCFG(t, `
+program t;
+var x: integer;
+begin
+  if x > 0 then x := 1 else x := 2;
+  x := 3;
+end.`, "")
+	ipdom := postDoms(g)
+	var cond, join *cfg.Node
+	for _, n := range g.Nodes {
+		if n.Kind == cfg.Cond {
+			cond = n
+		}
+		if n.Kind == cfg.Stmt {
+			if as, ok := n.Stmt.(*ast.AssignStmt); ok {
+				if lit, ok := as.Rhs.(*ast.IntLit); ok && lit.Value == 3 {
+					join = n
+				}
+			}
+		}
+	}
+	if cond == nil || join == nil {
+		t.Fatal("nodes missing")
+	}
+	if ipdom[cond] != join {
+		t.Errorf("ipdom(cond) = %v, want the join node", ipdom[cond])
+	}
+}
+
+func TestControlDepsIf(t *testing.T) {
+	_, g := buildCFG(t, `
+program t;
+var x, y: integer;
+begin
+  if x > 0 then
+    y := 1
+  else
+    y := 2;
+  y := 3;
+end.`, "")
+	cd := controlDeps(g)
+	var cond *cfg.Node
+	for _, n := range g.Nodes {
+		if n.Kind == cfg.Cond {
+			cond = n
+		}
+	}
+	for _, n := range g.Nodes {
+		if n.Kind != cfg.Stmt {
+			continue
+		}
+		as, ok := n.Stmt.(*ast.AssignStmt)
+		if !ok {
+			continue
+		}
+		lit := as.Rhs.(*ast.IntLit)
+		deps := cd[n]
+		switch lit.Value {
+		case 1, 2:
+			if len(deps) != 1 || deps[0] != cond {
+				t.Errorf("y := %d control deps = %v, want the condition", lit.Value, deps)
+			}
+		case 3:
+			if len(deps) != 1 || deps[0] != g.Entry {
+				t.Errorf("y := 3 control deps = %v, want entry", deps)
+			}
+		}
+	}
+}
+
+func TestControlDepsWhileBody(t *testing.T) {
+	_, g := buildCFG(t, `
+program t;
+var i: integer;
+begin
+  while i < 3 do
+    i := i + 1;
+end.`, "")
+	cd := controlDeps(g)
+	var cond, body *cfg.Node
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case cfg.Cond:
+			cond = n
+		case cfg.Stmt:
+			if _, ok := n.Stmt.(*ast.AssignStmt); ok {
+				body = n
+			}
+		}
+	}
+	deps := cd[body]
+	if len(deps) != 1 || deps[0] != cond {
+		t.Errorf("loop body control deps = %v, want the loop condition", deps)
+	}
+}
+
+func TestSDGNodeKinds(t *testing.T) {
+	prog := parser.MustParse("t.pas", paper.Sqrtest)
+	info, err := sem.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Build(info)
+	counts := map[NodeKind]int{}
+	for _, n := range s.Nodes {
+		counts[n.Kind]++
+	}
+	if counts[EntryKind] != len(info.Routines) {
+		t.Errorf("entry nodes = %d, want %d", counts[EntryKind], len(info.Routines))
+	}
+	if counts[FormalIn] == 0 || counts[FormalOut] == 0 || counts[ActualIn] == 0 || counts[ActualOut] == 0 {
+		t.Errorf("parameter nodes missing: %v", counts)
+	}
+	// Every actual-in has a param-in edge to a formal-in.
+	for _, n := range s.Nodes {
+		if n.Kind != ActualIn {
+			continue
+		}
+		found := false
+		for _, e := range s.Succs(n) {
+			if e.Kind == ParamIn && e.To.Kind == FormalIn {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("actual-in %v lacks param-in edge", n)
+		}
+	}
+}
+
+func TestSummaryEdgesExist(t *testing.T) {
+	prog := parser.MustParse("t.pas", paper.Sqrtest)
+	info, err := sem.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Build(info)
+	summaries := 0
+	for _, n := range s.Nodes {
+		for _, e := range s.Succs(n) {
+			if e.Kind == Summary {
+				summaries++
+				if e.From.Kind != ActualIn || e.To.Kind != ActualOut {
+					t.Errorf("summary edge between %v and %v", e.From.Kind, e.To.Kind)
+				}
+				if e.From.Site != e.To.Site {
+					t.Error("summary edge crosses call sites")
+				}
+			}
+		}
+	}
+	if summaries == 0 {
+		t.Error("no summary edges computed")
+	}
+}
+
+func TestSummaryEdgesRecursive(t *testing.T) {
+	prog := parser.MustParse("t.pas", `
+program t;
+var x: integer;
+function fact(n: integer): integer;
+begin
+  if n <= 1 then fact := 1 else fact := n * fact(n - 1);
+end;
+begin
+  x := fact(4);
+  writeln(x);
+end.`)
+	info, err := sem.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Build(info)
+	// fact's result must (transitively) depend on its formal n, creating
+	// a summary edge at both call sites.
+	summaries := 0
+	for _, n := range s.Nodes {
+		for _, e := range s.Succs(n) {
+			if e.Kind == Summary {
+				summaries++
+			}
+		}
+	}
+	if summaries < 2 {
+		t.Errorf("summary edges = %d, want >= 2 (outer call + recursive call)", summaries)
+	}
+}
+
+func TestEdgeDedup(t *testing.T) {
+	prog := parser.MustParse("t.pas", paper.SliceExample)
+	info, err := sem.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Build(info)
+	type key struct {
+		from, to *Node
+		kind     EdgeKind
+	}
+	seen := map[key]bool{}
+	for _, n := range s.Nodes {
+		for _, e := range s.Succs(n) {
+			k := key{e.From, e.To, e.Kind}
+			if seen[k] {
+				t.Fatalf("duplicate edge %v -> %v (%v)", e.From, e.To, e.Kind)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestPredsSuccsConsistent(t *testing.T) {
+	prog := parser.MustParse("t.pas", paper.Sqrtest)
+	info, err := sem.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Build(info)
+	fwd, bwd := 0, 0
+	for _, n := range s.Nodes {
+		fwd += len(s.Succs(n))
+		bwd += len(s.Preds(n))
+	}
+	if fwd != bwd || fwd == 0 {
+		t.Errorf("edge counts inconsistent: %d succs vs %d preds", fwd, bwd)
+	}
+}

@@ -1,0 +1,453 @@
+// Package assertion implements the assertion mechanism of Section 3
+// (following Drabent et al.): besides yes/no answers, the user may give
+// Boolean assertions about the intended behavior of a unit. Assertions
+// are expressions over the unit's parameter values; once stored, they
+// answer later queries without user interaction.
+//
+// Inside an assertion, a parameter name denotes its value at exit for
+// var/out parameters and at entry for value parameters; the pseudo-name
+// `result` denotes a function's result; `old_<name>` denotes the entry
+// value of a var parameter. The expression syntax is the Pascal
+// expression grammar (parsed with the front end's parser).
+//
+// The paper evaluates assertions with the DICE incremental compiler; we
+// interpret them directly, which is behaviourally equivalent.
+package assertion
+
+import (
+	"fmt"
+	"strings"
+
+	"gadt/internal/exectree"
+	"gadt/internal/pascal/ast"
+	"gadt/internal/pascal/interp"
+	"gadt/internal/pascal/parser"
+	"gadt/internal/pascal/token"
+)
+
+// Assertion is one stored assertion about a unit.
+type Assertion struct {
+	Unit string
+	Text string
+	expr ast.Expr
+}
+
+// Parse compiles an assertion for the given unit.
+func Parse(unit, text string) (*Assertion, error) {
+	e, err := parser.ParseExpr(text)
+	if err != nil {
+		return nil, fmt.Errorf("assertion: %w", err)
+	}
+	return &Assertion{Unit: strings.ToLower(unit), Text: text, expr: e}, nil
+}
+
+// MustParse is Parse for known-good assertion literals; it panics on
+// error.
+func MustParse(unit, text string) *Assertion {
+	a, err := Parse(unit, text)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Verdict is the outcome of evaluating assertions against a call.
+type Verdict int
+
+const (
+	Unknown Verdict = iota // assertion could not decide (evaluation error)
+	Holds
+	Violated
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Holds:
+		return "holds"
+	case Violated:
+		return "violated"
+	}
+	return "unknown"
+}
+
+// Env is the name → value binding an assertion is evaluated under.
+type Env map[string]interp.Value
+
+// EnvFor builds the evaluation environment for an execution-tree node:
+// entry values under `old_<name>` (and under the plain name for value
+// parameters), exit values under the plain name for var/out parameters,
+// and the function result under both `result` and the unit name.
+func EnvFor(n *exectree.Node) Env {
+	env := make(Env)
+	for _, b := range n.Ins {
+		env["old_"+b.Name] = b.Value
+		env[b.Name] = b.Value
+	}
+	for _, b := range n.Outs {
+		env[b.Name] = b.Value // exit value shadows entry value
+	}
+	if n.Unit.Kind == ast.FuncKind {
+		env["result"] = n.Result
+		env[n.Unit.Name] = n.Result
+	}
+	return env
+}
+
+// Eval evaluates the assertion under env.
+func (a *Assertion) Eval(env Env) Verdict {
+	v, err := evalExpr(a.expr, env)
+	if err != nil {
+		return Unknown
+	}
+	b, ok := v.(bool)
+	if !ok {
+		return Unknown
+	}
+	if b {
+		return Holds
+	}
+	return Violated
+}
+
+// DB stores assertions per unit name.
+type DB struct {
+	byUnit map[string][]*Assertion
+	// trusted units are assumed correct without evaluation (library
+	// routines the user vouches for).
+	trusted map[string]bool
+}
+
+// NewDB returns an empty assertion database.
+func NewDB() *DB {
+	return &DB{byUnit: make(map[string][]*Assertion), trusted: make(map[string]bool)}
+}
+
+// Add stores an assertion.
+func (db *DB) Add(a *Assertion) { db.byUnit[a.Unit] = append(db.byUnit[a.Unit], a) }
+
+// AddText parses and stores an assertion for unit.
+func (db *DB) AddText(unit, text string) error {
+	a, err := Parse(unit, text)
+	if err != nil {
+		return err
+	}
+	db.Add(a)
+	return nil
+}
+
+// Trust marks a unit as always correct.
+func (db *DB) Trust(unit string) { db.trusted[strings.ToLower(unit)] = true }
+
+// Len reports the number of stored assertions.
+func (db *DB) Len() int {
+	n := 0
+	for _, as := range db.byUnit {
+		n += len(as)
+	}
+	return n
+}
+
+// Judge evaluates all assertions for the node's unit: any violation
+// yields Violated; otherwise, if at least one assertion held, Holds;
+// with no applicable assertions, Unknown. Trusted units always Hold.
+func (db *DB) Judge(n *exectree.Node) Verdict {
+	if db.trusted[n.Unit.Name] {
+		return Holds
+	}
+	as := db.byUnit[n.Unit.Name]
+	if len(as) == 0 {
+		return Unknown
+	}
+	env := EnvFor(n)
+	decided := false
+	for _, a := range as {
+		switch a.Eval(env) {
+		case Violated:
+			return Violated
+		case Holds:
+			decided = true
+		}
+	}
+	if decided {
+		return Holds
+	}
+	return Unknown
+}
+
+// ---------------------------------------------------------------------------
+// Expression evaluation over an Env
+
+// Eval evaluates an arbitrary Pascal expression under env. Exported for
+// the T-GEN selector/match machinery, which shares this vocabulary.
+func Eval(e ast.Expr, env Env) (interp.Value, error) {
+	return evalExpr(e, env)
+}
+
+func evalExpr(e ast.Expr, env Env) (interp.Value, error) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return e.Value, nil
+	case *ast.RealLit:
+		return e.Value, nil
+	case *ast.StringLit:
+		return e.Value, nil
+	case *ast.Ident:
+		switch e.Name {
+		case "true":
+			return true, nil
+		case "false":
+			return false, nil
+		}
+		if v, ok := env[e.Name]; ok {
+			return v, nil
+		}
+		return nil, fmt.Errorf("unbound name %s", e.Name)
+	case *ast.UnaryExpr:
+		x, err := evalExpr(e.X, env)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case token.Minus:
+			switch x := x.(type) {
+			case int64:
+				return -x, nil
+			case float64:
+				return -x, nil
+			}
+		case token.Plus:
+			return x, nil
+		case token.Not:
+			if b, ok := x.(bool); ok {
+				return !b, nil
+			}
+		}
+		return nil, fmt.Errorf("bad unary operand")
+	case *ast.IndexExpr:
+		x, err := evalExpr(e.X, env)
+		if err != nil {
+			return nil, err
+		}
+		arr, ok := x.(*interp.ArrayVal)
+		if !ok {
+			return nil, fmt.Errorf("indexing non-array")
+		}
+		cur := arr
+		var out interp.Value = arr
+		for _, ie := range e.Indices {
+			iv, err := evalExpr(ie, env)
+			if err != nil {
+				return nil, err
+			}
+			i, ok := iv.(int64)
+			if !ok {
+				return nil, fmt.Errorf("non-integer index")
+			}
+			slot, err := cur.At(i)
+			if err != nil {
+				return nil, err
+			}
+			out = *slot
+			cur, _ = out.(*interp.ArrayVal)
+		}
+		return out, nil
+	case *ast.FieldExpr:
+		x, err := evalExpr(e.X, env)
+		if err != nil {
+			return nil, err
+		}
+		rec, ok := x.(*interp.RecordVal)
+		if !ok {
+			return nil, fmt.Errorf("selecting field of non-record")
+		}
+		slot, err := rec.FieldAddr(e.Field)
+		if err != nil {
+			return nil, err
+		}
+		return *slot, nil
+	case *ast.CallExpr:
+		// Small builtin vocabulary for assertions.
+		args := make([]interp.Value, len(e.Args))
+		for i, a := range e.Args {
+			v, err := evalExpr(a, env)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		return evalBuiltin(e.Name, args)
+	case *ast.BinaryExpr:
+		x, err := evalExpr(e.X, env)
+		if err != nil {
+			return nil, err
+		}
+		y, err := evalExpr(e.Y, env)
+		if err != nil {
+			return nil, err
+		}
+		return evalBinary(e.Op, x, y)
+	}
+	return nil, fmt.Errorf("unsupported assertion expression %T", e)
+}
+
+func evalBuiltin(name string, args []interp.Value) (interp.Value, error) {
+	one := func() (int64, error) {
+		if len(args) != 1 {
+			return 0, fmt.Errorf("%s expects 1 argument", name)
+		}
+		i, ok := args[0].(int64)
+		if !ok {
+			return 0, fmt.Errorf("%s expects an integer", name)
+		}
+		return i, nil
+	}
+	switch name {
+	case "abs":
+		i, err := one()
+		if err != nil {
+			return nil, err
+		}
+		if i < 0 {
+			return -i, nil
+		}
+		return i, nil
+	case "sqr":
+		i, err := one()
+		if err != nil {
+			return nil, err
+		}
+		return i * i, nil
+	case "odd":
+		i, err := one()
+		if err != nil {
+			return nil, err
+		}
+		return i%2 != 0, nil
+	case "len":
+		if len(args) == 1 {
+			if a, ok := args[0].(*interp.ArrayVal); ok {
+				return a.Hi - a.Lo + 1, nil
+			}
+		}
+		return nil, fmt.Errorf("len expects an array")
+	case "sum":
+		if len(args) == 1 {
+			if a, ok := args[0].(*interp.ArrayVal); ok {
+				var s int64
+				for _, el := range a.Elems {
+					i, ok := el.(int64)
+					if !ok {
+						return nil, fmt.Errorf("sum over non-integer array")
+					}
+					s += i
+				}
+				return s, nil
+			}
+		}
+		if len(args) == 2 {
+			// sum(a, n): sum of the first n elements.
+			a, ok1 := args[0].(*interp.ArrayVal)
+			n, ok2 := args[1].(int64)
+			if ok1 && ok2 {
+				var s int64
+				for i := int64(0); i < n && i < int64(len(a.Elems)); i++ {
+					iv, ok := a.Elems[i].(int64)
+					if !ok {
+						return nil, fmt.Errorf("sum over non-integer array")
+					}
+					s += iv
+				}
+				return s, nil
+			}
+		}
+		return nil, fmt.Errorf("sum expects an array (and optionally a count)")
+	}
+	return nil, fmt.Errorf("unknown assertion function %s", name)
+}
+
+func evalBinary(op token.Kind, x, y interp.Value) (interp.Value, error) {
+	switch op {
+	case token.And:
+		xb, ok1 := x.(bool)
+		yb, ok2 := y.(bool)
+		if ok1 && ok2 {
+			return xb && yb, nil
+		}
+	case token.Or:
+		xb, ok1 := x.(bool)
+		yb, ok2 := y.(bool)
+		if ok1 && ok2 {
+			return xb || yb, nil
+		}
+	case token.Eq:
+		return interp.ValuesEqual(x, y), nil
+	case token.NotEq:
+		return !interp.ValuesEqual(x, y), nil
+	}
+	xi, xInt := x.(int64)
+	yi, yInt := y.(int64)
+	if xInt && yInt {
+		switch op {
+		case token.Plus:
+			return xi + yi, nil
+		case token.Minus:
+			return xi - yi, nil
+		case token.Star:
+			return xi * yi, nil
+		case token.Div:
+			if yi == 0 {
+				return nil, fmt.Errorf("division by zero")
+			}
+			return xi / yi, nil
+		case token.Mod:
+			if yi == 0 {
+				return nil, fmt.Errorf("division by zero")
+			}
+			return xi % yi, nil
+		case token.Less:
+			return xi < yi, nil
+		case token.LessEq:
+			return xi <= yi, nil
+		case token.Greater:
+			return xi > yi, nil
+		case token.GreatEq:
+			return xi >= yi, nil
+		}
+	}
+	xf, xOK := toFloat(x)
+	yf, yOK := toFloat(y)
+	if xOK && yOK {
+		switch op {
+		case token.Plus:
+			return xf + yf, nil
+		case token.Minus:
+			return xf - yf, nil
+		case token.Star:
+			return xf * yf, nil
+		case token.Slash:
+			if yf == 0 {
+				return nil, fmt.Errorf("division by zero")
+			}
+			return xf / yf, nil
+		case token.Less:
+			return xf < yf, nil
+		case token.LessEq:
+			return xf <= yf, nil
+		case token.Greater:
+			return xf > yf, nil
+		case token.GreatEq:
+			return xf >= yf, nil
+		}
+	}
+	return nil, fmt.Errorf("invalid operands for %s", op)
+}
+
+func toFloat(v interp.Value) (float64, bool) {
+	switch v := v.(type) {
+	case int64:
+		return float64(v), true
+	case float64:
+		return v, true
+	}
+	return 0, false
+}

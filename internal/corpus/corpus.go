@@ -1,0 +1,408 @@
+// Package corpus holds a collection of realistic Pascal subject programs
+// beyond the paper's own examples, each exercising a different
+// combination of language features. The corpus test matrix runs every
+// program through the full pipeline: interpretation, transformation
+// equivalence, tracing, and (for entries with planted bugs) debugging.
+package corpus
+
+// Program is one corpus entry.
+type Program struct {
+	Name   string
+	Source string
+	// Input is fed to read/readln.
+	Input string
+	// Want is the expected output.
+	Want string
+	// Buggy optionally holds a variant with a planted bug, and BugUnit
+	// the unit the debugger must localize it in.
+	Buggy   string
+	BugUnit string
+}
+
+// All returns the corpus.
+func All() []Program {
+	return []Program{
+		{
+			Name: "bubblesort",
+			Source: `
+program bubblesort;
+type arr = array [1 .. 8] of integer;
+var a: arr;
+    n, i: integer;
+
+procedure swap(var x, y: integer);
+var t: integer;
+begin
+  t := x;
+  x := y;
+  y := t;
+end;
+
+procedure sort(var v: arr; n: integer);
+var i, j: integer;
+begin
+  for i := 1 to n - 1 do
+    for j := 1 to n - i do
+      if v[j] > v[j + 1] then
+        swap(v[j], v[j + 1]);
+end;
+
+begin
+  n := 6;
+  for i := 1 to n do
+    read(a[i]);
+  sort(a, n);
+  for i := 1 to n do begin
+    write(a[i]);
+    write(' ');
+  end;
+  writeln('');
+end.`,
+			Input: "5 3 8 1 9 2",
+			Want:  "1 2 3 5 8 9 \n",
+		},
+		{
+			Name: "gcdlcm",
+			Source: `
+program gcdlcm;
+var a, b: integer;
+
+function gcd(x, y: integer): integer;
+var t: integer;
+begin
+  while y <> 0 do begin
+    t := x mod y;
+    x := y;
+    y := t;
+  end;
+  gcd := x;
+end;
+
+function lcm(x, y: integer): integer;
+begin
+  lcm := x div gcd(x, y) * y;
+end;
+
+begin
+  read(a, b);
+  writeln(gcd(a, b), lcm(a, b));
+end.`,
+			Input: "12 18",
+			Want:  "6 36\n",
+		},
+		{
+			Name: "statemachine",
+			Source: `
+program statemachine;
+var state, input, steps: integer;
+
+procedure step(sym: integer; var st: integer);
+begin
+  case st of
+    0: if sym = 1 then st := 1 else st := 0;
+    1: if sym = 0 then st := 2 else st := 1;
+    2: if sym = 1 then st := 3 else st := 0;
+  else st := 3;
+  end;
+end;
+
+begin
+  state := 0;
+  steps := 0;
+  read(input);
+  while input >= 0 do begin
+    step(input, state);
+    steps := steps + 1;
+    read(input);
+  end;
+  writeln(state, steps);
+end.`,
+			Input: "1 0 1 -1",
+			Want:  "3 3\n",
+		},
+		{
+			Name: "banking",
+			Source: `
+program banking;
+type account = record id, balance: integer end;
+type book = array [1 .. 4] of account;
+var accounts: book;
+    i, op, acct, amount: integer;
+
+procedure deposit(var a: account; amt: integer);
+begin
+  a.balance := a.balance + amt;
+end;
+
+procedure withdraw(var a: account; amt: integer; var ok: boolean);
+begin
+  ok := a.balance >= amt;
+  if ok then
+    a.balance := a.balance - amt;
+end;
+
+var ok: boolean;
+begin
+  for i := 1 to 4 do begin
+    accounts[i].id := i;
+    accounts[i].balance := 100;
+  end;
+  read(op);
+  while op > 0 do begin
+    read(acct, amount);
+    if op = 1 then
+      deposit(accounts[acct], amount)
+    else begin
+      withdraw(accounts[acct], amount, ok);
+      if not ok then
+        writeln('insufficient', acct);
+    end;
+    read(op);
+  end;
+  for i := 1 to 4 do begin
+    write(accounts[i].balance);
+    write(' ');
+  end;
+  writeln('');
+end.`,
+			Input: "1 2 50 2 3 170 2 1 30 0",
+			Want:  "insufficient 3\n70 150 100 100 \n",
+		},
+		{
+			Name: "collatz",
+			Source: `
+program collatz;
+var n, steps, peak: integer;
+
+procedure bump(var current, peak: integer);
+begin
+  if current > peak then
+    peak := current;
+end;
+
+begin
+  read(n);
+  steps := 0;
+  peak := n;
+  while n <> 1 do begin
+    if odd(n) then
+      n := 3 * n + 1
+    else
+      n := n div 2;
+    bump(n, peak);
+    steps := steps + 1;
+  end;
+  writeln(steps, peak);
+end.`,
+			Input: "27",
+			Want:  "111 9232\n",
+		},
+		{
+			Name: "strings",
+			Source: `
+program strings;
+var word, acc: string;
+    count: integer;
+
+procedure glue(w: string; var target: string; var n: integer);
+begin
+  if target = '' then
+    target := w
+  else
+    target := target + '-' + w;
+  n := n + 1;
+end;
+
+begin
+  acc := '';
+  count := 0;
+  read(word);
+  while word <> 'stop' do begin
+    glue(word, acc, count);
+    read(word);
+  end;
+  writeln(acc, count);
+end.`,
+			Input: "alpha beta gamma stop",
+			Want:  "alpha-beta-gamma 3\n",
+		},
+		{
+			Name: "matrixtrace",
+			Source: `
+program matrixtrace;
+type row = array [1 .. 3] of integer;
+type mat = array [1 .. 3] of row;
+var m: mat;
+    i, j, tr, total: integer;
+
+procedure fill(var mm: mat);
+var i, j: integer;
+begin
+  for i := 1 to 3 do
+    for j := 1 to 3 do
+      mm[i][j] := i * 10 + j;
+end;
+
+procedure sums(mm: mat; var diag, all: integer);
+var i, j: integer;
+begin
+  diag := 0;
+  all := 0;
+  for i := 1 to 3 do begin
+    diag := diag + mm[i][i];
+    for j := 1 to 3 do
+      all := all + mm[i][j];
+  end;
+end;
+
+begin
+  fill(m);
+  sums(m, tr, total);
+  writeln(tr, total);
+end.`,
+			Want: "66 198\n",
+		},
+		{
+			Name: "primes",
+			Source: `
+program primes;
+var limit, n, count: integer;
+
+function isprime(n: integer): boolean;
+var d: integer;
+    composite: boolean;
+begin
+  composite := n < 2;
+  d := 2;
+  while (d * d <= n) and not composite do begin
+    if n mod d = 0 then
+      composite := true;
+    d := d + 1;
+  end;
+  isprime := not composite;
+end;
+
+begin
+  read(limit);
+  count := 0;
+  for n := 2 to limit do
+    if isprime(n) then
+      count := count + 1;
+  writeln(count);
+end.`,
+			Input: "100",
+			Want:  "25\n",
+			Buggy: `
+program primes;
+var limit, n, count: integer;
+
+function isprime(n: integer): boolean;
+var d: integer;
+    composite: boolean;
+begin
+  composite := n < 2;
+  d := 2;
+  while (d * d < n) and not composite do begin
+    if n mod d = 0 then
+      composite := true;
+    d := d + 1;
+  end;
+  isprime := not composite;
+end;
+
+begin
+  read(limit);
+  count := 0;
+  for n := 2 to limit do
+    if isprime(n) then
+      count := count + 1;
+  writeln(count);
+end.`,
+			BugUnit: "isprime", // d*d < n misses perfect squares (4, 9, 25, 49)
+		},
+		{
+			Name: "fibmemo",
+			Source: `
+program fibmemo;
+type cache = array [0 .. 30] of integer;
+var memo: cache;
+    n: integer;
+
+function fib(n: integer): integer;
+var t: integer;
+begin
+  if memo[n] >= 0 then
+    fib := memo[n]
+  else begin
+    t := fib(n - 1) + fib(n - 2);
+    memo[n] := t;
+    fib := t;
+  end;
+end;
+
+var i: integer;
+begin
+  for i := 0 to 30 do
+    memo[i] := -1;
+  memo[0] := 0;
+  memo[1] := 1;
+  read(n);
+  writeln(fib(n));
+end.`,
+			Input: "25",
+			Want:  "75025\n",
+		},
+		{
+			Name: "digitstats",
+			Source: `
+program digitstats;
+var n, digits, sum, m: integer;
+
+procedure analyze(value: integer; var d, s: integer);
+begin
+  d := 0;
+  s := 0;
+  if value = 0 then
+    d := 1;
+  while value > 0 do begin
+    d := d + 1;
+    s := s + value mod 10;
+    value := value div 10;
+  end;
+end;
+
+begin
+  read(n);
+  analyze(n, digits, sum);
+  m := digits * 100 + sum;
+  writeln(digits, sum, m);
+end.`,
+			Input: "90817",
+			Want:  "5 25 525\n",
+			Buggy: `
+program digitstats;
+var n, digits, sum, m: integer;
+
+procedure analyze(value: integer; var d, s: integer);
+begin
+  d := 0;
+  s := 0;
+  if value = 0 then
+    d := 1;
+  while value > 9 do begin
+    d := d + 1;
+    s := s + value mod 10;
+    value := value div 10;
+  end;
+end;
+
+begin
+  read(n);
+  analyze(n, digits, sum);
+  m := digits * 100 + sum;
+  writeln(digits, sum, m);
+end.`,
+			BugUnit: "analyze", // drops the most significant digit
+		},
+	}
+}

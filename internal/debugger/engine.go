@@ -1,0 +1,620 @@
+package debugger
+
+import (
+	"fmt"
+	"strings"
+
+	"gadt/internal/assertion"
+	"gadt/internal/exectree"
+	"gadt/internal/pascal/ast"
+	"gadt/internal/pascal/interp"
+	"gadt/internal/slicing/dynamic"
+	"gadt/internal/transform"
+)
+
+// Strategy selects the execution-tree traversal order. The paper notes
+// the method is traversal-agnostic ("generally it doesn't matter which
+// traversal method is used"); all three are provided for the ablation
+// experiment.
+type Strategy int
+
+const (
+	TopDown Strategy = iota
+	DivideAndQuery
+	BottomUp
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case DivideAndQuery:
+		return "divide-and-query"
+	case BottomUp:
+		return "bottom-up"
+	}
+	return "top-down"
+}
+
+// TestLookup is the debugging-phase interface to the category-partition
+// test database (Section 5.3.2). Implemented by package tgen.
+type TestLookup interface {
+	// Judge classifies the call and consults the test reports: Correct
+	// when a matching frame has a passing report, Incorrect when the
+	// matching frame's report failed, DontKnow otherwise.
+	Judge(n *exectree.Node) Verdict
+}
+
+// Options configures a debugging session.
+type Options struct {
+	Strategy Strategy
+
+	// Assertions, when non-nil, is consulted before the test database
+	// and the oracle; assertions given by the oracle during the session
+	// are added to it.
+	Assertions *assertion.DB
+
+	// Tests, when non-nil, is consulted before the oracle.
+	Tests TestLookup
+
+	// Slicing enables execution-tree pruning on "error on output X"
+	// answers. Requires Recorder.
+	Slicing  bool
+	Recorder *dynamic.Recorder
+
+	// Meta, when non-nil, improves query rendering for transformed
+	// programs (logical parameter modes, loop-unit presentation,
+	// exit-condition decoding).
+	Meta *transform.Result
+
+	// MaxQuestions bounds user interactions (0 = 10000).
+	MaxQuestions int
+
+	// NoRootAssumption disables the premise that the program block
+	// itself misbehaved. By default the root is assumed incorrect (the
+	// user invoked the debugger because of an observable symptom), so
+	// when every child of the program block is judged correct the bug is
+	// localized in the main program body — the paper's answer to the
+	// misnamed-argument question in Section 5.3.3. With the assumption
+	// disabled such a search ends inconclusive instead.
+	NoRootAssumption bool
+}
+
+// EventKind classifies transcript entries.
+type EventKind int
+
+const (
+	EvQuestion  EventKind = iota // answered by the oracle (a user interaction)
+	EvMemo                       // answered from remembered answers
+	EvAssertion                  // answered by the assertion database
+	EvTest                       // answered by the test-case lookup
+	EvSlice                      // tree sliced on a flagged output
+	EvLocalized                  // bug localized
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvMemo:
+		return "memo"
+	case EvAssertion:
+		return "assertion"
+	case EvTest:
+		return "test-db"
+	case EvSlice:
+		return "slice"
+	case EvLocalized:
+		return "localized"
+	}
+	return "question"
+}
+
+// Event is one transcript entry.
+type Event struct {
+	Kind    EventKind
+	Node    *exectree.Node
+	Text    string
+	Verdict Verdict
+	Detail  string
+}
+
+// Outcome is the result of a session.
+type Outcome struct {
+	// Bug is the unit invocation the error was localized in; nil when
+	// the search was inconclusive (e.g. everything judged correct).
+	Bug *exectree.Node
+	// Reason explains the localization.
+	Reason string
+
+	// Interaction statistics.
+	Questions    int // oracle interactions
+	ByMemo       int
+	ByAssertions int
+	ByTests      int
+	Slices       int
+
+	Transcript []Event
+}
+
+// Localized reports whether a bug was found.
+func (o *Outcome) Localized() bool { return o.Bug != nil }
+
+// Session is one debugging run over an execution tree.
+type Session struct {
+	Tree   *exectree.Tree
+	Oracle Oracle
+	Opts   Options
+
+	view map[*exectree.Node]bool // nil = full tree
+	memo map[string]Answer
+	out  *Outcome
+}
+
+// New prepares a session.
+func New(tree *exectree.Tree, oracle Oracle, opts Options) *Session {
+	if opts.MaxQuestions <= 0 {
+		opts.MaxQuestions = 10000
+	}
+	return &Session{
+		Tree:   tree,
+		Oracle: oracle,
+		Opts:   opts,
+		memo:   make(map[string]Answer),
+		out:    &Outcome{},
+	}
+}
+
+// kept reports whether n survives the current view.
+func (s *Session) kept(n *exectree.Node) bool {
+	return s.view == nil || s.view[n]
+}
+
+// children returns n's children retained by the current view.
+func (s *Session) children(n *exectree.Node) []*exectree.Node {
+	var out []*exectree.Node
+	for _, c := range n.Children {
+		if s.kept(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// subtreeSize counts retained nodes in n's subtree (including n).
+func (s *Session) subtreeSize(n *exectree.Node) int {
+	if !s.kept(n) {
+		return 0
+	}
+	total := 1
+	for _, c := range n.Children {
+		total += s.subtreeSize(c)
+	}
+	return total
+}
+
+func (s *Session) record(ev Event) {
+	s.out.Transcript = append(s.out.Transcript, ev)
+}
+
+// judge determines the verdict for a node, consulting (in order)
+// remembered answers, the assertion database, the test-case lookup, and
+// finally the oracle. Section 5.3.1: "Before interacting with the user,
+// the pure algorithmic debugger checks with two existing sources of
+// information."
+func (s *Session) judge(n *exectree.Node) (Answer, error) {
+	q := s.query(n)
+	if a, ok := s.memo[q.Text]; ok {
+		s.out.ByMemo++
+		s.record(Event{Kind: EvMemo, Node: n, Text: q.Text, Verdict: a.Verdict})
+		return a, nil
+	}
+	if db := s.Opts.Assertions; db != nil {
+		switch db.Judge(n) {
+		case assertion.Holds:
+			a := Answer{Verdict: Correct}
+			s.memo[q.Text] = a
+			s.out.ByAssertions++
+			s.record(Event{Kind: EvAssertion, Node: n, Text: q.Text, Verdict: Correct})
+			return a, nil
+		case assertion.Violated:
+			a := Answer{Verdict: Incorrect}
+			s.memo[q.Text] = a
+			s.out.ByAssertions++
+			s.record(Event{Kind: EvAssertion, Node: n, Text: q.Text, Verdict: Incorrect})
+			return a, nil
+		}
+	}
+	if tl := s.Opts.Tests; tl != nil {
+		switch tl.Judge(n) {
+		case Correct:
+			a := Answer{Verdict: Correct}
+			s.memo[q.Text] = a
+			s.out.ByTests++
+			s.record(Event{Kind: EvTest, Node: n, Text: q.Text, Verdict: Correct})
+			return a, nil
+		case Incorrect:
+			a := Answer{Verdict: Incorrect}
+			s.memo[q.Text] = a
+			s.out.ByTests++
+			s.record(Event{Kind: EvTest, Node: n, Text: q.Text, Verdict: Incorrect})
+			return a, nil
+		}
+	}
+	if s.out.Questions >= s.Opts.MaxQuestions {
+		return Answer{Verdict: DontKnow}, fmt.Errorf("debugger: question budget (%d) exhausted", s.Opts.MaxQuestions)
+	}
+	a, err := s.Oracle.Ask(q)
+	if err != nil {
+		return a, err
+	}
+	s.out.Questions++
+	// An assertion given as the answer is stored and evaluated now.
+	if a.Assertion != nil {
+		if s.Opts.Assertions != nil {
+			// Already added by the interactive oracle; adding here too
+			// would duplicate, so only add when absent is not tracked —
+			// the DB tolerates duplicates, but avoid doubling:
+		} else {
+			s.Opts.Assertions = assertion.NewDB()
+			s.Opts.Assertions.Add(a.Assertion)
+		}
+		switch a.Assertion.Eval(assertion.EnvFor(n)) {
+		case assertion.Holds:
+			a.Verdict = Correct
+		case assertion.Violated:
+			a.Verdict = Incorrect
+		}
+	}
+	s.memo[q.Text] = a
+	detail := ""
+	if a.WrongOutput != "" {
+		detail = "error on output " + a.WrongOutput
+	}
+	s.record(Event{Kind: EvQuestion, Node: n, Text: q.Text, Verdict: a.Verdict, Detail: detail})
+	return a, nil
+}
+
+// applySlice prunes the view to the dynamic slice on (n, output).
+func (s *Session) applySlice(n *exectree.Node, output string) {
+	if !s.Opts.Slicing || s.Opts.Recorder == nil || output == "" {
+		return
+	}
+	sl, err := s.Opts.Recorder.SliceOnOutput(s.Tree, n, output)
+	if err != nil {
+		return // conservatively keep the full view
+	}
+	if s.view == nil {
+		s.view = sl.Kept
+	} else {
+		merged := make(map[*exectree.Node]bool)
+		for k := range s.view {
+			if sl.Kept[k] {
+				merged[k] = true
+			}
+		}
+		s.view = merged
+	}
+	s.out.Slices++
+	before := s.Tree.Size()
+	s.record(Event{
+		Kind: EvSlice, Node: n,
+		Text:   fmt.Sprintf("slice on output %s of %s", output, s.renderUnitName(n)),
+		Detail: fmt.Sprintf("execution tree pruned to %d of %d nodes", len(s.view), before),
+	})
+}
+
+// Run performs the search and returns the outcome. The program-block
+// root is assumed incorrect (the user invoked the debugger because of an
+// observable symptom).
+func (s *Session) Run() (*Outcome, error) {
+	var bug *exectree.Node
+	var err error
+	switch s.Opts.Strategy {
+	case DivideAndQuery:
+		bug, err = s.runDivideAndQuery()
+	case BottomUp:
+		bug, err = s.runBottomUp()
+	default:
+		bug, err = s.runTopDown()
+	}
+	if err != nil {
+		return s.out, err
+	}
+	s.out.Bug = bug
+	if bug != nil {
+		s.out.Reason = fmt.Sprintf("an error has been localized inside the body of %s", s.renderUnitName(bug))
+		s.record(Event{Kind: EvLocalized, Node: bug, Text: s.out.Reason})
+	}
+	return s.out, nil
+}
+
+// runTopDown is the paper's traversal: descend into the first incorrect
+// child; when no retained child is incorrect, the current unit is buggy.
+func (s *Session) runTopDown() (*exectree.Node, error) {
+	current := s.Tree.Root
+	if current == nil {
+		return nil, fmt.Errorf("debugger: empty execution tree")
+	}
+	for {
+		descended := false
+		for _, c := range s.children(current) {
+			a, err := s.judge(c)
+			if err != nil {
+				return nil, err
+			}
+			if a.Verdict != Incorrect {
+				continue
+			}
+			if a.WrongOutput != "" {
+				s.applySlice(c, a.WrongOutput)
+			}
+			current = c
+			descended = true
+			break
+		}
+		if !descended {
+			if current.IsRoot() && len(s.children(current)) == 0 {
+				return nil, fmt.Errorf("debugger: nothing to search (empty view)")
+			}
+			if current.IsRoot() && s.Opts.NoRootAssumption {
+				// Every child of the program block was judged correct
+				// and the symptom premise is disabled: inconclusive.
+				return nil, nil
+			}
+			return current, nil
+		}
+	}
+}
+
+// runDivideAndQuery implements Shapiro's divide-and-query: repeatedly
+// query the descendant whose retained subtree is closest to half the
+// suspect subtree's weight.
+func (s *Session) runDivideAndQuery() (*exectree.Node, error) {
+	suspect := s.Tree.Root
+	if suspect == nil {
+		return nil, fmt.Errorf("debugger: empty execution tree")
+	}
+	// correctCut marks subtrees established correct (removed weight).
+	correctCut := make(map[*exectree.Node]bool)
+
+	countable := func(n *exectree.Node) bool { return s.kept(n) && !correctCut[n] }
+	var weight func(n *exectree.Node) int
+	weight = func(n *exectree.Node) int {
+		if !countable(n) {
+			return 0
+		}
+		w := 1
+		for _, c := range n.Children {
+			w += weight(c)
+		}
+		return w
+	}
+
+	for {
+		w := weight(suspect) - 1 // candidates below the suspect
+		if w <= 0 {
+			if suspect.IsRoot() && s.Opts.NoRootAssumption {
+				return nil, nil
+			}
+			return suspect, nil
+		}
+		// Find the candidate (proper descendant) with weight closest to
+		// half of the suspect's.
+		target := (w + 1) / 2
+		var best *exectree.Node
+		bestDiff := 1 << 30
+		var scan func(n *exectree.Node)
+		scan = func(n *exectree.Node) {
+			if !countable(n) {
+				return
+			}
+			if n != suspect {
+				d := weight(n) - target
+				if d < 0 {
+					d = -d
+				}
+				if d < bestDiff {
+					bestDiff = d
+					best = n
+				}
+			}
+			for _, c := range n.Children {
+				scan(c)
+			}
+		}
+		scan(suspect)
+		if best == nil {
+			if suspect.IsRoot() && s.Opts.NoRootAssumption {
+				return nil, nil
+			}
+			return suspect, nil
+		}
+		a, err := s.judge(best)
+		if err != nil {
+			return nil, err
+		}
+		switch a.Verdict {
+		case Incorrect:
+			if a.WrongOutput != "" {
+				s.applySlice(best, a.WrongOutput)
+			}
+			suspect = best
+		default: // Correct and DontKnow both remove the subtree from search
+			correctCut[best] = true
+		}
+	}
+}
+
+// runBottomUp asks in post-order: the first incorrect node all of whose
+// retained children were judged correct is the bug.
+func (s *Session) runBottomUp() (*exectree.Node, error) {
+	var bug *exectree.Node
+	var walk func(n *exectree.Node) (allCorrect bool, err error)
+	walk = func(n *exectree.Node) (bool, error) {
+		childrenCorrect := true
+		for _, c := range s.children(n) {
+			if bug != nil {
+				return false, nil
+			}
+			ok, err := walk(c)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				childrenCorrect = false
+			}
+		}
+		if bug != nil {
+			return false, nil
+		}
+		if n.IsRoot() {
+			return false, nil
+		}
+		a, err := s.judge(n)
+		if err != nil {
+			return false, err
+		}
+		if a.Verdict == Incorrect {
+			if a.WrongOutput != "" {
+				s.applySlice(n, a.WrongOutput)
+			}
+			if childrenCorrect {
+				bug = n
+			}
+			return false, nil
+		}
+		return true, nil
+	}
+	if s.Tree.Root == nil {
+		return nil, fmt.Errorf("debugger: empty execution tree")
+	}
+	if _, err := walk(s.Tree.Root); err != nil {
+		return nil, err
+	}
+	if bug == nil && !s.Opts.NoRootAssumption {
+		// No unit below the program block misbehaved; under the symptom
+		// premise the error is in the main program body itself.
+		bug = s.Tree.Root
+	}
+	return bug, nil
+}
+
+// ---------------------------------------------------------------------------
+// Query rendering
+
+// query renders the question for a node, using transformation metadata
+// when available (Section 6.1: the user sees original constructs).
+func (s *Session) query(n *exectree.Node) *Query {
+	modes := s.displayModes(n)
+	var parts []string
+	for _, b := range n.Ins {
+		mode := b.Mode
+		if m, ok := modes[b.Name]; ok {
+			mode = m
+		}
+		if mode == ast.Value {
+			parts = append(parts, fmt.Sprintf("In %s: %s", b.Name, formatVal(b.Value)))
+		}
+	}
+	for _, b := range n.Outs {
+		if s.isExitCond(n, b.Name) {
+			parts = append(parts, "Exit: "+s.exitDescription(b))
+			continue
+		}
+		// Globals passed by reference only for alias safety are
+		// logically inputs; suppress their exit value.
+		if m, ok := modes[b.Name]; ok && m == ast.Value {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("Out %s: %s", b.Name, formatVal(b.Value)))
+	}
+	text := s.renderUnitName(n)
+	if len(parts) > 0 {
+		text += "(" + strings.Join(parts, ", ") + ")"
+	}
+	if n.Unit.Kind == ast.FuncKind {
+		text += " = " + formatVal(n.Result)
+	}
+	text += "?"
+	return &Query{Node: n, Text: text, Outputs: n.OutputNames()}
+}
+
+func formatVal(v interp.Value) string {
+	return interp.FormatValue(v)
+}
+
+// renderUnitName presents loop units as their original loop construct.
+func (s *Session) renderUnitName(n *exectree.Node) string {
+	if s.Opts.Meta == nil {
+		return n.Unit.Name
+	}
+	u, ok := s.Opts.Meta.Units[n.Unit.Name]
+	if !ok || u.Kind != transform.LoopUnit {
+		return n.Unit.Name
+	}
+	kind := "loop"
+	switch u.Loop.(type) {
+	case *ast.ForStmt:
+		kind = "for-loop"
+	case *ast.WhileStmt:
+		kind = "while-loop"
+	case *ast.RepeatStmt:
+		kind = "repeat-loop"
+	}
+	// Count which iteration this is: 1 + number of loop-unit ancestors
+	// of the same unit.
+	iter := 1
+	for p := n.Parent; p != nil && p.Unit == n.Unit; p = p.Parent {
+		iter++
+	}
+	pos := ""
+	if u.Loop != nil && u.Loop.Pos().IsValid() {
+		pos = fmt.Sprintf(" at %s", u.Loop.Pos())
+	}
+	return fmt.Sprintf("%s in %s%s, iteration %d", kind, u.RoutineName, pos, iter)
+}
+
+// displayModes returns logical parameter modes from the transformation
+// metadata (globals passed by reference for alias reasons still display
+// as `in`).
+func (s *Session) displayModes(n *exectree.Node) map[string]ast.ParamMode {
+	if s.Opts.Meta == nil {
+		return nil
+	}
+	added := s.Opts.Meta.Added[n.Unit.Name]
+	if len(added) == 0 {
+		return nil
+	}
+	m := make(map[string]ast.ParamMode, len(added))
+	for _, a := range added {
+		m[a.Name] = a.Display
+	}
+	return m
+}
+
+// isExitCond reports whether the named output is the unit's synthetic
+// exit-condition parameter.
+func (s *Session) isExitCond(n *exectree.Node, name string) bool {
+	if s.Opts.Meta == nil {
+		return false
+	}
+	for _, a := range s.Opts.Meta.Added[n.Unit.Name] {
+		if a.Name == name && a.ExitCond {
+			return true
+		}
+	}
+	return false
+}
+
+// exitDescription decodes an exit-condition value ("none" or the target
+// label), per Section 6.1: "the non-local goto is treated as one of the
+// results from the procedure call".
+func (s *Session) exitDescription(b interp.Binding) string {
+	code, ok := b.Value.(int64)
+	if !ok || code == 0 {
+		return "none"
+	}
+	if s.Opts.Meta != nil {
+		if desc, ok := s.Opts.Meta.EscapeCodes[int(code)]; ok {
+			return "goto " + desc
+		}
+	}
+	return fmt.Sprintf("code %d", code)
+}

@@ -1,0 +1,225 @@
+// Package debugger implements the algorithmic debugging engine of
+// Sections 3, 5.3 and 7: it traverses the execution tree asking an
+// oracle about the expected behavior of each unit, consults assertions
+// and the category-partition test database before bothering the user,
+// and prunes the tree with dynamic slicing when the user points at a
+// specific erroneous output variable. The search ends when a unit is
+// incorrect while all its (retained) children are correct — the bug is
+// localized in that unit's body.
+package debugger
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"gadt/internal/assertion"
+	"gadt/internal/exectree"
+	"gadt/internal/pascal/interp"
+	"gadt/internal/pascal/sem"
+)
+
+// Verdict is a judgement about one unit invocation.
+type Verdict int
+
+const (
+	DontKnow Verdict = iota
+	Correct
+	Incorrect
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Correct:
+		return "yes"
+	case Incorrect:
+		return "no"
+	}
+	return "don't know"
+}
+
+// Answer is an oracle's reply to a query.
+type Answer struct {
+	Verdict Verdict
+	// WrongOutput names the specific erroneous output (an Out binding
+	// name, or the unit name for a wrong function result). Setting it
+	// activates program slicing (Section 5.3.3).
+	WrongOutput string
+	// Assertion optionally supplies a new assertion to store (Section 3);
+	// it is evaluated immediately to answer the current query.
+	Assertion *assertion.Assertion
+}
+
+// Query is one question put to an oracle.
+type Query struct {
+	Node *exectree.Node
+	// Text is the rendered question, e.g.
+	// `computs(In y: 3, Out r1: 12, Out r2: 9)?`.
+	Text string
+	// Outputs lists the node's output names, for "error on output X"
+	// replies.
+	Outputs []string
+}
+
+// Oracle answers queries about intended behavior.
+type Oracle interface {
+	Ask(q *Query) (Answer, error)
+}
+
+// ---------------------------------------------------------------------------
+// Scripted oracle
+
+// ScriptedOracle answers from a map keyed by unit name (simplest) or by
+// full query text (most specific wins). Used by tests and experiments.
+type ScriptedOracle struct {
+	// ByText maps full query text to answers.
+	ByText map[string]Answer
+	// ByUnit maps unit names to answers.
+	ByUnit map[string]Answer
+	// Default is used when nothing matches.
+	Default Answer
+}
+
+// Ask implements Oracle.
+func (o *ScriptedOracle) Ask(q *Query) (Answer, error) {
+	if a, ok := o.ByText[q.Text]; ok {
+		return a, nil
+	}
+	if a, ok := o.ByUnit[q.Node.Unit.Name]; ok {
+		return a, nil
+	}
+	return o.Default, nil
+}
+
+// ---------------------------------------------------------------------------
+// Intended-semantics oracle
+
+// IntendedOracle answers queries by re-executing the same unit of a
+// reference ("intended") implementation on the recorded inputs and
+// comparing the outputs. It automatically reports the first differing
+// output, activating slicing — this models an ideal user and makes the
+// paper's interaction-count experiments deterministic.
+type IntendedOracle struct {
+	Ref *sem.Info // analyzed reference program (transformed if the tree is)
+	// MaxSteps bounds each replay (defaults to 1e6).
+	MaxSteps int
+}
+
+// Ask implements Oracle.
+func (o *IntendedOracle) Ask(q *Query) (Answer, error) {
+	n := q.Node
+	target := o.Ref.LookupRoutine(n.Unit.Name)
+	if target == nil {
+		return Answer{Verdict: DontKnow}, nil
+	}
+	if len(target.Params) != len(n.Ins) {
+		return Answer{Verdict: DontKnow}, nil
+	}
+	args := make([]interp.Value, len(n.Ins))
+	for i, b := range n.Ins {
+		args[i] = b.Value
+	}
+	steps := o.MaxSteps
+	if steps <= 0 {
+		steps = 1_000_000
+	}
+	it := interp.New(o.Ref, interp.Config{MaxSteps: steps})
+	ci, err := it.CallUnit(target, args)
+	if err != nil {
+		return Answer{Verdict: DontKnow}, nil
+	}
+	// Compare outputs in declaration order; report the first mismatch.
+	for _, want := range ci.Outs {
+		got, ok := n.OutBinding(want.Name)
+		if !ok {
+			return Answer{Verdict: DontKnow}, nil
+		}
+		if !interp.ValuesEqual(got.Value, want.Value) {
+			return Answer{Verdict: Incorrect, WrongOutput: want.Name}, nil
+		}
+	}
+	if n.Unit.Result != nil {
+		if !interp.ValuesEqual(n.Result, ci.Result) {
+			return Answer{Verdict: Incorrect, WrongOutput: n.Unit.Name}, nil
+		}
+	}
+	return Answer{Verdict: Correct}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Interactive oracle
+
+// InteractiveOracle asks a human on the given reader/writer. Accepted
+// replies:
+//
+//	y / yes              — behavior is correct
+//	n / no               — behavior is incorrect
+//	n <output>           — incorrect, the named output is wrong (slicing)
+//	a <boolean expr>     — store an assertion for this unit
+//	d / dontknow         — no judgement
+//	t / trust            — trust this unit from now on
+type InteractiveOracle struct {
+	In  io.Reader
+	Out io.Writer
+
+	DB *assertion.DB // assertion store for `a` and `t` replies
+
+	r *bufio.Reader
+}
+
+// Ask implements Oracle.
+func (o *InteractiveOracle) Ask(q *Query) (Answer, error) {
+	if o.r == nil {
+		o.r = bufio.NewReader(o.In)
+	}
+	for {
+		fmt.Fprintf(o.Out, "%s\n> ", q.Text)
+		line, err := o.r.ReadString('\n')
+		if err != nil && line == "" {
+			return Answer{}, fmt.Errorf("oracle input closed: %w", err)
+		}
+		line = strings.TrimSpace(line)
+		lower := strings.ToLower(line)
+		switch {
+		case lower == "y" || lower == "yes":
+			return Answer{Verdict: Correct}, nil
+		case lower == "n" || lower == "no":
+			return Answer{Verdict: Incorrect}, nil
+		case strings.HasPrefix(lower, "n ") || strings.HasPrefix(lower, "no "):
+			out := strings.TrimSpace(line[strings.Index(line, " ")+1:])
+			out = strings.ToLower(out)
+			valid := false
+			for _, name := range q.Outputs {
+				if name == out {
+					valid = true
+				}
+			}
+			if !valid {
+				fmt.Fprintf(o.Out, "unknown output %q (outputs: %s)\n", out, strings.Join(q.Outputs, ", "))
+				continue
+			}
+			return Answer{Verdict: Incorrect, WrongOutput: out}, nil
+		case strings.HasPrefix(lower, "a "):
+			text := strings.TrimSpace(line[2:])
+			a, err := assertion.Parse(q.Node.Unit.Name, text)
+			if err != nil {
+				fmt.Fprintf(o.Out, "bad assertion: %v\n", err)
+				continue
+			}
+			if o.DB != nil {
+				o.DB.Add(a)
+			}
+			return Answer{Assertion: a}, nil
+		case lower == "t" || lower == "trust":
+			if o.DB != nil {
+				o.DB.Trust(q.Node.Unit.Name)
+			}
+			return Answer{Verdict: Correct}, nil
+		case lower == "d" || lower == "dontknow" || lower == "?":
+			return Answer{Verdict: DontKnow}, nil
+		default:
+			fmt.Fprintf(o.Out, "reply y, n, n <output>, a <assertion>, t(rust) or d(ontknow)\n")
+		}
+	}
+}

@@ -1,0 +1,260 @@
+// Package exectree implements the paper's tracing phase (Section 5.2):
+// executing the (transformed) program builds an execution tree whose
+// nodes record, for every unit invocation, the input parameter values at
+// entry and the output parameter values (and function result) at exit.
+package exectree
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"gadt/internal/pascal/ast"
+	"gadt/internal/pascal/interp"
+	"gadt/internal/pascal/sem"
+)
+
+// Node is one unit invocation in the execution tree.
+type Node struct {
+	ID       int64
+	Unit     *sem.Routine
+	CallSite ast.Node
+	Parent   *Node
+	Children []*Node
+	Depth    int
+
+	Ins    []interp.Binding
+	Outs   []interp.Binding
+	Result interp.Value
+
+	// Location bookkeeping for dynamic slicing.
+	ArgLocs   []interp.Loc
+	ParamLocs []interp.Loc
+	ResultLoc interp.Loc
+
+	// Incomplete marks nodes whose invocation did not finish (a runtime
+	// error unwound through them).
+	Incomplete bool
+}
+
+// IsRoot reports whether the node is the program-block invocation.
+func (n *Node) IsRoot() bool { return n.Parent == nil }
+
+// Label renders the node the way the paper's figures do:
+// `arrsum(In a: [1, 2], In n: 2, Out b: 3)`; functions append `= result`.
+// Value parameters display their entry value, var/out parameters their
+// exit value. The modes map lets callers override the displayed mode per
+// parameter name (used for transformed globals); it may be nil.
+func (n *Node) Label(modes map[string]ast.ParamMode) string {
+	var parts []string
+	for _, b := range n.Ins {
+		mode := b.Mode
+		if modes != nil {
+			if m, ok := modes[b.Name]; ok {
+				mode = m
+			}
+		}
+		if mode == ast.Value {
+			parts = append(parts, fmt.Sprintf("In %s: %s", b.Name, interp.FormatValue(b.Value)))
+		}
+	}
+	for _, b := range n.Outs {
+		parts = append(parts, fmt.Sprintf("Out %s: %s", b.Name, interp.FormatValue(b.Value)))
+	}
+	s := n.Unit.Name
+	if len(parts) > 0 {
+		s += "(" + strings.Join(parts, ", ") + ")"
+	}
+	if n.Unit.Kind == ast.FuncKind {
+		s += " = " + interp.FormatValue(n.Result)
+	}
+	return s
+}
+
+// InBinding returns the entry binding with the given name, if any.
+func (n *Node) InBinding(name string) (interp.Binding, bool) {
+	for _, b := range n.Ins {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return interp.Binding{}, false
+}
+
+// OutBinding returns the exit binding with the given name, if any.
+func (n *Node) OutBinding(name string) (interp.Binding, bool) {
+	for _, b := range n.Outs {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return interp.Binding{}, false
+}
+
+// OutputNames lists the node's output names in order (var/out parameters
+// then the function-result pseudo-name, which is the unit name).
+func (n *Node) OutputNames() []string {
+	var names []string
+	for _, b := range n.Outs {
+		names = append(names, b.Name)
+	}
+	if n.Unit.Kind == ast.FuncKind {
+		names = append(names, n.Unit.Name)
+	}
+	return names
+}
+
+// Tree is a complete execution tree.
+type Tree struct {
+	Root  *Node
+	Nodes []*Node // pre-order
+	byID  map[int64]*Node
+}
+
+// NodeByID looks a node up by its invocation ID.
+func (t *Tree) NodeByID(id int64) *Node { return t.byID[id] }
+
+// Size returns the number of nodes.
+func (t *Tree) Size() int { return len(t.Nodes) }
+
+// Walk visits nodes in pre-order; returning false skips the subtree.
+func (t *Tree) Walk(f func(*Node) bool) {
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		if !f(n) {
+			return
+		}
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	if t.Root != nil {
+		rec(t.Root)
+	}
+}
+
+// Render prints the tree in indented form (Figure 7 style). keep, when
+// non-nil, filters nodes (pruned nodes and their subtrees are elided).
+func (t *Tree) Render(w io.Writer, keep func(*Node) bool, modes func(*Node) map[string]ast.ParamMode) {
+	var rec func(n *Node, depth int)
+	rec = func(n *Node, depth int) {
+		if keep != nil && !keep(n) {
+			return
+		}
+		var m map[string]ast.ParamMode
+		if modes != nil {
+			m = modes(n)
+		}
+		fmt.Fprintf(w, "%s%s\n", strings.Repeat("  ", depth), n.Label(m))
+		for _, c := range n.Children {
+			rec(c, depth+1)
+		}
+	}
+	if t.Root != nil {
+		rec(t.Root, 0)
+	}
+}
+
+// String renders the full tree with default labels.
+func (t *Tree) String() string {
+	var b strings.Builder
+	t.Render(&b, nil, nil)
+	return b.String()
+}
+
+// Builder constructs a Tree from interpreter events; it implements
+// interp.EventSink (Read/Write/Stmt are ignored — see slicing/dynamic
+// for the dependence recorder).
+type Builder struct {
+	interp.NopSink
+	root  *Node
+	stack []*Node
+	nodes []*Node
+	byID  map[int64]*Node
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{byID: make(map[int64]*Node)}
+}
+
+var _ interp.EventSink = (*Builder)(nil)
+
+// EnterCall implements interp.EventSink.
+func (b *Builder) EnterCall(ci *interp.CallInfo) {
+	n := &Node{
+		ID:         ci.ID,
+		Unit:       ci.Routine,
+		CallSite:   ci.CallSite,
+		Depth:      ci.Depth,
+		Ins:        append([]interp.Binding(nil), ci.Ins...),
+		ArgLocs:    append([]interp.Loc(nil), ci.ArgLocs...),
+		ParamLocs:  append([]interp.Loc(nil), ci.ParamLocs...),
+		ResultLoc:  ci.ResultLoc,
+		Incomplete: true,
+	}
+	if len(b.stack) > 0 {
+		parent := b.stack[len(b.stack)-1]
+		n.Parent = parent
+		parent.Children = append(parent.Children, n)
+	} else {
+		b.root = n
+	}
+	b.stack = append(b.stack, n)
+	b.nodes = append(b.nodes, n)
+	b.byID[n.ID] = n
+}
+
+// ExitCall implements interp.EventSink.
+func (b *Builder) ExitCall(ci *interp.CallInfo) {
+	if len(b.stack) == 0 {
+		return
+	}
+	n := b.stack[len(b.stack)-1]
+	b.stack = b.stack[:len(b.stack)-1]
+	if n.ID != ci.ID {
+		// Mismatched exit (should not happen); keep the tree consistent.
+		return
+	}
+	n.Outs = append([]interp.Binding(nil), ci.Outs...)
+	n.Result = ci.Result
+	n.Incomplete = false
+}
+
+// Tree finalizes and returns the built tree. Safe to call after a failed
+// run: nodes still on the stack stay marked Incomplete.
+func (b *Builder) Tree() *Tree {
+	return &Tree{Root: b.root, Nodes: b.nodes, byID: b.byID}
+}
+
+// Current returns the node currently executing (innermost open call).
+func (b *Builder) Current() *Node {
+	if len(b.stack) == 0 {
+		return nil
+	}
+	return b.stack[len(b.stack)-1]
+}
+
+// TraceResult bundles a built tree with the run outcome.
+type TraceResult struct {
+	Tree   *Tree
+	Output string
+	Err    error // runtime error, if the program failed
+	Steps  int
+}
+
+// Trace executes an analyzed program and builds its execution tree.
+// Extra sinks (e.g. the dynamic dependence recorder) receive the same
+// event stream. A runtime error does not discard the partial tree.
+func Trace(info *sem.Info, input string, extra ...interp.EventSink) *TraceResult {
+	b := NewBuilder()
+	sinks := append(interp.MultiSink{b}, extra...)
+	var out strings.Builder
+	it := interp.New(info, interp.Config{
+		Input:  strings.NewReader(input),
+		Output: &out,
+		Sink:   sinks,
+	})
+	err := it.Run()
+	return &TraceResult{Tree: b.Tree(), Output: out.String(), Err: err, Steps: it.Steps()}
+}

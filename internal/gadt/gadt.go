@@ -1,0 +1,219 @@
+// Package gadt is the top-level facade of the Generalized Algorithmic
+// Debugging and Testing system, wiring the paper's three phases
+// (Figure 3) into one API:
+//
+//  1. Transformation phase — side-effect analysis and program
+//     transformation to a form without global side-effects
+//     (package transform).
+//  2. Tracing phase — execution of the transformed program building the
+//     execution tree plus the dynamic dependence graph
+//     (packages exectree, slicing/dynamic).
+//  3. Debugging phase — algorithmic debugging with assertion lookup,
+//     category-partition test lookup and program slicing
+//     (packages debugger, assertion, tgen).
+//
+// Typical use:
+//
+//	sys, err := gadt.Load("bug.pas", source)
+//	run, err := sys.Trace("")                       // phases 1–2
+//	out, err := run.Debug(oracle, gadt.DebugConfig{ // phase 3
+//	    Slicing: true,
+//	})
+//	if out.Localized() { fmt.Println(out.Reason) }
+package gadt
+
+import (
+	"fmt"
+
+	"gadt/internal/assertion"
+	"gadt/internal/debugger"
+	"gadt/internal/exectree"
+	"gadt/internal/pascal/parser"
+	"gadt/internal/pascal/printer"
+	"gadt/internal/pascal/sem"
+	"gadt/internal/slicing/dynamic"
+	"gadt/internal/slicing/static"
+	"gadt/internal/transform"
+)
+
+// System is a loaded subject program.
+type System struct {
+	File   string
+	Source string
+
+	// Info is the semantic analysis of the original program.
+	Info *sem.Info
+
+	// Transformed is the transformation-phase result, computed lazily by
+	// Trace (or eagerly by Transform).
+	Transformed *transform.Result
+}
+
+// Load parses and analyzes a subject program.
+func Load(file, source string) (*System, error) {
+	prog, err := parser.ParseProgram(file, source)
+	if err != nil {
+		return nil, err
+	}
+	info, err := sem.Analyze(prog)
+	if err != nil {
+		return nil, err
+	}
+	return &System{File: file, Source: source, Info: info}, nil
+}
+
+// Transform runs the transformation phase (idempotent).
+func (s *System) Transform() (*transform.Result, error) {
+	if s.Transformed != nil {
+		return s.Transformed, nil
+	}
+	res, err := transform.Apply(s.Info)
+	if err != nil {
+		return nil, err
+	}
+	s.Transformed = res
+	return res, nil
+}
+
+// TransformedSource renders the transformed program (the internal form
+// the user normally never sees, Section 6.1).
+func (s *System) TransformedSource() (string, error) {
+	res, err := s.Transform()
+	if err != nil {
+		return "", err
+	}
+	return printer.Print(res.Program), nil
+}
+
+// StaticSlicer builds the SDG-based interprocedural slicer over the
+// ORIGINAL program (Section 4).
+func (s *System) StaticSlicer() *static.Slicer {
+	return static.New(s.Info)
+}
+
+// Run is a completed tracing phase: the execution tree of the
+// transformed program plus the dynamic dependence graph.
+type Run struct {
+	System   *System
+	Tree     *exectree.Tree
+	Recorder *dynamic.Recorder
+	Output   string
+	RunErr   error // runtime error of the traced execution, if any
+	Steps    int
+}
+
+// Trace runs phases 1–2: transform (if not yet done) and execute with
+// tracing. A runtime error in the subject program is reported in
+// Run.RunErr but still yields the partial tree (crashes are debuggable).
+func (s *System) Trace(input string) (*Run, error) {
+	res, err := s.Transform()
+	if err != nil {
+		return nil, err
+	}
+	rec := dynamic.NewRecorder(res.Info)
+	tr := exectree.Trace(res.Info, input, rec)
+	return &Run{
+		System:   s,
+		Tree:     tr.Tree,
+		Recorder: rec,
+		Output:   tr.Output,
+		RunErr:   tr.Err,
+		Steps:    tr.Steps,
+	}, nil
+}
+
+// TraceOriginal traces the UNTRANSFORMED program (no loop units, no
+// goto/global rewrites). Useful for figure-faithful execution trees of
+// programs that are already side-effect free, and for comparisons.
+func (s *System) TraceOriginal(input string) *Run {
+	rec := dynamic.NewRecorder(s.Info)
+	tr := exectree.Trace(s.Info, input, rec)
+	return &Run{
+		System:   s,
+		Tree:     tr.Tree,
+		Recorder: rec,
+		Output:   tr.Output,
+		RunErr:   tr.Err,
+		Steps:    tr.Steps,
+	}
+}
+
+// DebugConfig selects the debugging-phase components (Section 5.3).
+type DebugConfig struct {
+	Strategy   debugger.Strategy
+	Assertions *assertion.DB
+	Tests      debugger.TestLookup
+	Slicing    bool
+	// MaxQuestions bounds oracle interactions (0 = default).
+	MaxQuestions int
+	// NoRootAssumption disables the symptom premise; see
+	// debugger.Options.NoRootAssumption.
+	NoRootAssumption bool
+}
+
+// Debug runs the debugging phase over this trace.
+func (r *Run) Debug(oracle debugger.Oracle, cfg DebugConfig) (*debugger.Outcome, error) {
+	if r.Tree == nil || r.Tree.Root == nil {
+		return nil, fmt.Errorf("gadt: no execution tree (program did not start)")
+	}
+	opts := debugger.Options{
+		Strategy:         cfg.Strategy,
+		Assertions:       cfg.Assertions,
+		Tests:            cfg.Tests,
+		Slicing:          cfg.Slicing,
+		Recorder:         r.Recorder,
+		Meta:             r.System.Transformed,
+		MaxQuestions:     cfg.MaxQuestions,
+		NoRootAssumption: cfg.NoRootAssumption,
+	}
+	return debugger.New(r.Tree, oracle, opts).Run()
+}
+
+// DebugWithFallback runs the debugging phase and, when the caller's
+// verify callback rejects the outcome (the user inspected the localized
+// unit and found no bug there — possibly because a stale test report
+// absorbed the real culprit), repeats the session without the test
+// database: the paper's "if the bug is not localized with this combined
+// method we must repeat the debugging without using the test results"
+// (Section 5.3.2). Returns the first outcome, the final outcome, and
+// whether a retry happened.
+func (r *Run) DebugWithFallback(oracle debugger.Oracle, cfg DebugConfig, verify func(*debugger.Outcome) bool) (first, final *debugger.Outcome, retried bool, err error) {
+	first, err = r.Debug(oracle, cfg)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if cfg.Tests == nil || (verify != nil && verify(first)) {
+		return first, first, false, nil
+	}
+	cfg.Tests = nil
+	final, err = r.Debug(oracle, cfg)
+	if err != nil {
+		return first, nil, true, err
+	}
+	return first, final, true, nil
+}
+
+// IntendedOracle builds an oracle from a reference ("intended")
+// implementation, transformed the same way as the subject so unit names
+// line up. The reference must be structurally identical modulo the bug.
+func IntendedOracle(refSource string) (debugger.Oracle, error) {
+	ref, err := Load("reference.pas", refSource)
+	if err != nil {
+		return nil, fmt.Errorf("gadt: reference: %w", err)
+	}
+	tref, err := ref.Transform()
+	if err != nil {
+		return nil, fmt.Errorf("gadt: reference: %w", err)
+	}
+	return &debugger.IntendedOracle{Ref: tref.Info}, nil
+}
+
+// IntendedOracleOriginal is IntendedOracle without transformation, for
+// debugging untransformed traces.
+func IntendedOracleOriginal(refSource string) (debugger.Oracle, error) {
+	ref, err := Load("reference.pas", refSource)
+	if err != nil {
+		return nil, fmt.Errorf("gadt: reference: %w", err)
+	}
+	return &debugger.IntendedOracle{Ref: ref.Info}, nil
+}

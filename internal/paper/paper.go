@@ -1,0 +1,373 @@
+// Package paper holds the subject programs used in the GADT paper
+// (PLDI'91), transcribed into the Pascal subset accepted by this
+// reproduction. They are shared by tests, examples, the experiment
+// harness and the benchmarks.
+package paper
+
+// Sqrtest is the Figure 4 program: it computes the square of the sum of
+// the array [1, 2] in two ways (multiplication vs the n*(n+1)/2 formula
+// split into two partial sums) and checks that both agree. The function
+// decrement contains the planted bug (y + 1 instead of y - 1), so the
+// program prints the erroneous comparison result `false`.
+const Sqrtest = `
+program main;
+type
+  intarray = array [1 .. 10] of integer;
+var
+  isok: boolean;
+
+procedure test(r1, r2: integer; var isok: boolean);
+begin
+  isok := r1 = r2;
+end;
+
+procedure arrsum(a: intarray; n: integer; var b: integer);
+var i: integer;
+begin
+  b := 0;
+  for i := 1 to n do
+    b := b + a[i];
+end;
+
+procedure square(y: integer; var r2: integer);
+begin
+  r2 := y * y;
+end;
+
+procedure comput2(y: integer; var r2: integer);
+begin
+  square(y, r2);
+end;
+
+procedure add(s1, s2: integer; var r1: integer);
+begin
+  r1 := s1 + s2;
+end;
+
+function decrement(y: integer): integer;
+begin
+  decrement := y + 1; (* a planted bug, should be: y - 1 *)
+end;
+
+function increment(y: integer): integer;
+begin
+  increment := y + 1;
+end;
+
+procedure sum2(y: integer; var s2: integer);
+begin
+  s2 := decrement(y) * y div 2;
+end;
+
+procedure sum1(y: integer; var s1: integer);
+begin
+  s1 := y * increment(y) div 2;
+end;
+
+procedure partialsums(y: integer; var s1, s2: integer);
+begin
+  sum1(y, s1);
+  sum2(y, s2);
+end;
+
+procedure comput1(y: integer; var r1: integer);
+var s1, s2: integer;
+begin
+  partialsums(y, s1, s2);
+  add(s1, s2, r1);
+end;
+
+procedure computs(y: integer; var r1, r2: integer);
+begin
+  comput1(y, r1);
+  comput2(y, r2);
+end;
+
+procedure sqrtest(ary: intarray; n: integer; var isok: boolean);
+var r1, r2, t: integer;
+begin
+  arrsum(ary, n, t);
+  computs(t, r1, r2);
+  test(r1, r2, isok);
+end;
+
+begin
+  sqrtest([1, 2], 2, isok);
+  writeln(isok);
+end.
+`
+
+// SqrtestFixed is Sqrtest with the planted bug corrected; used by tests
+// that need a known-good variant (e.g. the intended-semantics oracle).
+const SqrtestFixed = `
+program main;
+type
+  intarray = array [1 .. 10] of integer;
+var
+  isok: boolean;
+
+procedure test(r1, r2: integer; var isok: boolean);
+begin
+  isok := r1 = r2;
+end;
+
+procedure arrsum(a: intarray; n: integer; var b: integer);
+var i: integer;
+begin
+  b := 0;
+  for i := 1 to n do
+    b := b + a[i];
+end;
+
+procedure square(y: integer; var r2: integer);
+begin
+  r2 := y * y;
+end;
+
+procedure comput2(y: integer; var r2: integer);
+begin
+  square(y, r2);
+end;
+
+procedure add(s1, s2: integer; var r1: integer);
+begin
+  r1 := s1 + s2;
+end;
+
+function decrement(y: integer): integer;
+begin
+  decrement := y - 1;
+end;
+
+function increment(y: integer): integer;
+begin
+  increment := y + 1;
+end;
+
+procedure sum2(y: integer; var s2: integer);
+begin
+  s2 := decrement(y) * y div 2;
+end;
+
+procedure sum1(y: integer; var s1: integer);
+begin
+  s1 := y * increment(y) div 2;
+end;
+
+procedure partialsums(y: integer; var s1, s2: integer);
+begin
+  sum1(y, s1);
+  sum2(y, s2);
+end;
+
+procedure comput1(y: integer; var r1: integer);
+var s1, s2: integer;
+begin
+  partialsums(y, s1, s2);
+  add(s1, s2, r1);
+end;
+
+procedure computs(y: integer; var r1, r2: integer);
+begin
+  comput1(y, r1);
+  comput2(y, r2);
+end;
+
+procedure sqrtest(ary: intarray; n: integer; var isok: boolean);
+var r1, r2, t: integer;
+begin
+  arrsum(ary, n, t);
+  computs(t, r1, r2);
+  test(r1, r2, isok);
+end;
+
+begin
+  sqrtest([1, 2], 2, isok);
+  writeln(isok);
+end.
+`
+
+// SliceExample is the Figure 2 program p: it reads x and y and computes
+// sum and mul. The paper slices it on `mul` at the last line; the slice
+// drops `sum := 0`, `sum := x + y` and `read(z)`.
+const SliceExample = `
+program p;
+var x, y, z, sum, mul: integer;
+begin
+  read(x, y);
+  mul := 0;
+  sum := 0;
+  if x <= 1 then
+    sum := x + y
+  else begin
+    read(z);
+    mul := x * y;
+  end;
+  writeln(sum, mul);
+end.
+`
+
+// PQR is the Section 3 example: P computes b from a via Q and d from c
+// via R; R contains a bug (c - 1 instead of c + 1), so algorithmic
+// debugging localizes the error inside R.
+const PQR = `
+program session;
+var a, b, c, d: integer;
+
+procedure q(a: integer; var b: integer);
+begin
+  b := a * 2;
+end;
+
+procedure r(c: integer; var d: integer);
+begin
+  d := c - 1; (* planted bug, should be: c + 1 *)
+end;
+
+procedure p(a, c: integer; var b, d: integer);
+begin
+  q(a, b);
+  r(c, d);
+end;
+
+begin
+  a := 5;
+  c := 7;
+  p(a, c, b, d);
+  writeln(b, d);
+end.
+`
+
+// GlobalSideEffects exercises the transformation phase: procedures that
+// reference and modify non-local variables, mirroring the paper's
+// Section 6 example `procedure p` (y := x + 1; z := y - x with x global
+// read and z global write).
+const GlobalSideEffects = `
+program globals;
+var x, z: integer;
+
+procedure p(var y: integer);
+begin
+  y := x + 1;
+  z := y - x;
+end;
+
+begin
+  x := 10;
+  p(x);
+  writeln(x, z);
+end.
+`
+
+// GlobalGoto exercises the goto-breaking transformation: a goto from a
+// nested procedure q to label 9 declared in p (Section 6's second
+// transformation example).
+const GlobalGoto = `
+program gotos;
+label 8;
+var v: integer;
+
+procedure p(n: integer);
+label 9;
+
+  procedure q(m: integer);
+  begin
+    v := v + m;
+    if m > 3 then
+      goto 9;
+    v := v + 100;
+  end;
+
+begin
+  q(n);
+  v := v + 1000;
+  9: v := v + 1;
+end;
+
+begin
+  v := 0;
+  p(5);
+  writeln(v);
+  goto 8;
+  v := -1;
+  8: writeln(v);
+end.
+`
+
+// LoopGoto exercises the goto-out-of-loop transformation from Section 6:
+// a while loop containing a goto addressed outside the loop.
+const LoopGoto = `
+program loopexit;
+label 9;
+var i, acc: integer;
+begin
+  i := 0;
+  acc := 0;
+  while i < 10 do begin
+    i := i + 1;
+    acc := acc + i;
+    if acc > 12 then
+      goto 9;
+    acc := acc + 0;
+  end;
+  acc := acc + 1000;
+  9: writeln(i, acc);
+end.
+`
+
+// ArrsumProcedure is the stand-alone arrsum procedure from Figure 1 with
+// a driver; its test specification lives in ArrsumSpec.
+const ArrsumProgram = `
+program arrtest;
+type
+  intarray = array [1 .. 100] of integer;
+var
+  a: intarray;
+  n, b: integer;
+
+procedure arrsum(a: intarray; n: integer; var b: integer);
+var i: integer;
+begin
+  b := 0;
+  for i := 1 to n do
+    b := b + a[i];
+end;
+
+begin
+  read(n);
+  arrsum(a, n, b);
+  writeln(b);
+end.
+`
+
+// ArrsumSpec is the Figure 1 test specification for arrsum, written in
+// this reproduction's T-GEN specification language. The `match` clauses
+// are the "automatic test frame selector functions" of Section 5.3.2:
+// they classify a concrete call (parameters n plus the array contents
+// summarized as poscount/negcount) into choices.
+const ArrsumSpec = `
+test arrsum;
+
+category size_of_array;
+  zero:  property SINGLE  match n = 0;
+  one:   property SINGLE  match n = 1;
+  two:                    match n = 2;
+  more:  property MORE    match n > 2;
+
+category type_of_elements;
+  positive:                       match (negcount = 0) and (poscount > 0);
+  negative:                       match (poscount = 0) and (negcount > 0);
+  mixed: if MORE property MIXED   match (poscount > 0) and (negcount > 0);
+
+category deviation;
+  small: if not MIXED   match spread <= 10;
+  large: if MIXED       match spread > 100;
+  average: if MIXED     match (spread > 10) and (spread <= 100);
+
+scripts
+  script_1: if MIXED;
+  script_2: if not MIXED;
+
+result
+  result_1: if MIXED;
+`

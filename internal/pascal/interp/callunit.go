@@ -1,0 +1,87 @@
+package interp
+
+import (
+	"gadt/internal/pascal/ast"
+	"gadt/internal/pascal/sem"
+)
+
+// CallUnit invokes a single routine with the given argument values,
+// outside any program run: lexical ancestor frames are fabricated with
+// zero-initialized cells so that name resolution works. This supports
+// the debugger's intended-semantics oracle, which re-executes a unit of
+// a reference implementation on a recorded call's inputs. It is only
+// meaningful for routines that do not read their enclosing scopes (in
+// particular, any routine of a transformed program).
+//
+// The returned CallInfo carries the input snapshot, the var/out outputs
+// and the function result, exactly as a traced call would.
+func (it *Interp) CallUnit(target *sem.Routine, args []Value) (*CallInfo, error) {
+	if len(args) != len(target.Params) {
+		return nil, &RuntimeError{Msg: "CallUnit: argument count mismatch"}
+	}
+	// Fabricate the static chain root → target.Parent.
+	var chain []*sem.Routine
+	for r := target.Parent; r != nil; r = r.Parent {
+		chain = append([]*sem.Routine{r}, chain...)
+	}
+	var f *frame
+	for _, r := range chain {
+		nf := &frame{routine: r, static: f, cells: make(map[*sem.VarSym]*cell)}
+		for _, v := range r.AllVars() {
+			nf.cells[v] = it.newCell(v.Type)
+		}
+		f = nf
+	}
+
+	nf := &frame{routine: target, static: f, cells: make(map[*sem.VarSym]*cell)}
+	ci := &CallInfo{
+		ID:        it.nextID,
+		Routine:   target,
+		Depth:     1,
+		ArgLocs:   make([]Loc, len(args)),
+		ParamLocs: make([]Loc, len(args)),
+	}
+	it.nextID++
+	nf.info = ci
+	for i, p := range target.Params {
+		c := it.newCell(p.Type)
+		if args[i] != nil {
+			c.val = CopyValue(args[i])
+		}
+		nf.cells[p] = c
+		ci.ParamLocs[i] = c.loc
+		ci.Ins = append(ci.Ins, Binding{Name: p.Name, Mode: p.Mode, Value: CopyValue(c.val), Sym: p})
+	}
+	for _, v := range target.Locals {
+		nf.cells[v] = it.newCell(v.Type)
+	}
+	var resultCell *cell
+	if target.Result != nil {
+		resultCell = it.newCell(target.Result.Type)
+		nf.cells[target.Result] = resultCell
+		ci.ResultLoc = resultCell.loc
+	}
+
+	prev, prevDepth := it.frame, it.depth
+	it.frame, it.depth = nf, 1
+	it.sink.EnterCall(ci)
+	ctrl, err := it.execStmt(target.Block.Body)
+	for _, p := range target.Params {
+		if p.Mode == ast.Value {
+			continue
+		}
+		ci.Outs = append(ci.Outs, Binding{Name: p.Name, Mode: p.Mode, Value: CopyValue(nf.cells[p].val), Sym: p})
+	}
+	if resultCell != nil {
+		ci.Result = CopyValue(resultCell.val)
+	}
+	it.sink.ExitCall(ci)
+	it.frame, it.depth = prev, prevDepth
+	if err != nil {
+		return ci, err
+	}
+	if ctrl != nil {
+		return ci, &RuntimeError{Msg: "CallUnit: goto escaped the unit"}
+	}
+	return ci, nil
+}

@@ -1,0 +1,109 @@
+package interp_test
+
+import (
+	"testing"
+
+	"gadt/internal/paper"
+	"gadt/internal/pascal/interp"
+	"gadt/internal/pascal/parser"
+	"gadt/internal/pascal/sem"
+)
+
+func analyzeSrc(t *testing.T, src string) *sem.Info {
+	t.Helper()
+	prog := parser.MustParse("t.pas", src)
+	info, err := sem.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func TestCallUnitFunction(t *testing.T) {
+	info := analyzeSrc(t, paper.Sqrtest)
+	dec := info.LookupRoutine("decrement")
+	it := interp.New(info, interp.Config{})
+	ci, err := it.CallUnit(dec, []interp.Value{int64(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Result != int64(4) { // buggy decrement: 3 + 1
+		t.Errorf("result = %v, want 4", ci.Result)
+	}
+	if len(ci.Ins) != 1 || ci.Ins[0].Value != int64(3) {
+		t.Errorf("ins = %v", ci.Ins)
+	}
+}
+
+func TestCallUnitProcedureWithVarParam(t *testing.T) {
+	info := analyzeSrc(t, paper.Sqrtest)
+	arrsum := info.LookupRoutine("arrsum")
+	it := interp.New(info, interp.Config{})
+	arr := &interp.ArrayVal{Lo: 1, Hi: 10, Elems: make([]interp.Value, 10)}
+	for i := range arr.Elems {
+		arr.Elems[i] = int64(0)
+	}
+	arr.Elems[0], arr.Elems[1], arr.Elems[2] = int64(4), int64(5), int64(6)
+	ci, err := it.CallUnit(arrsum, []interp.Value{arr, int64(3), int64(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ci.Outs) != 1 || ci.Outs[0].Value != int64(15) {
+		t.Errorf("outs = %v, want b: 15", ci.Outs)
+	}
+}
+
+func TestCallUnitArgCountMismatch(t *testing.T) {
+	info := analyzeSrc(t, paper.Sqrtest)
+	dec := info.LookupRoutine("decrement")
+	it := interp.New(info, interp.Config{})
+	if _, err := it.CallUnit(dec, nil); err == nil {
+		t.Error("expected argument-count error")
+	}
+}
+
+func TestCallUnitNestedRoutine(t *testing.T) {
+	// A nested routine with no free references is callable standalone
+	// (the transformed-program case the oracle relies on).
+	info := analyzeSrc(t, `
+program t;
+procedure outer(x: integer; var r: integer);
+  procedure inner(a: integer; var b: integer);
+  begin
+    b := a * 3;
+  end;
+begin
+  inner(x, r);
+end;
+var y: integer;
+begin
+  outer(2, y);
+end.`)
+	inner := info.LookupRoutine("inner")
+	it := interp.New(info, interp.Config{})
+	ci, err := it.CallUnit(inner, []interp.Value{int64(5), int64(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ci.Outs) != 1 || ci.Outs[0].Value != int64(15) {
+		t.Errorf("outs = %v, want b: 15", ci.Outs)
+	}
+}
+
+func TestCallUnitRuntimeError(t *testing.T) {
+	info := analyzeSrc(t, `
+program t;
+procedure boom(d: integer; var r: integer);
+begin
+  r := 1 div d;
+end;
+var x: integer;
+begin
+  boom(1, x);
+end.`)
+	boom := info.LookupRoutine("boom")
+	it := interp.New(info, interp.Config{})
+	if _, err := it.CallUnit(boom, []interp.Value{int64(0), int64(0)}); err == nil {
+		t.Error("expected division-by-zero error")
+	}
+}

@@ -1,0 +1,1126 @@
+package interp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"gadt/internal/pascal/ast"
+	"gadt/internal/pascal/sem"
+	"gadt/internal/pascal/token"
+	"gadt/internal/pascal/types"
+)
+
+// Loc is a unique identifier for a memory location (one per variable
+// cell; arrays and records are single locations, the granularity at
+// which the paper's slicing treats composite variables).
+type Loc int64
+
+// Binding is one named value in a call snapshot.
+type Binding struct {
+	Name  string
+	Mode  ast.ParamMode
+	Value Value // deep copy taken at snapshot time
+	Sym   *sem.VarSym
+}
+
+func (b Binding) String() string { return fmt.Sprintf("%s: %s", b.Name, FormatValue(b.Value)) }
+
+// CallInfo describes one routine invocation for the event sink. The same
+// CallInfo pointer is passed to EnterCall and ExitCall; Outs and Result
+// are populated at exit.
+type CallInfo struct {
+	ID       int64
+	Routine  *sem.Routine
+	CallSite ast.Node // *ast.CallStmt, *ast.CallExpr, *ast.Ident, or nil for the program block
+	Depth    int
+
+	Ins  []Binding // value snapshot of every parameter at entry
+	Outs []Binding // snapshot of var/out parameters at exit
+
+	Result Value // function result, nil for procedures
+
+	// ArgLocs holds the location of each argument that is a variable
+	// designator (zero otherwise), in parameter order; ParamLocs holds
+	// the location bound to each formal. For var/out parameters these
+	// coincide.
+	ArgLocs   []Loc
+	ParamLocs []Loc
+	ResultLoc Loc
+}
+
+// EventSink receives execution events. Implementations must not retain
+// the Value snapshots' composite internals across mutation points; all
+// snapshot values are deep copies, so retaining the Binding is safe.
+type EventSink interface {
+	EnterCall(c *CallInfo)
+	ExitCall(c *CallInfo)
+	Read(loc Loc, v *sem.VarSym)
+	Write(loc Loc, v *sem.VarSym)
+	Stmt(s ast.Stmt, r *sem.Routine)
+}
+
+// MultiSink fans events out to several sinks in order.
+type MultiSink []EventSink
+
+func (m MultiSink) EnterCall(c *CallInfo) {
+	for _, s := range m {
+		s.EnterCall(c)
+	}
+}
+func (m MultiSink) ExitCall(c *CallInfo) {
+	for _, s := range m {
+		s.ExitCall(c)
+	}
+}
+func (m MultiSink) Read(l Loc, v *sem.VarSym) {
+	for _, s := range m {
+		s.Read(l, v)
+	}
+}
+func (m MultiSink) Write(l Loc, v *sem.VarSym) {
+	for _, s := range m {
+		s.Write(l, v)
+	}
+}
+func (m MultiSink) Stmt(st ast.Stmt, r *sem.Routine) {
+	for _, s := range m {
+		s.Stmt(st, r)
+	}
+}
+
+var _ EventSink = MultiSink{}
+
+// NopSink is an EventSink that ignores all events.
+type NopSink struct{}
+
+func (NopSink) EnterCall(*CallInfo)         {}
+func (NopSink) ExitCall(*CallInfo)          {}
+func (NopSink) Read(Loc, *sem.VarSym)       {}
+func (NopSink) Write(Loc, *sem.VarSym)      {}
+func (NopSink) Stmt(ast.Stmt, *sem.Routine) {}
+
+var _ EventSink = NopSink{}
+
+// RuntimeError is an error raised during execution, with the source
+// position of the failing construct and the active call stack.
+type RuntimeError struct {
+	Pos   token.Pos
+	Msg   string
+	Stack []string
+}
+
+func (e *RuntimeError) Error() string {
+	if e.Pos.IsValid() {
+		return fmt.Sprintf("runtime error at %s: %s", e.Pos, e.Msg)
+	}
+	return "runtime error: " + e.Msg
+}
+
+// Config controls resource limits and I/O of a run.
+type Config struct {
+	Input  io.Reader // program input for read/readln; nil means empty
+	Output io.Writer // program output for write/writeln; nil discards
+
+	MaxSteps int // statement budget; <= 0 means the 5e6 default
+	MaxDepth int // call depth budget; <= 0 means the 10000 default
+
+	Sink EventSink // nil means NopSink
+}
+
+const (
+	defaultMaxSteps = 5_000_000
+	defaultMaxDepth = 10_000
+)
+
+// Interp executes an analyzed program.
+type Interp struct {
+	info *sem.Info
+	cfg  Config
+
+	in   *bufio.Reader
+	out  io.Writer
+	sink EventSink
+
+	steps   int
+	depth   int
+	nextID  int64
+	nextLoc Loc
+
+	frame *frame // current frame
+}
+
+type cell struct {
+	loc Loc
+	val Value
+}
+
+type frame struct {
+	routine *sem.Routine
+	static  *frame
+	cells   map[*sem.VarSym]*cell
+	info    *CallInfo
+}
+
+// control models non-local transfer: nil for normal completion, or a
+// pending goto that unwinds until its label is found.
+type control struct {
+	label  string
+	target *sem.Routine
+}
+
+// New prepares an interpreter for an analyzed program.
+func New(info *sem.Info, cfg Config) *Interp {
+	it := &Interp{info: info, cfg: cfg, sink: cfg.Sink}
+	if it.sink == nil {
+		it.sink = NopSink{}
+	}
+	if cfg.Input != nil {
+		it.in = bufio.NewReader(cfg.Input)
+	}
+	it.out = cfg.Output
+	if it.out == nil {
+		it.out = io.Discard
+	}
+	if it.cfg.MaxSteps <= 0 {
+		it.cfg.MaxSteps = defaultMaxSteps
+	}
+	if it.cfg.MaxDepth <= 0 {
+		it.cfg.MaxDepth = defaultMaxDepth
+	}
+	return it
+}
+
+// Run executes the program from the start of the program block. The
+// program block itself is reported as call ID 0 to the sink.
+func (it *Interp) Run() error {
+	main := it.info.Main
+	it.frame = &frame{routine: main, cells: make(map[*sem.VarSym]*cell)}
+	for _, v := range main.Locals {
+		it.frame.cells[v] = it.newCell(v.Type)
+	}
+	ci := &CallInfo{ID: it.nextID, Routine: main, Depth: 0}
+	it.nextID++
+	it.frame.info = ci
+	it.sink.EnterCall(ci)
+	ctrl, err := it.execStmt(it.frame.routine.Block.Body)
+	it.sink.ExitCall(ci)
+	if err != nil {
+		return err
+	}
+	if ctrl != nil {
+		return &RuntimeError{Msg: fmt.Sprintf("goto %s did not reach its label (jump into a structured statement is not supported)", ctrl.label)}
+	}
+	return nil
+}
+
+func (it *Interp) newCell(t types.Type) *cell {
+	it.nextLoc++
+	return &cell{loc: it.nextLoc, val: ZeroValue(t)}
+}
+
+func (it *Interp) errorf(pos token.Pos, format string, args ...any) error {
+	var stack []string
+	for f := it.frame; f != nil; f = f.static {
+		stack = append(stack, f.routine.Name)
+	}
+	return &RuntimeError{Pos: pos, Msg: fmt.Sprintf(format, args...), Stack: stack}
+}
+
+// lookupCell finds the cell of v by following static links from the
+// current frame to the frame of v's owner routine.
+func (it *Interp) lookupCell(v *sem.VarSym, pos token.Pos) (*cell, error) {
+	for f := it.frame; f != nil; f = f.static {
+		if f.routine == v.Owner {
+			if c, ok := f.cells[v]; ok {
+				return c, nil
+			}
+			break
+		}
+	}
+	return nil, it.errorf(pos, "no active frame holds %s", v.Name)
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (it *Interp) execStmt(s ast.Stmt) (*control, error) {
+	if s == nil {
+		return nil, nil
+	}
+	it.steps++
+	if it.steps > it.cfg.MaxSteps {
+		return nil, it.errorf(s.Pos(), "step budget exhausted (%d statements); possible infinite loop", it.cfg.MaxSteps)
+	}
+	it.sink.Stmt(s, it.frame.routine)
+	switch s := s.(type) {
+	case *ast.CompoundStmt:
+		return it.execList(s.Stmts)
+	case *ast.AssignStmt:
+		return nil, it.execAssign(s)
+	case *ast.CallStmt:
+		return it.execCallStmt(s)
+	case *ast.IfStmt:
+		cond, err := it.evalBool(s.Cond)
+		if err != nil {
+			return nil, err
+		}
+		if cond {
+			return it.execStmt(s.Then)
+		}
+		return it.execStmt(s.Else)
+	case *ast.WhileStmt:
+		for {
+			cond, err := it.evalBool(s.Cond)
+			if err != nil {
+				return nil, err
+			}
+			if !cond {
+				return nil, nil
+			}
+			ctrl, err := it.execStmt(s.Body)
+			if ctrl != nil || err != nil {
+				return ctrl, err
+			}
+		}
+	case *ast.RepeatStmt:
+		for {
+			ctrl, err := it.execList(s.Stmts)
+			if ctrl != nil || err != nil {
+				return ctrl, err
+			}
+			cond, err := it.evalBool(s.Cond)
+			if err != nil {
+				return nil, err
+			}
+			if cond {
+				return nil, nil
+			}
+		}
+	case *ast.ForStmt:
+		return it.execFor(s)
+	case *ast.CaseStmt:
+		return it.execCase(s)
+	case *ast.GotoStmt:
+		li := it.info.GotoTgt[s]
+		if li == nil {
+			return nil, it.errorf(s.Pos(), "unresolved goto %s", s.Label)
+		}
+		return &control{label: s.Label, target: li.Routine}, nil
+	case *ast.LabeledStmt:
+		return it.execStmt(s.Stmt)
+	case *ast.EmptyStmt:
+		return nil, nil
+	}
+	return nil, it.errorf(s.Pos(), "cannot execute %T", s)
+}
+
+// execList runs a statement list, resolving pending gotos whose label is
+// placed at this level (possibly jumping backward or forward).
+func (it *Interp) execList(stmts []ast.Stmt) (*control, error) {
+	i := 0
+	for i < len(stmts) {
+		ctrl, err := it.execStmt(stmts[i])
+		if err != nil {
+			return nil, err
+		}
+		if ctrl == nil {
+			i++
+			continue
+		}
+		// A goto is pending: does this list place the label, and is the
+		// label owned by the routine we are currently in?
+		if ctrl.target != it.frame.routine {
+			return ctrl, nil // unwind further (global goto)
+		}
+		found := -1
+		for j, c := range stmts {
+			if ls, ok := c.(*ast.LabeledStmt); ok && ls.Label == ctrl.label {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			return ctrl, nil // unwind to an outer list of the same routine
+		}
+		i = found
+	}
+	return nil, nil
+}
+
+func (it *Interp) execAssign(s *ast.AssignStmt) error {
+	val, err := it.evalExpr(s.Rhs)
+	if err != nil {
+		return err
+	}
+	return it.assignTo(s.Lhs, val, s.Pos())
+}
+
+// assignTo stores val into the designator lhs, firing Write (and, for
+// partial updates of composites, Read) events on the base variable.
+func (it *Interp) assignTo(lhs ast.Expr, val Value, pos token.Pos) error {
+	addr, base, partial, err := it.lvalue(lhs)
+	if err != nil {
+		return err
+	}
+	// Coerce integer into real targets.
+	if _, isReal := (*addr).(float64); isReal {
+		if iv, isInt := val.(int64); isInt {
+			val = float64(iv)
+		}
+	}
+	// Array display into array target: fill from the low bound.
+	if target, ok := (*addr).(*ArrayVal); ok {
+		if src, ok := val.(*ArrayVal); ok && (src.Lo != target.Lo || src.Hi != target.Hi) {
+			if int64(len(src.Elems)) > int64(len(target.Elems)) {
+				return it.errorf(pos, "array value of %d elements does not fit target of %d", len(src.Elems), len(target.Elems))
+			}
+			fresh := &ArrayVal{Lo: target.Lo, Hi: target.Hi, Elems: make([]Value, len(target.Elems))}
+			for i := range fresh.Elems {
+				if i < len(src.Elems) {
+					fresh.Elems[i] = CopyValue(src.Elems[i])
+				} else {
+					fresh.Elems[i] = zeroLike(target.Elems[i])
+				}
+			}
+			val = fresh
+		}
+	}
+	if partial {
+		// Partial update: the new whole-variable value also depends on
+		// the old one.
+		it.sink.Read(base.loc, it.baseVar(lhs))
+	}
+	*addr = CopyValue(val)
+	it.sink.Write(base.loc, it.baseVar(lhs))
+	return nil
+}
+
+func zeroLike(v Value) Value {
+	switch v := v.(type) {
+	case int64:
+		return int64(0)
+	case float64:
+		return float64(0)
+	case bool:
+		return false
+	case string:
+		return ""
+	case *ArrayVal:
+		return CopyValue(v) // keep shape; contents already zeroed at alloc
+	case *RecordVal:
+		return CopyValue(v)
+	}
+	return int64(0)
+}
+
+func (it *Interp) baseVar(e ast.Expr) *sem.VarSym {
+	return it.info.VarOf(e)
+}
+
+// lvalue resolves a designator to the address of its storage slot, the
+// base cell (whole-variable location for events) and whether the slot is
+// a proper part of the base (partial update).
+func (it *Interp) lvalue(e ast.Expr) (addr *Value, base *cell, partial bool, err error) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		sym := it.info.Uses[e]
+		v, ok := sym.(*sem.VarSym)
+		if !ok {
+			return nil, nil, false, it.errorf(e.Pos(), "%s is not a variable", e.Name)
+		}
+		c, err := it.lookupCell(v, e.Pos())
+		if err != nil {
+			return nil, nil, false, err
+		}
+		return &c.val, c, false, nil
+	case *ast.IndexExpr:
+		addr, base, _, err := it.lvalue(e.X)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		for _, ie := range e.Indices {
+			iv, err := it.evalInt(ie)
+			if err != nil {
+				return nil, nil, false, err
+			}
+			arr, ok := (*addr).(*ArrayVal)
+			if !ok {
+				return nil, nil, false, it.errorf(e.Pos(), "indexing non-array value")
+			}
+			addr, err = arr.At(iv)
+			if err != nil {
+				return nil, nil, false, it.errorf(ie.Pos(), "%v", err)
+			}
+		}
+		return addr, base, true, nil
+	case *ast.FieldExpr:
+		addr, base, _, err := it.lvalue(e.X)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		rec, ok := (*addr).(*RecordVal)
+		if !ok {
+			return nil, nil, false, it.errorf(e.Pos(), "selecting field of non-record value")
+		}
+		fa, ferr := rec.FieldAddr(e.Field)
+		if ferr != nil {
+			return nil, nil, false, it.errorf(e.Pos(), "%v", ferr)
+		}
+		return fa, base, true, nil
+	}
+	return nil, nil, false, it.errorf(e.Pos(), "expression is not assignable")
+}
+
+func (it *Interp) execFor(s *ast.ForStmt) (*control, error) {
+	from, err := it.evalInt(s.From)
+	if err != nil {
+		return nil, err
+	}
+	limit, err := it.evalInt(s.Limit)
+	if err != nil {
+		return nil, err
+	}
+	if err := it.assignTo(s.Var, from, s.Pos()); err != nil {
+		return nil, err
+	}
+	for i := from; ; {
+		if s.Down && i < limit || !s.Down && i > limit {
+			return nil, nil
+		}
+		if err := it.assignTo(s.Var, i, s.Pos()); err != nil {
+			return nil, err
+		}
+		ctrl, err := it.execStmt(s.Body)
+		if ctrl != nil || err != nil {
+			return ctrl, err
+		}
+		if s.Down {
+			i--
+		} else {
+			i++
+		}
+	}
+}
+
+func (it *Interp) execCase(s *ast.CaseStmt) (*control, error) {
+	sel, err := it.evalExpr(s.Expr)
+	if err != nil {
+		return nil, err
+	}
+	for _, arm := range s.Arms {
+		for _, ce := range arm.Consts {
+			cv, err := it.evalExpr(ce)
+			if err != nil {
+				return nil, err
+			}
+			if ValuesEqual(sel, cv) {
+				return it.execStmt(arm.Body)
+			}
+		}
+	}
+	if s.Else != nil {
+		return it.execStmt(s.Else)
+	}
+	return nil, nil
+}
+
+// ---------------------------------------------------------------------------
+// Calls
+
+func (it *Interp) execCallStmt(s *ast.CallStmt) (*control, error) {
+	if b := it.info.Builtin[s]; b != nil {
+		return nil, it.execBuiltinProc(b, s)
+	}
+	target := it.info.Calls[s]
+	if target == nil {
+		return nil, it.errorf(s.Pos(), "call to unresolved routine %s", s.Name)
+	}
+	_, ctrl, err := it.call(target, s, s.Args, s.Pos())
+	return ctrl, err
+}
+
+// call invokes a user routine and returns its result value (functions),
+// a pending goto control (global gotos unwinding through the call) and
+// an error.
+func (it *Interp) call(target *sem.Routine, site ast.Node, args []ast.Expr, pos token.Pos) (Value, *control, error) {
+	if it.depth >= it.cfg.MaxDepth {
+		return nil, nil, it.errorf(pos, "call depth budget exhausted (%d); runaway recursion?", it.cfg.MaxDepth)
+	}
+	if len(args) != len(target.Params) {
+		return nil, nil, it.errorf(pos, "%s expects %d arguments, got %d", target.Name, len(target.Params), len(args))
+	}
+
+	// Locate the static link: the active frame of the routine lexically
+	// enclosing the target.
+	var static *frame
+	for f := it.frame; f != nil; f = f.static {
+		if f.routine == target.Parent {
+			static = f
+			break
+		}
+	}
+	if static == nil {
+		return nil, nil, it.errorf(pos, "no enclosing frame for %s", target.Name)
+	}
+
+	nf := &frame{routine: target, static: static, cells: make(map[*sem.VarSym]*cell)}
+	ci := &CallInfo{
+		ID:        it.nextID,
+		Routine:   target,
+		CallSite:  site,
+		Depth:     it.depth + 1,
+		ArgLocs:   make([]Loc, len(args)),
+		ParamLocs: make([]Loc, len(target.Params)),
+	}
+	it.nextID++
+	nf.info = ci
+
+	// Bind parameters (argument evaluation happens in the caller frame).
+	for i, p := range target.Params {
+		a := args[i]
+		if p.Mode == ast.Value {
+			av, err := it.evalExpr(a)
+			if err != nil {
+				return nil, nil, err
+			}
+			// Array displays adapt to the parameter's array type.
+			if at, ok := p.Type.(*types.Array); ok {
+				if src, ok := av.(*ArrayVal); ok && (src.Lo != at.Lo || src.Hi != at.Hi) {
+					adapted := NewArray(at)
+					if int64(len(src.Elems)) > int64(len(adapted.Elems)) {
+						return nil, nil, it.errorf(a.Pos(), "array argument of %d elements does not fit %s", len(src.Elems), at)
+					}
+					for j, e := range src.Elems {
+						adapted.Elems[j] = CopyValue(e)
+					}
+					av = adapted
+				}
+			}
+			c := it.newCell(p.Type)
+			c.val = CopyValue(av)
+			nf.cells[p] = c
+			ci.Ins = append(ci.Ins, Binding{Name: p.Name, Mode: p.Mode, Value: CopyValue(av), Sym: p})
+			if bv := it.info.VarOf(a); bv != nil {
+				if bc, err := it.lookupCell(bv, a.Pos()); err == nil {
+					ci.ArgLocs[i] = bc.loc
+				}
+			}
+			ci.ParamLocs[i] = c.loc
+			continue
+		}
+		// var / out: bind the formal to the argument's base cell. The
+		// argument must be a whole-variable designator for aliasing to
+		// be sound at our location granularity; element designators
+		// alias the whole base variable (conservative, documented).
+		addr, base, partialSlot, err := it.lvalue(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		var bound *cell
+		if partialSlot {
+			// Alias the element slot but account events to the base.
+			bound = &cell{loc: base.loc, val: *addr}
+			// Keep write-back semantics: formals alias *addr via a
+			// forwarding cell; see writeback below.
+			nf.cells[p] = bound
+			defer func(slot *Value, c *cell) { *slot = c.val }(addr, bound)
+		} else {
+			bound = base
+			nf.cells[p] = bound
+		}
+		snap := Binding{Name: p.Name, Mode: p.Mode, Value: CopyValue(*addr), Sym: p}
+		ci.Ins = append(ci.Ins, snap)
+		ci.ArgLocs[i] = base.loc
+		ci.ParamLocs[i] = base.loc
+	}
+
+	// Locals and function result.
+	for _, v := range target.Locals {
+		nf.cells[v] = it.newCell(v.Type)
+	}
+	var resultCell *cell
+	if target.Result != nil {
+		resultCell = it.newCell(target.Result.Type)
+		nf.cells[target.Result] = resultCell
+		ci.ResultLoc = resultCell.loc
+	}
+
+	// Execute the body.
+	prev := it.frame
+	it.frame = nf
+	it.depth++
+	it.sink.EnterCall(ci)
+
+	ctrl, err := it.execStmt(target.Block.Body)
+
+	// A pending goto that targets this routine but was not resolved by
+	// any list is an error (jump into structure).
+	if err == nil && ctrl != nil && ctrl.target == target {
+		err = it.errorf(pos, "goto %s in %s did not reach its label", ctrl.label, target.Name)
+		ctrl = nil
+	}
+
+	// Snapshot outputs.
+	for i, p := range target.Params {
+		if p.Mode == ast.Value {
+			continue
+		}
+		_ = i
+		c := nf.cells[p]
+		ci.Outs = append(ci.Outs, Binding{Name: p.Name, Mode: p.Mode, Value: CopyValue(c.val), Sym: p})
+	}
+	if resultCell != nil {
+		ci.Result = CopyValue(resultCell.val)
+	}
+	it.sink.ExitCall(ci)
+	it.depth--
+	it.frame = prev
+	if err != nil {
+		return nil, nil, err
+	}
+	var result Value
+	if resultCell != nil {
+		result = resultCell.val
+		it.sink.Read(resultCell.loc, target.Result)
+	}
+	return result, ctrl, nil
+}
+
+// ---------------------------------------------------------------------------
+// Builtins
+
+func (it *Interp) execBuiltinProc(b *sem.Builtin, s *ast.CallStmt) error {
+	switch b.Name {
+	case "write", "writeln":
+		var parts []string
+		for _, a := range s.Args {
+			v, err := it.evalExpr(a)
+			if err != nil {
+				return err
+			}
+			parts = append(parts, formatForOutput(v))
+		}
+		line := strings.Join(parts, " ")
+		if b.Name == "writeln" {
+			line += "\n"
+		}
+		if _, err := io.WriteString(it.out, line); err != nil {
+			return it.errorf(s.Pos(), "write failed: %v", err)
+		}
+		return nil
+	case "read", "readln":
+		for _, a := range s.Args {
+			tok, err := it.readToken()
+			if err != nil {
+				return it.errorf(a.Pos(), "read: %v", err)
+			}
+			t := it.info.TypeOf[a]
+			var v Value
+			switch {
+			case t != nil && t.Equal(types.RealT):
+				f, perr := strconv.ParseFloat(tok, 64)
+				if perr != nil {
+					return it.errorf(a.Pos(), "read: %q is not a real", tok)
+				}
+				v = f
+			case t != nil && t.Equal(types.String):
+				v = tok
+			case t != nil && t.Equal(types.Boolean):
+				switch strings.ToLower(tok) {
+				case "true":
+					v = true
+				case "false":
+					v = false
+				default:
+					return it.errorf(a.Pos(), "read: %q is not a boolean", tok)
+				}
+			default:
+				n, perr := strconv.ParseInt(tok, 10, 64)
+				if perr != nil {
+					return it.errorf(a.Pos(), "read: %q is not an integer", tok)
+				}
+				v = n
+			}
+			if err := it.assignTo(a, v, a.Pos()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return it.errorf(s.Pos(), "builtin %s cannot be called as a procedure", b.Name)
+}
+
+func formatForOutput(v Value) string {
+	if s, ok := v.(string); ok {
+		return s // no quotes on program output
+	}
+	return FormatValue(v)
+}
+
+func (it *Interp) readToken() (string, error) {
+	if it.in == nil {
+		return "", fmt.Errorf("no input available")
+	}
+	var b strings.Builder
+	// Skip whitespace.
+	for {
+		ch, err := it.in.ReadByte()
+		if err != nil {
+			return "", fmt.Errorf("end of input")
+		}
+		if ch == ' ' || ch == '\n' || ch == '\t' || ch == '\r' {
+			continue
+		}
+		b.WriteByte(ch)
+		break
+	}
+	for {
+		ch, err := it.in.ReadByte()
+		if err != nil {
+			break
+		}
+		if ch == ' ' || ch == '\n' || ch == '\t' || ch == '\r' {
+			break
+		}
+		b.WriteByte(ch)
+	}
+	return b.String(), nil
+}
+
+func (it *Interp) evalBuiltinFunc(b *sem.Builtin, e *ast.CallExpr) (Value, error) {
+	if len(e.Args) != 1 {
+		return nil, it.errorf(e.Pos(), "%s expects 1 argument", b.Name)
+	}
+	v, err := it.evalExpr(e.Args[0])
+	if err != nil {
+		return nil, err
+	}
+	switch b.Name {
+	case "abs":
+		switch v := v.(type) {
+		case int64:
+			if v < 0 {
+				return -v, nil
+			}
+			return v, nil
+		case float64:
+			if v < 0 {
+				return -v, nil
+			}
+			return v, nil
+		}
+	case "sqr":
+		switch v := v.(type) {
+		case int64:
+			return v * v, nil
+		case float64:
+			return v * v, nil
+		}
+	case "odd":
+		if v, ok := v.(int64); ok {
+			return v%2 != 0, nil
+		}
+	case "trunc":
+		switch v := v.(type) {
+		case int64:
+			return v, nil
+		case float64:
+			return int64(v), nil
+		}
+	case "round":
+		switch v := v.(type) {
+		case int64:
+			return v, nil
+		case float64:
+			if v >= 0 {
+				return int64(v + 0.5), nil
+			}
+			return int64(v - 0.5), nil
+		}
+	}
+	return nil, it.errorf(e.Pos(), "invalid argument to %s", b.Name)
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+func (it *Interp) evalBool(e ast.Expr) (bool, error) {
+	v, err := it.evalExpr(e)
+	if err != nil {
+		return false, err
+	}
+	b, ok := v.(bool)
+	if !ok {
+		return false, it.errorf(e.Pos(), "boolean expected, have %s", FormatValue(v))
+	}
+	return b, nil
+}
+
+func (it *Interp) evalInt(e ast.Expr) (int64, error) {
+	v, err := it.evalExpr(e)
+	if err != nil {
+		return 0, err
+	}
+	n, ok := v.(int64)
+	if !ok {
+		return 0, it.errorf(e.Pos(), "integer expected, have %s", FormatValue(v))
+	}
+	return n, nil
+}
+
+func (it *Interp) evalExpr(e ast.Expr) (Value, error) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return e.Value, nil
+	case *ast.RealLit:
+		return e.Value, nil
+	case *ast.StringLit:
+		return e.Value, nil
+	case *ast.Ident:
+		switch sym := it.info.Uses[e].(type) {
+		case *sem.VarSym:
+			c, err := it.lookupCell(sym, e.Pos())
+			if err != nil {
+				return nil, err
+			}
+			it.sink.Read(c.loc, sym)
+			return c.val, nil
+		case *sem.ConstSym:
+			return constToValue(sym.Value), nil
+		}
+		// Parameterless function call.
+		if target := it.info.Calls[e]; target != nil {
+			v, ctrl, err := it.call(target, e, nil, e.Pos())
+			if err != nil {
+				return nil, err
+			}
+			if ctrl != nil {
+				return nil, it.errorf(e.Pos(), "goto %s escaped function %s", ctrl.label, target.Name)
+			}
+			return v, nil
+		}
+		return nil, it.errorf(e.Pos(), "unresolved identifier %s", e.Name)
+	case *ast.BinaryExpr:
+		return it.evalBinary(e)
+	case *ast.UnaryExpr:
+		v, err := it.evalExpr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case token.Minus:
+			switch v := v.(type) {
+			case int64:
+				return -v, nil
+			case float64:
+				return -v, nil
+			}
+		case token.Plus:
+			return v, nil
+		case token.Not:
+			if b, ok := v.(bool); ok {
+				return !b, nil
+			}
+		}
+		return nil, it.errorf(e.Pos(), "invalid unary operand %s", FormatValue(v))
+	case *ast.IndexExpr:
+		addr, base, _, err := it.lvalue(e)
+		if err != nil {
+			return nil, err
+		}
+		it.sink.Read(base.loc, it.baseVar(e))
+		return *addr, nil
+	case *ast.FieldExpr:
+		addr, base, _, err := it.lvalue(e)
+		if err != nil {
+			return nil, err
+		}
+		it.sink.Read(base.loc, it.baseVar(e))
+		return *addr, nil
+	case *ast.CallExpr:
+		if b := it.info.Builtin[e]; b != nil {
+			return it.evalBuiltinFunc(b, e)
+		}
+		target := it.info.Calls[e]
+		if target == nil {
+			return nil, it.errorf(e.Pos(), "call to unresolved function %s", e.Name)
+		}
+		v, ctrl, err := it.call(target, e, e.Args, e.Pos())
+		if err != nil {
+			return nil, err
+		}
+		if ctrl != nil {
+			return nil, it.errorf(e.Pos(), "goto %s escaped function %s", ctrl.label, target.Name)
+		}
+		return v, nil
+	case *ast.SetLit:
+		t, _ := it.info.TypeOf[e].(*types.Array)
+		var arr *ArrayVal
+		if t != nil {
+			arr = NewArray(t)
+		} else {
+			arr = &ArrayVal{Lo: 1, Hi: int64(len(e.Elems)), Elems: make([]Value, len(e.Elems))}
+		}
+		for i, el := range e.Elems {
+			v, err := it.evalExpr(el)
+			if err != nil {
+				return nil, err
+			}
+			if i >= len(arr.Elems) {
+				return nil, it.errorf(el.Pos(), "array display longer than target array")
+			}
+			arr.Elems[i] = CopyValue(v)
+		}
+		return arr, nil
+	}
+	return nil, it.errorf(e.Pos(), "cannot evaluate %T", e)
+}
+
+func constToValue(v any) Value {
+	switch v := v.(type) {
+	case int64, float64, bool, string:
+		return v
+	}
+	return int64(0)
+}
+
+func (it *Interp) evalBinary(e *ast.BinaryExpr) (Value, error) {
+	x, err := it.evalExpr(e.X)
+	if err != nil {
+		return nil, err
+	}
+	// No short-circuit: ISO Pascal leaves evaluation order unspecified;
+	// classic compilers evaluate both operands, and the paper's subject
+	// programs rely on nothing else.
+	y, err := it.evalExpr(e.Y)
+	if err != nil {
+		return nil, err
+	}
+	switch e.Op {
+	case token.And:
+		xb, xok := x.(bool)
+		yb, yok := y.(bool)
+		if xok && yok {
+			return xb && yb, nil
+		}
+	case token.Or:
+		xb, xok := x.(bool)
+		yb, yok := y.(bool)
+		if xok && yok {
+			return xb || yb, nil
+		}
+	case token.Plus, token.Minus, token.Star, token.Slash:
+		return it.arith(e, x, y)
+	case token.Div, token.Mod:
+		xi, xok := x.(int64)
+		yi, yok := y.(int64)
+		if xok && yok {
+			if yi == 0 {
+				return nil, it.errorf(e.Pos(), "division by zero")
+			}
+			if e.Op == token.Div {
+				return xi / yi, nil
+			}
+			return xi % yi, nil
+		}
+	case token.Eq:
+		return ValuesEqual(x, y), nil
+	case token.NotEq:
+		return !ValuesEqual(x, y), nil
+	case token.Less, token.LessEq, token.Greater, token.GreatEq:
+		return it.compare(e, x, y)
+	}
+	return nil, it.errorf(e.Pos(), "invalid operands %s %s %s", FormatValue(x), e.Op, FormatValue(y))
+}
+
+func (it *Interp) arith(e *ast.BinaryExpr, x, y Value) (Value, error) {
+	if xi, ok := x.(int64); ok {
+		if yi, ok := y.(int64); ok {
+			switch e.Op {
+			case token.Plus:
+				return xi + yi, nil
+			case token.Minus:
+				return xi - yi, nil
+			case token.Star:
+				return xi * yi, nil
+			case token.Slash:
+				if yi == 0 {
+					return nil, it.errorf(e.Pos(), "division by zero")
+				}
+				return float64(xi) / float64(yi), nil
+			}
+		}
+	}
+	xf, xok := toFloat(x)
+	yf, yok := toFloat(y)
+	if xok && yok {
+		switch e.Op {
+		case token.Plus:
+			return xf + yf, nil
+		case token.Minus:
+			return xf - yf, nil
+		case token.Star:
+			return xf * yf, nil
+		case token.Slash:
+			if yf == 0 {
+				return nil, it.errorf(e.Pos(), "division by zero")
+			}
+			return xf / yf, nil
+		}
+	}
+	// String concatenation with + (common Pascal dialect extension).
+	if xs, ok := x.(string); ok {
+		if ys, ok := y.(string); ok && e.Op == token.Plus {
+			return xs + ys, nil
+		}
+	}
+	return nil, it.errorf(e.Pos(), "invalid operands %s %s %s", FormatValue(x), e.Op, FormatValue(y))
+}
+
+func (it *Interp) compare(e *ast.BinaryExpr, x, y Value) (Value, error) {
+	if xs, ok := x.(string); ok {
+		if ys, ok := y.(string); ok {
+			switch e.Op {
+			case token.Less:
+				return xs < ys, nil
+			case token.LessEq:
+				return xs <= ys, nil
+			case token.Greater:
+				return xs > ys, nil
+			case token.GreatEq:
+				return xs >= ys, nil
+			}
+		}
+	}
+	xf, xok := toFloat(x)
+	yf, yok := toFloat(y)
+	if xok && yok {
+		switch e.Op {
+		case token.Less:
+			return xf < yf, nil
+		case token.LessEq:
+			return xf <= yf, nil
+		case token.Greater:
+			return xf > yf, nil
+		case token.GreatEq:
+			return xf >= yf, nil
+		}
+	}
+	return nil, it.errorf(e.Pos(), "cannot order %s against %s", FormatValue(x), FormatValue(y))
+}
+
+func toFloat(v Value) (float64, bool) {
+	switch v := v.(type) {
+	case int64:
+		return float64(v), true
+	case float64:
+		return v, true
+	}
+	return 0, false
+}
+
+// Steps reports the number of statements executed so far.
+func (it *Interp) Steps() int { return it.steps }

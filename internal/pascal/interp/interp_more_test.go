@@ -1,0 +1,274 @@
+package interp_test
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadBooleanAndString(t *testing.T) {
+	got := runOut(t, `
+program t;
+var b: boolean; s: string; r: real;
+begin
+  read(b, s, r);
+  writeln(b, s, r);
+end.`, "TRUE hello 2.5")
+	if got != "true hello 2.5\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestWriteVsWriteln(t *testing.T) {
+	got := runOut(t, `
+program t;
+begin
+  write('a');
+  write('b');
+  writeln('c');
+  writeln('d');
+end.`, "")
+	if got != "abc\nd\n" { // spaces only between args of one call
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestNestedFunctionResultViaOuterScope(t *testing.T) {
+	// Assignment to the enclosing function's name from a nested routine
+	// sets the outer result (classic Pascal).
+	got := runOut(t, `
+program t;
+var x: integer;
+function outer(n: integer): integer;
+  procedure setres;
+  begin
+    outer := n * 10;
+  end;
+begin
+  setres;
+end;
+begin
+  x := outer(7);
+  writeln(x);
+end.`, "")
+	if got != "70\n" {
+		t.Errorf("output = %q, want 70", got)
+	}
+}
+
+func TestMultiDimensionalArrays(t *testing.T) {
+	got := runOut(t, `
+program t;
+type mat = array [1 .. 2] of array [1 .. 2] of integer;
+var m: mat;
+begin
+  m[1][1] := 1;
+  m[1, 2] := 2;
+  m[2][1] := 3;
+  m[2, 2] := 4;
+  writeln(m[1][1] + m[1, 2] + m[2, 1] + m[2][2]);
+end.`, "")
+	if got != "10\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestRecordInArray(t *testing.T) {
+	got := runOut(t, `
+program t;
+type
+  point = record x, y: integer end;
+  points = array [1 .. 2] of point;
+var
+  ps: points;
+begin
+  ps[1].x := 10;
+  ps[2].y := 20;
+  writeln(ps[1].x + ps[2].y, ps[1].y);
+end.`, "")
+	if got != "30 0\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestWholeArrayAssignmentCopies(t *testing.T) {
+	got := runOut(t, `
+program t;
+type arr = array [1 .. 2] of integer;
+var a, b: arr;
+begin
+  a[1] := 7;
+  b := a;
+  a[1] := 9;
+  writeln(b[1], a[1]);
+end.`, "")
+	if got != "7 9\n" {
+		t.Errorf("output = %q (array assignment must deep-copy)", got)
+	}
+}
+
+func TestGotoOutOfIfIntoSameList(t *testing.T) {
+	got := runOut(t, `
+program t;
+label 5;
+var x: integer;
+begin
+  x := 1;
+  if x = 1 then goto 5;
+  x := 99;
+  5: writeln(x);
+end.`, "")
+	if got != "1\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestCaseNoMatchNoElse(t *testing.T) {
+	got := runOut(t, `
+program t;
+var x, y: integer;
+begin
+  x := 42;
+  y := 7;
+  case x of
+    1: y := 1;
+  end;
+  writeln(y);
+end.`, "")
+	if got != "7\n" {
+		t.Errorf("output = %q (unmatched case must fall through)", got)
+	}
+}
+
+func TestStringComparisonOps(t *testing.T) {
+	got := runOut(t, `
+program t;
+begin
+  writeln('abc' = 'abc', 'abc' <> 'abd', 'abc' <= 'abd', 'b' >= 'a');
+end.`, "")
+	if got != "true true true true\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestMixedIntRealComparison(t *testing.T) {
+	got := runOut(t, `
+program t;
+var r: real;
+begin
+  r := 2.5;
+  writeln(r > 2, 2 = 2.0, r <= 3);
+end.`, "")
+	if got != "true true true\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestVarParamRecordField(t *testing.T) {
+	got := runOut(t, `
+program t;
+type point = record x, y: integer end;
+var p: point;
+procedure set10(var n: integer);
+begin
+  n := 10;
+end;
+begin
+  set10(p.x);
+  writeln(p.x, p.y);
+end.`, "")
+	if got != "10 0\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestSlashAlwaysReal(t *testing.T) {
+	got := runOut(t, `
+program t;
+var r: real;
+begin
+  r := 6 / 3;
+  writeln(r);
+end.`, "")
+	if got != "2.0\n" {
+		t.Errorf("output = %q (/ yields real)", got)
+	}
+}
+
+func TestDeepRecursionWithinBudget(t *testing.T) {
+	got := runOut(t, `
+program t;
+function depth(n: integer): integer;
+begin
+  if n = 0 then depth := 0 else depth := 1 + depth(n - 1);
+end;
+begin
+  writeln(depth(500));
+end.`, "")
+	if got != "500\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestRuntimeErrorHasStack(t *testing.T) {
+	_, err := tryRun(t, `
+program t;
+procedure inner;
+var x: integer;
+begin
+  x := 1 div 0;
+end;
+procedure outer;
+begin
+  inner;
+end;
+begin
+  outer;
+end.`, "", nil)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestNegativeDivMod(t *testing.T) {
+	// Go semantics: -7 div 2 = -3, -7 mod 2 = -1 (truncated division,
+	// like most Pascal implementations).
+	got := runOut(t, `
+program t;
+begin
+  writeln(-7 div 2, -7 mod 2, 7 div -2, 7 mod -2);
+end.`, "")
+	if got != "-3 -1 -3 1\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestUnaryPlusMinus(t *testing.T) {
+	got := runOut(t, `
+program t;
+var x: integer; r: real;
+begin
+  x := -5;
+  r := -2.5;
+  writeln(-x, +x, -r);
+end.`, "")
+	if got != "5 -5 2.5\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestBooleanOperators(t *testing.T) {
+	got := runOut(t, `
+program t;
+var a, b: boolean;
+begin
+  a := true;
+  b := false;
+  writeln(a and b, a or b, not a, not b);
+end.`, "")
+	if got != "false true false true\n" {
+		t.Errorf("output = %q", got)
+	}
+}

@@ -1,0 +1,548 @@
+package interp_test
+
+import (
+	"strings"
+	"testing"
+
+	"gadt/internal/paper"
+	"gadt/internal/pascal/ast"
+	"gadt/internal/pascal/interp"
+	"gadt/internal/pascal/parser"
+	"gadt/internal/pascal/sem"
+)
+
+func tryRun(t *testing.T, src, input string, sink interp.EventSink) (string, error) {
+	t.Helper()
+	prog, err := parser.ParseProgram("t.pas", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sem.Analyze(prog)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	var out strings.Builder
+	it := interp.New(info, interp.Config{Input: strings.NewReader(input), Output: &out, Sink: sink})
+	runErr := it.Run()
+	return out.String(), runErr
+}
+
+func runOut(t *testing.T, src, input string) string {
+	t.Helper()
+	prog := parser.MustParse("t.pas", src)
+	info, err := sem.Analyze(prog)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	var out strings.Builder
+	it := interp.New(info, interp.Config{Input: strings.NewReader(input), Output: &out})
+	if err := it.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out.String()
+}
+
+func TestSqrtestOutput(t *testing.T) {
+	if got := runOut(t, paper.Sqrtest, ""); got != "false\n" {
+		t.Errorf("sqrtest output = %q, want false (the planted bug makes the check fail)", got)
+	}
+	if got := runOut(t, paper.SqrtestFixed, ""); got != "true\n" {
+		t.Errorf("fixed sqrtest output = %q, want true", got)
+	}
+}
+
+func TestPQROutput(t *testing.T) {
+	// q: b = 5*2 = 10; buggy r: d = 7-1 = 6 (correct would be 8).
+	if got := runOut(t, paper.PQR, ""); got != "10 6\n" {
+		t.Errorf("pqr output = %q, want %q", got, "10 6\n")
+	}
+}
+
+func TestSliceExampleBothBranches(t *testing.T) {
+	if got := runOut(t, paper.SliceExample, "1 4"); got != "5 0\n" {
+		t.Errorf("x<=1 branch: output = %q, want %q", got, "5 0\n")
+	}
+	if got := runOut(t, paper.SliceExample, "3 4 9"); got != "0 12\n" {
+		t.Errorf("else branch: output = %q, want %q", got, "0 12\n")
+	}
+}
+
+func TestGlobalGoto(t *testing.T) {
+	// q adds 5, goto 9 skips the +100 and +1000, label 9 adds 1 → 6;
+	// goto 8 skips v := -1.
+	if got := runOut(t, paper.GlobalGoto, ""); got != "6\n6\n" {
+		t.Errorf("output = %q, want %q", got, "6\n6\n")
+	}
+}
+
+func TestLoopGoto(t *testing.T) {
+	if got := runOut(t, paper.LoopGoto, ""); got != "5 15\n" {
+		t.Errorf("output = %q, want %q", got, "5 15\n")
+	}
+}
+
+func TestBackwardGoto(t *testing.T) {
+	got := runOut(t, `
+program t;
+label 1;
+var i: integer;
+begin
+  i := 0;
+  1: i := i + 1;
+  if i < 3 then goto 1;
+  writeln(i);
+end.`, "")
+	if got != "3\n" {
+		t.Errorf("output = %q, want 3", got)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	got := runOut(t, `
+program t;
+var x: integer;
+function fact(n: integer): integer;
+begin
+  if n <= 1 then fact := 1
+  else fact := n * fact(n - 1);
+end;
+begin
+  x := fact(6);
+  writeln(x);
+end.`, "")
+	if got != "720\n" {
+		t.Errorf("fact(6) = %q, want 720", got)
+	}
+}
+
+func TestMutualRecursion(t *testing.T) {
+	got := runOut(t, `
+program t;
+function isodd(n: integer): boolean;
+function iseven(n: integer): boolean;
+begin
+  if n = 0 then iseven := true else iseven := isodd(n - 1);
+end;
+begin
+  if n = 0 then isodd := false else isodd := iseven(n - 1);
+end;
+begin
+  writeln(isodd(7), isodd(10));
+end.`, "")
+	if got != "true false\n" {
+		t.Errorf("output = %q, want %q", got, "true false\n")
+	}
+}
+
+func TestVarParamAliasing(t *testing.T) {
+	got := runOut(t, `
+program t;
+var x: integer;
+procedure bump(var n: integer);
+begin
+  n := n + 1;
+end;
+begin
+  x := 41;
+  bump(x);
+  writeln(x);
+end.`, "")
+	if got != "42\n" {
+		t.Errorf("output = %q, want 42", got)
+	}
+}
+
+func TestVarParamArrayElement(t *testing.T) {
+	got := runOut(t, `
+program t;
+type arr = array [1 .. 3] of integer;
+var a: arr;
+procedure setit(var n: integer);
+begin
+  n := 99;
+end;
+begin
+  a[2] := 1;
+  setit(a[2]);
+  writeln(a[1], a[2], a[3]);
+end.`, "")
+	if got != "0 99 0\n" {
+		t.Errorf("output = %q, want %q", got, "0 99 0\n")
+	}
+}
+
+func TestValueParamIsCopied(t *testing.T) {
+	got := runOut(t, `
+program t;
+type arr = array [1 .. 2] of integer;
+var a: arr;
+procedure clobber(b: arr);
+begin
+  b[1] := 777;
+end;
+begin
+  a[1] := 1;
+  clobber(a);
+  writeln(a[1]);
+end.`, "")
+	if got != "1\n" {
+		t.Errorf("output = %q: value array parameter leaked mutation", got)
+	}
+}
+
+func TestNestedScopeAccess(t *testing.T) {
+	got := runOut(t, `
+program t;
+var g: integer;
+procedure outer;
+var m: integer;
+  procedure inner;
+  begin
+    m := m + g;
+  end;
+begin
+  m := 5;
+  inner;
+  writeln(m);
+end;
+begin
+  g := 10;
+  outer;
+end.`, "")
+	if got != "15\n" {
+		t.Errorf("output = %q, want 15", got)
+	}
+}
+
+func TestForDownto(t *testing.T) {
+	got := runOut(t, `
+program t;
+var i, s: integer;
+begin
+  s := 0;
+  for i := 5 downto 2 do s := s * 10 + i;
+  writeln(s);
+end.`, "")
+	if got != "5432\n" {
+		t.Errorf("output = %q, want 5432", got)
+	}
+}
+
+func TestForEmptyRange(t *testing.T) {
+	got := runOut(t, `
+program t;
+var i, s: integer;
+begin
+  s := 0;
+  for i := 3 to 2 do s := s + 1;
+  writeln(s);
+end.`, "")
+	if got != "0\n" {
+		t.Errorf("output = %q, want 0 (empty for range must not execute)", got)
+	}
+}
+
+func TestRepeatRunsAtLeastOnce(t *testing.T) {
+	got := runOut(t, `
+program t;
+var i: integer;
+begin
+  i := 10;
+  repeat
+    i := i + 1;
+  until true;
+  writeln(i);
+end.`, "")
+	if got != "11\n" {
+		t.Errorf("output = %q, want 11", got)
+	}
+}
+
+func TestCaseDispatch(t *testing.T) {
+	src := `
+program t;
+var x, y: integer;
+begin
+  read(x);
+  case x of
+    1: y := 10;
+    2, 3: y := 20;
+  else y := -1;
+  end;
+  writeln(y);
+end.`
+	for input, want := range map[string]string{"1": "10\n", "2": "20\n", "3": "20\n", "9": "-1\n"} {
+		if got := runOut(t, src, input); got != want {
+			t.Errorf("case %s: output = %q, want %q", input, got, want)
+		}
+	}
+}
+
+func TestRealArithmetic(t *testing.T) {
+	got := runOut(t, `
+program t;
+var r: real;
+begin
+  r := 7 / 2;
+  writeln(r);
+  r := 1.5 + 2;
+  writeln(r);
+  writeln(trunc(3.9), round(3.9), round(-3.9));
+end.`, "")
+	want := "3.5\n3.5\n3 4 -4\n"
+	if got != want {
+		t.Errorf("output = %q, want %q", got, want)
+	}
+}
+
+func TestBuiltinFunctions(t *testing.T) {
+	got := runOut(t, `
+program t;
+begin
+  writeln(abs(-5), abs(5), sqr(4), odd(3), odd(4));
+end.`, "")
+	if got != "5 5 16 true false\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestRecords(t *testing.T) {
+	got := runOut(t, `
+program t;
+type point = record x, y: integer end;
+var p, q: point;
+begin
+  p.x := 3;
+  p.y := 4;
+  q := p;
+  q.x := 99;
+  writeln(p.x, q.x, q.y);
+end.`, "")
+	if got != "3 99 4\n" {
+		t.Errorf("output = %q, want %q (record assignment must copy)", got, "3 99 4\n")
+	}
+}
+
+func TestStringOps(t *testing.T) {
+	got := runOut(t, `
+program t;
+var s: string;
+begin
+  s := 'foo' + 'bar';
+  writeln(s, 'x' < 'y');
+end.`, "")
+	if got != "foobar true\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		name, src, input, want string
+	}{
+		{"divZero", `program t; var x: integer; begin x := 1 div 0; end.`, "", "division by zero"},
+		{"modZero", `program t; var x: integer; begin x := 1 mod 0; end.`, "", "division by zero"},
+		{"indexLow", `program t; type a = array [1 .. 3] of integer; var v: a; var x: integer; begin x := v[0]; end.`, "", "out of bounds"},
+		{"indexHigh", `program t; type a = array [1 .. 3] of integer; var v: a; begin v[4] := 0; end.`, "", "out of bounds"},
+		{"readEmpty", `program t; var x: integer; begin read(x); end.`, "", "end of input"},
+		{"readNonInt", `program t; var x: integer; begin read(x); end.`, "zork", "not an integer"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tryRun(t, tc.src, tc.input, nil)
+			if err == nil {
+				t.Fatalf("expected runtime error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %q, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestInfiniteLoopBudget(t *testing.T) {
+	prog := parser.MustParse("t.pas", `program t; var x: integer; begin while true do x := x + 1; end.`)
+	info, err := sem.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := interp.New(info, interp.Config{MaxSteps: 1000})
+	err = it.Run()
+	if err == nil || !strings.Contains(err.Error(), "step budget") {
+		t.Errorf("err = %v, want step budget error", err)
+	}
+}
+
+func TestRunawayRecursionBudget(t *testing.T) {
+	prog := parser.MustParse("t.pas", `
+program t;
+function f(n: integer): integer;
+begin
+  f := f(n + 1);
+end;
+var x: integer;
+begin
+  x := f(0);
+end.`)
+	info, err := sem.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := interp.New(info, interp.Config{MaxDepth: 50})
+	err = it.Run()
+	if err == nil || !strings.Contains(err.Error(), "depth budget") {
+		t.Errorf("err = %v, want depth budget error", err)
+	}
+}
+
+// recordingSink captures call events for inspection.
+type recordingSink struct {
+	interp.NopSink
+	enters []*interp.CallInfo
+	exits  []*interp.CallInfo
+}
+
+func (r *recordingSink) EnterCall(c *interp.CallInfo) { r.enters = append(r.enters, c) }
+func (r *recordingSink) ExitCall(c *interp.CallInfo)  { r.exits = append(r.exits, c) }
+
+func TestCallEvents(t *testing.T) {
+	prog := parser.MustParse("t.pas", paper.Sqrtest)
+	info, err := sem.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &recordingSink{}
+	it := interp.New(info, interp.Config{Sink: sink})
+	if err := it.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.enters) != len(sink.exits) {
+		t.Fatalf("enters %d != exits %d", len(sink.enters), len(sink.exits))
+	}
+	// Program block + 13 calls (sqrtest, arrsum, computs, comput1,
+	// partialsums, sum1, increment, sum2, decrement, add, comput2,
+	// square, test) = 14.
+	if len(sink.enters) != 14 {
+		for _, c := range sink.enters {
+			t.Logf("call: %s", c.Routine.Name)
+		}
+		t.Fatalf("call count = %d, want 14", len(sink.enters))
+	}
+
+	var arrsum *interp.CallInfo
+	for _, c := range sink.enters {
+		if c.Routine.Name == "arrsum" {
+			arrsum = c
+		}
+	}
+	if arrsum == nil {
+		t.Fatal("no arrsum call observed")
+	}
+	if len(arrsum.Ins) != 3 {
+		t.Fatalf("arrsum ins = %v", arrsum.Ins)
+	}
+	if got := interp.FormatValue(arrsum.Ins[0].Value); got != "[1, 2]" {
+		t.Errorf("arrsum a = %s, want [1, 2]", got)
+	}
+	if got := interp.FormatValue(arrsum.Ins[1].Value); got != "2" {
+		t.Errorf("arrsum n = %s, want 2", got)
+	}
+	if len(arrsum.Outs) != 1 || interp.FormatValue(arrsum.Outs[0].Value) != "3" {
+		t.Errorf("arrsum outs = %v, want b: 3", arrsum.Outs)
+	}
+
+	var dec *interp.CallInfo
+	for _, c := range sink.exits {
+		if c.Routine.Name == "decrement" {
+			dec = c
+		}
+	}
+	if dec == nil {
+		t.Fatal("no decrement call observed")
+	}
+	if got := interp.FormatValue(dec.Result); got != "4" {
+		t.Errorf("decrement result = %s, want 4 (buggy)", got)
+	}
+	if dec.CallSite == nil {
+		t.Error("decrement call site not recorded")
+	}
+	if _, ok := dec.CallSite.(*ast.CallExpr); !ok {
+		t.Errorf("decrement call site = %T, want *ast.CallExpr", dec.CallSite)
+	}
+}
+
+func TestSnapshotsAreDeepCopies(t *testing.T) {
+	prog := parser.MustParse("t.pas", `
+program t;
+type arr = array [1 .. 2] of integer;
+var a: arr;
+procedure p(x: arr);
+begin
+  x[1] := 0;
+end;
+begin
+  a[1] := 7;
+  p(a);
+  a[1] := 8;
+end.`)
+	info, err := sem.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &recordingSink{}
+	it := interp.New(info, interp.Config{Sink: sink})
+	if err := it.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var p *interp.CallInfo
+	for _, c := range sink.enters {
+		if c.Routine.Name == "p" {
+			p = c
+		}
+	}
+	if p == nil {
+		t.Fatal("p not called")
+	}
+	// The snapshot must still show the value at call time (7), not the
+	// later mutation (8) or the callee's clobber (0).
+	if got := interp.FormatValue(p.Ins[0].Value); got != "[7, 0]" && got != "[7]" {
+		t.Errorf("snapshot = %s, want [7] at call time", got)
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := []struct {
+		v    interp.Value
+		want string
+	}{
+		{int64(42), "42"},
+		{3.5, "3.5"},
+		{2.0, "2.0"},
+		{true, "true"},
+		{false, "false"},
+		{"hi", "'hi'"},
+		{&interp.ArrayVal{Lo: 1, Hi: 3, Elems: []interp.Value{int64(1), int64(2), int64(0)}}, "[1, 2]"},
+		{&interp.ArrayVal{Lo: 1, Hi: 2, Elems: []interp.Value{int64(0), int64(0)}}, "[]"},
+		{&interp.RecordVal{Names: []string{"x"}, Fields: []interp.Value{int64(1)}}, "(x: 1)"},
+	}
+	for _, tc := range cases {
+		if got := interp.FormatValue(tc.v); got != tc.want {
+			t.Errorf("FormatValue(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestWidthExactArrayPrint(t *testing.T) {
+	out := runOut(t, `
+program t;
+type arr = array [1 .. 2] of integer;
+var a: arr;
+begin
+  a[1] := 1;
+  a[2] := 2;
+  writeln(a);
+end.`, "")
+	if out != "[1, 2]\n" {
+		t.Errorf("output = %q, want [1, 2]", out)
+	}
+}

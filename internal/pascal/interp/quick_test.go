@@ -1,0 +1,141 @@
+package interp_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"gadt/internal/pascal/interp"
+)
+
+// randomValue builds an arbitrary runtime value of bounded depth.
+func randomValue(r *rand.Rand, depth int) interp.Value {
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			return r.Int63n(2000) - 1000
+		case 1:
+			return float64(r.Int63n(100)) / 4
+		case 2:
+			return r.Intn(2) == 0
+		default:
+			return string(rune('a' + r.Intn(26)))
+		}
+	}
+	switch r.Intn(6) {
+	case 0:
+		n := r.Intn(5) + 1
+		a := &interp.ArrayVal{Lo: 1, Hi: int64(n), Elems: make([]interp.Value, n)}
+		for i := range a.Elems {
+			a.Elems[i] = randomValue(r, depth-1)
+		}
+		return a
+	case 1:
+		n := r.Intn(3) + 1
+		rec := &interp.RecordVal{Names: make([]string, n), Fields: make([]interp.Value, n)}
+		for i := range rec.Fields {
+			rec.Names[i] = string(rune('f' + i))
+			rec.Fields[i] = randomValue(r, depth-1)
+		}
+		return rec
+	default:
+		return randomValue(r, 0)
+	}
+}
+
+type valueBox struct{ V interp.Value }
+
+// Generate implements quick.Generator.
+func (valueBox) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(valueBox{V: randomValue(r, 3)})
+}
+
+func TestQuickValuesEqualReflexive(t *testing.T) {
+	prop := func(b valueBox) bool {
+		return interp.ValuesEqual(b.V, b.V)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCopyValueEqual(t *testing.T) {
+	prop := func(b valueBox) bool {
+		c := interp.CopyValue(b.V)
+		return interp.ValuesEqual(b.V, c) && interp.ValuesEqual(c, b.V)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCopyValueIsDeep(t *testing.T) {
+	prop := func(b valueBox) bool {
+		c := interp.CopyValue(b.V)
+		// Mutating every leaf of the copy must never affect the original.
+		clobber(c)
+		switch b.V.(type) {
+		case *interp.ArrayVal, *interp.RecordVal:
+			orig := interp.CopyValue(b.V) // fresh snapshot of the original
+			return interp.ValuesEqual(b.V, orig)
+		default:
+			return true // scalars are immutable
+		}
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clobber(v interp.Value) {
+	switch v := v.(type) {
+	case *interp.ArrayVal:
+		for i := range v.Elems {
+			switch v.Elems[i].(type) {
+			case *interp.ArrayVal, *interp.RecordVal:
+				clobber(v.Elems[i])
+			default:
+				v.Elems[i] = int64(987654)
+			}
+		}
+	case *interp.RecordVal:
+		for i := range v.Fields {
+			switch v.Fields[i].(type) {
+			case *interp.ArrayVal, *interp.RecordVal:
+				clobber(v.Fields[i])
+			default:
+				v.Fields[i] = int64(987654)
+			}
+		}
+	}
+}
+
+func TestQuickFormatValueTotal(t *testing.T) {
+	// FormatValue never panics and never returns the empty string.
+	prop := func(b valueBox) bool {
+		return interp.FormatValue(b.V) != ""
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickValuesEqualSymmetric(t *testing.T) {
+	prop := func(a, b valueBox) bool {
+		return interp.ValuesEqual(a.V, b.V) == interp.ValuesEqual(b.V, a.V)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIntRealEquality(t *testing.T) {
+	prop := func(n int32) bool {
+		return interp.ValuesEqual(int64(n), float64(n)) &&
+			interp.ValuesEqual(float64(n), int64(n))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

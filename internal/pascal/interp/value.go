@@ -1,0 +1,238 @@
+// Package interp is a tree-walking interpreter for the GADT Pascal
+// subset with instrumentation hooks.
+//
+// The interpreter is the substrate of the paper's tracing phase
+// (Section 5.2): an EventSink receives call enter/exit events carrying
+// deep-copied parameter snapshots, plus location-level read/write events
+// that the dynamic slicer turns into a dynamic dependence graph.
+package interp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gadt/internal/pascal/types"
+)
+
+// Value is a runtime value: int64, float64, bool, string, *ArrayVal or
+// *RecordVal. Scalar values are immutable; composite values are mutated
+// in place and must be deep-copied when snapshotted.
+type Value any
+
+// ArrayVal is an array value with the bounds of its type.
+type ArrayVal struct {
+	Lo, Hi int64
+	Elems  []Value
+}
+
+// NewArray allocates an array of the given type with zero elements.
+func NewArray(t *types.Array) *ArrayVal {
+	a := &ArrayVal{Lo: t.Lo, Hi: t.Hi, Elems: make([]Value, t.Len())}
+	for i := range a.Elems {
+		a.Elems[i] = ZeroValue(t.Elem)
+	}
+	return a
+}
+
+// At returns the address of the element for source index i (checked).
+func (a *ArrayVal) At(i int64) (*Value, error) {
+	if i < a.Lo || i > a.Hi {
+		return nil, fmt.Errorf("index %d out of bounds [%d .. %d]", i, a.Lo, a.Hi)
+	}
+	return &a.Elems[i-a.Lo], nil
+}
+
+func (a *ArrayVal) String() string { return FormatValue(a) }
+
+// RecordVal is a record value; field order follows the record type.
+type RecordVal struct {
+	Names  []string
+	Fields []Value
+}
+
+// NewRecord allocates a record of the given type with zero fields.
+func NewRecord(t *types.Record) *RecordVal {
+	r := &RecordVal{Names: make([]string, len(t.Fields)), Fields: make([]Value, len(t.Fields))}
+	for i, f := range t.Fields {
+		r.Names[i] = f.Name
+		r.Fields[i] = ZeroValue(f.Type)
+	}
+	return r
+}
+
+// FieldAddr returns the address of the named field.
+func (r *RecordVal) FieldAddr(name string) (*Value, error) {
+	for i, n := range r.Names {
+		if n == name {
+			return &r.Fields[i], nil
+		}
+	}
+	return nil, fmt.Errorf("record has no field %s", name)
+}
+
+func (r *RecordVal) String() string { return FormatValue(r) }
+
+// ZeroValue returns the zero value of a semantic type (Pascal leaves
+// variables undefined; zero-initialization keeps runs deterministic,
+// like many safe Pascal implementations).
+func ZeroValue(t types.Type) Value {
+	switch t := t.(type) {
+	case *types.Basic:
+		switch t.Kind {
+		case types.Int:
+			return int64(0)
+		case types.Real:
+			return float64(0)
+		case types.Bool:
+			return false
+		case types.Str:
+			return ""
+		}
+	case *types.Array:
+		return NewArray(t)
+	case *types.Record:
+		return NewRecord(t)
+	}
+	return int64(0)
+}
+
+// CopyValue deep-copies a value.
+func CopyValue(v Value) Value {
+	switch v := v.(type) {
+	case *ArrayVal:
+		c := &ArrayVal{Lo: v.Lo, Hi: v.Hi, Elems: make([]Value, len(v.Elems))}
+		for i, e := range v.Elems {
+			c.Elems[i] = CopyValue(e)
+		}
+		return c
+	case *RecordVal:
+		c := &RecordVal{Names: append([]string(nil), v.Names...), Fields: make([]Value, len(v.Fields))}
+		for i, e := range v.Fields {
+			c.Fields[i] = CopyValue(e)
+		}
+		return c
+	default:
+		return v
+	}
+}
+
+// ValuesEqual compares two values structurally, widening integers to
+// reals when mixed.
+func ValuesEqual(a, b Value) bool {
+	switch a := a.(type) {
+	case int64:
+		switch b := b.(type) {
+		case int64:
+			return a == b
+		case float64:
+			return float64(a) == b
+		}
+		return false
+	case float64:
+		switch b := b.(type) {
+		case int64:
+			return a == float64(b)
+		case float64:
+			return a == b
+		}
+		return false
+	case bool:
+		bb, ok := b.(bool)
+		return ok && a == bb
+	case string:
+		bs, ok := b.(string)
+		return ok && a == bs
+	case *ArrayVal:
+		ba, ok := b.(*ArrayVal)
+		if !ok || ba.Lo != a.Lo || ba.Hi != a.Hi {
+			return false
+		}
+		for i := range a.Elems {
+			if !ValuesEqual(a.Elems[i], ba.Elems[i]) {
+				return false
+			}
+		}
+		return true
+	case *RecordVal:
+		br, ok := b.(*RecordVal)
+		if !ok || len(br.Fields) != len(a.Fields) {
+			return false
+		}
+		for i := range a.Fields {
+			if a.Names[i] != br.Names[i] || !ValuesEqual(a.Fields[i], br.Fields[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return a == b
+}
+
+// FormatValue renders a value the way the debugger presents it to the
+// user: `[1, 2]` for arrays (trailing zero elements of large arrays are
+// elided as `, ...`), `(f: v, ...)` for records.
+func FormatValue(v Value) string {
+	switch v := v.(type) {
+	case nil:
+		return "<undef>"
+	case int64:
+		return fmt.Sprintf("%d", v)
+	case float64:
+		s := fmt.Sprintf("%g", v)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case bool:
+		if v {
+			return "true"
+		}
+		return "false"
+	case string:
+		return fmt.Sprintf("'%s'", v)
+	case *ArrayVal:
+		// Elide the maximal all-zero tail to keep queries readable: the
+		// paper prints sqrtest's 10-element parameter array as [1, 2].
+		n := len(v.Elems)
+		for n > 0 && isZeroScalar(v.Elems[n-1]) {
+			n--
+		}
+		parts := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			parts = append(parts, FormatValue(v.Elems[i]))
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	case *RecordVal:
+		parts := make([]string, len(v.Fields))
+		for i := range v.Fields {
+			parts[i] = fmt.Sprintf("%s: %s", v.Names[i], FormatValue(v.Fields[i]))
+		}
+		return "(" + strings.Join(parts, ", ") + ")"
+	}
+	return fmt.Sprintf("%v", v)
+}
+
+func isZeroScalar(v Value) bool {
+	switch v := v.(type) {
+	case int64:
+		return v == 0
+	case float64:
+		return v == 0
+	case bool:
+		return !v
+	case string:
+		return v == ""
+	}
+	return false
+}
+
+// SortedNames returns map keys in sorted order (printing helper).
+func SortedNames[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

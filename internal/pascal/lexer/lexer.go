@@ -1,0 +1,297 @@
+// Package lexer implements the scanner for the GADT Pascal subset.
+//
+// Pascal is case-insensitive: keywords and identifiers are normalized to
+// lower case (the original spelling of identifiers is not preserved,
+// matching classic Pascal implementations). Comments come in the two
+// classic forms, (* ... *) and { ... }, and do not nest.
+package lexer
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gadt/internal/pascal/token"
+)
+
+// Error is a lexical error at a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans an input buffer into tokens.
+type Lexer struct {
+	src  string
+	file string
+
+	off  int // byte offset of next rune
+	line int
+	col  int
+
+	errs []*Error
+}
+
+// New returns a Lexer over src. file is used in positions and errors.
+func New(file, src string) *Lexer {
+	return &Lexer{src: src, file: file, line: 1, col: 1}
+}
+
+// Errors returns the lexical errors encountered so far.
+func (l *Lexer) Errors() []*Error { return l.errs }
+
+func (l *Lexer) errorf(pos token.Pos, format string, args ...any) {
+	l.errs = append(l.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *Lexer) pos() token.Pos {
+	return token.Pos{File: l.file, Line: l.line, Col: l.col}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	ch := l.src[l.off]
+	l.off++
+	if ch == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return ch
+}
+
+func isDigit(ch byte) bool { return ch >= '0' && ch <= '9' }
+func isLetter(ch byte) bool {
+	return ch >= 'a' && ch <= 'z' || ch >= 'A' && ch <= 'Z' || ch == '_'
+}
+func isIdentChar(ch byte) bool { return isLetter(ch) || isDigit(ch) }
+
+func (l *Lexer) skipSpaceAndComments() {
+	for {
+		switch ch := l.peek(); {
+		case ch == ' ' || ch == '\t' || ch == '\r' || ch == '\n':
+			l.advance()
+		case ch == '{':
+			pos := l.pos()
+			l.advance()
+			for l.peek() != '}' {
+				if l.off >= len(l.src) {
+					l.errorf(pos, "unterminated comment")
+					return
+				}
+				l.advance()
+			}
+			l.advance() // '}'
+		case ch == '(' && l.peek2() == '*':
+			pos := l.pos()
+			l.advance()
+			l.advance()
+			for {
+				if l.off >= len(l.src) {
+					l.errorf(pos, "unterminated comment")
+					return
+				}
+				if l.peek() == '*' && l.peek2() == ')' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next scans and returns the next token. At end of input it returns an
+// EOF token; scanning past EOF keeps returning EOF.
+func (l *Lexer) Next() token.Token {
+	l.skipSpaceAndComments()
+	pos := l.pos()
+	ch := l.peek()
+	switch {
+	case ch == 0:
+		return token.Token{Kind: token.EOF, Pos: pos}
+	case isLetter(ch):
+		return l.scanIdent(pos)
+	case isDigit(ch):
+		return l.scanNumber(pos)
+	case ch == '\'':
+		return l.scanString(pos)
+	}
+	l.advance()
+	mk := func(k token.Kind) token.Token { return token.Token{Kind: k, Pos: pos} }
+	switch ch {
+	case '+':
+		return mk(token.Plus)
+	case '-':
+		return mk(token.Minus)
+	case '*':
+		return mk(token.Star)
+	case '/':
+		return mk(token.Slash)
+	case '=':
+		return mk(token.Eq)
+	case '^':
+		return mk(token.Caret)
+	case '(':
+		return mk(token.LParen)
+	case ')':
+		return mk(token.RParen)
+	case '[':
+		return mk(token.LBracket)
+	case ']':
+		return mk(token.RBracket)
+	case ',':
+		return mk(token.Comma)
+	case ';':
+		return mk(token.Semi)
+	case '<':
+		switch l.peek() {
+		case '=':
+			l.advance()
+			return mk(token.LessEq)
+		case '>':
+			l.advance()
+			return mk(token.NotEq)
+		}
+		return mk(token.Less)
+	case '>':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.GreatEq)
+		}
+		return mk(token.Greater)
+	case ':':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.Assign)
+		}
+		return mk(token.Colon)
+	case '.':
+		if l.peek() == '.' {
+			l.advance()
+			return mk(token.DotDot)
+		}
+		return mk(token.Period)
+	}
+	l.errorf(pos, "illegal character %q", string(rune(ch)))
+	return token.Token{Kind: token.Illegal, Lit: string(rune(ch)), Pos: pos}
+}
+
+func (l *Lexer) scanIdent(pos token.Pos) token.Token {
+	start := l.off
+	for isIdentChar(l.peek()) {
+		l.advance()
+	}
+	lit := strings.ToLower(l.src[start:l.off])
+	kind := token.Lookup(lit)
+	if kind != token.Ident {
+		return token.Token{Kind: kind, Pos: pos}
+	}
+	return token.Token{Kind: token.Ident, Lit: lit, Pos: pos}
+}
+
+func (l *Lexer) scanNumber(pos token.Pos) token.Token {
+	start := l.off
+	for isDigit(l.peek()) {
+		l.advance()
+	}
+	isReal := false
+	// A '.' starts a fraction only if followed by a digit ('..' is a range).
+	if l.peek() == '.' && isDigit(l.peek2()) {
+		isReal = true
+		l.advance()
+		for isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if ch := l.peek(); ch == 'e' || ch == 'E' {
+		// Exponent: e[+|-]digits.
+		save := l.off
+		mark := *l
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		if isDigit(l.peek()) {
+			isReal = true
+			for isDigit(l.peek()) {
+				l.advance()
+			}
+		} else {
+			*l = mark
+			_ = save
+		}
+	}
+	lit := l.src[start:l.off]
+	if isReal {
+		if _, err := strconv.ParseFloat(lit, 64); err != nil {
+			l.errorf(pos, "malformed real literal %q", lit)
+			return token.Token{Kind: token.Illegal, Lit: lit, Pos: pos}
+		}
+		return token.Token{Kind: token.RealLit, Lit: lit, Pos: pos}
+	}
+	if _, err := strconv.ParseInt(lit, 10, 64); err != nil {
+		l.errorf(pos, "integer literal %q out of range", lit)
+		return token.Token{Kind: token.Illegal, Lit: lit, Pos: pos}
+	}
+	return token.Token{Kind: token.IntLit, Lit: lit, Pos: pos}
+}
+
+func (l *Lexer) scanString(pos token.Pos) token.Token {
+	l.advance() // opening quote
+	var b strings.Builder
+	for {
+		if l.off >= len(l.src) || l.peek() == '\n' {
+			l.errorf(pos, "unterminated string literal")
+			return token.Token{Kind: token.Illegal, Lit: b.String(), Pos: pos}
+		}
+		ch := l.advance()
+		if ch == '\'' {
+			if l.peek() == '\'' { // '' escapes a quote
+				l.advance()
+				b.WriteByte('\'')
+				continue
+			}
+			break
+		}
+		b.WriteByte(ch)
+	}
+	return token.Token{Kind: token.StringLit, Lit: b.String(), Pos: pos}
+}
+
+// ScanAll scans the whole input and returns all tokens up to and
+// including EOF. Convenient for tests.
+func ScanAll(file, src string) ([]token.Token, []*Error) {
+	l := New(file, src)
+	var toks []token.Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			break
+		}
+	}
+	return toks, l.Errors()
+}

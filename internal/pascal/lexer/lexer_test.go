@@ -1,0 +1,211 @@
+package lexer_test
+
+import (
+	"testing"
+
+	"gadt/internal/pascal/lexer"
+	"gadt/internal/pascal/token"
+)
+
+func kinds(toks []token.Token) []token.Kind {
+	out := make([]token.Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestScanBasics(t *testing.T) {
+	src := `begin x := x + 1; end.`
+	toks, errs := lexer.ScanAll("t.pas", src)
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	want := []token.Kind{
+		token.Begin, token.Ident, token.Assign, token.Ident, token.Plus,
+		token.IntLit, token.Semi, token.End, token.Period, token.EOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	toks, errs := lexer.ScanAll("t.pas", "BEGIN Begin bEgIn WhIlE")
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	want := []token.Kind{token.Begin, token.Begin, token.Begin, token.While, token.EOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestIdentNormalization(t *testing.T) {
+	toks, _ := lexer.ScanAll("t.pas", "ArrSum ARRSUM arrsum")
+	for i := 0; i < 3; i++ {
+		if toks[i].Kind != token.Ident || toks[i].Lit != "arrsum" {
+			t.Errorf("token %d = %v(%q), want Ident(arrsum)", i, toks[i].Kind, toks[i].Lit)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := "x (* brace { inside *) y { paren (* inside } z"
+	toks, errs := lexer.ScanAll("t.pas", src)
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	if len(toks) != 4 { // x y z EOF
+		t.Fatalf("got %d tokens (%v), want 4", len(toks), toks)
+	}
+}
+
+func TestUnterminatedComment(t *testing.T) {
+	_, errs := lexer.ScanAll("t.pas", "x (* never closed")
+	if len(errs) == 0 {
+		t.Fatal("expected unterminated-comment error")
+	}
+	_, errs = lexer.ScanAll("t.pas", "x { never closed")
+	if len(errs) == 0 {
+		t.Fatal("expected unterminated-comment error")
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind token.Kind
+		lit  string
+	}{
+		{"42", token.IntLit, "42"},
+		{"0", token.IntLit, "0"},
+		{"3.14", token.RealLit, "3.14"},
+		{"1e5", token.RealLit, "1e5"},
+		{"2.5e-3", token.RealLit, "2.5e-3"},
+		{"1E+2", token.RealLit, "1E+2"},
+	}
+	for _, tc := range cases {
+		toks, errs := lexer.ScanAll("t.pas", tc.src)
+		if len(errs) > 0 {
+			t.Errorf("%q: errors %v", tc.src, errs)
+			continue
+		}
+		if toks[0].Kind != tc.kind || toks[0].Lit != tc.lit {
+			t.Errorf("%q = %v(%q), want %v(%q)", tc.src, toks[0].Kind, toks[0].Lit, tc.kind, tc.lit)
+		}
+	}
+}
+
+func TestDotDotVsReal(t *testing.T) {
+	toks, errs := lexer.ScanAll("t.pas", "1..10")
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	want := []token.Kind{token.IntLit, token.DotDot, token.IntLit, token.EOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Fatalf("tokens = %v, want int .. int", toks)
+		}
+	}
+}
+
+func TestEIdentAfterNumber(t *testing.T) {
+	// "1e" with no exponent digits: must scan as IntLit then Ident.
+	toks, errs := lexer.ScanAll("t.pas", "1 exp")
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	if toks[0].Kind != token.IntLit || toks[1].Kind != token.Ident {
+		t.Fatalf("tokens = %v", toks)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	toks, errs := lexer.ScanAll("t.pas", "'hello' 'it''s' ''")
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	want := []string{"hello", "it's", ""}
+	for i, w := range want {
+		if toks[i].Kind != token.StringLit || toks[i].Lit != w {
+			t.Errorf("string %d = %v(%q), want %q", i, toks[i].Kind, toks[i].Lit, w)
+		}
+	}
+}
+
+func TestUnterminatedString(t *testing.T) {
+	_, errs := lexer.ScanAll("t.pas", "'oops")
+	if len(errs) == 0 {
+		t.Fatal("expected unterminated-string error")
+	}
+	_, errs = lexer.ScanAll("t.pas", "'line\nbreak'")
+	if len(errs) == 0 {
+		t.Fatal("expected unterminated-string error on newline")
+	}
+}
+
+func TestOperators(t *testing.T) {
+	src := "+ - * / = <> < <= > >= := ( ) [ ] , ; : . .. ^"
+	toks, errs := lexer.ScanAll("t.pas", src)
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	want := []token.Kind{
+		token.Plus, token.Minus, token.Star, token.Slash, token.Eq,
+		token.NotEq, token.Less, token.LessEq, token.Greater, token.GreatEq,
+		token.Assign, token.LParen, token.RParen, token.LBracket,
+		token.RBracket, token.Comma, token.Semi, token.Colon, token.Period,
+		token.DotDot, token.Caret, token.EOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	src := "x\n  y := 3"
+	toks, _ := lexer.ScanAll("f.pas", src)
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("x at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("y at %v, want 2:3", toks[1].Pos)
+	}
+	if toks[1].Pos.File != "f.pas" {
+		t.Errorf("file = %q, want f.pas", toks[1].Pos.File)
+	}
+}
+
+func TestIllegalChar(t *testing.T) {
+	toks, errs := lexer.ScanAll("t.pas", "x ? y")
+	if len(errs) != 1 {
+		t.Fatalf("errors = %v, want exactly 1", errs)
+	}
+	if toks[1].Kind != token.Illegal {
+		t.Errorf("token 1 = %v, want Illegal", toks[1])
+	}
+}
+
+func TestEOFIdempotent(t *testing.T) {
+	l := lexer.New("t.pas", "")
+	for i := 0; i < 3; i++ {
+		if tok := l.Next(); tok.Kind != token.EOF {
+			t.Fatalf("Next() #%d = %v, want EOF", i, tok)
+		}
+	}
+}

@@ -1,0 +1,333 @@
+package parser_test
+
+import (
+	"strings"
+	"testing"
+
+	"gadt/internal/paper"
+	"gadt/internal/pascal/ast"
+	"gadt/internal/pascal/parser"
+	"gadt/internal/pascal/printer"
+	"gadt/internal/pascal/token"
+)
+
+func parse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := parser.ParseProgram("t.pas", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return prog
+}
+
+func TestParsePaperPrograms(t *testing.T) {
+	for name, src := range map[string]string{
+		"sqrtest": paper.Sqrtest, "slice": paper.SliceExample, "pqr": paper.PQR,
+		"globals": paper.GlobalSideEffects, "goto": paper.GlobalGoto,
+		"loopGoto": paper.LoopGoto, "arrsum": paper.ArrsumProgram,
+	} {
+		t.Run(name, func(t *testing.T) { parse(t, src) })
+	}
+}
+
+func TestProgramStructure(t *testing.T) {
+	prog := parse(t, paper.Sqrtest)
+	if prog.Name != "main" {
+		t.Errorf("name = %q, want main", prog.Name)
+	}
+	if len(prog.Block.Routines) != 13 {
+		t.Errorf("routines = %d, want 13", len(prog.Block.Routines))
+	}
+	if len(prog.Block.Types) != 1 || prog.Block.Types[0].Name != "intarray" {
+		t.Errorf("types = %v", prog.Block.Types)
+	}
+	if len(prog.Block.Body.Stmts) != 2 {
+		t.Errorf("main body stmts = %d, want 2", len(prog.Block.Body.Stmts))
+	}
+	call, ok := prog.Block.Body.Stmts[0].(*ast.CallStmt)
+	if !ok || call.Name != "sqrtest" {
+		t.Fatalf("first stmt = %#v, want call to sqrtest", prog.Block.Body.Stmts[0])
+	}
+	if _, ok := call.Args[0].(*ast.SetLit); !ok {
+		t.Errorf("first arg = %#v, want array display", call.Args[0])
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	e, err := parser.ParseExpr("1 + 2 * 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := e.(*ast.BinaryExpr)
+	if !ok || b.Op != token.Plus {
+		t.Fatalf("root = %#v, want +", e)
+	}
+	if inner, ok := b.Y.(*ast.BinaryExpr); !ok || inner.Op != token.Star {
+		t.Fatalf("rhs = %#v, want *", b.Y)
+	}
+}
+
+func TestPascalBooleanPrecedence(t *testing.T) {
+	// Pascal: `and` binds like `*`, so a and b or c == (a and b) or c.
+	e, err := parser.ParseExpr("a and b or c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := e.(*ast.BinaryExpr)
+	if b.Op != token.Or {
+		t.Fatalf("root op = %v, want or", b.Op)
+	}
+	if x, ok := b.X.(*ast.BinaryExpr); !ok || x.Op != token.And {
+		t.Fatalf("lhs = %#v, want and", b.X)
+	}
+}
+
+func TestRelationalNonAssociative(t *testing.T) {
+	// (x <= 1) = b parses; relational operators are level 1 so the
+	// parenthesized form is required, as in real Pascal.
+	if _, err := parser.ParseExpr("(x <= 1) = b"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnaryMinus(t *testing.T) {
+	e, err := parser.ParseExpr("-x * y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := e.(*ast.BinaryExpr)
+	if b.Op != token.Star {
+		t.Fatalf("root = %v, want *", b.Op)
+	}
+	if _, ok := b.X.(*ast.UnaryExpr); !ok {
+		t.Fatalf("lhs = %#v, want unary", b.X)
+	}
+}
+
+func TestDanglingElse(t *testing.T) {
+	prog := parse(t, `
+program t;
+var a, b, x: integer;
+begin
+  if a = 1 then
+    if b = 2 then x := 1
+    else x := 2;
+end.`)
+	outer := prog.Block.Body.Stmts[0].(*ast.IfStmt)
+	if outer.Else != nil {
+		t.Fatal("else bound to outer if; must bind to inner")
+	}
+	inner := outer.Then.(*ast.IfStmt)
+	if inner.Else == nil {
+		t.Fatal("inner if lost its else")
+	}
+}
+
+func TestLabeledAndGoto(t *testing.T) {
+	prog := parse(t, `
+program t;
+label 9;
+var x: integer;
+begin
+  goto 9;
+  x := 1;
+  9: x := 2;
+end.`)
+	if len(prog.Block.Labels) != 1 || prog.Block.Labels[0].Name != "9" {
+		t.Fatalf("labels = %v", prog.Block.Labels)
+	}
+	g, ok := prog.Block.Body.Stmts[0].(*ast.GotoStmt)
+	if !ok || g.Label != "9" {
+		t.Fatalf("stmt 0 = %#v", prog.Block.Body.Stmts[0])
+	}
+	l, ok := prog.Block.Body.Stmts[2].(*ast.LabeledStmt)
+	if !ok || l.Label != "9" {
+		t.Fatalf("stmt 2 = %#v", prog.Block.Body.Stmts[2])
+	}
+}
+
+func TestParamModes(t *testing.T) {
+	prog := parse(t, `
+program t;
+procedure p(a: integer; var b: integer; out c: integer; in d: integer);
+begin
+  b := a; c := d;
+end;
+begin
+  p(1, a, a, 2);
+end.`)
+	params := prog.Block.Routines[0].Params
+	want := []ast.ParamMode{ast.Value, ast.VarMode, ast.Out, ast.Value}
+	if len(params) != 4 {
+		t.Fatalf("param groups = %d, want 4", len(params))
+	}
+	for i, m := range want {
+		if params[i].Mode != m {
+			t.Errorf("param %d mode = %v, want %v", i, params[i].Mode, m)
+		}
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"missingSemi", "program t begin end."},
+		{"missingDot", "program t; begin end"},
+		{"badExpr", "program t; var x: integer; begin x := ; end."},
+		{"missingThen", "program t; var x: integer; begin if x = 1 x := 2; end."},
+		{"strayToken", "program t; begin end. extra"},
+		{"badFor", "program t; var i: integer; begin for i := 1 do i := 2; end."},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := parser.ParseProgram("t.pas", tc.src); err == nil {
+				t.Errorf("expected syntax error for %q", tc.src)
+			}
+		})
+	}
+}
+
+func TestErrorRecoveryCollectsMultiple(t *testing.T) {
+	_, err := parser.ParseProgram("t.pas", `
+program t;
+var x: integer;
+begin
+  x := ;
+  x := ;
+end.`)
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	el, ok := err.(parser.ErrorList)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if len(el) < 2 {
+		t.Errorf("collected %d errors, want >= 2", len(el))
+	}
+}
+
+// TestRoundTrip checks print ∘ parse ∘ print = print: the printer output
+// reparses to a tree that prints identically (a printer/parser fixpoint).
+func TestRoundTrip(t *testing.T) {
+	for name, src := range map[string]string{
+		"sqrtest": paper.Sqrtest, "slice": paper.SliceExample, "pqr": paper.PQR,
+		"globals": paper.GlobalSideEffects, "goto": paper.GlobalGoto,
+		"loopGoto": paper.LoopGoto, "arrsum": paper.ArrsumProgram,
+	} {
+		t.Run(name, func(t *testing.T) {
+			p1 := parse(t, src)
+			out1 := printer.Print(p1)
+			p2, err := parser.ParseProgram("printed.pas", out1)
+			if err != nil {
+				t.Fatalf("reparse failed: %v\n--- printed ---\n%s", err, out1)
+			}
+			out2 := printer.Print(p2)
+			if out1 != out2 {
+				t.Errorf("round trip not stable:\n--- first ---\n%s\n--- second ---\n%s", out1, out2)
+			}
+		})
+	}
+}
+
+func TestPrinterParenthesization(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"(1 + 2) * 3", "(1 + 2) * 3"},
+		{"1 + 2 * 3", "1 + 2 * 3"},
+		{"-(1 + 2)", "-(1 + 2)"},
+		{"not (a and b)", "not (a and b)"},
+		{"(a + b) - c", "a + b - c"}, // left assoc: parens redundant
+		{"a - (b - c)", "a - (b - c)"},
+	}
+	for _, tc := range cases {
+		e, err := parser.ParseExpr(tc.src)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.src, err)
+		}
+		if got := printer.PrintExpr(e); got != tc.want {
+			t.Errorf("print(%q) = %q, want %q", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestParseExprErrors(t *testing.T) {
+	for _, src := range []string{"", "1 +", "x y", "(1", "f(1,"} {
+		if _, err := parser.ParseExpr(src); err == nil {
+			t.Errorf("ParseExpr(%q): expected error", src)
+		}
+	}
+}
+
+func TestCommentsIgnored(t *testing.T) {
+	prog := parse(t, `
+program t; (* header comment *)
+var x: integer; { var comment }
+begin
+  x := 1; (* trailing *)
+end.`)
+	if len(prog.Block.Body.Stmts) != 1 {
+		t.Errorf("stmts = %d, want 1", len(prog.Block.Body.Stmts))
+	}
+}
+
+func TestNestedRoutineParsing(t *testing.T) {
+	prog := parse(t, paper.GlobalGoto)
+	p := prog.Block.Routines[0]
+	if p.Name != "p" || len(p.Block.Routines) != 1 || p.Block.Routines[0].Name != "q" {
+		t.Fatalf("nesting wrong: %v", p)
+	}
+}
+
+func TestRepeatUntil(t *testing.T) {
+	prog := parse(t, `
+program t;
+var i: integer;
+begin
+  repeat
+    i := i + 1;
+    i := i + 2;
+  until i > 10;
+end.`)
+	r, ok := prog.Block.Body.Stmts[0].(*ast.RepeatStmt)
+	if !ok {
+		t.Fatalf("stmt = %#v", prog.Block.Body.Stmts[0])
+	}
+	if len(r.Stmts) != 2 {
+		t.Errorf("repeat body = %d stmts, want 2", len(r.Stmts))
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic on bad input")
+		}
+	}()
+	parser.MustParse("bad.pas", "not pascal")
+}
+
+func TestPrintedOutModeReparses(t *testing.T) {
+	src := `
+program t;
+procedure p(out z: integer);
+begin
+  z := 1;
+end;
+var w: integer;
+begin
+  p(w);
+end.`
+	prog := parse(t, src)
+	out := printer.Print(prog)
+	if !strings.Contains(out, "out z: integer") {
+		t.Errorf("printed form lost out mode:\n%s", out)
+	}
+	if _, err := parser.ParseProgram("t.pas", out); err != nil {
+		t.Errorf("reparse of out-mode print failed: %v", err)
+	}
+}

@@ -1,0 +1,82 @@
+package token_test
+
+import (
+	"testing"
+
+	"gadt/internal/pascal/token"
+)
+
+func TestLookupKeywords(t *testing.T) {
+	cases := map[string]token.Kind{
+		"begin": token.Begin, "end": token.End, "while": token.While,
+		"procedure": token.Procedure, "function": token.Function,
+		"goto": token.Goto, "label": token.Label, "div": token.Div,
+		"notakeyword": token.Ident, "x": token.Ident,
+	}
+	for s, want := range cases {
+		if got := token.Lookup(s); got != want {
+			t.Errorf("Lookup(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	if !token.Ident.IsLiteral() || !token.IntLit.IsLiteral() || token.Plus.IsLiteral() {
+		t.Error("IsLiteral misclassifies")
+	}
+	if !token.Plus.IsOperator() || !token.Assign.IsOperator() || token.Begin.IsOperator() {
+		t.Error("IsOperator misclassifies")
+	}
+	if !token.Begin.IsKeyword() || !token.Div.IsKeyword() || token.Ident.IsKeyword() {
+		t.Error("IsKeyword misclassifies")
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	cases := map[token.Kind]int{
+		token.Star: 3, token.Div: 3, token.And: 3,
+		token.Plus: 2, token.Or: 2,
+		token.Eq: 1, token.Less: 1,
+		token.LParen: 0, token.Begin: 0,
+	}
+	for k, want := range cases {
+		if got := k.Precedence(); got != want {
+			t.Errorf("%v.Precedence() = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestPosString(t *testing.T) {
+	p := token.Pos{File: "f.pas", Line: 3, Col: 7}
+	if p.String() != "f.pas:3:7" {
+		t.Errorf("pos = %q", p)
+	}
+	if (token.Pos{Line: 2, Col: 1}).String() != "2:1" {
+		t.Error("file-less pos format")
+	}
+	if (token.Pos{}).String() != "-" || (token.Pos{}).IsValid() {
+		t.Error("zero pos")
+	}
+}
+
+func TestPosBefore(t *testing.T) {
+	a := token.Pos{Line: 1, Col: 5}
+	b := token.Pos{Line: 1, Col: 9}
+	c := token.Pos{Line: 2, Col: 1}
+	if !a.Before(b) || !b.Before(c) || c.Before(a) || a.Before(a) {
+		t.Error("Before ordering wrong")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	tok := token.Token{Kind: token.Ident, Lit: "foo"}
+	if tok.String() != `IDENT("foo")` {
+		t.Errorf("token string = %q", tok)
+	}
+	if (token.Token{Kind: token.Plus}).String() != "+" {
+		t.Error("operator token string")
+	}
+	if token.Kind(9999).String() == "" {
+		t.Error("unknown kind string empty")
+	}
+}

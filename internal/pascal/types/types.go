@@ -1,0 +1,161 @@
+// Package types defines the semantic types of the GADT Pascal subset and
+// their compatibility rules.
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is the interface implemented by all semantic types.
+type Type interface {
+	String() string
+	// Equal reports structural equality.
+	Equal(Type) bool
+}
+
+// BasicKind enumerates the predeclared scalar types.
+type BasicKind int
+
+const (
+	Invalid BasicKind = iota
+	Int
+	Real
+	Bool
+	Str
+)
+
+// Basic is a predeclared scalar type.
+type Basic struct {
+	Kind BasicKind
+	name string
+}
+
+// The predeclared types. Identity comparison of these pointers is valid,
+// but Equal should be preferred.
+var (
+	Integer = &Basic{Kind: Int, name: "integer"}
+	RealT   = &Basic{Kind: Real, name: "real"}
+	Boolean = &Basic{Kind: Bool, name: "boolean"}
+	String  = &Basic{Kind: Str, name: "string"}
+	Bad     = &Basic{Kind: Invalid, name: "<invalid>"}
+)
+
+func (b *Basic) String() string { return b.name }
+
+func (b *Basic) Equal(t Type) bool {
+	o, ok := t.(*Basic)
+	return ok && o.Kind == b.Kind
+}
+
+// Array is `array [Lo .. Hi] of Elem` with constant bounds.
+type Array struct {
+	Lo, Hi int64
+	Elem   Type
+}
+
+func (a *Array) String() string {
+	return fmt.Sprintf("array [%d .. %d] of %s", a.Lo, a.Hi, a.Elem)
+}
+
+func (a *Array) Equal(t Type) bool {
+	o, ok := t.(*Array)
+	return ok && o.Lo == a.Lo && o.Hi == a.Hi && a.Elem.Equal(o.Elem)
+}
+
+// Len returns the number of elements.
+func (a *Array) Len() int64 { return a.Hi - a.Lo + 1 }
+
+// Field is one record field.
+type Field struct {
+	Name string
+	Type Type
+}
+
+// Record is a record type.
+type Record struct {
+	Fields []Field
+}
+
+func (r *Record) String() string {
+	var b strings.Builder
+	b.WriteString("record ")
+	for i, f := range r.Fields {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%s: %s", f.Name, f.Type)
+	}
+	b.WriteString(" end")
+	return b.String()
+}
+
+func (r *Record) Equal(t Type) bool {
+	o, ok := t.(*Record)
+	if !ok || len(o.Fields) != len(r.Fields) {
+		return false
+	}
+	for i, f := range r.Fields {
+		if o.Fields[i].Name != f.Name || !o.Fields[i].Type.Equal(f.Type) {
+			return false
+		}
+	}
+	return true
+}
+
+// Lookup returns the type of the named field, or nil.
+func (r *Record) Lookup(name string) Type {
+	for _, f := range r.Fields {
+		if f.Name == name {
+			return f.Type
+		}
+	}
+	return nil
+}
+
+// IsNumeric reports whether t is integer or real.
+func IsNumeric(t Type) bool {
+	b, ok := t.(*Basic)
+	return ok && (b.Kind == Int || b.Kind == Real)
+}
+
+// IsInteger reports whether t is the integer type.
+func IsInteger(t Type) bool {
+	b, ok := t.(*Basic)
+	return ok && b.Kind == Int
+}
+
+// IsBoolean reports whether t is the boolean type.
+func IsBoolean(t Type) bool {
+	b, ok := t.(*Basic)
+	return ok && b.Kind == Bool
+}
+
+// IsOrdered reports whether values of t can be compared with < and >.
+func IsOrdered(t Type) bool {
+	b, ok := t.(*Basic)
+	return ok && b.Kind != Invalid && b.Kind != Bool
+}
+
+// AssignableTo reports whether a value of type src may be assigned to a
+// target of type dst: structural equality, plus the integer→real
+// widening of Pascal.
+func AssignableTo(src, dst Type) bool {
+	if src.Equal(dst) {
+		return true
+	}
+	return IsInteger(src) && dst.Equal(RealT)
+}
+
+// Arith returns the result type of an arithmetic operation over x and y
+// (+, -, *): integer if both are integers, real if either is real and
+// both numeric, Bad otherwise.
+func Arith(x, y Type) Type {
+	if !IsNumeric(x) || !IsNumeric(y) {
+		return Bad
+	}
+	if IsInteger(x) && IsInteger(y) {
+		return Integer
+	}
+	return RealT
+}

@@ -1,0 +1,87 @@
+package types_test
+
+import (
+	"testing"
+
+	"gadt/internal/pascal/types"
+)
+
+func TestBasicEquality(t *testing.T) {
+	if !types.Integer.Equal(types.Integer) || types.Integer.Equal(types.RealT) {
+		t.Error("basic equality wrong")
+	}
+	other := &types.Basic{Kind: types.Int}
+	if !types.Integer.Equal(other) {
+		t.Error("structural equality across instances")
+	}
+}
+
+func TestArrayEquality(t *testing.T) {
+	a := &types.Array{Lo: 1, Hi: 10, Elem: types.Integer}
+	b := &types.Array{Lo: 1, Hi: 10, Elem: types.Integer}
+	c := &types.Array{Lo: 0, Hi: 10, Elem: types.Integer}
+	d := &types.Array{Lo: 1, Hi: 10, Elem: types.RealT}
+	if !a.Equal(b) || a.Equal(c) || a.Equal(d) || a.Equal(types.Integer) {
+		t.Error("array equality wrong")
+	}
+	if a.Len() != 10 {
+		t.Errorf("len = %d", a.Len())
+	}
+	if a.String() != "array [1 .. 10] of integer" {
+		t.Errorf("string = %q", a)
+	}
+}
+
+func TestRecordEquality(t *testing.T) {
+	r1 := &types.Record{Fields: []types.Field{{Name: "x", Type: types.Integer}, {Name: "y", Type: types.RealT}}}
+	r2 := &types.Record{Fields: []types.Field{{Name: "x", Type: types.Integer}, {Name: "y", Type: types.RealT}}}
+	r3 := &types.Record{Fields: []types.Field{{Name: "x", Type: types.Integer}}}
+	if !r1.Equal(r2) || r1.Equal(r3) {
+		t.Error("record equality wrong")
+	}
+	if r1.Lookup("y") != types.RealT || r1.Lookup("z") != nil {
+		t.Error("field lookup wrong")
+	}
+	if r1.String() != "record x: integer; y: real end" {
+		t.Errorf("string = %q", r1)
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !types.IsNumeric(types.Integer) || !types.IsNumeric(types.RealT) || types.IsNumeric(types.Boolean) {
+		t.Error("IsNumeric")
+	}
+	if !types.IsInteger(types.Integer) || types.IsInteger(types.RealT) {
+		t.Error("IsInteger")
+	}
+	if !types.IsBoolean(types.Boolean) || types.IsBoolean(types.String) {
+		t.Error("IsBoolean")
+	}
+	if !types.IsOrdered(types.Integer) || !types.IsOrdered(types.String) || types.IsOrdered(types.Boolean) {
+		t.Error("IsOrdered")
+	}
+}
+
+func TestAssignableTo(t *testing.T) {
+	if !types.AssignableTo(types.Integer, types.RealT) {
+		t.Error("int → real widening missing")
+	}
+	if types.AssignableTo(types.RealT, types.Integer) {
+		t.Error("real → int must not be assignable")
+	}
+	if !types.AssignableTo(types.Integer, types.Integer) {
+		t.Error("identity")
+	}
+}
+
+func TestArith(t *testing.T) {
+	if types.Arith(types.Integer, types.Integer) != types.Integer {
+		t.Error("int+int")
+	}
+	if types.Arith(types.Integer, types.RealT) != types.RealT {
+		t.Error("int+real")
+	}
+	if types.Arith(types.Boolean, types.Integer) != types.Bad {
+		t.Error("bool+int must be Bad")
+	}
+}

@@ -1,0 +1,256 @@
+// Package progen deterministically generates synthetic Pascal subject
+// programs (with a planted bug and the corresponding fixed reference)
+// for the scaling experiments: interaction counts of the debugging
+// strategies, slicing effectiveness, and transformation growth on
+// programs much larger than the paper's four-page examples.
+package progen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Style selects how routines communicate.
+type Style int
+
+const (
+	// Params: values flow through parameters only (already
+	// side-effect-free, like Figure 4).
+	Params Style = iota
+	// Globals: routines communicate through global variables, forcing
+	// the transformation phase to rewrite everything.
+	Globals
+)
+
+// Config shapes the generated program.
+type Config struct {
+	// Depth of the call tree below the root routine (>= 1).
+	Depth int
+	// Fanout is the number of children (and outputs) per internal
+	// routine (>= 1).
+	Fanout int
+	// BugPath selects the buggy leaf by child index at each level
+	// (values taken modulo Fanout); an empty path plants the bug in the
+	// leftmost leaf.
+	BugPath []int
+	// Style selects parameter or global communication.
+	Style Style
+	// Loops adds a small summation loop to every leaf, exercising loop
+	// units.
+	Loops bool
+}
+
+// Program is one generated subject.
+type Program struct {
+	Buggy string // source with the planted bug
+	Fixed string // reference source
+	// BuggyUnit is the name of the routine containing the bug.
+	BuggyUnit string
+	// Units is the total number of routines generated (excluding main).
+	Units int
+	// Leaves is the number of leaf routines.
+	Leaves int
+}
+
+// Generate builds the program pair.
+func Generate(cfg Config) *Program {
+	if cfg.Depth < 1 {
+		cfg.Depth = 1
+	}
+	if cfg.Fanout < 1 {
+		cfg.Fanout = 1
+	}
+	g := &gen{cfg: cfg}
+	buggy := g.program(true)
+	fixed := g.program(false)
+	return &Program{
+		Buggy:     buggy,
+		Fixed:     fixed,
+		BuggyUnit: g.bugUnit,
+		Units:     g.units,
+		Leaves:    g.leaves,
+	}
+}
+
+type gen struct {
+	cfg     g1
+	bugUnit string
+	units   int
+	leaves  int
+}
+
+type g1 = Config
+
+// bugChild returns the child index on the bug path at the given level.
+func (g *gen) bugChild(level int) int {
+	if level < len(g.cfg.BugPath) {
+		return g.cfg.BugPath[level] % g.cfg.Fanout
+	}
+	return 0
+}
+
+func (g *gen) program(withBug bool) string {
+	g.units, g.leaves = 0, 0
+	var b strings.Builder
+	b.WriteString("program synth;\n")
+	if g.cfg.Style == Globals {
+		// One global per routine output.
+		var names []string
+		g.collectGlobalNames(0, "u", &names)
+		b.WriteString("var\n  " + strings.Join(names, ", ") + ": integer;\n")
+		b.WriteString("var gseed: integer;\n")
+	}
+	var outs []string
+	for i := 0; i < g.cfg.Fanout; i++ {
+		outs = append(outs, fmt.Sprintf("res%d", i))
+	}
+	b.WriteString("var " + strings.Join(outs, ", ") + ": integer;\n\n")
+
+	g.routine(&b, 0, "u", withBug, true)
+
+	b.WriteString("begin\n")
+	switch g.cfg.Style {
+	case Globals:
+		b.WriteString("  gseed := 3;\n")
+		b.WriteString("  u;\n")
+		for i := 0; i < g.cfg.Fanout; i++ {
+			fmt.Fprintf(&b, "  res%d := %s;\n", i, globalName("u", i))
+		}
+	default:
+		b.WriteString("  u(3")
+		for i := 0; i < g.cfg.Fanout; i++ {
+			fmt.Fprintf(&b, ", res%d", i)
+		}
+		b.WriteString(");\n")
+	}
+	b.WriteString("  writeln(" + strings.Join(outs, ", ") + ");\n")
+	b.WriteString("end.\n")
+	return b.String()
+}
+
+func globalName(name string, i int) string {
+	return fmt.Sprintf("g_%s_%d", name, i)
+}
+
+func (g *gen) collectGlobalNames(level int, name string, out *[]string) {
+	for i := 0; i < g.cfg.Fanout; i++ {
+		*out = append(*out, globalName(name, i))
+	}
+	if level >= g.cfg.Depth {
+		return
+	}
+	for i := 0; i < g.cfg.Fanout; i++ {
+		g.collectGlobalNames(level+1, fmt.Sprintf("%s_%d", name, i), out)
+	}
+}
+
+// routine emits the routine named name at the given level (and its
+// descendants before it, since Pascal wants declarations first — our
+// front end accepts any order, but emit children first for readability).
+func (g *gen) routine(b *strings.Builder, level int, name string, withBug, onBugPath bool) {
+	g.units++
+	isLeaf := level >= g.cfg.Depth
+	if isLeaf {
+		g.leaves++
+		g.leaf(b, name, withBug && onBugPath)
+		return
+	}
+	// Children first.
+	bugIdx := g.bugChild(level)
+	for i := 0; i < g.cfg.Fanout; i++ {
+		child := fmt.Sprintf("%s_%d", name, i)
+		g.routine(b, level+1, child, withBug, onBugPath && i == bugIdx)
+	}
+
+	switch g.cfg.Style {
+	case Globals:
+		fmt.Fprintf(b, "procedure %s;\nbegin\n", name)
+		for i := 0; i < g.cfg.Fanout; i++ {
+			child := fmt.Sprintf("%s_%d", name, i)
+			fmt.Fprintf(b, "  gseed := gseed + %d;\n", i)
+			fmt.Fprintf(b, "  %s;\n", child)
+			// Combine the child's outputs into this routine's i-th output.
+			fmt.Fprintf(b, "  %s := 0;\n", globalName(name, i))
+			for j := 0; j < g.cfg.Fanout; j++ {
+				fmt.Fprintf(b, "  %s := %s + %s;\n", globalName(name, i), globalName(name, i), globalName(child, j))
+			}
+			fmt.Fprintf(b, "  gseed := gseed - %d;\n", i)
+		}
+		b.WriteString("end;\n\n")
+	default:
+		var params []string
+		for i := 0; i < g.cfg.Fanout; i++ {
+			params = append(params, fmt.Sprintf("var o%d: integer", i))
+		}
+		fmt.Fprintf(b, "procedure %s(x: integer; %s);\n", name, strings.Join(params, "; "))
+		// Locals to receive child outputs.
+		var locals []string
+		for j := 0; j < g.cfg.Fanout; j++ {
+			locals = append(locals, fmt.Sprintf("t%d", j))
+		}
+		fmt.Fprintf(b, "var %s: integer;\nbegin\n", strings.Join(locals, ", "))
+		for i := 0; i < g.cfg.Fanout; i++ {
+			child := fmt.Sprintf("%s_%d", name, i)
+			fmt.Fprintf(b, "  %s(x + %d", child, i)
+			for j := 0; j < g.cfg.Fanout; j++ {
+				fmt.Fprintf(b, ", t%d", j)
+			}
+			b.WriteString(");\n")
+			fmt.Fprintf(b, "  o%d := 0", i)
+			b.WriteString(";\n")
+			for j := 0; j < g.cfg.Fanout; j++ {
+				fmt.Fprintf(b, "  o%d := o%d + t%d;\n", i, i, j)
+			}
+		}
+		b.WriteString("end;\n\n")
+	}
+}
+
+// leaf emits a leaf routine; buggy leaves add a +1 to their first output.
+func (g *gen) leaf(b *strings.Builder, name string, buggy bool) {
+	if buggy {
+		g.bugUnit = name
+	}
+	body := func(target func(i int) string) {
+		if g.cfg.Loops {
+			b.WriteString("  acc := 0;\n")
+			b.WriteString("  for k := 1 to 3 do\n")
+			b.WriteString("    acc := acc + k;\n")
+		}
+		for i := 0; i < g.cfg.Fanout; i++ {
+			expr := fmt.Sprintf("x * %d + %d", i+2, i)
+			if g.cfg.Style == Globals {
+				expr = fmt.Sprintf("gseed * %d + %d", i+2, i)
+			}
+			if g.cfg.Loops {
+				expr += " + acc"
+			}
+			if buggy && i == 0 {
+				expr += " + 1" // the planted bug
+			}
+			fmt.Fprintf(b, "  %s := %s;\n", target(i), expr)
+		}
+	}
+	switch g.cfg.Style {
+	case Globals:
+		fmt.Fprintf(b, "procedure %s;\n", name)
+		if g.cfg.Loops {
+			b.WriteString("var k, acc: integer;\n")
+		}
+		b.WriteString("begin\n")
+		body(func(i int) string { return globalName(name, i) })
+		b.WriteString("end;\n\n")
+	default:
+		var params []string
+		for i := 0; i < g.cfg.Fanout; i++ {
+			params = append(params, fmt.Sprintf("var o%d: integer", i))
+		}
+		fmt.Fprintf(b, "procedure %s(x: integer; %s);\n", name, strings.Join(params, "; "))
+		if g.cfg.Loops {
+			b.WriteString("var k, acc: integer;\n")
+		}
+		b.WriteString("begin\n")
+		body(func(i int) string { return fmt.Sprintf("o%d", i) })
+		b.WriteString("end;\n\n")
+	}
+}

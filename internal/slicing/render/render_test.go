@@ -1,0 +1,167 @@
+package render_test
+
+import (
+	"strings"
+	"testing"
+
+	"gadt/internal/pascal/ast"
+	"gadt/internal/pascal/parser"
+	"gadt/internal/pascal/sem"
+	"gadt/internal/slicing/render"
+)
+
+func setup(t *testing.T, src string) *sem.Info {
+	t.Helper()
+	prog := parser.MustParse("t.pas", src)
+	info, err := sem.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+// stmtsMatching collects atomic statements whose printed form contains
+// one of the given fragments.
+func keepByFragment(info *sem.Info, fragments ...string) func(ast.Stmt) bool {
+	matches := func(s ast.Stmt) bool {
+		var txt string
+		switch st := s.(type) {
+		case *ast.AssignStmt:
+			if id, ok := st.Lhs.(*ast.Ident); ok {
+				txt = id.Name
+			}
+		case *ast.CallStmt:
+			txt = st.Name
+		}
+		for _, f := range fragments {
+			if txt == f {
+				return true
+			}
+		}
+		return false
+	}
+	return matches
+}
+
+func TestSubsetKeepsStructure(t *testing.T) {
+	info := setup(t, `
+program t;
+var a, b, c: integer;
+begin
+  a := 1;
+  if a > 0 then begin
+    b := 2;
+    c := 3;
+  end;
+end.`)
+	f := &render.Filter{Info: info, KeepStmt: keepByFragment(info, "b")}
+	out := f.Render()
+	if !strings.Contains(out, "b := 2") {
+		t.Errorf("kept statement missing:\n%s", out)
+	}
+	if strings.Contains(out, "c := 3") || strings.Contains(out, "a := 1") {
+		t.Errorf("dropped statements survived:\n%s", out)
+	}
+	// The if keeps its shell because a kept statement lives inside.
+	if !strings.Contains(out, "if a > 0") {
+		t.Errorf("structure around kept statement lost:\n%s", out)
+	}
+}
+
+func TestSubsetDropsEmptyRoutines(t *testing.T) {
+	info := setup(t, `
+program t;
+var x: integer;
+procedure used;
+begin
+  x := 1;
+end;
+procedure unused;
+begin
+  x := 2;
+end;
+begin
+  used;
+  unused;
+end.`)
+	var keepAssign ast.Stmt
+	ast.Inspect(info.Program, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			if lit, ok := as.Rhs.(*ast.IntLit); ok && lit.Value == 1 {
+				keepAssign = as
+			}
+		}
+		return true
+	})
+	f := &render.Filter{Info: info, KeepStmt: func(s ast.Stmt) bool {
+		if s == keepAssign {
+			return true
+		}
+		cs, ok := s.(*ast.CallStmt)
+		return ok && cs.Name == "used"
+	}}
+	out := f.Render()
+	if !strings.Contains(out, "procedure used") {
+		t.Errorf("used routine missing:\n%s", out)
+	}
+	if strings.Contains(out, "procedure unused") {
+		t.Errorf("empty routine survived:\n%s", out)
+	}
+}
+
+func TestSubsetOutputReparses(t *testing.T) {
+	info := setup(t, `
+program t;
+var i, s, u: integer;
+begin
+  s := 0;
+  for i := 1 to 3 do begin
+    s := s + i;
+    u := u + 1;
+  end;
+  repeat
+    s := s - 1;
+  until s <= 0;
+  case s of
+    0: s := 100;
+  else u := 5;
+  end;
+end.`)
+	f := &render.Filter{Info: info, KeepStmt: keepByFragment(info, "s")}
+	out := f.Render()
+	if _, err := parser.ParseProgram("sub.pas", out); err != nil {
+		t.Fatalf("filtered program does not reparse: %v\n%s", err, out)
+	}
+	if strings.Contains(out, "u :=") {
+		t.Errorf("u statements survived:\n%s", out)
+	}
+}
+
+func TestKeepCondRetainsBranchShell(t *testing.T) {
+	info := setup(t, `
+program t;
+var a, b: integer;
+begin
+  if a > 0 then
+    b := 1;
+end.`)
+	var ifStmt ast.Stmt
+	ast.Inspect(info.Program, func(n ast.Node) bool {
+		if s, ok := n.(*ast.IfStmt); ok {
+			ifStmt = s
+		}
+		return true
+	})
+	f := &render.Filter{
+		Info:     info,
+		KeepStmt: func(ast.Stmt) bool { return false },
+		KeepCond: func(s ast.Stmt) bool { return s == ifStmt },
+	}
+	out := f.Render()
+	if !strings.Contains(out, "if a > 0") {
+		t.Errorf("condition-only keep lost the if:\n%s", out)
+	}
+	if strings.Contains(out, "b := 1") {
+		t.Errorf("body survived without being kept:\n%s", out)
+	}
+}

@@ -1,0 +1,238 @@
+package weiser_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gadt/internal/paper"
+	"gadt/internal/pascal/ast"
+	"gadt/internal/pascal/parser"
+	"gadt/internal/pascal/sem"
+	"gadt/internal/slicing/static"
+	"gadt/internal/slicing/weiser"
+)
+
+func setup(t *testing.T, src string) (*sem.Info, *weiser.Slicer) {
+	t.Helper()
+	prog := parser.MustParse("t.pas", src)
+	info, err := sem.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info, &weiser.Slicer{Info: info}
+}
+
+// TestFigure2Weiser: the baseline reproduces Figure 2 as well.
+func TestFigure2Weiser(t *testing.T) {
+	info, w := setup(t, paper.SliceExample)
+	mul := static.LookupVar(info, info.Main, "mul")
+	sl, err := w.OnVarAtEnd(info.Main, mul)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sl.Render()
+	for _, want := range []string{"read(x, y)", "mul := 0", "mul := x * y", "if x <= 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("baseline slice missing %q:\n%s", want, out)
+		}
+	}
+	for _, drop := range []string{"sum := 0", "sum := x + y", "read(z)"} {
+		if strings.Contains(out, drop) {
+			t.Errorf("baseline slice wrongly kept %q:\n%s", drop, out)
+		}
+	}
+}
+
+// TestDifferentialAgainstSDG: on intraprocedural criteria the Weiser
+// baseline and the SDG slicer compute the same statement sets. Programs
+// are generated from a small deterministic grammar driven by the quick
+// fuzz inputs.
+func TestDifferentialAgainstSDG(t *testing.T) {
+	prop := func(opsRaw []uint8, targetRaw uint8) bool {
+		src, varNames := genProgram(opsRaw)
+		prog, err := parser.ParseProgram("q.pas", src)
+		if err != nil {
+			t.Logf("generated program does not parse: %v\n%s", err, src)
+			return false
+		}
+		info, err := sem.Analyze(prog)
+		if err != nil {
+			t.Logf("generated program does not analyze: %v\n%s", err, src)
+			return false
+		}
+		target := varNames[int(targetRaw)%len(varNames)]
+		v := static.LookupVar(info, info.Main, target)
+
+		ws := &weiser.Slicer{Info: info}
+		wsl, err := ws.OnVarAtEnd(info.Main, v)
+		if err != nil {
+			return false
+		}
+		ssl := static.New(info).OnVarAtEnd(info.Main, v)
+
+		// Compare atomic statement sets.
+		var onlyW, onlyS []string
+		ast.Inspect(info.Program, func(n ast.Node) bool {
+			s, ok := n.(ast.Stmt)
+			if !ok {
+				return true
+			}
+			switch s.(type) {
+			case *ast.AssignStmt, *ast.CallStmt:
+				inW := wsl.Stmts[s]
+				inS := ssl.IncludesStmt(s)
+				if inW != inS {
+					desc := fmt.Sprintf("%T@%s (weiser=%v sdg=%v)", s, s.Pos(), inW, inS)
+					if inW {
+						onlyW = append(onlyW, desc)
+					} else {
+						onlyS = append(onlyS, desc)
+					}
+				}
+			}
+			return true
+		})
+		if len(onlyW)+len(onlyS) > 0 {
+			t.Logf("slices differ on %s:\nonly weiser: %v\nonly sdg: %v\nprogram:\n%s",
+				target, onlyW, onlyS, src)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// genProgram builds a deterministic straight-line/branch/loop program
+// over variables v0..v4 from fuzz bytes.
+func genProgram(ops []uint8) (string, []string) {
+	vars := []string{"v0", "v1", "v2", "v3", "v4"}
+	var b strings.Builder
+	b.WriteString("program q;\nvar v0, v1, v2, v3, v4: integer;\nbegin\n")
+	vn := func(i uint8) string { return vars[int(i)%len(vars)] }
+	emitAssign := func(d, s1, s2 uint8) {
+		fmt.Fprintf(&b, "  %s := %s + %s;\n", vn(d), vn(s1), vn(s2))
+	}
+	i := 0
+	next := func() uint8 {
+		if i < len(ops) {
+			i++
+			return ops[i-1]
+		}
+		return 0
+	}
+	// Seed all variables.
+	for j := range vars {
+		fmt.Fprintf(&b, "  %s := %d;\n", vars[j], j+1)
+	}
+	steps := len(ops)/3 + 1
+	if steps > 12 {
+		steps = 12
+	}
+	for s := 0; s < steps; s++ {
+		op := next()
+		switch op % 4 {
+		case 0, 1:
+			emitAssign(next(), next(), next())
+		case 2:
+			fmt.Fprintf(&b, "  if %s > %s then\n  ", vn(next()), vn(next()))
+			emitAssign(next(), next(), next())
+		case 3:
+			cv := vn(next())
+			fmt.Fprintf(&b, "  while %s > 0 do begin\n", cv)
+			emitAssign(next(), next(), next())
+			fmt.Fprintf(&b, "  %s := %s - 1;\n  end;\n", cv, cv)
+		}
+	}
+	b.WriteString("end.\n")
+	return b.String(), vars
+}
+
+func TestBranchInclusion(t *testing.T) {
+	info, w := setup(t, `
+program t;
+var c, x, y: integer;
+begin
+  read(c);
+  x := 0;
+  if c > 0 then
+    x := 1;
+  y := 5;
+end.`)
+	x := static.LookupVar(info, info.Main, "x")
+	sl, err := w.OnVarAtEnd(info.Main, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sl.Render()
+	for _, want := range []string{"read(c)", "if c > 0", "x := 1", "x := 0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "y := 5") {
+		t.Errorf("kept irrelevant y:\n%s", out)
+	}
+}
+
+func TestLoopRelevance(t *testing.T) {
+	info, w := setup(t, `
+program t;
+var i, s, u: integer;
+begin
+  s := 0;
+  u := 0;
+  for i := 1 to 5 do begin
+    s := s + i;
+    u := u + 2;
+  end;
+end.`)
+	s := static.LookupVar(info, info.Main, "s")
+	sl, err := w.OnVarAtEnd(info.Main, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sl.Render()
+	if !strings.Contains(out, "s := s + i") || !strings.Contains(out, "for i := 1 to 5") {
+		t.Errorf("loop chain missing:\n%s", out)
+	}
+	if strings.Contains(out, "u := u + 2") || strings.Contains(out, "u := 0") {
+		t.Errorf("kept u:\n%s", out)
+	}
+}
+
+func TestStmtCriterion(t *testing.T) {
+	info, w := setup(t, `
+program t;
+var a, b: integer;
+begin
+  a := 1;
+  b := a + 1;
+  a := 99;
+end.`)
+	// Slice on a BEFORE the b assignment: only a := 1 matters.
+	var bAssign ast.Stmt
+	ast.Inspect(info.Program, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			if id, ok := as.Lhs.(*ast.Ident); ok && id.Name == "b" {
+				bAssign = as
+			}
+		}
+		return true
+	})
+	a := static.LookupVar(info, info.Main, "a")
+	sl, err := w.OnVarAtStmt(info.Main, bAssign, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sl.Render()
+	if !strings.Contains(out, "a := 1") {
+		t.Errorf("missing a := 1:\n%s", out)
+	}
+	if strings.Contains(out, "a := 99") {
+		t.Errorf("kept later assignment:\n%s", out)
+	}
+}

@@ -1,0 +1,313 @@
+package tgen
+
+import (
+	"fmt"
+	"strings"
+
+	"gadt/internal/assertion"
+	"gadt/internal/pascal/ast"
+	"gadt/internal/pascal/interp"
+)
+
+// Frame is one generated test frame: exactly one choice from each
+// category (Section 2).
+type Frame struct {
+	Unit    string
+	Choices []*Choice // parallel to Spec.Categories
+	Props   map[string]bool
+	Scripts []string
+	Results []string
+}
+
+// Code returns the frame's database key, e.g. "arrsum:more/mixed/large".
+func (f *Frame) Code() string {
+	parts := make([]string, len(f.Choices))
+	for i, c := range f.Choices {
+		parts[i] = c.Name
+	}
+	return f.Unit + ":" + strings.Join(parts, "/")
+}
+
+func (f *Frame) String() string {
+	parts := make([]string, len(f.Choices))
+	for i, c := range f.Choices {
+		parts[i] = c.Name
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// propEnv converts a property set into an evaluation environment where
+// each known property name is bound to a boolean.
+func propEnv(spec *Spec, props map[string]bool) assertion.Env {
+	env := make(assertion.Env)
+	for _, cat := range spec.Categories {
+		for _, ch := range cat.Choices {
+			for _, p := range ch.Properties {
+				env[p] = props[p]
+			}
+		}
+	}
+	return env
+}
+
+// selectorHolds evaluates a selector under the property set.
+func selectorHolds(spec *Spec, sel ast.Expr, props map[string]bool) bool {
+	if sel == nil {
+		return true
+	}
+	v, err := assertion.Eval(sel, propEnv(spec, props))
+	if err != nil {
+		return false
+	}
+	b, _ := v.(bool)
+	return b
+}
+
+// Generate produces all test frames of the specification: the cross
+// product of eligible non-SINGLE choices (selector expressions are
+// evaluated over the properties established by choices of earlier
+// categories), plus exactly one frame per SINGLE choice (paper: "Only
+// one frame is generated for each choice associated with the SINGLE
+// property"). Frames are then assigned to matching scripts and result
+// categories.
+func (spec *Spec) Generate() []*Frame {
+	var frames []*Frame
+
+	var rec func(i int, picked []*Choice, props map[string]bool)
+	rec = func(i int, picked []*Choice, props map[string]bool) {
+		if i == len(spec.Categories) {
+			f := &Frame{
+				Unit:    spec.Unit,
+				Choices: append([]*Choice(nil), picked...),
+				Props:   copyProps(props),
+			}
+			frames = append(frames, f)
+			return
+		}
+		for _, ch := range spec.Categories[i].Choices {
+			if ch.Single {
+				continue
+			}
+			if !selectorHolds(spec, ch.Selector, props) {
+				continue
+			}
+			for _, p := range ch.Properties {
+				props[p] = true
+			}
+			rec(i+1, append(picked, ch), props)
+			for _, p := range ch.Properties {
+				delete(props, p)
+			}
+		}
+	}
+	rec(0, nil, map[string]bool{})
+
+	// One frame per SINGLE choice: the SINGLE choice plus the first
+	// eligible choice of every other category.
+	for ci, cat := range spec.Categories {
+		for _, single := range cat.Choices {
+			if !single.Single {
+				continue
+			}
+			props := map[string]bool{}
+			picked := make([]*Choice, 0, len(spec.Categories))
+			ok := true
+			for cj, other := range spec.Categories {
+				if cj == ci {
+					picked = append(picked, single)
+					for _, p := range single.Properties {
+						props[p] = true
+					}
+					continue
+				}
+				var chosen *Choice
+				for _, ch := range other.Choices {
+					if ch.Single {
+						continue
+					}
+					if selectorHolds(spec, ch.Selector, props) {
+						chosen = ch
+						break
+					}
+				}
+				if chosen == nil {
+					ok = false
+					break
+				}
+				picked = append(picked, chosen)
+				for _, p := range chosen.Properties {
+					props[p] = true
+				}
+			}
+			if ok {
+				frames = append(frames, &Frame{
+					Unit:    spec.Unit,
+					Choices: picked,
+					Props:   copyProps(props),
+				})
+			}
+		}
+	}
+
+	// Script and result assignment.
+	for _, f := range frames {
+		for _, s := range spec.Scripts {
+			if selectorHolds(spec, s.Selector, f.Props) {
+				f.Scripts = append(f.Scripts, s.Name)
+			}
+		}
+		for _, rc := range spec.Results {
+			if selectorHolds(spec, rc.Selector, f.Props) {
+				f.Results = append(f.Results, rc.Name)
+			}
+		}
+	}
+	return frames
+}
+
+func copyProps(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		if v {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Classification (automatic test-frame selection, Section 5.3.2)
+
+// Features derives the evaluation environment used by `match`
+// expressions from a call's input bindings. The paper's "automatic test
+// frame selector functions" correspond to custom Features
+// implementations; DefaultFeatures covers the common case.
+type Features func(ins []interp.Binding) assertion.Env
+
+// DefaultFeatures binds every scalar input parameter by name and, for
+// each integer-array parameter a, derives:
+//
+//	poscount / negcount / zerocount — element sign counts
+//	spread                          — max - min
+//	total                           — element sum
+//
+// considering the first n elements when an integer parameter named n
+// exists, the whole array otherwise. With several array parameters the
+// features describe the first one.
+func DefaultFeatures(ins []interp.Binding) assertion.Env {
+	env := make(assertion.Env)
+	var n int64 = -1
+	for _, b := range ins {
+		switch v := b.Value.(type) {
+		case int64, float64, bool, string:
+			env[b.Name] = v
+			if b.Name == "n" {
+				if iv, ok := v.(int64); ok {
+					n = iv
+				}
+			}
+		}
+	}
+	for _, b := range ins {
+		arr, ok := b.Value.(*interp.ArrayVal)
+		if !ok {
+			continue
+		}
+		limit := int64(len(arr.Elems))
+		if n >= 0 && n < limit {
+			limit = n
+		}
+		var pos, neg, zero, total int64
+		var min, max int64
+		first := true
+		for i := int64(0); i < limit; i++ {
+			iv, ok := arr.Elems[i].(int64)
+			if !ok {
+				continue
+			}
+			total += iv
+			switch {
+			case iv > 0:
+				pos++
+			case iv < 0:
+				neg++
+			default:
+				zero++
+			}
+			if first || iv < min {
+				min = iv
+			}
+			if first || iv > max {
+				max = iv
+			}
+			first = false
+		}
+		spread := int64(0)
+		if !first {
+			spread = max - min
+		}
+		env["poscount"] = pos
+		env["negcount"] = neg
+		env["zerocount"] = zero
+		env["spread"] = spread
+		env["total"] = total
+		break
+	}
+	return env
+}
+
+// Classify maps a concrete call (its input bindings) to a frame, using
+// the choices' match expressions: within each category, the first choice
+// whose selector holds (under properties accumulated so far) and whose
+// match expression evaluates true is taken. Returns an error when some
+// category has no matching choice — the debugger then falls back to
+// asking the user (the paper's menu-based selection).
+func (spec *Spec) Classify(ins []interp.Binding, features Features) (*Frame, error) {
+	if features == nil {
+		features = DefaultFeatures
+	}
+	env := features(ins)
+	props := map[string]bool{}
+	var picked []*Choice
+	for _, cat := range spec.Categories {
+		var chosen *Choice
+		for _, ch := range cat.Choices {
+			if ch.Match == nil {
+				continue
+			}
+			if !selectorHolds(spec, ch.Selector, props) {
+				continue
+			}
+			// The match environment includes current properties too.
+			menv := make(assertion.Env, len(env))
+			for k, v := range env {
+				menv[k] = v
+			}
+			for k, v := range propEnv(spec, props) {
+				menv[k] = v
+			}
+			v, err := assertion.Eval(ch.Match, menv)
+			if err != nil {
+				continue
+			}
+			if b, _ := v.(bool); b {
+				chosen = ch
+				break
+			}
+		}
+		if chosen == nil {
+			return nil, fmt.Errorf("tgen: no choice of category %s matches the call", cat.Name)
+		}
+		picked = append(picked, chosen)
+		for _, p := range chosen.Properties {
+			props[p] = true
+		}
+	}
+	f := &Frame{Unit: spec.Unit, Choices: picked, Props: props}
+	for _, s := range spec.Scripts {
+		if selectorHolds(spec, s.Selector, f.Props) {
+			f.Scripts = append(f.Scripts, s.Name)
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,191 @@
+package tgen_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gadt/internal/assertion"
+	"gadt/internal/paper"
+	"gadt/internal/pascal/ast"
+	"gadt/internal/pascal/interp"
+	"gadt/internal/pascal/parser"
+	"gadt/internal/pascal/sem"
+	"gadt/internal/tgen"
+)
+
+// TestQuickGeneratedSpecInvariants builds random chain-shaped
+// specifications and checks the frame-generation invariants:
+//   - every frame has exactly one choice per category;
+//   - every choice's selector holds under the properties established by
+//     the preceding choices (evaluated in category order);
+//   - SINGLE choices appear in at most one frame;
+//   - frame codes are unique.
+func TestQuickGeneratedSpecInvariants(t *testing.T) {
+	prop := func(nCats, nChoices uint8, gate []bool) bool {
+		cats := int(nCats%3) + 1
+		choices := int(nChoices%3) + 1
+		var b strings.Builder
+		b.WriteString("test u;\n")
+		gi := 0
+		nextGate := func() bool {
+			if gi < len(gate) {
+				gi++
+				return gate[gi-1]
+			}
+			return false
+		}
+		for c := 0; c < cats; c++ {
+			fmt.Fprintf(&b, "category c%d;\n", c)
+			for ch := 0; ch < choices; ch++ {
+				fmt.Fprintf(&b, "  ch%d_%d:", c, ch)
+				if c > 0 && nextGate() {
+					fmt.Fprintf(&b, " if p%d_0", c-1)
+				}
+				if ch == 0 {
+					fmt.Fprintf(&b, " property p%d_0", c)
+				}
+				if ch == choices-1 && choices > 1 && nextGate() {
+					b.WriteString(" property SINGLE")
+				}
+				b.WriteString(";\n")
+			}
+		}
+		spec, err := tgen.ParseSpec(b.String())
+		if err != nil {
+			t.Logf("spec parse error: %v\n%s", err, b.String())
+			return false
+		}
+		frames := spec.Generate()
+		seenCodes := map[string]bool{}
+		singleCount := map[string]int{}
+		maxFrames := 1
+		for _, cat := range spec.Categories {
+			maxFrames *= len(cat.Choices)
+		}
+		if len(frames) > maxFrames {
+			t.Logf("%d frames exceed the %d-combination bound", len(frames), maxFrames)
+			return false
+		}
+		for _, f := range frames {
+			if len(f.Choices) != cats {
+				return false
+			}
+			if seenCodes[f.Code()] {
+				t.Logf("duplicate frame %s", f.Code())
+				return false
+			}
+			seenCodes[f.Code()] = true
+			props := map[string]bool{}
+			for _, ch := range f.Choices {
+				if !selHolds(spec, ch.Selector, props) {
+					t.Logf("frame %s violates selector of %s", f.Code(), ch.Name)
+					return false
+				}
+				for _, p := range ch.Properties {
+					props[p] = true
+				}
+				if ch.Single {
+					singleCount[ch.Name]++
+				}
+			}
+		}
+		for name, n := range singleCount {
+			if n > 1 {
+				t.Logf("SINGLE choice %s in %d frames", name, n)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// selHolds evaluates a selector under a property environment (every
+// property name known to the spec defaults to false).
+func selHolds(spec *tgen.Spec, sel ast.Expr, props map[string]bool) bool {
+	if sel == nil {
+		return true
+	}
+	env := make(assertion.Env)
+	for _, c := range spec.Categories {
+		for _, cc := range c.Choices {
+			for _, p := range cc.Properties {
+				env[p] = props[p]
+			}
+		}
+	}
+	v, err := assertion.Eval(sel, env)
+	if err != nil {
+		return false
+	}
+	b, _ := v.(bool)
+	return b
+}
+
+func TestSearchGeneratorFindsFrames(t *testing.T) {
+	prog := parser.MustParse("t.pas", paper.ArrsumProgram)
+	info, err := sem.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := tgen.MustParseSpec(paper.ArrsumSpec)
+	gen := tgen.SearchGenerator(info, spec, 5000)
+	target := info.LookupRoutine("arrsum")
+	found := 0
+	for _, f := range spec.Generate() {
+		args, ok := gen(f)
+		if !ok {
+			continue
+		}
+		found++
+		bindings := make([]interp.Binding, len(args))
+		for i, p := range target.Params {
+			bindings[i] = interp.Binding{Name: p.Name, Mode: p.Mode, Value: args[i]}
+		}
+		got, err := spec.Classify(bindings, nil)
+		if err != nil || got.Code() != f.Code() {
+			t.Errorf("frame %s: search result classifies as %v (err %v)", f.Code(), got, err)
+		}
+	}
+	// 7 of the 8 frames are satisfiable (zero/positive/small is not: an
+	// empty array matches neither positive nor negative).
+	if found != 7 {
+		t.Errorf("search found inputs for %d frames, want 7", found)
+	}
+}
+
+func TestSearchGeneratorBudgetExhaustion(t *testing.T) {
+	prog := parser.MustParse("t.pas", paper.ArrsumProgram)
+	info, err := sem.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := tgen.MustParseSpec(paper.ArrsumSpec)
+	gen := tgen.SearchGenerator(info, spec, 1) // one candidate only
+	satisfied := 0
+	for _, f := range spec.Generate() {
+		if _, ok := gen(f); ok {
+			satisfied++
+		}
+	}
+	if satisfied > 1 {
+		t.Errorf("budget 1 satisfied %d frames", satisfied)
+	}
+}
+
+func TestSearchGeneratorUnknownUnit(t *testing.T) {
+	prog := parser.MustParse("t.pas", `program t; begin end.`)
+	info, err := sem.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := tgen.MustParseSpec(paper.ArrsumSpec) // arrsum missing here
+	gen := tgen.SearchGenerator(info, spec, 10)
+	if _, ok := gen(spec.Generate()[0]); ok {
+		t.Error("search succeeded without the unit")
+	}
+}

@@ -1,0 +1,406 @@
+// Package tgen reproduces T-GEN, the paper's extended category-partition
+// test generator (Section 2): test specifications with categories,
+// choices, properties and selector expressions; frame generation with
+// SINGLE handling; test scripts and result categories; executable test
+// cases run against the subject program; and a test-report database the
+// debugger consults during bug localization (Section 5.3.2).
+//
+// Specification syntax (a transliteration of the paper's Figure 1):
+//
+//	test arrsum;
+//
+//	category size_of_array;
+//	  zero:  property SINGLE  match n = 0;
+//	  one:   property SINGLE  match n = 1;
+//	  two:                    match n = 2;
+//	  more:  property MORE    match n > 2;
+//
+//	category type_of_elements;
+//	  mixed: if MORE property MIXED match (poscount > 0) and (negcount > 0);
+//	  ...
+//
+//	scripts
+//	  script_1: if MIXED;
+//	result
+//	  result_1: if MIXED;
+//
+// `if` selectors are Boolean expressions over property names set by
+// earlier choices; `match` expressions (this reproduction's realization
+// of the paper's "automatic test frame selector functions") classify a
+// concrete call into the choice, evaluated over parameter values and
+// derived features. All identifiers are case-insensitive.
+package tgen
+
+import (
+	"fmt"
+	"strings"
+
+	"gadt/internal/pascal/ast"
+	"gadt/internal/pascal/lexer"
+	"gadt/internal/pascal/token"
+)
+
+// Spec is a parsed test specification.
+type Spec struct {
+	Unit       string
+	Categories []*Category
+	Scripts    []*Clause
+	Results    []*Clause
+}
+
+// Category is one input-property dimension.
+type Category struct {
+	Name    string
+	Choices []*Choice
+}
+
+// Choice is one equivalence class within a category.
+type Choice struct {
+	Name string
+	// Selector gates the choice on properties established by earlier
+	// choices (nil = always eligible).
+	Selector ast.Expr
+	// Properties are set when the choice is taken. The special property
+	// SINGLE marks the choice for single-frame generation.
+	Properties []string
+	Single     bool
+	// Match classifies a concrete call into this choice (nil = the
+	// choice cannot be selected automatically).
+	Match ast.Expr
+
+	selText, matchText string
+}
+
+// Clause is a named selector (scripts and result categories).
+type Clause struct {
+	Name     string
+	Selector ast.Expr
+	selText  string
+}
+
+// ParseSpec parses a specification.
+func ParseSpec(src string) (*Spec, error) {
+	p := &specParser{lex: lexer.New("spec", src)}
+	p.next()
+	spec, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	if errs := p.lex.Errors(); len(errs) > 0 {
+		return nil, fmt.Errorf("tgen: %s", errs[0])
+	}
+	return spec, nil
+}
+
+// MustParseSpec panics on error; for known-good embedded specs.
+func MustParseSpec(src string) *Spec {
+	s, err := ParseSpec(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type specParser struct {
+	lex *lexer.Lexer
+	tok token.Token
+}
+
+func (p *specParser) next() { p.tok = p.lex.Next() }
+
+func (p *specParser) errf(format string, args ...any) error {
+	return fmt.Errorf("tgen: %s: %s", p.tok.Pos, fmt.Sprintf(format, args...))
+}
+
+func (p *specParser) expectIdent(what string) (string, error) {
+	if p.tok.Kind != token.Ident {
+		return "", p.errf("expected %s, found %s", what, p.tok)
+	}
+	name := p.tok.Lit
+	p.next()
+	return name, nil
+}
+
+func (p *specParser) expect(k token.Kind) error {
+	if p.tok.Kind != k {
+		return p.errf("expected %q, found %s", k.String(), p.tok)
+	}
+	p.next()
+	return nil
+}
+
+func (p *specParser) isKw(word string) bool {
+	return p.tok.Kind == token.Ident && p.tok.Lit == word
+}
+
+func (p *specParser) parse() (*Spec, error) {
+	if !p.isKw("test") {
+		return nil, p.errf("specification must start with 'test'")
+	}
+	p.next()
+	unit, err := p.expectIdent("unit name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(token.Semi); err != nil {
+		return nil, err
+	}
+	spec := &Spec{Unit: unit}
+	for p.tok.Kind != token.EOF {
+		switch {
+		case p.isKw("category"):
+			p.next()
+			name, err := p.expectIdent("category name")
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(token.Semi); err != nil {
+				return nil, err
+			}
+			cat := &Category{Name: name}
+			for p.tok.Kind == token.Ident && !p.sectionStart() {
+				ch, err := p.parseChoice()
+				if err != nil {
+					return nil, err
+				}
+				cat.Choices = append(cat.Choices, ch)
+			}
+			if len(cat.Choices) == 0 {
+				return nil, p.errf("category %s has no choices", name)
+			}
+			spec.Categories = append(spec.Categories, cat)
+		case p.isKw("scripts"):
+			p.next()
+			for p.tok.Kind == token.Ident && !p.sectionStart() {
+				cl, err := p.parseClause()
+				if err != nil {
+					return nil, err
+				}
+				spec.Scripts = append(spec.Scripts, cl)
+			}
+		case p.isKw("result"), p.isKw("results"):
+			p.next()
+			for p.tok.Kind == token.Ident && !p.sectionStart() {
+				cl, err := p.parseClause()
+				if err != nil {
+					return nil, err
+				}
+				spec.Results = append(spec.Results, cl)
+			}
+		default:
+			return nil, p.errf("expected 'category', 'scripts' or 'result', found %s", p.tok)
+		}
+	}
+	if len(spec.Categories) == 0 {
+		return nil, fmt.Errorf("tgen: specification for %s has no categories", unit)
+	}
+	return spec, nil
+}
+
+func (p *specParser) sectionStart() bool {
+	return p.isKw("category") || p.isKw("scripts") || p.isKw("result") || p.isKw("results")
+}
+
+func (p *specParser) parseChoice() (*Choice, error) {
+	name, err := p.expectIdent("choice name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(token.Colon); err != nil {
+		return nil, err
+	}
+	ch := &Choice{Name: name}
+	for {
+		switch {
+		case p.tok.Kind == token.If:
+			p.next()
+			e, text, err := p.parseExprUntil("property", "match")
+			if err != nil {
+				return nil, err
+			}
+			ch.Selector, ch.selText = e, text
+		case p.isKw("property"):
+			p.next()
+			for {
+				prop, err := p.expectIdent("property name")
+				if err != nil {
+					return nil, err
+				}
+				if prop == "single" {
+					ch.Single = true
+				} else {
+					ch.Properties = append(ch.Properties, prop)
+				}
+				if p.tok.Kind != token.Comma {
+					break
+				}
+				p.next()
+			}
+		case p.isKw("match"):
+			p.next()
+			e, text, err := p.parseExprUntil("property")
+			if err != nil {
+				return nil, err
+			}
+			ch.Match, ch.matchText = e, text
+		case p.tok.Kind == token.Semi:
+			p.next()
+			return ch, nil
+		default:
+			return nil, p.errf("unexpected %s in choice %s", p.tok, name)
+		}
+	}
+}
+
+func (p *specParser) parseClause() (*Clause, error) {
+	name, err := p.expectIdent("name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(token.Colon); err != nil {
+		return nil, err
+	}
+	cl := &Clause{Name: name}
+	if p.tok.Kind == token.If {
+		p.next()
+		e, text, err := p.parseExprUntil()
+		if err != nil {
+			return nil, err
+		}
+		cl.Selector, cl.selText = e, text
+	}
+	if err := p.expect(token.Semi); err != nil {
+		return nil, err
+	}
+	return cl, nil
+}
+
+// parseExprUntil parses a Pascal expression, stopping before ';' or any
+// of the given contextual keywords.
+func (p *specParser) parseExprUntil(stops ...string) (ast.Expr, string, error) {
+	stop := func() bool {
+		if p.tok.Kind == token.Semi || p.tok.Kind == token.EOF {
+			return true
+		}
+		for _, s := range stops {
+			if p.isKw(s) {
+				return true
+			}
+		}
+		return false
+	}
+	e, err := p.parseBinary(1, stop)
+	if err != nil {
+		return nil, "", err
+	}
+	return e, exprText(e), nil
+}
+
+func (p *specParser) parseBinary(minPrec int, stop func() bool) (ast.Expr, error) {
+	x, err := p.parseUnary(stop)
+	if err != nil {
+		return nil, err
+	}
+	for !stop() {
+		prec := p.tok.Kind.Precedence()
+		if prec < minPrec {
+			return x, nil
+		}
+		op := p.tok.Kind
+		p.next()
+		y, err := p.parseBinary(prec+1, stop)
+		if err != nil {
+			return nil, err
+		}
+		x = &ast.BinaryExpr{Op: op, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *specParser) parseUnary(stop func() bool) (ast.Expr, error) {
+	switch p.tok.Kind {
+	case token.Not:
+		pos := p.tok.Pos
+		p.next()
+		x, err := p.parseUnary(stop)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{OpPos: pos, Op: token.Not, X: x}, nil
+	case token.Minus, token.Plus:
+		pos := p.tok.Pos
+		op := p.tok.Kind
+		p.next()
+		x, err := p.parseUnary(stop)
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{OpPos: pos, Op: op, X: x}, nil
+	case token.LParen:
+		p.next()
+		e, err := p.parseBinary(1, func() bool { return p.tok.Kind == token.EOF })
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(token.RParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case token.IntLit:
+		var v int64
+		fmt.Sscanf(p.tok.Lit, "%d", &v)
+		e := &ast.IntLit{LitPos: p.tok.Pos, Value: v}
+		p.next()
+		return e, nil
+	case token.Ident:
+		name := p.tok.Lit
+		pos := p.tok.Pos
+		p.next()
+		if p.tok.Kind == token.LParen {
+			ce := &ast.CallExpr{CallPos: pos, Name: name}
+			p.next()
+			for p.tok.Kind != token.RParen {
+				arg, err := p.parseBinary(1, func() bool {
+					return p.tok.Kind == token.Comma || p.tok.Kind == token.RParen || p.tok.Kind == token.EOF
+				})
+				if err != nil {
+					return nil, err
+				}
+				ce.Args = append(ce.Args, arg)
+				if p.tok.Kind == token.Comma {
+					p.next()
+				}
+			}
+			p.next()
+			return ce, nil
+		}
+		return &ast.Ident{NamePos: pos, Name: name}, nil
+	}
+	return nil, p.errf("expected expression, found %s", p.tok)
+}
+
+// exprText renders an expression for report keys and diagnostics.
+func exprText(e ast.Expr) string {
+	switch e := e.(type) {
+	case nil:
+		return ""
+	case *ast.Ident:
+		return e.Name
+	case *ast.IntLit:
+		return fmt.Sprintf("%d", e.Value)
+	case *ast.UnaryExpr:
+		if e.Op == token.Not {
+			return "not " + exprText(e.X)
+		}
+		return e.Op.String() + exprText(e.X)
+	case *ast.BinaryExpr:
+		return fmt.Sprintf("(%s %s %s)", exprText(e.X), e.Op, exprText(e.Y))
+	case *ast.CallExpr:
+		var args []string
+		for _, a := range e.Args {
+			args = append(args, exprText(a))
+		}
+		return e.Name + "(" + strings.Join(args, ", ") + ")"
+	}
+	return "?"
+}

@@ -1,0 +1,292 @@
+package transform
+
+import (
+	"fmt"
+	"sort"
+
+	"gadt/internal/analysis/callgraph"
+	"gadt/internal/analysis/sideeffect"
+	"gadt/internal/pascal/ast"
+	"gadt/internal/pascal/sem"
+)
+
+// globalEntry is one non-local variable converted to a parameter of a
+// routine.
+type globalEntry struct {
+	v       *sem.VarSym
+	mode    ast.ParamMode // actual mode in the transformed program
+	display ast.ParamMode // logical mode (in/var/out) for presentation
+	name    string        // parameter name inside the routine (usually v.Name)
+}
+
+// varBoundVars collects every variable that appears as a var/out actual
+// argument anywhere in the program. Such a variable may be mutated
+// through the parameter alias while a callee runs, so a read-only use of
+// it cannot safely be converted into a value copy.
+func varBoundVars(info *sem.Info, cg *callgraph.Graph) map[*sem.VarSym]bool {
+	bound := make(map[*sem.VarSym]bool)
+	for _, sites := range cg.Sites {
+		for _, s := range sites {
+			for i, p := range s.Callee.Params {
+				if p.Mode == ast.Value || i >= len(s.Args) {
+					continue
+				}
+				if base := info.VarOf(s.Args[i]); base != nil {
+					bound[base] = true
+				}
+			}
+		}
+	}
+	return bound
+}
+
+// globalsToParams converts every non-local variable reference into
+// explicit parameter passing (the paper's first transformation example):
+// referenced-only globals become value ("in") parameters, modified ones
+// become var or out parameters, and every call site passes the variable
+// through, transitively.
+func (st *state) globalsToParams(p *ast.Program, info *sem.Info) error {
+	cg := callgraph.Build(info)
+	se := sideeffect.Analyze(info, cg)
+	bound := varBoundVars(info, cg)
+
+	// Plan the new parameters per routine.
+	plan := make(map[*sem.Routine][]globalEntry)
+	for _, r := range info.Routines {
+		if r.IsProgram() {
+			continue
+		}
+		eff := se.Of[r]
+		if len(eff.ModGlobals) == 0 && len(eff.RefGlobals) == 0 {
+			continue
+		}
+		taken := make(map[string]bool)
+		for _, v := range r.AllVars() {
+			taken[v.Name] = true
+		}
+		var entries []globalEntry
+		add := func(v *sem.VarSym, mode, display ast.ParamMode) {
+			name := v.Name
+			if taken[name] {
+				name = st.fresh(name + "_g")
+			}
+			taken[name] = true
+			entries = append(entries, globalEntry{v: v, mode: mode, display: display, name: name})
+		}
+		var ins, vars, outs []*sem.VarSym
+		for _, v := range eff.SortedRef() {
+			if !eff.ModGlobals[v] {
+				ins = append(ins, v)
+			}
+		}
+		for _, v := range eff.SortedMod() {
+			if eff.RefGlobals[v] {
+				vars = append(vars, v)
+			} else {
+				outs = append(outs, v)
+			}
+		}
+		for _, v := range ins {
+			// Value copy only when no alias can mutate v during the
+			// call; otherwise pass by reference but present as `in`.
+			if bound[v] {
+				add(v, ast.VarMode, ast.Value)
+			} else {
+				add(v, ast.Value, ast.Value)
+			}
+		}
+		for _, v := range vars {
+			add(v, ast.VarMode, ast.VarMode)
+		}
+		for _, v := range outs {
+			// Out parameters still bind by reference, so may-definitions
+			// (partial array updates) preserve untouched elements.
+			add(v, ast.Out, ast.Out)
+		}
+		plan[r] = entries
+	}
+	if len(plan) == 0 {
+		return nil
+	}
+
+	// Rewrite each routine: rename non-local references to the new
+	// parameter names, then extend call sites, then append the formal
+	// parameters.
+	for _, r := range info.Routines {
+		entries := plan[r]
+		byVar := make(map[*sem.VarSym]string, len(entries))
+		for _, en := range entries {
+			byVar[en.v] = en.name
+		}
+
+		// Rename references to converted globals within r's own body.
+		ast.Inspect(r.Block.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if v, ok := info.Uses[id].(*sem.VarSym); ok {
+					if name, hit := byVar[v]; hit && id.Name != name {
+						id.Name = name
+					}
+				}
+			}
+			return true
+		})
+
+		// denote returns how variable v is spelled inside r.
+		denote := func(v *sem.VarSym, pos ast.Node) ast.Expr {
+			name := v.Name
+			if pn, hit := byVar[v]; hit {
+				name = pn
+			}
+			return &ast.Ident{NamePos: pos.Pos(), Name: name}
+		}
+
+		// Extend call sites in r's body.
+		if err := st.extendCalls(r, info, plan, denote); err != nil {
+			return err
+		}
+
+		// Append the formal parameters.
+		if len(entries) > 0 {
+			for _, en := range entries {
+				r.Decl.Params = append(r.Decl.Params, &ast.Param{
+					DeclPos: r.Decl.Pos(),
+					Mode:    en.mode,
+					Names:   []string{en.name},
+					Type:    typeExprOf(en.v),
+				})
+				st.res.Added[r.Name] = append(st.res.Added[r.Name], AddedParam{
+					Name: en.name, Mode: en.mode, Display: en.display, GlobalOf: en.v.Name,
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// typeExprOf reconstructs a type denotation for v from its declaration.
+// Type names declared in ancestors remain visible in descendants, so the
+// original denotation can be reused verbatim.
+func typeExprOf(v *sem.VarSym) ast.TypeExpr {
+	switch d := v.Decl.(type) {
+	case *ast.VarDecl:
+		return ast.CloneTypeExpr(d.Type)
+	case *ast.Param:
+		return ast.CloneTypeExpr(d.Type)
+	}
+	return &ast.NamedType{NamePos: v.Pos, Name: "integer"}
+}
+
+// extendCalls appends global-passing arguments to every call in r's body
+// whose callee gained parameters. Parameterless function references in
+// expression position are promoted to explicit call expressions.
+func (st *state) extendCalls(r *sem.Routine, info *sem.Info, plan map[*sem.Routine][]globalEntry, denote func(*sem.VarSym, ast.Node) ast.Expr) error {
+	var rewriteExpr func(e ast.Expr) ast.Expr
+	extend := func(node ast.Node, args []ast.Expr) []ast.Expr {
+		callee := info.Calls[node]
+		if callee == nil {
+			return args
+		}
+		for _, en := range plan[callee] {
+			args = append(args, denote(en.v, node))
+		}
+		return args
+	}
+	rewriteExprs := func(es []ast.Expr) {
+		for i, e := range es {
+			es[i] = rewriteExpr(e)
+		}
+	}
+	rewriteExpr = func(e ast.Expr) ast.Expr {
+		switch e := e.(type) {
+		case nil:
+			return nil
+		case *ast.Ident:
+			// A parameterless function call gaining parameters must
+			// become an explicit call expression.
+			if callee := info.Calls[e]; callee != nil && len(plan[callee]) > 0 {
+				ce := &ast.CallExpr{CallPos: e.Pos(), Name: e.Name}
+				ce.Args = extend(e, nil)
+				info.Calls[ce] = callee // keep resolution for later passes
+				st.mapOrigin(ce, e)
+				return ce
+			}
+			return e
+		case *ast.BinaryExpr:
+			e.X = rewriteExpr(e.X)
+			e.Y = rewriteExpr(e.Y)
+			return e
+		case *ast.UnaryExpr:
+			e.X = rewriteExpr(e.X)
+			return e
+		case *ast.IndexExpr:
+			e.X = rewriteExpr(e.X)
+			rewriteExprs(e.Indices)
+			return e
+		case *ast.FieldExpr:
+			e.X = rewriteExpr(e.X)
+			return e
+		case *ast.CallExpr:
+			rewriteExprs(e.Args)
+			e.Args = extend(e, e.Args)
+			return e
+		case *ast.SetLit:
+			rewriteExprs(e.Elems)
+			return e
+		default:
+			return e
+		}
+	}
+
+	var rewriteStmt func(s ast.Stmt)
+	rewriteStmt = func(s ast.Stmt) {
+		switch s := s.(type) {
+		case nil:
+		case *ast.CompoundStmt:
+			for _, c := range s.Stmts {
+				rewriteStmt(c)
+			}
+		case *ast.AssignStmt:
+			s.Lhs = rewriteExpr(s.Lhs)
+			s.Rhs = rewriteExpr(s.Rhs)
+		case *ast.CallStmt:
+			rewriteExprs(s.Args)
+			s.Args = extend(s, s.Args)
+		case *ast.IfStmt:
+			s.Cond = rewriteExpr(s.Cond)
+			rewriteStmt(s.Then)
+			rewriteStmt(s.Else)
+		case *ast.WhileStmt:
+			s.Cond = rewriteExpr(s.Cond)
+			rewriteStmt(s.Body)
+		case *ast.RepeatStmt:
+			for _, c := range s.Stmts {
+				rewriteStmt(c)
+			}
+			s.Cond = rewriteExpr(s.Cond)
+		case *ast.ForStmt:
+			s.From = rewriteExpr(s.From)
+			s.Limit = rewriteExpr(s.Limit)
+			rewriteStmt(s.Body)
+		case *ast.CaseStmt:
+			s.Expr = rewriteExpr(s.Expr)
+			for _, arm := range s.Arms {
+				rewriteStmt(arm.Body)
+			}
+			rewriteStmt(s.Else)
+		case *ast.LabeledStmt:
+			rewriteStmt(s.Stmt)
+		}
+	}
+	rewriteStmt(r.Block.Body)
+	return nil
+}
+
+// sortedPlanRoutines is a debugging helper listing planned routines.
+func sortedPlanRoutines(plan map[*sem.Routine][]globalEntry) []string {
+	var out []string
+	for r := range plan {
+		out = append(out, fmt.Sprintf("%s(+%d)", r.Name, len(plan[r])))
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,204 @@
+package transform
+
+import (
+	"gadt/internal/pascal/ast"
+	"gadt/internal/pascal/token"
+)
+
+// extractLoops rewrites every loop in the program into a synthetic
+// recursive procedure (a loop unit). A while loop
+//
+//	while C do B
+//
+// becomes
+//
+//	procedure r_loop; begin if C then begin B; r_loop; end; end;
+//	...; r_loop;
+//
+// so that each loop iteration shows up as one unit invocation in the
+// execution tree — the per-iteration queries of Section 6.1. For loops
+// are first brought into while form with an explicit limit variable;
+// repeat loops test their condition after the body. Loops whose body
+// places a label are left in place (jumping into a loop is not
+// supported); gotos that merely leave the loop become global gotos of
+// the loop unit and are handled by the goto-breaking pass.
+func (st *state) extractLoops(p *ast.Program) {
+	st.extractInBlock(p.Block, p.Name)
+}
+
+func (st *state) extractInBlock(b *ast.Block, routineName string) {
+	for _, r := range b.Routines {
+		owner := routineName
+		if _, isLoop := st.res.Units[r.Name]; !isLoop || st.res.Units[r.Name].Kind == RoutineUnit {
+			owner = r.Name
+		}
+		st.extractInBlock(r.Block, owner)
+	}
+	before := len(b.Routines)
+	b.Body = st.extractInStmt(b.Body, b, routineName).(*ast.CompoundStmt)
+	// Newly created loop units may contain further (inner) loops.
+	for i := before; i < len(b.Routines); i++ {
+		st.extractInBlock(b.Routines[i].Block, b.Routines[i].Name)
+	}
+}
+
+// placesLabel reports whether s contains a labeled statement.
+func placesLabel(s ast.Stmt) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.LabeledStmt); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func (st *state) extractInStmt(s ast.Stmt, b *ast.Block, routineName string) ast.Stmt {
+	switch s := s.(type) {
+	case nil:
+		return nil
+	case *ast.CompoundStmt:
+		for i, c := range s.Stmts {
+			s.Stmts[i] = st.extractInStmt(c, b, routineName)
+		}
+		return s
+	case *ast.IfStmt:
+		s.Then = st.extractInStmt(s.Then, b, routineName)
+		s.Else = st.extractInStmt(s.Else, b, routineName)
+		return s
+	case *ast.CaseStmt:
+		for _, arm := range s.Arms {
+			arm.Body = st.extractInStmt(arm.Body, b, routineName)
+		}
+		s.Else = st.extractInStmt(s.Else, b, routineName)
+		return s
+	case *ast.LabeledStmt:
+		s.Stmt = st.extractInStmt(s.Stmt, b, routineName)
+		return s
+	case *ast.WhileStmt:
+		if placesLabel(s.Body) {
+			s.Body = st.extractInStmt(s.Body, b, routineName)
+			return s
+		}
+		return st.makeLoopUnit(s, b, routineName, func(self string) ast.Stmt {
+			// if C then begin B; self; end
+			return &ast.IfStmt{
+				IfPos: s.Pos(),
+				Cond:  s.Cond,
+				Then: &ast.CompoundStmt{BeginPos: s.Pos(), Stmts: []ast.Stmt{
+					s.Body,
+					&ast.CallStmt{CallPos: s.Pos(), Name: self},
+				}},
+			}
+		}, nil)
+	case *ast.RepeatStmt:
+		for _, c := range s.Stmts {
+			if placesLabel(c) {
+				for i, cs := range s.Stmts {
+					s.Stmts[i] = st.extractInStmt(cs, b, routineName)
+				}
+				return s
+			}
+		}
+		return st.makeLoopUnit(s, b, routineName, func(self string) ast.Stmt {
+			// B; if not C then self
+			body := append([]ast.Stmt{}, s.Stmts...)
+			body = append(body, &ast.IfStmt{
+				IfPos: s.Pos(),
+				Cond:  &ast.UnaryExpr{OpPos: s.Pos(), Op: token.Not, X: s.Cond},
+				Then:  &ast.CallStmt{CallPos: s.Pos(), Name: self},
+			})
+			return &ast.CompoundStmt{BeginPos: s.Pos(), Stmts: body}
+		}, nil)
+	case *ast.ForStmt:
+		if placesLabel(s.Body) {
+			s.Body = st.extractInStmt(s.Body, b, routineName)
+			return s
+		}
+		// Introduce an explicit limit variable in the enclosing block.
+		limitName := st.fresh(s.Var.Name + "_limit")
+		b.Vars = append(b.Vars, &ast.VarDecl{
+			DeclPos: s.Pos(),
+			Names:   []string{limitName},
+			Type:    &ast.NamedType{NamePos: s.Pos(), Name: "integer"},
+		})
+		cmpOp, stepOp := token.LessEq, token.Plus
+		if s.Down {
+			cmpOp, stepOp = token.GreatEq, token.Minus
+		}
+		mkVar := func() *ast.Ident { return &ast.Ident{NamePos: s.Var.Pos(), Name: s.Var.Name} }
+		mkLimit := func() *ast.Ident { return &ast.Ident{NamePos: s.Pos(), Name: limitName} }
+		pre := []ast.Stmt{
+			&ast.AssignStmt{Lhs: mkLimit(), Rhs: s.Limit},
+			&ast.AssignStmt{Lhs: mkVar(), Rhs: s.From},
+		}
+		return st.makeLoopUnit(s, b, routineName, func(self string) ast.Stmt {
+			// if i <= limit then begin B; i := i ± 1; self; end
+			return &ast.IfStmt{
+				IfPos: s.Pos(),
+				Cond:  &ast.BinaryExpr{Op: cmpOp, X: mkVar(), Y: mkLimit()},
+				Then: &ast.CompoundStmt{BeginPos: s.Pos(), Stmts: []ast.Stmt{
+					s.Body,
+					&ast.AssignStmt{Lhs: mkVar(), Rhs: &ast.BinaryExpr{Op: stepOp, X: mkVar(), Y: &ast.IntLit{LitPos: s.Pos(), Value: 1}}},
+					&ast.CallStmt{CallPos: s.Pos(), Name: self},
+				}},
+			}
+		}, pre)
+	}
+	return s
+}
+
+// makeLoopUnit creates the synthetic recursive procedure for a loop and
+// returns the replacement statement (optional pre-statements followed by
+// the initial call).
+func (st *state) makeLoopUnit(loop ast.Stmt, b *ast.Block, routineName string, body func(self string) ast.Stmt, pre []ast.Stmt) ast.Stmt {
+	name := st.fresh(routineName + "_loop")
+	proc := &ast.Routine{
+		DeclPos:   loop.Pos(),
+		Kind:      ast.ProcKind,
+		Name:      name,
+		Synthetic: true,
+		Block: &ast.Block{
+			BlockPos: loop.Pos(),
+			Body: &ast.CompoundStmt{
+				BeginPos: loop.Pos(),
+				Stmts:    []ast.Stmt{body(name)},
+			},
+		},
+	}
+	b.Routines = append(b.Routines, proc)
+
+	origLoop := loop
+	if o, ok := st.res.Origins[loop]; ok {
+		if os, ok := o.(ast.Stmt); ok {
+			origLoop = os
+		}
+	}
+	st.res.Origins[proc] = origLoop
+	st.res.Units[name] = UnitOrigin{Kind: LoopUnit, RoutineName: rootUnitName(st.res, routineName), Loop: origLoop}
+
+	call := &ast.CallStmt{CallPos: loop.Pos(), Name: name}
+	st.res.Origins[call] = origLoop
+	if len(pre) == 0 {
+		return call
+	}
+	repl := &ast.CompoundStmt{BeginPos: loop.Pos(), Stmts: append(pre, call)}
+	st.res.Origins[repl] = origLoop
+	return repl
+}
+
+// rootUnitName resolves nested loop units to the original routine that
+// lexically contained the outermost loop.
+func rootUnitName(res *Result, name string) string {
+	for {
+		u, ok := res.Units[name]
+		if !ok || u.Kind == RoutineUnit {
+			return name
+		}
+		if u.RoutineName == name {
+			return name
+		}
+		name = u.RoutineName
+	}
+}

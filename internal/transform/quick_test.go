@@ -1,0 +1,118 @@
+package transform_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gadt/internal/pascal/interp"
+	"gadt/internal/pascal/parser"
+	"gadt/internal/pascal/printer"
+	"gadt/internal/pascal/sem"
+	"gadt/internal/progen"
+	"gadt/internal/transform"
+)
+
+// TestQuickTransformEquivalence is the central property of the
+// transformation phase, checked over randomly shaped synthetic
+// programs: the transformed program prints exactly what the original
+// prints ("the execution semantics of the original and the transformed
+// program are equivalent", Section 5.2).
+func TestQuickTransformEquivalence(t *testing.T) {
+	prop := func(depth, fanout uint8, globals, loops bool, bugRaw []uint8) bool {
+		cfg := progen.Config{
+			Depth:  int(depth%3) + 1,
+			Fanout: int(fanout%3) + 1,
+			Loops:  loops,
+		}
+		if globals {
+			cfg.Style = progen.Globals
+		}
+		for _, b := range bugRaw {
+			cfg.BugPath = append(cfg.BugPath, int(b))
+		}
+		p := progen.Generate(cfg)
+		for _, src := range []string{p.Buggy, p.Fixed} {
+			prog, err := parser.ParseProgram("q.pas", src)
+			if err != nil {
+				t.Logf("parse failed: %v", err)
+				return false
+			}
+			info, err := sem.Analyze(prog)
+			if err != nil {
+				t.Logf("analyze failed: %v", err)
+				return false
+			}
+			want, err := runOnce(info)
+			if err != nil {
+				t.Logf("original run failed: %v", err)
+				return false
+			}
+			res, err := transform.Apply(info)
+			if err != nil {
+				t.Logf("transform failed: %v", err)
+				return false
+			}
+			got, err := runOnce(res.Info)
+			if err != nil {
+				t.Logf("transformed run failed: %v", err)
+				return false
+			}
+			if got != want {
+				t.Logf("cfg %+v: output %q != %q", cfg, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runOnce(info *sem.Info) (string, error) {
+	var out strings.Builder
+	it := interp.New(info, interp.Config{Output: &out})
+	if err := it.Run(); err != nil {
+		return "", err
+	}
+	return out.String(), nil
+}
+
+// TestQuickTransformedRoundTrip: printing a transformed program and
+// reparsing it yields a program that still analyzes and prints the same.
+func TestQuickTransformedRoundTrip(t *testing.T) {
+	prop := func(depth, fanout uint8, globals bool) bool {
+		cfg := progen.Config{Depth: int(depth%3) + 1, Fanout: int(fanout%2) + 1, Loops: true}
+		if globals {
+			cfg.Style = progen.Globals
+		}
+		p := progen.Generate(cfg)
+		prog, err := parser.ParseProgram("q.pas", p.Buggy)
+		if err != nil {
+			return false
+		}
+		info, err := sem.Analyze(prog)
+		if err != nil {
+			return false
+		}
+		res, err := transform.Apply(info)
+		if err != nil {
+			return false
+		}
+		printed := printer.Print(res.Program)
+		reparsed, err := parser.ParseProgram("printed.pas", printed)
+		if err != nil {
+			t.Logf("reparse failed: %v\n%s", err, printed)
+			return false
+		}
+		if _, err := sem.Analyze(reparsed); err != nil {
+			t.Logf("reanalyze failed: %v", err)
+			return false
+		}
+		return printer.Print(reparsed) == printed
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

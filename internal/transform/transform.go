@@ -1,0 +1,231 @@
+// Package transform implements the paper's transformation phase
+// (Sections 5.1 and 6): it turns a Pascal program with global
+// side-effects and global gotos into an equivalent program whose units
+// (procedures, functions, and extracted loop units) communicate only
+// through explicit parameters, as required by algorithmic debugging.
+//
+// Three passes run in order:
+//
+//  1. Loop extraction: every loop becomes a synthetic recursive
+//     procedure (a "unit" in the paper's sense), so each iteration is a
+//     unit invocation in the execution tree. A goto leaving a loop
+//     thereby becomes a global goto, letting pass 2 treat the paper's
+//     "goto inside a loop addressed outside the loop" uniformly.
+//  2. Goto breaking: routines with exit side-effects get an `out`
+//     exit-condition parameter; global gotos become an assignment of an
+//     escape code plus a local goto to a fresh label at the routine end,
+//     and every call site tests the code and re-raises or jumps locally
+//     (the paper's second transformation example).
+//  3. Globals to parameters: Banning-style side-effect analysis decides,
+//     for every routine, which non-local variables it references or
+//     modifies; these become `in` (value), `var` or `out` parameters,
+//     transitively through call chains (the paper's first example).
+//
+// Instead of source-level trace augmentation (the paper's
+// save_incoming/outgoing_values calls), tracing uses the interpreter's
+// event sink, which is observationally equivalent; see DESIGN.md.
+//
+// A construct map (Origins) links every transformed node to the original
+// construct so the debugger can present original code to the user
+// (Section 6.1).
+package transform
+
+import (
+	"fmt"
+
+	"gadt/internal/pascal/ast"
+	"gadt/internal/pascal/sem"
+)
+
+// UnitKind distinguishes original routines from extracted loop units.
+type UnitKind int
+
+const (
+	RoutineUnit UnitKind = iota
+	LoopUnit
+)
+
+// UnitOrigin describes where a transformed routine came from.
+type UnitOrigin struct {
+	Kind UnitKind
+	// RoutineName is the original routine's name (for LoopUnit, the
+	// routine whose body contained the loop).
+	RoutineName string
+	// Loop is the original loop statement for LoopUnit.
+	Loop ast.Stmt
+}
+
+// AddedParam records one parameter introduced by the transformation.
+type AddedParam struct {
+	Name string
+	// Mode is the actual parameter mode in the transformed program.
+	// Display is the logical mode for presentation: a referenced-only
+	// global is logically an `in` parameter even when alias analysis
+	// forces by-reference passing (a variable that is var-bound anywhere
+	// may be mutated through that alias while the callee runs, so a
+	// value copy would go stale — Banning's alias problem).
+	Mode    ast.ParamMode
+	Display ast.ParamMode
+	// GlobalOf names the original non-local variable, or "" for the
+	// exit-condition parameter.
+	GlobalOf string
+	// ExitCond marks the exit-condition parameter.
+	ExitCond bool
+}
+
+// Result is the outcome of the transformation phase.
+type Result struct {
+	// Program is the transformed program; Info is its (re-run) semantic
+	// analysis.
+	Program *ast.Program
+	Info    *sem.Info
+
+	// OrigProgram/OrigInfo describe the untouched input.
+	OrigProgram *ast.Program
+	OrigInfo    *sem.Info
+
+	// Origins maps transformed AST nodes to the original nodes they were
+	// derived from (identity for untouched constructs, the source loop
+	// for loop-unit bodies, the original goto/call for inserted glue).
+	Origins ast.CloneMap
+
+	// Units maps transformed routine names to their origin.
+	Units map[string]UnitOrigin
+
+	// Added lists parameters introduced per transformed routine name,
+	// in declaration order.
+	Added map[string][]AddedParam
+
+	// EscapeCodes maps exit-condition codes to a human-readable label
+	// description ("label 9 in p"), shared program-wide.
+	EscapeCodes map[int]string
+}
+
+// OriginalStmt resolves a transformed statement to its original
+// counterpart, following the construct map transitively. Returns nil
+// when the statement is pure synthesis (inserted glue).
+func (res *Result) OriginalStmt(s ast.Stmt) ast.Stmt {
+	var n ast.Node = s
+	for {
+		o, ok := res.Origins[n]
+		if !ok || o == n {
+			break
+		}
+		n = o
+	}
+	if n == ast.Node(s) {
+		return s
+	}
+	os, _ := n.(ast.Stmt)
+	return os
+}
+
+// Apply runs the full transformation pipeline on an analyzed program.
+// The input program is not modified.
+func Apply(info *sem.Info) (*Result, error) {
+	clone, cm := ast.Clone(info.Program)
+	res := &Result{
+		OrigProgram: info.Program,
+		OrigInfo:    info,
+		Origins:     cm,
+		Units:       make(map[string]UnitOrigin),
+		Added:       make(map[string][]AddedParam),
+		EscapeCodes: make(map[int]string),
+	}
+	// Seed Units with the original routines.
+	for _, r := range info.Routines {
+		res.Units[r.Name] = UnitOrigin{Kind: RoutineUnit, RoutineName: r.Name}
+	}
+
+	st := &state{res: res, names: collectNames(clone)}
+
+	// Pass 1: loop extraction (pure AST rewriting).
+	st.extractLoops(clone)
+
+	// Re-analyze for passes 2 and 3, which need fresh scope/effect info.
+	info2, err := sem.Analyze(clone)
+	if err != nil {
+		return nil, fmt.Errorf("transform: loop extraction broke the program: %w", err)
+	}
+
+	// Pass 2: break global gotos.
+	if err := st.breakGotos(clone, info2); err != nil {
+		return nil, err
+	}
+	info3, err := sem.Analyze(clone)
+	if err != nil {
+		return nil, fmt.Errorf("transform: goto breaking broke the program: %w", err)
+	}
+
+	// Pass 3: globals to parameters.
+	if err := st.globalsToParams(clone, info3); err != nil {
+		return nil, err
+	}
+
+	final, err := sem.Analyze(clone)
+	if err != nil {
+		return nil, fmt.Errorf("transform: globals-to-params broke the program: %w", err)
+	}
+	res.Program = clone
+	res.Info = final
+	return res, nil
+}
+
+// state carries shared transformation machinery.
+type state struct {
+	res   *Result
+	names map[string]bool // all identifiers in use, for fresh-name generation
+	seq   int
+}
+
+// fresh returns an unused identifier based on base.
+func (st *state) fresh(base string) string {
+	name := base
+	for st.names[name] {
+		st.seq++
+		name = fmt.Sprintf("%s_%d", base, st.seq)
+	}
+	st.names[name] = true
+	return name
+}
+
+// collectNames gathers every identifier spelled in the program.
+func collectNames(p *ast.Program) map[string]bool {
+	names := map[string]bool{p.Name: true}
+	ast.Inspect(p, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			names[n.Name] = true
+		case *ast.Routine:
+			names[n.Name] = true
+		case *ast.VarDecl:
+			for _, s := range n.Names {
+				names[s] = true
+			}
+		case *ast.Param:
+			for _, s := range n.Names {
+				names[s] = true
+			}
+		case *ast.ConstDecl:
+			names[n.Name] = true
+		case *ast.TypeDecl:
+			names[n.Name] = true
+		case *ast.CallStmt:
+			names[n.Name] = true
+		case *ast.CallExpr:
+			names[n.Name] = true
+		case *ast.FieldExpr:
+			names[n.Field] = true
+		}
+		return true
+	})
+	return names
+}
+
+// GrowthFactor reports the size ratio of the transformed program to the
+// original, measured in printed source lines — the paper's Section 9
+// metric ("small procedures usually grow less than a factor of two").
+type GrowthFactor struct {
+	OrigLines, NewLines int
+	Factor              float64
+}

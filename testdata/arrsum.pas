@@ -1,0 +1,20 @@
+program arrtest;
+type
+  intarray = array [1 .. 100] of integer;
+var
+  a: intarray;
+  n, b: integer;
+
+procedure arrsum(a: intarray; n: integer; var b: integer);
+var i: integer;
+begin
+  b := 0;
+  for i := 1 to n do
+    b := b + a[i];
+end;
+
+begin
+  read(n);
+  arrsum(a, n, b);
+  writeln(b);
+end.

@@ -1,0 +1,14 @@
+program p;
+var x, y, z, sum, mul: integer;
+begin
+  read(x, y);
+  mul := 0;
+  sum := 0;
+  if x <= 1 then
+    sum := x + y
+  else begin
+    read(z);
+    mul := x * y;
+  end;
+  writeln(sum, mul);
+end.
