@@ -1,0 +1,36 @@
+# Developer entry points for the GADT reproduction.
+#
+#   make check   - formatting, vet, build and the full test suite
+#   make build   - compile every package and command
+#   make test    - run the test suite
+#   make bench   - run the benchmark suite once
+#   make lint    - run plint over the fixture and example programs
+#   make fmt     - rewrite sources with gofmt
+
+GO ?= go
+
+.PHONY: check build test bench lint fmt
+
+check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+lint:
+	$(GO) run ./cmd/plint testdata/*.pas || true
+
+fmt:
+	gofmt -w .

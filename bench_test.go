@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"testing"
 
+	"gadt/internal/analysis/lint"
 	"gadt/internal/assertion"
 	"gadt/internal/debugger"
 	"gadt/internal/exectree"
@@ -306,6 +307,25 @@ func BenchmarkDebugSynthetic(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- plint: dataflow anomaly diagnostics ------------------------------------
+
+func benchLint(b *testing.B, src string) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lint.Run("b.pas", src, lint.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLintSqrtest(b *testing.B) { benchLint(b, paper.Sqrtest) }
+
+func BenchmarkLintSynthetic(b *testing.B) {
+	p := progen.Generate(progen.Config{Depth: 5, Fanout: 2, Style: progen.Globals, Loops: true})
+	benchLint(b, p.Buggy)
 }
 
 func BenchmarkWeiserSliceF2(b *testing.B) {

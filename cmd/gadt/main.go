@@ -12,6 +12,7 @@
 //	-strategy string   top-down | divide | bottom-up (default top-down)
 //	-no-slicing        disable dynamic slicing on "n <output>" answers
 //	-no-transform      trace the original program (side-effect-free only)
+//	-no-lint           skip the plint pre-flight (anomaly report + hints)
 //	-reports file      T-GEN report database (JSON) to consult
 //	-spec file         T-GEN specification matching -reports
 //	-tree              print the execution tree before debugging
@@ -28,6 +29,7 @@ import (
 	"strconv"
 	"strings"
 
+	"gadt/internal/analysis/lint"
 	"gadt/internal/assertion"
 	"gadt/internal/debugger"
 	"gadt/internal/gadt"
@@ -71,6 +73,7 @@ func main() {
 	strategy := flag.String("strategy", "top-down", "top-down | divide | bottom-up")
 	noSlicing := flag.Bool("no-slicing", false, "disable dynamic slicing")
 	noTransform := flag.Bool("no-transform", false, "trace the original program")
+	noLint := flag.Bool("no-lint", false, "skip the plint pre-flight")
 	reports := flag.String("reports", "", "T-GEN report database (JSON)")
 	specFile := flag.String("spec", "", "T-GEN specification for -reports")
 	showTree := flag.Bool("tree", false, "print the execution tree first")
@@ -82,13 +85,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *input, *strategy, !*noSlicing, !*noTransform, *reports, *specFile, *showTree, *reference); err != nil {
+	if err := run(flag.Arg(0), *input, *strategy, !*noSlicing, !*noTransform, !*noLint, *reports, *specFile, *showTree, *reference); err != nil {
 		fmt.Fprintln(os.Stderr, "gadt:", err)
 		os.Exit(1)
 	}
 }
 
-func run(file, input, strategy string, slicing, doTransform bool, reports, specFile string, showTree bool, reference string) error {
+func run(file, input, strategy string, slicing, doTransform, doLint bool, reports, specFile string, showTree bool, reference string) error {
 	src, err := os.ReadFile(file)
 	if err != nil {
 		return err
@@ -96,6 +99,19 @@ func run(file, input, strategy string, slicing, doTransform bool, reports, specF
 	sys, err := gadt.Load(file, string(src))
 	if err != nil {
 		return err
+	}
+
+	// Pre-flight: report static dataflow anomalies before spending any
+	// oracle interaction, and convert them into suspiciousness hints so
+	// the traversal asks about anomalous units first.
+	var hints map[string]float64
+	if doLint {
+		if diags := sys.Lint(lint.Options{}); len(diags) > 0 {
+			fmt.Printf("static anomalies (plint; these units are asked about first):\n")
+			lint.Text(os.Stdout, diags)
+			fmt.Println()
+			hints = lint.Hints(diags)
+		}
 	}
 
 	var run *gadt.Run
@@ -116,7 +132,7 @@ func run(file, input, strategy string, slicing, doTransform bool, reports, specF
 		run.Tree.Render(os.Stdout, nil, nil)
 	}
 
-	cfg := gadt.DebugConfig{Slicing: slicing}
+	cfg := gadt.DebugConfig{Slicing: slicing, Hints: hints}
 	switch strategy {
 	case "top-down", "":
 		cfg.Strategy = debugger.TopDown

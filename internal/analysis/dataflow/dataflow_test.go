@@ -249,3 +249,105 @@ func TestQuickBitSet(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// findStmtNode returns the CFG node for the first assignment to name.
+func findAssign(g *cfg.Graph, name string) *cfg.Node {
+	for _, n := range g.Nodes {
+		if n.Kind == cfg.Stmt {
+			if as, ok := n.Stmt.(*ast.AssignStmt); ok {
+				if id, ok := as.Lhs.(*ast.Ident); ok && id.Name == name {
+					return n
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// TestSyntheticQueries drives SyntheticReaches / SyntheticOnly /
+// DefinitelyAssigns through the three situations the lint checks
+// distinguish: definitely-assigned, maybe-assigned, and never-assigned
+// before a use.
+func TestSyntheticQueries(t *testing.T) {
+	info, g, df := analyzeRoutine(t, `
+program t;
+var g: integer;
+procedure p(c: integer; var r: integer);
+var a, b, u: integer;
+begin
+  a := 1;
+  if c > 0 then
+    b := 2;
+  r := a + b + u;
+end;
+begin
+  read(g);
+  p(g, g);
+  writeln(g);
+end.`, "p")
+	p := info.LookupRoutine("p")
+	use := findAssign(g, "r")
+	if use == nil {
+		t.Fatal("r := ... not found")
+	}
+	tests := []struct {
+		name                      string
+		reaches, only, definitely bool
+	}{
+		{"a", false, false, true}, // assigned on every path
+		{"b", true, false, false}, // assigned on one branch only
+		{"u", true, true, false},  // never assigned
+	}
+	for _, tt := range tests {
+		v := findVar(info, p, tt.name)
+		if got := df.SyntheticReaches(use, v); got != tt.reaches {
+			t.Errorf("SyntheticReaches(%s) = %v, want %v", tt.name, got, tt.reaches)
+		}
+		if got := df.SyntheticOnly(use, v); got != tt.only {
+			t.Errorf("SyntheticOnly(%s) = %v, want %v", tt.name, got, tt.only)
+		}
+		if got := df.DefinitelyAssigns(v); got != tt.definitely {
+			t.Errorf("DefinitelyAssigns(%s) = %v, want %v", tt.name, got, tt.definitely)
+		}
+	}
+}
+
+// TestLivenessDeadStore checks that an overwritten-before-read value is
+// dead at its store while the surviving one is live.
+func TestLivenessDeadStore(t *testing.T) {
+	info, g, df := analyzeRoutine(t, `
+program t;
+var x, y: integer;
+begin
+  x := 1;
+  x := 2;
+  y := x;
+  writeln(y);
+end.`, "")
+	x := findVar(info, info.Main, "x")
+	live := df.Liveness()
+	var first, second *cfg.Node
+	for _, n := range g.Nodes {
+		if n.Kind != cfg.Stmt {
+			continue
+		}
+		if as, ok := n.Stmt.(*ast.AssignStmt); ok {
+			if id, ok := as.Lhs.(*ast.Ident); ok && id.Name == "x" {
+				if first == nil {
+					first = n
+				} else {
+					second = n
+				}
+			}
+		}
+	}
+	if first == nil || second == nil {
+		t.Fatal("assignments to x not found")
+	}
+	if live.LiveOut(first, x) {
+		t.Error("x := 1 should be dead (overwritten before any read)")
+	}
+	if !live.LiveOut(second, x) {
+		t.Error("x := 2 should be live (read by y := x)")
+	}
+}

@@ -1,0 +1,159 @@
+// Live-variable analysis over the CFG, the backward companion of
+// reaching definitions. The lint layer uses it to detect dead stores:
+// a must-definition whose variable is not live out of the defining node
+// computes a value no execution can observe.
+package dataflow
+
+import (
+	"gadt/internal/analysis/cfg"
+	"gadt/internal/pascal/ast"
+	"gadt/internal/pascal/sem"
+)
+
+// Live holds live-variable sets for one routine's CFG.
+type Live struct {
+	Graph *cfg.Graph
+	// In is the set of variables live at node entry; Out at node exit.
+	In  map[*cfg.Node]map[*sem.VarSym]bool
+	Out map[*cfg.Node]map[*sem.VarSym]bool
+}
+
+// LiveOut reports whether v is live immediately after n.
+func (l *Live) LiveOut(n *cfg.Node, v *sem.VarSym) bool { return l.Out[n][v] }
+
+// Liveness computes live variables over the graph of r, reusing the
+// per-node def/use sets already collected by ReachingDefs. Live at Exit
+// are the routine's outputs (var/out parameters and the function result,
+// recorded in UsesAt[Exit]) plus every non-local variable the routine
+// defines: those values are visible to callers after the call returns.
+func (r *Result) Liveness() *Live {
+	g := r.Graph
+	l := &Live{
+		Graph: g,
+		In:    make(map[*cfg.Node]map[*sem.VarSym]bool, len(g.Nodes)),
+		Out:   make(map[*cfg.Node]map[*sem.VarSym]bool, len(g.Nodes)),
+	}
+	for _, n := range g.Nodes {
+		l.In[n] = make(map[*sem.VarSym]bool)
+		l.Out[n] = make(map[*sem.VarSym]bool)
+	}
+
+	// Boundary condition at Exit: declared outputs plus defined
+	// non-locals (their final values escape to the caller's environment).
+	exitLive := l.In[g.Exit]
+	for _, v := range r.UsesAt[g.Exit] {
+		exitLive[v] = true
+	}
+	for _, d := range r.Defs {
+		if d.Synthetic {
+			continue
+		}
+		if d.Var.Owner != g.Routine {
+			exitLive[d.Var] = true
+		}
+	}
+
+	// kills: variables whose whole value a node overwrites. Only must
+	// definitions kill liveness; may definitions (partial updates, call
+	// effects) leave the incoming value observable.
+	kills := func(n *cfg.Node) []*sem.VarSym {
+		var out []*sem.VarSym
+		for _, d := range r.DefsAt[n] {
+			if d.Must && !d.Synthetic {
+				out = append(out, d.Var)
+			}
+		}
+		return out
+	}
+
+	// Iterate to a fixpoint, walking nodes in reverse allocation order so
+	// the common reducible case converges in a couple of sweeps.
+	for changed := true; changed; {
+		changed = false
+		for i := len(g.Nodes) - 1; i >= 0; i-- {
+			n := g.Nodes[i]
+			out := l.Out[n]
+			for _, s := range n.Succs {
+				for v := range l.In[s] {
+					if !out[v] {
+						out[v] = true
+						changed = true
+					}
+				}
+			}
+			in := l.In[n]
+			live := make(map[*sem.VarSym]bool, len(out))
+			for v := range out {
+				live[v] = true
+			}
+			for _, v := range kills(n) {
+				delete(live, v)
+			}
+			for _, v := range r.UsesAt[n] {
+				live[v] = true
+			}
+			for v := range live {
+				if !in[v] {
+					in[v] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return l
+}
+
+// SyntheticReaches reports whether the synthetic initial definition of v
+// reaches the entry of n — i.e. some path from Entry arrives at n without
+// passing a real whole-variable assignment of v.
+func (r *Result) SyntheticReaches(n *cfg.Node, v *sem.VarSym) bool {
+	for _, d := range r.ReachingAt(n, v) {
+		if d.Synthetic {
+			return true
+		}
+	}
+	return false
+}
+
+// SyntheticOnly reports whether every definition of v reaching the entry
+// of node n is the synthetic Entry definition — i.e. no real assignment
+// of v can reach n on any path.
+func (r *Result) SyntheticOnly(n *cfg.Node, v *sem.VarSym) bool {
+	defs := r.ReachingAt(n, v)
+	if len(defs) == 0 {
+		return false
+	}
+	for _, d := range defs {
+		if !d.Synthetic {
+			return false
+		}
+	}
+	return true
+}
+
+// DefinitelyAssigns reports whether the routine assigns variable v on
+// every path from Entry to Exit (the synthetic initial definition of v
+// does not reach Exit). For a callee's var/out formal this is the
+// interprocedural must-assign fact the lint layer's definite-assignment
+// analysis consumes at call sites.
+func (r *Result) DefinitelyAssigns(v *sem.VarSym) bool {
+	for _, d := range r.ReachingAt(r.Graph.Exit, v) {
+		if d.Synthetic {
+			return false
+		}
+	}
+	return true
+}
+
+// IsRoutineOutput reports whether v is an output of the graph's routine
+// (var/out parameter or function result), i.e. a variable whose value at
+// Exit is observable by the caller.
+func IsRoutineOutput(g *cfg.Graph, v *sem.VarSym) bool {
+	if v.Owner != g.Routine {
+		return false
+	}
+	if v == g.Routine.Result {
+		return true
+	}
+	return v.Kind == sem.ParamVar && v.Mode != ast.Value
+}

@@ -1,0 +1,178 @@
+// Package lint is a structured diagnostics engine over analyzed Pascal
+// programs: a registry of dataflow-powered checks (use before
+// definition, dead stores, unreachable code, var-parameter aliasing,
+// unassigned function results, anomalous gotos, ...) built on the CFG,
+// reaching-definitions, liveness, call-graph and side-effect layers.
+//
+// The paper's machinery (Sections 5-7) exists to reduce oracle
+// interactions during bug localization; the cheapest oracle question is
+// the one never asked because the bug was flagged statically. Findings
+// are Diagnostics with stable codes (P001...), deterministic ordering,
+// text and JSON renderers, `// lint:ignore P00x` suppression, and a
+// Hints aggregation that biases the algorithmic debugger toward
+// execution-tree nodes whose unit carries a static anomaly.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"gadt/internal/pascal/token"
+)
+
+// Severity ranks findings. Error-severity findings make cmd/plint exit
+// non-zero.
+type Severity int
+
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	}
+	return "info"
+}
+
+// MarshalJSON renders the severity as its lower-case name.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON parses the lower-case severity name.
+func (s *Severity) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "error":
+		*s = Error
+	case "warning":
+		*s = Warning
+	case "info":
+		*s = Info
+	default:
+		return fmt.Errorf("lint: unknown severity %q", name)
+	}
+	return nil
+}
+
+// Related is a secondary location attached to a diagnostic (the label a
+// goto jumps to, the parameter an argument aliases, ...).
+type Related struct {
+	Pos     token.Pos `json:"pos"`
+	Message string    `json:"message"`
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos token.Pos `json:"pos"`
+	// End is the (approximate) position of the last token of the
+	// offending construct; the zero Pos when unknown.
+	End      token.Pos `json:"end,omitempty"`
+	Severity Severity  `json:"severity"`
+	// Code is the stable check identifier, e.g. "P001".
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// Routine names the routine whose body or interface carries the
+	// anomaly (the program pseudo-routine for program-level findings);
+	// the debugger's hint layer aggregates by this name.
+	Routine string    `json:"routine,omitempty"`
+	Related []Related `json:"related,omitempty"`
+}
+
+func (d *Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s [%s]", d.Pos, d.Severity, d.Message, d.Code)
+}
+
+// Sort orders diagnostics deterministically: by position, then code,
+// then message.
+func Sort(diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := &diags[i], &diags[j]
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Message < b.Message
+	})
+}
+
+// HasErrors reports whether any finding has Error severity.
+func HasErrors(diags []Diagnostic) bool {
+	for i := range diags {
+		if diags[i].Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Text renders the findings one per line, related locations indented,
+// in the classic file:line:col compiler format.
+func Text(w io.Writer, diags []Diagnostic) {
+	for i := range diags {
+		d := &diags[i]
+		fmt.Fprintf(w, "%s\n", d.String())
+		for _, r := range d.Related {
+			fmt.Fprintf(w, "\t%s: %s\n", r.Pos, r.Message)
+		}
+	}
+}
+
+// JSON renders the findings as an indented JSON array (round-trippable
+// through ParseJSON).
+func JSON(w io.Writer, diags []Diagnostic) error {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(diags)
+}
+
+// ParseJSON decodes a JSON rendering produced by JSON.
+func ParseJSON(r io.Reader) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	if err := json.NewDecoder(r).Decode(&diags); err != nil {
+		return nil, err
+	}
+	return diags, nil
+}
+
+// Hints aggregates findings into per-routine suspiciousness scores for
+// the debugger's node selection: error-severity anomalies weigh 3,
+// warnings 2, infos 1, summed per routine. A unit invocation whose
+// routine scores higher is asked about earlier.
+func Hints(diags []Diagnostic) map[string]float64 {
+	hints := make(map[string]float64)
+	for i := range diags {
+		d := &diags[i]
+		if d.Routine == "" {
+			continue
+		}
+		switch d.Severity {
+		case Error:
+			hints[d.Routine] += 3
+		case Warning:
+			hints[d.Routine] += 2
+		default:
+			hints[d.Routine] += 1
+		}
+	}
+	return hints
+}

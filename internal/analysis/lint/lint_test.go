@@ -1,0 +1,369 @@
+package lint_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gadt/internal/analysis/lint"
+	"gadt/internal/corpus"
+)
+
+// runFile lints a testdata file, keeping the repo-relative name in
+// positions so output matches what plint prints from the repo root.
+func runFile(t *testing.T, name string, opts lint.Options) []lint.Diagnostic {
+	t.Helper()
+	rel := filepath.Join("testdata", name)
+	src, err := os.ReadFile(filepath.Join("..", "..", "..", rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run(rel, string(src), opts)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return diags
+}
+
+// TestGolden pins the exact findings — codes, positions, messages and
+// related notes — for the seeded-anomaly fixture.
+func TestGolden(t *testing.T) {
+	diags := runFile(t, "lint_anomalies.pas", lint.Options{})
+
+	var buf bytes.Buffer
+	lint.Text(&buf, diags)
+	want, err := os.ReadFile(filepath.Join("..", "..", "..", "testdata", "lint_anomalies.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != string(want) {
+		t.Errorf("golden mismatch:\n--- got ---\n%s--- want ---\n%s", buf.String(), want)
+	}
+
+	// Every registered check must be exercised by the fixture.
+	fired := make(map[string]bool)
+	for _, d := range diags {
+		fired[d.Code] = true
+	}
+	for _, c := range lint.Checks() {
+		if !fired[c.Code] {
+			t.Errorf("check %s (%s) fires nowhere in lint_anomalies.pas", c.Code, c.Name)
+		}
+	}
+	if !lint.HasErrors(diags) {
+		t.Error("fixture should contain error-severity findings")
+	}
+}
+
+// TestCleanPrograms asserts zero false positives on anomaly-free inputs:
+// the dedicated clean fixture and the paper's own subject programs.
+func TestCleanPrograms(t *testing.T) {
+	for _, name := range []string{"lint_clean.pas", "sqrtest.pas", "arrsum.pas"} {
+		if diags := runFile(t, name, lint.Options{}); len(diags) > 0 {
+			var buf bytes.Buffer
+			lint.Text(&buf, diags)
+			t.Errorf("%s: want no findings, got:\n%s", name, buf.String())
+		}
+	}
+}
+
+// TestCorpus lints every corpus program (working and buggy variants).
+// The corpus is executable and correct, so anything beyond the one known
+// benign finding (matrixtrace's shadowed program-level i, j) is a false
+// positive.
+func TestCorpus(t *testing.T) {
+	for _, p := range corpus.All() {
+		for _, v := range []struct{ tag, src string }{{"ok", p.Source}, {"buggy", p.Buggy}} {
+			if v.src == "" {
+				continue
+			}
+			diags, err := lint.Run(p.Name, v.src, lint.Options{})
+			if err != nil {
+				t.Errorf("%s %s: %v", p.Name, v.tag, err)
+				continue
+			}
+			if p.Name == "matrixtrace" {
+				if len(diags) != 2 || diags[0].Code != "P004" || diags[1].Code != "P004" {
+					t.Errorf("matrixtrace: want exactly the two shadowed-variable P004 findings, got %+v", diags)
+				}
+				continue
+			}
+			if len(diags) > 0 {
+				var buf bytes.Buffer
+				lint.Text(&buf, diags)
+				t.Errorf("%s %s: unexpected findings:\n%s", p.Name, v.tag, buf.String())
+			}
+		}
+	}
+}
+
+// deadStoreProgram seeds one P003 at line 5 and one P004 (variable w)
+// and lets tests inject comment text around the store.
+const deadStoreProgram = `program s;
+var g: integer;
+procedure p(var r: integer);
+var d, w: integer;
+begin
+  d := 1;%s
+  d := 2;%s
+  w := d;
+  r := d;
+end;
+begin
+  p(g);
+  writeln(g);
+end.
+`
+
+func TestSuppressions(t *testing.T) {
+	tests := []struct {
+		name      string
+		sameLine  string // appended to the d := 1 line
+		nextLine  string // inserted as the d := 2 line suffix (unused by most)
+		opts      lint.Options
+		wantCodes []string
+	}{
+		{
+			name:      "none",
+			wantCodes: []string{"P004", "P003"},
+		},
+		{
+			name:      "same line slash comment",
+			sameLine:  " // lint:ignore P003 first write kept",
+			wantCodes: []string{"P004"},
+		},
+		{
+			name:      "same line brace comment",
+			sameLine:  " { lint:ignore P003 }",
+			wantCodes: []string{"P004"},
+		},
+		{
+			name:      "wrong code does not suppress",
+			sameLine:  " { lint:ignore P001 }",
+			wantCodes: []string{"P004", "P003"},
+		},
+		{
+			name:      "all keyword",
+			sameLine:  " (* lint:ignore all *)",
+			wantCodes: []string{"P004"},
+		},
+		{
+			name:      "multiple codes comma separated",
+			sameLine:  " // lint:ignore P001, P003",
+			wantCodes: []string{"P004"},
+		},
+		{
+			name:      "NoSuppress keeps the finding",
+			sameLine:  " // lint:ignore P003",
+			opts:      lint.Options{NoSuppress: true},
+			wantCodes: []string{"P004", "P003"},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			src := strings.Replace(deadStoreProgram, "%s", tt.sameLine, 1)
+			src = strings.Replace(src, "%s", tt.nextLine, 1)
+			diags, err := lint.Run("s.pas", src, tt.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got []string
+			for _, d := range diags {
+				got = append(got, d.Code)
+			}
+			if !reflect.DeepEqual(got, tt.wantCodes) {
+				t.Errorf("got codes %v, want %v", got, tt.wantCodes)
+			}
+		})
+	}
+}
+
+// TestSuppressionPreviousLine covers a standalone comment applying to the
+// line after it.
+func TestSuppressionPreviousLine(t *testing.T) {
+	src := `program s;
+var g: integer;
+procedure p(var r: integer);
+var d, w: integer;
+begin
+  { lint:ignore P003 }
+  d := 1;
+  d := 2;
+  w := d;
+  r := d;
+end;
+begin
+  p(g);
+  writeln(g);
+end.
+`
+	diags, err := lint.Run("s.pas", src, lint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Code != "P004" {
+		t.Errorf("want only P004 after suppressing P003 from the previous line, got %+v", diags)
+	}
+}
+
+func TestCodesFilter(t *testing.T) {
+	diags := runFile(t, "lint_anomalies.pas", lint.Options{Codes: []string{"P001", "P009"}})
+	for _, d := range diags {
+		if d.Code != "P001" && d.Code != "P009" {
+			t.Errorf("filter leaked code %s", d.Code)
+		}
+	}
+	if len(diags) != 3 { // one P001, two P009 flavors
+		t.Errorf("want 3 filtered findings, got %d", len(diags))
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	diags := runFile(t, "lint_anomalies.pas", lint.Options{})
+	var buf bytes.Buffer
+	if err := lint.JSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	back, err := lint.ParseJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(diags, back) {
+		t.Errorf("JSON round trip changed findings:\n got %+v\nwant %+v", back, diags)
+	}
+
+	// Empty runs must encode as [], not null.
+	buf.Reset()
+	if err := lint.JSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Errorf("empty JSON = %q, want []", buf.String())
+	}
+}
+
+// TestVarAliasing drives P008 through direct calls and nested chains.
+func TestVarAliasing(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want int // number of P008 findings
+	}{
+		{
+			name: "direct two formals",
+			src: `program a;
+var x: integer;
+procedure both(var p, q: integer);
+begin
+  p := p + q;
+  q := q - p;
+end;
+begin
+  x := 1;
+  both(x, x);
+  writeln(x);
+end.
+`,
+			want: 1,
+		},
+		{
+			name: "two calls deep through a var formal",
+			src: `program a;
+var gv: integer;
+procedure leaf(var p: integer);
+begin
+  p := p + gv;
+end;
+procedure mid(var u: integer);
+begin
+  leaf(u);
+end;
+begin
+  gv := 1;
+  mid(gv);
+  writeln(gv);
+end.
+`,
+			want: 1, // reported once, at the mid(gv) site where the overlap is created
+		},
+		{
+			name: "distinct variables are fine",
+			src: `program a;
+var x, y: integer;
+procedure both(var p, q: integer);
+begin
+  p := p + q;
+  q := q - p;
+end;
+begin
+  x := 1;
+  y := 2;
+  both(x, y);
+  writeln(x, y);
+end.
+`,
+			want: 0,
+		},
+		{
+			name: "same base distinct elements not reported",
+			src: `program a;
+type arr = array [1 .. 4] of integer;
+var v: arr;
+procedure both(var p, q: integer);
+begin
+  p := p + q;
+  q := q - p;
+end;
+begin
+  v[1] := 1;
+  v[2] := 2;
+  both(v[1], v[2]);
+  writeln(v[1], v[2]);
+end.
+`,
+			want: 0,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			diags, err := lint.Run("a.pas", tt.src, lint.Options{Codes: []string{"P008"}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(diags) != tt.want {
+				var buf bytes.Buffer
+				lint.Text(&buf, diags)
+				t.Errorf("want %d P008 findings, got %d:\n%s", tt.want, len(diags), buf.String())
+			}
+		})
+	}
+}
+
+func TestHints(t *testing.T) {
+	diags := []lint.Diagnostic{
+		{Code: "P001", Severity: lint.Error, Routine: "f"},
+		{Code: "P003", Severity: lint.Warning, Routine: "f"},
+		{Code: "P004", Severity: lint.Warning, Routine: "g"},
+		{Code: "P011", Severity: lint.Info, Routine: ""},
+	}
+	hints := lint.Hints(diags)
+	want := map[string]float64{"f": 5, "g": 2}
+	if !reflect.DeepEqual(hints, want) {
+		t.Errorf("Hints = %v, want %v", hints, want)
+	}
+}
+
+func TestLookupCheck(t *testing.T) {
+	if c := lint.LookupCheck("P003"); c == nil || c.Name != "dead-store" {
+		t.Errorf("LookupCheck(P003) = %+v", c)
+	}
+	if c := lint.LookupCheck("dead-store"); c == nil || c.Code != "P003" {
+		t.Errorf("LookupCheck(dead-store) = %+v", c)
+	}
+	if c := lint.LookupCheck("nope"); c != nil {
+		t.Errorf("LookupCheck(nope) = %+v, want nil", c)
+	}
+}

@@ -1,0 +1,107 @@
+package lint
+
+import "strings"
+
+// suppression is one parsed lint:ignore marker.
+type suppression struct {
+	line  int             // line the marker applies to
+	codes map[string]bool // suppressed codes; "all" suppresses everything
+}
+
+// parseSuppressions scans the raw source for `lint:ignore` markers in
+// any comment form:
+//
+//	x := 0; // lint:ignore P003 kept for symmetry
+//	{ lint:ignore P001 P002 }
+//	(* lint:ignore all *)
+//
+// A marker on a line that holds code applies to that line; a marker on a
+// comment-only line applies to the next line. Codes are separated by
+// spaces or commas; the word "all" suppresses every check.
+func parseSuppressions(src string) []suppression {
+	var out []suppression
+	lines := strings.Split(src, "\n")
+	for i, line := range lines {
+		idx := strings.Index(line, "lint:ignore")
+		if idx < 0 {
+			continue
+		}
+		rest := line[idx+len("lint:ignore"):]
+		codes := make(map[string]bool)
+		for _, f := range strings.FieldsFunc(rest, func(r rune) bool {
+			return r == ' ' || r == '\t' || r == ','
+		}) {
+			f = strings.TrimSuffix(strings.TrimSuffix(f, "}"), "*)")
+			if f == "all" {
+				codes["all"] = true
+				continue
+			}
+			if validCode(f) {
+				codes[f] = true
+			} else {
+				break // prose after the code list
+			}
+		}
+		if len(codes) == 0 {
+			continue
+		}
+		target := i + 1 // 1-based line of the marker itself
+		if commentOnly(line[:idx]) {
+			target++ // standalone comment: applies to the next line
+		}
+		out = append(out, suppression{line: target, codes: codes})
+	}
+	return out
+}
+
+// validCode reports whether s looks like a diagnostic code (P followed
+// by digits).
+func validCode(s string) bool {
+	if len(s) < 2 || (s[0] != 'P' && s[0] != 'p') {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// commentOnly reports whether the text before the marker contains only
+// whitespace and comment openers — i.e. the line carries no code.
+func commentOnly(prefix string) bool {
+	trimmed := strings.TrimLeft(prefix, " \t")
+	for _, open := range []string{"//", "{", "(*"} {
+		if strings.HasPrefix(trimmed, open) {
+			return true
+		}
+	}
+	return trimmed == ""
+}
+
+// applySuppressions drops findings matched by a lint:ignore marker.
+func applySuppressions(src string, diags []Diagnostic) []Diagnostic {
+	sups := parseSuppressions(src)
+	if len(sups) == 0 {
+		return diags
+	}
+	byLine := make(map[int][]suppression)
+	for _, s := range sups {
+		byLine[s.line] = append(byLine[s.line], s)
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for _, s := range byLine[d.Pos.Line] {
+			if s.codes["all"] || s.codes[d.Code] || s.codes[strings.ToLower(d.Code)] {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

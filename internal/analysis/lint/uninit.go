@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"gadt/internal/analysis/cfg"
+	"gadt/internal/pascal/sem"
+)
+
+// maybeUninit computes, for every CFG node of r, the set of r's local
+// variables that are possibly uninitialized at node entry: there exists
+// a path from Entry on which no definition of the variable occurs.
+//
+// Unlike reaching definitions — where call effects and partial updates
+// are may-definitions that do not kill the synthetic initial def — this
+// forward analysis clears a variable on ANY definition. A call binding a
+// local to a var parameter initializes it on the path through that call;
+// whether the callee assigns unconditionally is already folded in by the
+// side-effect resolver (a callee that never writes its formal produces
+// no definition at the site at all). The asymmetry is deliberate:
+// reaching definitions must over-approximate for slicing soundness,
+// while the anomaly report must under-approximate to avoid crying wolf.
+func maybeUninit(cx *Context, r *sem.Routine) map[*cfg.Node]map[*sem.VarSym]bool {
+	g, fl := cx.Graphs[r], cx.Flows[r]
+
+	// Track plain locals only; parameters are caller-initialized and the
+	// function result is P009's business.
+	tracked := make(map[*sem.VarSym]bool, len(r.Locals))
+	for _, v := range r.Locals {
+		tracked[v] = true
+	}
+
+	in := make(map[*cfg.Node]map[*sem.VarSym]bool, len(g.Nodes))
+	out := make(map[*cfg.Node]map[*sem.VarSym]bool, len(g.Nodes))
+	for _, n := range g.Nodes {
+		in[n] = make(map[*sem.VarSym]bool)
+		out[n] = make(map[*sem.VarSym]bool)
+	}
+	for v := range tracked {
+		out[g.Entry][v] = true
+	}
+
+	transfer := func(n *cfg.Node) map[*sem.VarSym]bool {
+		res := make(map[*sem.VarSym]bool, len(in[n]))
+		for v := range in[n] {
+			res[v] = true
+		}
+		for _, d := range fl.DefsAt[n] {
+			if !d.Synthetic {
+				delete(res, d.Var)
+			}
+		}
+		return res
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			if n == g.Entry {
+				continue
+			}
+			inN := in[n]
+			for _, p := range n.Preds {
+				for v := range out[p] {
+					if !inN[v] {
+						inN[v] = true
+						changed = true
+					}
+				}
+			}
+			newOut := transfer(n)
+			for v := range newOut {
+				if !out[n][v] {
+					out[n][v] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return in
+}

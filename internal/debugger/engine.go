@@ -2,6 +2,7 @@ package debugger
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"gadt/internal/assertion"
@@ -67,6 +68,14 @@ type Options struct {
 
 	// MaxQuestions bounds user interactions (0 = 10000).
 	MaxQuestions int
+
+	// Hints maps unit names to static suspiciousness scores (package
+	// lint's Hints aggregation: routines carrying dataflow anomalies
+	// score higher). Traversals ask about higher-scored units first —
+	// top-down and bottom-up reorder sibling visits, divide-and-query
+	// breaks weight ties toward the suspicious node. Hints only reorder
+	// questions; the verdicts still decide where the bug is localized.
+	Hints map[string]float64
 
 	// NoRootAssumption disables the premise that the program block
 	// itself misbehaved. By default the root is assumed incorrect (the
@@ -166,7 +175,9 @@ func (s *Session) kept(n *exectree.Node) bool {
 	return s.view == nil || s.view[n]
 }
 
-// children returns n's children retained by the current view.
+// children returns n's children retained by the current view, most
+// suspicious first when hints are present (stable otherwise: execution
+// order).
 func (s *Session) children(n *exectree.Node) []*exectree.Node {
 	var out []*exectree.Node
 	for _, c := range n.Children {
@@ -174,7 +185,26 @@ func (s *Session) children(n *exectree.Node) []*exectree.Node {
 			out = append(out, c)
 		}
 	}
+	if len(s.Opts.Hints) > 0 {
+		sort.SliceStable(out, func(i, j int) bool {
+			return s.hintOf(out[i]) > s.hintOf(out[j])
+		})
+	}
 	return out
+}
+
+// hintOf returns the static suspiciousness of n's unit. Loop units
+// inherit the score of the routine their loop was extracted from.
+func (s *Session) hintOf(n *exectree.Node) float64 {
+	if h, ok := s.Opts.Hints[n.Unit.Name]; ok {
+		return h
+	}
+	if s.Opts.Meta != nil {
+		if u, ok := s.Opts.Meta.Units[n.Unit.Name]; ok && u.Kind == transform.LoopUnit {
+			return s.Opts.Hints[u.RoutineName]
+		}
+	}
+	return 0
 }
 
 // subtreeSize counts retained nodes in n's subtree (including n).
@@ -410,7 +440,9 @@ func (s *Session) runDivideAndQuery() (*exectree.Node, error) {
 				if d < 0 {
 					d = -d
 				}
-				if d < bestDiff {
+				// Among equally good bisection points, prefer the one whose
+				// unit a static anomaly hint marks as suspicious.
+				if d < bestDiff || (d == bestDiff && best != nil && s.hintOf(n) > s.hintOf(best)) {
 					bestDiff = d
 					best = n
 				}

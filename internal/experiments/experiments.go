@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"gadt/internal/assertion"
+	"gadt/internal/corpus"
 	"gadt/internal/debugger"
 	"gadt/internal/exectree"
 	"gadt/internal/gadt"
@@ -47,6 +48,7 @@ func All() []Experiment {
 		{"MULTIBUG", "Section 5.3.3 Q&A: bugs localized one correction cycle at a time", RunMultiBug},
 		{"TRAVERSAL", "Ablation: execution-tree traversal strategies", RunTraversal},
 		{"ABLATION", "Ablation: answer sources on sqrtest", RunAblation},
+		{"HINTS", "Static anomaly hints: oracle queries with and without plint", RunHints},
 	}
 }
 
@@ -689,6 +691,153 @@ func RunAblation() (string, error) {
 		}
 		fmt.Fprintf(&b, "%-34s %10d %6d %6d %6d %7d   bug: %s\n",
 			c.name, out.Questions, out.ByTests, out.ByAssertions, out.ByMemo, out.Slices, out.Bug.Unit.Name)
+	}
+	return b.String(), nil
+}
+
+// ---------------------------------------------------------------------------
+// HINTS — static anomaly hints vs. oracle-query counts
+
+// hintedBuggy forgets to initialize t inside broken — the planted bug IS
+// a dataflow anomaly (P001), so plint scores broken as suspicious and
+// the debugger asks about it before the two healthy siblings.
+const hintedBuggy = `
+program hinted;
+var a, b, c, total: integer;
+
+procedure stepa(x: integer; var r: integer);
+begin
+  r := x + 1;
+end;
+
+procedure stepb(x: integer; var r: integer);
+begin
+  r := x * 2;
+end;
+
+procedure broken(x: integer; var r: integer);
+var t: integer;
+begin
+  r := x + t;
+end;
+
+begin
+  stepa(1, a);
+  stepb(2, b);
+  broken(3, c);
+  total := a + b + c;
+  writeln(total);
+end.
+`
+
+const hintedFixed = `
+program hinted;
+var a, b, c, total: integer;
+
+procedure stepa(x: integer; var r: integer);
+begin
+  r := x + 1;
+end;
+
+procedure stepb(x: integer; var r: integer);
+begin
+  r := x * 2;
+end;
+
+procedure broken(x: integer; var r: integer);
+var t: integer;
+begin
+  t := 5;
+  r := x + t;
+end;
+
+begin
+  stepa(1, a);
+  stepb(2, b);
+  broken(3, c);
+  total := a + b + c;
+  writeln(total);
+end.
+`
+
+// HintsRow is one RunHints measurement.
+type HintsRow struct {
+	Subject   string
+	Strategy  debugger.Strategy
+	NoHints   int // oracle questions without hints
+	WithHints int // oracle questions with lint hints
+	Localized string
+}
+
+// HintsData debugs each buggy subject twice per traversal strategy —
+// without and with plint's static anomaly hints — and reports the oracle
+// question counts. Subjects whose source lints clean produce empty hint
+// maps, so both runs are identical there; hints can only help, never
+// mislead the search (they reorder questions, not verdicts).
+func HintsData() ([]HintsRow, error) {
+	type subject struct {
+		name, buggy, fixed, input string
+	}
+	subjects := []subject{{"hinted", hintedBuggy, hintedFixed, ""}}
+	for _, p := range corpus.All() {
+		if p.Buggy == "" {
+			continue
+		}
+		subjects = append(subjects, subject{p.Name, p.Buggy, p.Source, p.Input})
+	}
+	var rows []HintsRow
+	for _, s := range subjects {
+		for _, strat := range []debugger.Strategy{debugger.TopDown, debugger.DivideAndQuery, debugger.BottomUp} {
+			row := HintsRow{Subject: s.name, Strategy: strat, Localized: "-"}
+			for _, withHints := range []bool{false, true} {
+				sys, err := gadt.Load(s.name+".pas", s.buggy)
+				if err != nil {
+					return nil, err
+				}
+				run, err := sys.Trace(s.input)
+				if err != nil {
+					return nil, err
+				}
+				oracle, err := gadt.IntendedOracle(s.fixed)
+				if err != nil {
+					return nil, err
+				}
+				cfg := gadt.DebugConfig{Strategy: strat}
+				if withHints {
+					cfg.Hints = sys.LintHints()
+				}
+				out, err := run.Debug(oracle, cfg)
+				if err != nil {
+					return nil, err
+				}
+				if withHints {
+					row.WithHints = out.Questions
+					if out.Localized() {
+						row.Localized = out.Bug.Unit.Name
+					}
+				} else {
+					row.NoHints = out.Questions
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RunHints renders the hints measurement: the oracle-free bug hints of
+// the lint layer convert static anomaly findings into saved questions
+// whenever the anomaly and the bug coincide.
+func RunHints() (string, error) {
+	rows, err := HintsData()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-18s %9s %9s %7s   %s\n", "subject", "strategy", "no-hints", "hints", "delta", "localized")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %-18s %9d %9d %+7d   %s\n",
+			r.Subject, r.Strategy, r.NoHints, r.WithHints, r.WithHints-r.NoHints, r.Localized)
 	}
 	return b.String(), nil
 }

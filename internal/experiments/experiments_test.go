@@ -227,6 +227,44 @@ func TestAblationMonotone(t *testing.T) {
 	}
 }
 
+// TestHintsNeverIncrease asserts the static-anomaly hints contract: for
+// every subject and traversal strategy, running with hints asks no more
+// oracle questions than running without — and for the seeded anomaly
+// subject (whose bug IS the flagged anomaly) strictly fewer under every
+// strategy. Hints must also never change where the bug is localized from
+// "found" to "not found".
+func TestHintsNeverIncrease(t *testing.T) {
+	rows, err := experiments.HintsData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 6 {
+		t.Fatalf("want measurements for the seeded subject plus at least one corpus program, got %d rows", len(rows))
+	}
+	corpusSeen := false
+	for _, r := range rows {
+		if r.WithHints > r.NoHints {
+			t.Errorf("%s/%s: hints increased questions %d -> %d", r.Subject, r.Strategy, r.NoHints, r.WithHints)
+		}
+		if r.Localized == "-" {
+			t.Errorf("%s/%s: bug not localized with hints", r.Subject, r.Strategy)
+		}
+		if r.Subject == "hinted" {
+			if r.WithHints >= r.NoHints {
+				t.Errorf("hinted/%s: hints should strictly reduce questions, got %d -> %d", r.Strategy, r.NoHints, r.WithHints)
+			}
+			if r.Localized != "broken" {
+				t.Errorf("hinted/%s: localized %q, want broken", r.Strategy, r.Localized)
+			}
+		} else {
+			corpusSeen = true
+		}
+	}
+	if !corpusSeen {
+		t.Error("no corpus subject measured")
+	}
+}
+
 func extractFirstInt(s string) int {
 	for _, f := range strings.Fields(s) {
 		if v, err := strconv.Atoi(f); err == nil {

@@ -25,6 +25,7 @@ package gadt
 import (
 	"fmt"
 
+	"gadt/internal/analysis/lint"
 	"gadt/internal/assertion"
 	"gadt/internal/debugger"
 	"gadt/internal/exectree"
@@ -91,6 +92,20 @@ func (s *System) StaticSlicer() *static.Slicer {
 	return static.New(s.Info)
 }
 
+// Lint runs the dataflow anomaly checks over the ORIGINAL program.
+func (s *System) Lint(opts lint.Options) []lint.Diagnostic {
+	return lint.RunInfo(s.Info, s.Source, opts)
+}
+
+// LintHints aggregates the lint findings into per-unit suspiciousness
+// scores for DebugConfig.Hints: the debugger asks about invocations of
+// statically anomalous routines first, spending fewer oracle questions
+// when an anomaly and the bug coincide — the cheapest oracle question is
+// the one never asked.
+func (s *System) LintHints() map[string]float64 {
+	return lint.Hints(s.Lint(lint.Options{}))
+}
+
 // Run is a completed tracing phase: the execution tree of the
 // transformed program plus the dynamic dependence graph.
 type Run struct {
@@ -146,6 +161,9 @@ type DebugConfig struct {
 	Slicing    bool
 	// MaxQuestions bounds oracle interactions (0 = default).
 	MaxQuestions int
+	// Hints maps unit names to static suspiciousness scores; see
+	// debugger.Options.Hints. Usually System.LintHints().
+	Hints map[string]float64
 	// NoRootAssumption disables the symptom premise; see
 	// debugger.Options.NoRootAssumption.
 	NoRootAssumption bool
@@ -163,6 +181,7 @@ func (r *Run) Debug(oracle debugger.Oracle, cfg DebugConfig) (*debugger.Outcome,
 		Slicing:          cfg.Slicing,
 		Recorder:         r.Recorder,
 		Meta:             r.System.Transformed,
+		Hints:            cfg.Hints,
 		MaxQuestions:     cfg.MaxQuestions,
 		NoRootAssumption: cfg.NoRootAssumption,
 	}

@@ -3,7 +3,8 @@
 // Pascal is case-insensitive: keywords and identifiers are normalized to
 // lower case (the original spelling of identifiers is not preserved,
 // matching classic Pascal implementations). Comments come in the two
-// classic forms, (* ... *) and { ... }, and do not nest.
+// classic forms, (* ... *) and { ... }, which do not nest, plus the
+// Turbo Pascal line form // ... that runs to end of line.
 package lexer
 
 import (
@@ -101,6 +102,12 @@ func (l *Lexer) skipSpaceAndComments() {
 				l.advance()
 			}
 			l.advance() // '}'
+		case ch == '/' && l.peek2() == '/':
+			// Turbo Pascal style line comment, runs to end of line. Used
+			// by the lint layer's `// lint:ignore P00x` suppressions.
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
 		case ch == '(' && l.peek2() == '*':
 			pos := l.pos()
 			l.advance()

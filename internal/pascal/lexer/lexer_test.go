@@ -209,3 +209,32 @@ func TestEOFIdempotent(t *testing.T) {
 		}
 	}
 }
+
+func TestLineComments(t *testing.T) {
+	src := "x := 1; // lint:ignore P003 trailing comment\n// full-line comment\ny := 2 // unterminated by newline is fine at EOF"
+	toks, errs := lexer.ScanAll("t.pas", src)
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	want := []token.Kind{
+		token.Ident, token.Assign, token.IntLit, token.Semi,
+		token.Ident, token.Assign, token.IntLit, token.EOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// A single slash is still the division operator.
+	toks, errs = lexer.ScanAll("t.pas", "a / b")
+	if len(errs) > 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	if toks[1].Kind != token.Slash {
+		t.Errorf("middle token = %v, want /", toks[1].Kind)
+	}
+}

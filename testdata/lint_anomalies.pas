@@ -1,0 +1,138 @@
+program anomalies;
+{ One seeded dataflow anomaly per plint check, P001..P011. The expected
+  findings live in lint_anomalies.golden; keep both in sync. }
+label 99;
+var
+  total: integer;
+  g: integer;
+
+{ P001: u is read but no assignment ever reaches the read. }
+function usebeforedef: integer;
+var u: integer;
+begin
+  usebeforedef := u;
+end;
+
+{ P002: m is assigned only when flag holds; the other path reads junk. }
+function maybeuninit(flag: boolean): integer;
+var m: integer;
+begin
+  if flag then
+    m := 1;
+  maybeuninit := m;
+end;
+
+{ P003: the first store to d is overwritten before anyone looks at it. }
+procedure deadstore(var r: integer);
+var d: integer;
+begin
+  d := 1;
+  d := 2;
+  r := d;
+end;
+
+{ P004: never is declared and never touched; w is written, never read. }
+procedure unusedvars(var r: integer);
+var never, w: integer;
+begin
+  w := 5;
+  r := 3;
+end;
+
+{ P005: b plays no part in the body. }
+procedure unusedparam(a, b: integer; var r: integer);
+begin
+  r := a;
+end;
+
+{ P006: the goto jumps straight over the assignment of 99. }
+procedure unreach(var r: integer);
+label 10;
+begin
+  goto 10;
+  r := 99;
+  10: r := 1;
+end;
+
+{ P007: nobody calls orphan. }
+procedure orphan(x: integer);
+begin
+  writeln(x);
+end;
+
+{ P008 (direct): called below as swapadd(total, total). }
+procedure swapadd(var a, b: integer);
+begin
+  a := a + b;
+  b := b - a;
+end;
+
+{ P008 (nested, two calls deep): outer passes its var formal on to inner,
+  and inner also reads the global g directly — so outer(g) below aliases
+  g with outer's formal y. }
+procedure inner(var x: integer);
+begin
+  x := g + 1;
+end;
+
+procedure outer(var y: integer);
+begin
+  inner(y);
+end;
+
+{ P009 (error): the result is never assigned at all. }
+function noassign(x: integer): integer;
+begin
+  writeln(x);
+end;
+
+{ P009 (warning): only one branch assigns the result. }
+function halfassign(flag: boolean): integer;
+begin
+  if flag then
+    halfassign := 1;
+end;
+
+{ P010: the goto enters the for loop, bypassing the counter init. }
+procedure jumpin(n: integer);
+label 20;
+var i, s: integer;
+begin
+  s := 0;
+  if n > 10 then
+    goto 20;
+  for i := 1 to n do
+  begin
+    20: s := s + 1;
+  end;
+  writeln(s);
+end;
+
+{ P011 (direct): the goto abandons bailout's own frame. }
+procedure bailout(n: integer);
+begin
+  if n < 0 then
+    goto 99;
+  writeln(n);
+end;
+
+{ P011 (inherited): wrapper can only exit non-locally through bailout. }
+procedure wrapper(n: integer);
+begin
+  bailout(n);
+end;
+
+begin
+  total := usebeforedef + maybeuninit(true);
+  deadstore(total);
+  unusedvars(total);
+  unusedparam(total, 2, total);
+  unreach(total);
+  swapadd(total, total);
+  g := 0;
+  outer(g);
+  total := total + noassign(1) + halfassign(false);
+  jumpin(total);
+  wrapper(total);
+  99: writeln(total, g);
+end.

@@ -1,0 +1,43 @@
+program clean;
+{ Exercises value and var parameters, loops, nested calls and output
+  parameters without a single dataflow anomaly: plint must stay silent. }
+var
+  x, y: integer;
+
+function gcd(a, b: integer): integer;
+var r: integer;
+begin
+  while b <> 0 do
+  begin
+    r := a mod b;
+    a := b;
+    b := r;
+  end;
+  gcd := a;
+end;
+
+procedure swap(var a, b: integer);
+var t: integer;
+begin
+  t := a;
+  a := b;
+  b := t;
+end;
+
+{ An output-only var parameter: reading total after the call must not be
+  flagged, even though minmax both writes and (afterwards) reads it. }
+procedure minmax(a, b: integer; var lo, hi: integer);
+begin
+  lo := a;
+  hi := b;
+  if lo > hi then
+    swap(lo, hi);
+end;
+
+begin
+  read(x, y);
+  if x < y then
+    swap(x, y);
+  minmax(x, y, x, y);
+  writeln(gcd(x, y));
+end.
