@@ -1,15 +1,16 @@
 # Developer entry points for the GADT reproduction.
 #
-#   make check   - formatting, vet, build and the full test suite
-#   make build   - compile every package and command
-#   make test    - run the test suite
-#   make bench   - run the benchmark suite once
-#   make lint    - run plint over the fixture and example programs
-#   make fmt     - rewrite sources with gofmt
+#   make check      - formatting, vet, build, tests, journal smoke test
+#   make build      - compile every package and command
+#   make test       - run the test suite
+#   make bench      - run the benchmark suite once
+#   make bench-json - write BENCH_debug.json (queries + ns/op per strategy)
+#   make lint       - run plint over the fixture and example programs
+#   make fmt        - rewrite sources with gofmt
 
 GO ?= go
 
-.PHONY: check build test bench lint fmt
+.PHONY: check build test bench bench-json lint fmt smoke-journal
 
 check:
 	@unformatted=$$(gofmt -l .); \
@@ -19,6 +20,30 @@ check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
+	$(MAKE) smoke-journal
+
+# Record a debugging session against the known-good reference, then
+# replay it with stdin closed: both runs must localize the same unit and
+# the replay must not need any interactive answer.
+smoke-journal:
+	@tmp=$$(mktemp -d); \
+	$(GO) run ./cmd/gadt -reference testdata/sqrtest_fixed.pas -stats \
+		-journal $$tmp/session.jsonl testdata/sqrtest.pas > $$tmp/record.out || exit 1; \
+	$(GO) run ./cmd/gadt -replay $$tmp/session.jsonl testdata/sqrtest.pas \
+		< /dev/null > $$tmp/replay.out || exit 1; \
+	rec=$$(grep 'localized inside the body of' $$tmp/record.out); \
+	rep=$$(grep 'localized inside the body of' $$tmp/replay.out); \
+	if [ -z "$$rec" ] || [ "$$rec" != "$$rep" ]; then \
+		echo "journal round-trip mismatch:"; \
+		echo "  record: $$rec"; echo "  replay: $$rep"; exit 1; \
+	fi; \
+	queries=$$(grep -c '"kind":"query"' $$tmp/session.jsonl); \
+	stats=$$(awk '$$1 == "debugger.oracle.queries" {print $$2}' $$tmp/record.out); \
+	if [ "$$queries" != "$$stats" ]; then \
+		echo "journal has $$queries queries but -stats counted $$stats"; exit 1; \
+	fi; \
+	rm -rf $$tmp; \
+	echo "journal round-trip ok: $$rec ($$queries queries)"
 
 build:
 	$(GO) build ./...
@@ -28,6 +53,9 @@ test:
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+bench-json:
+	$(GO) run ./cmd/gadt-bench -o BENCH_debug.json
 
 lint:
 	$(GO) run ./cmd/plint testdata/*.pas || true

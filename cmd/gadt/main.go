@@ -16,6 +16,12 @@
 //	-reports file      T-GEN report database (JSON) to consult
 //	-spec file         T-GEN specification matching -reports
 //	-tree              print the execution tree before debugging
+//	-stats             print a metrics snapshot on exit
+//	-trace-out file    write phase-trace events as JSONL ("-" = stderr text)
+//	-journal file      record every oracle query/answer as JSONL
+//	-replay file       re-answer a session from a recorded journal
+//	-cpuprofile file   write a pprof CPU profile
+//	-memprofile file   write a pprof heap profile on exit
 //
 // Interactive replies: y(es), n(o), `n <output>` (wrong output →
 // slicing), `a <expr>` (assertion), t(rust), d(ontknow).
@@ -33,6 +39,7 @@ import (
 	"gadt/internal/assertion"
 	"gadt/internal/debugger"
 	"gadt/internal/gadt"
+	"gadt/internal/obs"
 	"gadt/internal/pascal/interp"
 	"gadt/internal/tgen"
 )
@@ -68,35 +75,87 @@ func (terminalChooser) Choose(unit string, cat *tgen.Category, eligible []*tgen.
 	return eligible[i-1]
 }
 
+type options struct {
+	input      string
+	strategy   string
+	slicing    bool
+	transform  bool
+	lint       bool
+	reports    string
+	specFile   string
+	showTree   bool
+	reference  string
+	stats      bool
+	traceOut   string
+	journal    string
+	replay     string
+	cpuprofile string
+	memprofile string
+}
+
 func main() {
-	input := flag.String("input", "", "program input")
-	strategy := flag.String("strategy", "top-down", "top-down | divide | bottom-up")
+	var o options
+	flag.StringVar(&o.input, "input", "", "program input")
+	flag.StringVar(&o.strategy, "strategy", "top-down", "top-down | divide | bottom-up")
 	noSlicing := flag.Bool("no-slicing", false, "disable dynamic slicing")
 	noTransform := flag.Bool("no-transform", false, "trace the original program")
 	noLint := flag.Bool("no-lint", false, "skip the plint pre-flight")
-	reports := flag.String("reports", "", "T-GEN report database (JSON)")
-	specFile := flag.String("spec", "", "T-GEN specification for -reports")
-	showTree := flag.Bool("tree", false, "print the execution tree first")
-	reference := flag.String("reference", "", "known-good reference program answering queries instead of the user")
+	flag.StringVar(&o.reports, "reports", "", "T-GEN report database (JSON)")
+	flag.StringVar(&o.specFile, "spec", "", "T-GEN specification for -reports")
+	flag.BoolVar(&o.showTree, "tree", false, "print the execution tree first")
+	flag.StringVar(&o.reference, "reference", "", "known-good reference program answering queries instead of the user")
+	flag.BoolVar(&o.stats, "stats", false, "print a metrics snapshot on exit")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write phase-trace events as JSONL to this file (\"-\" = stderr text)")
+	flag.StringVar(&o.journal, "journal", "", "record every oracle query/answer as JSONL to this file")
+	flag.StringVar(&o.replay, "replay", "", "re-answer the session from a recorded journal")
+	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	flag.StringVar(&o.memprofile, "memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
+	o.slicing = !*noSlicing
+	o.transform = !*noTransform
+	o.lint = !*noLint
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: gadt [flags] program.pas")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *input, *strategy, !*noSlicing, !*noTransform, !*noLint, *reports, *specFile, *showTree, *reference); err != nil {
+	if err := run(flag.Arg(0), o); err != nil {
 		fmt.Fprintln(os.Stderr, "gadt:", err)
 		os.Exit(1)
 	}
 }
 
-func run(file, input, strategy string, slicing, doTransform, doLint bool, reports, specFile string, showTree bool, reference string) error {
+func run(file string, o options) (err error) {
+	if o.replay != "" && o.reference != "" {
+		return fmt.Errorf("-replay and -reference are mutually exclusive")
+	}
+	reg, tracer, closeTrace, err := obs.Setup(o.traceOut)
+	if err != nil {
+		return err
+	}
+	stopProfiles, err := obs.StartProfiles(o.cpuprofile, o.memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil && err == nil {
+			err = perr
+		}
+		if o.stats {
+			fmt.Println("\nmetrics:")
+			reg.Snapshot().WriteText(os.Stdout)
+		}
+		if cerr := closeTrace(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+
 	src, err := os.ReadFile(file)
 	if err != nil {
 		return err
 	}
-	sys, err := gadt.Load(file, string(src))
+	sys, err := gadt.LoadObserved(file, string(src), reg, tracer)
 	if err != nil {
 		return err
 	}
@@ -105,7 +164,7 @@ func run(file, input, strategy string, slicing, doTransform, doLint bool, report
 	// oracle interaction, and convert them into suspiciousness hints so
 	// the traversal asks about anomalous units first.
 	var hints map[string]float64
-	if doLint {
+	if o.lint {
 		if diags := sys.Lint(lint.Options{}); len(diags) > 0 {
 			fmt.Printf("static anomalies (plint; these units are asked about first):\n")
 			lint.Text(os.Stdout, diags)
@@ -115,25 +174,25 @@ func run(file, input, strategy string, slicing, doTransform, doLint bool, report
 	}
 
 	var run *gadt.Run
-	if doTransform {
-		run, err = sys.Trace(input)
+	if o.transform {
+		run, err = sys.Trace(o.input)
 		if err != nil {
 			return err
 		}
 	} else {
-		run = sys.TraceOriginal(input)
+		run = sys.TraceOriginal(o.input)
 	}
 	fmt.Printf("program output:\n%s", run.Output)
 	if run.RunErr != nil {
 		fmt.Printf("the program stopped with a runtime error: %v\n", run.RunErr)
 	}
-	if showTree {
+	if o.showTree {
 		fmt.Printf("\nexecution tree (%d nodes):\n", run.Tree.Size())
 		run.Tree.Render(os.Stdout, nil, nil)
 	}
 
-	cfg := gadt.DebugConfig{Slicing: slicing, Hints: hints}
-	switch strategy {
+	cfg := gadt.DebugConfig{Slicing: o.slicing, Hints: hints}
+	switch o.strategy {
 	case "top-down", "":
 		cfg.Strategy = debugger.TopDown
 	case "divide":
@@ -141,17 +200,17 @@ func run(file, input, strategy string, slicing, doTransform, doLint bool, report
 	case "bottom-up":
 		cfg.Strategy = debugger.BottomUp
 	default:
-		return fmt.Errorf("unknown strategy %q", strategy)
+		return fmt.Errorf("unknown strategy %q", o.strategy)
 	}
 
 	db := assertion.NewDB()
 	cfg.Assertions = db
 
-	if reports != "" {
-		if specFile == "" {
+	if o.reports != "" {
+		if o.specFile == "" {
 			return fmt.Errorf("-reports requires -spec")
 		}
-		specSrc, err := os.ReadFile(specFile)
+		specSrc, err := os.ReadFile(o.specFile)
 		if err != nil {
 			return err
 		}
@@ -159,7 +218,7 @@ func run(file, input, strategy string, slicing, doTransform, doLint bool, report
 		if err != nil {
 			return err
 		}
-		rdb, err := tgen.LoadReportDB(reports)
+		rdb, err := tgen.LoadReportDB(o.reports)
 		if err != nil {
 			return err
 		}
@@ -172,12 +231,29 @@ func run(file, input, strategy string, slicing, doTransform, doLint bool, report
 	}
 
 	var oracle debugger.Oracle
-	if reference != "" {
-		refSrc, err := os.ReadFile(reference)
+	var replayer *debugger.ReplayOracle
+	switch {
+	case o.replay != "":
+		jf, err := os.Open(o.replay)
 		if err != nil {
 			return err
 		}
-		if doTransform {
+		journal, err := debugger.LoadJournal(jf)
+		jf.Close()
+		if err != nil {
+			return err
+		}
+		replayer = debugger.NewReplayOracle(journal)
+		replayer.DB = db
+		oracle = replayer
+		fmt.Printf("\nreplaying %d recorded answers from %s (no questions will be asked)\n",
+			len(journal.Entries), o.replay)
+	case o.reference != "":
+		refSrc, err := os.ReadFile(o.reference)
+		if err != nil {
+			return err
+		}
+		if o.transform {
 			oracle, err = gadt.IntendedOracle(string(refSrc))
 		} else {
 			oracle, err = gadt.IntendedOracleOriginal(string(refSrc))
@@ -185,11 +261,25 @@ func run(file, input, strategy string, slicing, doTransform, doLint bool, report
 		if err != nil {
 			return err
 		}
-		fmt.Printf("\nanswering queries from the reference implementation %s\n", reference)
-	} else {
+		fmt.Printf("\nanswering queries from the reference implementation %s\n", o.reference)
+	default:
 		oracle = &debugger.InteractiveOracle{In: os.Stdin, Out: os.Stdout, DB: db}
 		fmt.Println("\nstarting algorithmic debugging; reply y, n, n <output>, a <assertion>, t, d")
 	}
+
+	if o.journal != "" {
+		jf, err := os.Create(o.journal)
+		if err != nil {
+			return err
+		}
+		defer jf.Close()
+		jw := debugger.NewJournalWriter(jf)
+		if err := jw.WriteHeader(file, cfg.Strategy.String(), o.input); err != nil {
+			return err
+		}
+		oracle = &debugger.JournalingOracle{Inner: oracle, Journal: jw}
+	}
+
 	out, err := run.Debug(oracle, cfg)
 	if err != nil {
 		return err
@@ -202,5 +292,8 @@ func run(file, input, strategy string, slicing, doTransform, doLint bool, report
 	}
 	fmt.Printf("questions: %d  answered by tests: %d  by assertions: %d  remembered: %d  slices: %d\n",
 		out.Questions, out.ByTests, out.ByAssertions, out.ByMemo, out.Slices)
+	if replayer != nil && replayer.Remaining() > 0 {
+		fmt.Printf("note: %d journal entries were not needed by this session\n", replayer.Remaining())
+	}
 	return nil
 }

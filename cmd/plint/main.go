@@ -11,6 +11,8 @@
 //	-codes list     comma-separated check codes to run (e.g. P001,P003)
 //	-list           print the check registry and exit
 //	-no-suppress    ignore `lint:ignore` comments
+//	-stats          print a metrics snapshot (findings by code) on exit
+//	-trace-out f    write per-file lint spans as JSONL ("-" = stderr text)
 //
 // Exit status is 1 when any error-severity finding (or a parse/analysis
 // failure) is reported, 0 otherwise.
@@ -28,6 +30,7 @@ import (
 	"strings"
 
 	"gadt/internal/analysis/lint"
+	"gadt/internal/obs"
 )
 
 func main() {
@@ -35,6 +38,8 @@ func main() {
 	codes := flag.String("codes", "", "comma-separated check codes to run (default all)")
 	list := flag.Bool("list", false, "print the check registry and exit")
 	noSuppress := flag.Bool("no-suppress", false, "ignore lint:ignore comments")
+	stats := flag.Bool("stats", false, "print a metrics snapshot on exit")
+	traceOut := flag.String("trace-out", "", "write lint spans as JSONL to this file (\"-\" = stderr text)")
 	flag.Parse()
 
 	if *list {
@@ -65,6 +70,12 @@ func main() {
 		}
 	}
 
+	reg, tracer, closeTrace, err := obs.Setup(*traceOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plint:", err)
+		os.Exit(2)
+	}
+
 	failed := false
 	var all []lint.Diagnostic
 	for _, file := range flag.Args() {
@@ -74,12 +85,16 @@ func main() {
 			failed = true
 			continue
 		}
+		sp := tracer.Start("lint " + file)
 		diags, err := lint.Run(file, string(src), opts)
+		sp.End()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "plint: %s: %v\n", file, err)
 			failed = true
 			continue
 		}
+		lint.Record(reg, diags)
+		reg.Counter("lint.files").Inc()
 		if lint.HasErrors(diags) {
 			failed = true
 		}
@@ -92,6 +107,14 @@ func main() {
 		}
 	} else {
 		lint.Text(os.Stdout, all)
+	}
+	if *stats {
+		fmt.Println("\nmetrics:")
+		reg.Snapshot().WriteText(os.Stdout)
+	}
+	if err := closeTrace(); err != nil {
+		fmt.Fprintln(os.Stderr, "plint:", err)
+		failed = true
 	}
 	if failed {
 		os.Exit(1)

@@ -7,7 +7,9 @@
 //
 // By default the program is transformed first (loop units, goto
 // breaking, globals to parameters); -original traces the untouched
-// program instead.
+// program instead. -stats prints the metrics snapshot (statement and
+// call counts, tree size, phase durations), -trace-out writes phase
+// spans as JSONL, and -cpuprofile/-memprofile wire up pprof.
 package main
 
 import (
@@ -16,12 +18,28 @@ import (
 	"os"
 
 	"gadt/internal/gadt"
+	"gadt/internal/obs"
 )
 
+type options struct {
+	input      string
+	original   bool
+	showSrc    bool
+	stats      bool
+	traceOut   string
+	cpuprofile string
+	memprofile string
+}
+
 func main() {
-	input := flag.String("input", "", "program input")
-	original := flag.Bool("original", false, "trace the untransformed program")
-	showSrc := flag.Bool("transformed-source", false, "also print the transformed program")
+	var o options
+	flag.StringVar(&o.input, "input", "", "program input")
+	flag.BoolVar(&o.original, "original", false, "trace the untransformed program")
+	flag.BoolVar(&o.showSrc, "transformed-source", false, "also print the transformed program")
+	flag.BoolVar(&o.stats, "stats", false, "print a metrics snapshot on exit")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write phase-trace events as JSONL to this file (\"-\" = stderr text)")
+	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	flag.StringVar(&o.memprofile, "memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -29,30 +47,51 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *input, *original, *showSrc); err != nil {
+	if err := run(flag.Arg(0), o); err != nil {
 		fmt.Fprintln(os.Stderr, "ptrace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(file, input string, original, showSrc bool) error {
+func run(file string, o options) (err error) {
+	reg, tracer, closeTrace, err := obs.Setup(o.traceOut)
+	if err != nil {
+		return err
+	}
+	stopProfiles, err := obs.StartProfiles(o.cpuprofile, o.memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil && err == nil {
+			err = perr
+		}
+		if o.stats {
+			fmt.Println("\nmetrics:")
+			reg.Snapshot().WriteText(os.Stdout)
+		}
+		if cerr := closeTrace(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+
 	src, err := os.ReadFile(file)
 	if err != nil {
 		return err
 	}
-	sys, err := gadt.Load(file, string(src))
+	sys, err := gadt.LoadObserved(file, string(src), reg, tracer)
 	if err != nil {
 		return err
 	}
 	var r *gadt.Run
-	if original {
-		r = sys.TraceOriginal(input)
+	if o.original {
+		r = sys.TraceOriginal(o.input)
 	} else {
-		r, err = sys.Trace(input)
+		r, err = sys.Trace(o.input)
 		if err != nil {
 			return err
 		}
-		if showSrc {
+		if o.showSrc {
 			xsrc, err := sys.TransformedSource()
 			if err != nil {
 				return err

@@ -5,6 +5,7 @@ import (
 	"gadt/internal/analysis/cfg"
 	"gadt/internal/analysis/dataflow"
 	"gadt/internal/analysis/sideeffect"
+	"gadt/internal/obs"
 	"gadt/internal/pascal/parser"
 	"gadt/internal/pascal/sem"
 )
@@ -173,6 +174,18 @@ func dedup(diags []Diagnostic) []Diagnostic {
 		out = append(out, d)
 	}
 	return out
+}
+
+// Record counts findings in a metrics registry: lint.findings overall
+// plus lint.findings.<code> per check code. Nil-safe on the registry.
+func Record(m *obs.Registry, diags []Diagnostic) {
+	if m == nil {
+		return
+	}
+	m.Counter("lint.findings").Add(int64(len(diags)))
+	for _, d := range diags {
+		m.Counter("lint.findings." + d.Code).Inc()
+	}
 }
 
 // Run parses, analyzes and lints a source file in one step.

@@ -7,6 +7,7 @@ import (
 
 	"gadt/internal/assertion"
 	"gadt/internal/exectree"
+	"gadt/internal/obs"
 	"gadt/internal/pascal/ast"
 	"gadt/internal/pascal/interp"
 	"gadt/internal/slicing/dynamic"
@@ -76,6 +77,12 @@ type Options struct {
 	// breaks weight ties toward the suspicious node. Hints only reorder
 	// questions; the verdicts still decide where the bug is localized.
 	Hints map[string]float64
+
+	// Metrics, when non-nil, receives the session's observability
+	// counters: debugger.oracle.queries (plus .verdict.<v> and
+	// .strategy.<s> breakdowns), debugger.answers.{memo,assertions,
+	// tests}, debugger.slices and the debugger.slice.kept.nodes gauge.
+	Metrics *obs.Registry
 
 	// NoRootAssumption disables the premise that the program block
 	// itself misbehaved. By default the root is assumed incorrect (the
@@ -230,8 +237,10 @@ func (s *Session) record(ev Event) {
 // information."
 func (s *Session) judge(n *exectree.Node) (Answer, error) {
 	q := s.query(n)
+	m := s.Opts.Metrics
 	if a, ok := s.memo[q.Text]; ok {
 		s.out.ByMemo++
+		m.Counter("debugger.answers.memo").Inc()
 		s.record(Event{Kind: EvMemo, Node: n, Text: q.Text, Verdict: a.Verdict})
 		return a, nil
 	}
@@ -241,12 +250,14 @@ func (s *Session) judge(n *exectree.Node) (Answer, error) {
 			a := Answer{Verdict: Correct}
 			s.memo[q.Text] = a
 			s.out.ByAssertions++
+			m.Counter("debugger.answers.assertions").Inc()
 			s.record(Event{Kind: EvAssertion, Node: n, Text: q.Text, Verdict: Correct})
 			return a, nil
 		case assertion.Violated:
 			a := Answer{Verdict: Incorrect}
 			s.memo[q.Text] = a
 			s.out.ByAssertions++
+			m.Counter("debugger.answers.assertions").Inc()
 			s.record(Event{Kind: EvAssertion, Node: n, Text: q.Text, Verdict: Incorrect})
 			return a, nil
 		}
@@ -257,12 +268,14 @@ func (s *Session) judge(n *exectree.Node) (Answer, error) {
 			a := Answer{Verdict: Correct}
 			s.memo[q.Text] = a
 			s.out.ByTests++
+			m.Counter("debugger.answers.tests").Inc()
 			s.record(Event{Kind: EvTest, Node: n, Text: q.Text, Verdict: Correct})
 			return a, nil
 		case Incorrect:
 			a := Answer{Verdict: Incorrect}
 			s.memo[q.Text] = a
 			s.out.ByTests++
+			m.Counter("debugger.answers.tests").Inc()
 			s.record(Event{Kind: EvTest, Node: n, Text: q.Text, Verdict: Incorrect})
 			return a, nil
 		}
@@ -293,6 +306,9 @@ func (s *Session) judge(n *exectree.Node) (Answer, error) {
 		}
 	}
 	s.memo[q.Text] = a
+	m.Counter("debugger.oracle.queries").Inc()
+	m.Counter("debugger.oracle.queries.verdict." + a.Verdict.Key()).Inc()
+	m.Counter("debugger.oracle.queries.strategy." + s.Opts.Strategy.String()).Inc()
 	detail := ""
 	if a.WrongOutput != "" {
 		detail = "error on output " + a.WrongOutput
@@ -322,6 +338,8 @@ func (s *Session) applySlice(n *exectree.Node, output string) {
 		s.view = merged
 	}
 	s.out.Slices++
+	s.Opts.Metrics.Counter("debugger.slices").Inc()
+	s.Opts.Metrics.Gauge("debugger.slice.kept.nodes").Set(int64(len(s.view)))
 	before := s.Tree.Size()
 	s.record(Event{
 		Kind: EvSlice, Node: n,
@@ -334,6 +352,7 @@ func (s *Session) applySlice(n *exectree.Node, output string) {
 // root is assumed incorrect (the user invoked the debugger because of an
 // observable symptom).
 func (s *Session) Run() (*Outcome, error) {
+	s.Opts.Metrics.Counter("debugger.sessions").Inc()
 	var bug *exectree.Node
 	var err error
 	switch s.Opts.Strategy {
@@ -351,6 +370,7 @@ func (s *Session) Run() (*Outcome, error) {
 	if bug != nil {
 		s.out.Reason = fmt.Sprintf("an error has been localized inside the body of %s", s.renderUnitName(bug))
 		s.record(Event{Kind: EvLocalized, Node: bug, Text: s.out.Reason})
+		s.Opts.Metrics.Counter("debugger.localized").Inc()
 	}
 	return s.out, nil
 }

@@ -1,0 +1,226 @@
+package debugger
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"gadt/internal/assertion"
+)
+
+// This file implements replayable session journals: every oracle
+// interaction of a debugging session is appended to a JSONL stream, and
+// a ReplayOracle re-answers a later session from that stream with zero
+// user interaction — any interactive bug report becomes a reproducible
+// test case.
+//
+// Schema (one JSON object per line):
+//
+//	{"kind":"session","file":"bug.pas","strategy":"top-down","input":""}
+//	{"kind":"query","seq":1,"node":3,"unit":"computs",
+//	 "query":"computs(In y: 3, ...)?","verdict":"incorrect",
+//	 "wrong_output":"r1","assertion":""}
+//
+// The session header is optional and informational; replay matches
+// query entries by rendered query text (which encodes the node's unit,
+// inputs and outputs), falling back to journal order, so journals
+// survive strategy-independent reordering as long as the trace is
+// deterministic.
+
+// JournalHeader is the optional first line of a journal.
+type JournalHeader struct {
+	Kind     string `json:"kind"` // "session"
+	File     string `json:"file,omitempty"`
+	Strategy string `json:"strategy,omitempty"`
+	Input    string `json:"input,omitempty"`
+}
+
+// JournalEntry is one recorded oracle interaction.
+type JournalEntry struct {
+	Kind        string `json:"kind"` // "query"
+	Seq         int    `json:"seq"`
+	Node        int64  `json:"node"`
+	Unit        string `json:"unit"`
+	Query       string `json:"query"`
+	Verdict     string `json:"verdict"`
+	WrongOutput string `json:"wrong_output,omitempty"`
+	Assertion   string `json:"assertion,omitempty"`
+}
+
+// JournalWriter appends session entries to a JSONL stream.
+type JournalWriter struct {
+	w       io.Writer
+	entries int
+}
+
+// NewJournalWriter wraps w.
+func NewJournalWriter(w io.Writer) *JournalWriter {
+	return &JournalWriter{w: w}
+}
+
+// WriteHeader emits the session header line.
+func (j *JournalWriter) WriteHeader(file, strategy, input string) error {
+	return j.writeJSON(JournalHeader{Kind: "session", File: file, Strategy: strategy, Input: input})
+}
+
+// Record appends one query/answer pair.
+func (j *JournalWriter) Record(q *Query, a Answer) error {
+	j.entries++
+	e := JournalEntry{
+		Kind:        "query",
+		Seq:         j.entries,
+		Node:        q.Node.ID,
+		Unit:        q.Node.Unit.Name,
+		Query:       q.Text,
+		Verdict:     a.Verdict.Key(),
+		WrongOutput: a.WrongOutput,
+	}
+	if a.Assertion != nil {
+		e.Assertion = a.Assertion.Text
+	}
+	return j.writeJSON(e)
+}
+
+// Entries reports the number of query entries written.
+func (j *JournalWriter) Entries() int { return j.entries }
+
+func (j *JournalWriter) writeJSON(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = j.w.Write(append(b, '\n'))
+	return err
+}
+
+// JournalingOracle records every answer of the inner oracle. Failed
+// interactions (input closed, budget errors) are not journaled.
+type JournalingOracle struct {
+	Inner   Oracle
+	Journal *JournalWriter
+}
+
+// Ask implements Oracle.
+func (o *JournalingOracle) Ask(q *Query) (Answer, error) {
+	a, err := o.Inner.Ask(q)
+	if err != nil {
+		return a, err
+	}
+	if jerr := o.Journal.Record(q, a); jerr != nil {
+		return a, fmt.Errorf("debugger: journal write failed: %w", jerr)
+	}
+	return a, nil
+}
+
+// Journal is a loaded session journal.
+type Journal struct {
+	Header  *JournalHeader // nil when the stream had no header line
+	Entries []JournalEntry
+}
+
+// LoadJournal parses a JSONL journal stream. Unknown kinds are skipped
+// so the format can grow.
+func LoadJournal(r io.Reader) (*Journal, error) {
+	j := &Journal{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var probe struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal([]byte(line), &probe); err != nil {
+			return nil, fmt.Errorf("journal line %d: %w", lineNo, err)
+		}
+		switch probe.Kind {
+		case "session":
+			var h JournalHeader
+			if err := json.Unmarshal([]byte(line), &h); err != nil {
+				return nil, fmt.Errorf("journal line %d: %w", lineNo, err)
+			}
+			if j.Header == nil {
+				j.Header = &h
+			}
+		case "query":
+			var e JournalEntry
+			if err := json.Unmarshal([]byte(line), &e); err != nil {
+				return nil, fmt.Errorf("journal line %d: %w", lineNo, err)
+			}
+			if _, ok := ParseVerdict(e.Verdict); !ok && e.Assertion == "" {
+				return nil, fmt.Errorf("journal line %d: unknown verdict %q", lineNo, e.Verdict)
+			}
+			j.Entries = append(j.Entries, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// ReplayOracle answers queries from a recorded journal, deterministic
+// and interaction-free. Matching is by exact query text — the text
+// encodes unit name, input values and output values, so a match implies
+// the same invocation behavior — consuming each entry at most once;
+// when several invocations render identically they are consumed in
+// journal order. A query absent from the journal is an error: replay
+// only makes sense when trace and traversal are reproducible.
+type ReplayOracle struct {
+	// DB, when non-nil, receives assertions stored during the recorded
+	// session, mirroring the InteractiveOracle's side effect.
+	DB *assertion.DB
+
+	byText map[string][]int // query text -> entry indexes, FIFO
+	all    []JournalEntry
+}
+
+// NewReplayOracle indexes a loaded journal.
+func NewReplayOracle(j *Journal) *ReplayOracle {
+	o := &ReplayOracle{byText: make(map[string][]int), all: j.Entries}
+	for i, e := range j.Entries {
+		o.byText[e.Query] = append(o.byText[e.Query], i)
+	}
+	return o
+}
+
+// Remaining reports how many journal entries have not been consumed.
+func (o *ReplayOracle) Remaining() int {
+	total := 0
+	for _, idx := range o.byText {
+		total += len(idx)
+	}
+	return total
+}
+
+// Ask implements Oracle.
+func (o *ReplayOracle) Ask(q *Query) (Answer, error) {
+	idx, ok := o.byText[q.Text]
+	if !ok || len(idx) == 0 {
+		return Answer{}, fmt.Errorf("debugger: journal has no answer for query %q (re-record the session?)", q.Text)
+	}
+	e := o.all[idx[0]]
+	if len(idx) == 1 {
+		delete(o.byText, q.Text)
+	} else {
+		o.byText[q.Text] = idx[1:]
+	}
+	if e.Assertion != "" {
+		a, err := assertion.Parse(e.Unit, e.Assertion)
+		if err != nil {
+			return Answer{}, fmt.Errorf("debugger: journal assertion %q: %w", e.Assertion, err)
+		}
+		if o.DB != nil {
+			o.DB.Add(a)
+		}
+		return Answer{Assertion: a}, nil
+	}
+	v, _ := ParseVerdict(e.Verdict)
+	return Answer{Verdict: v, WrongOutput: e.WrongOutput}, nil
+}

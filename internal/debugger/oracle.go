@@ -39,6 +39,32 @@ func (v Verdict) String() string {
 	return "don't know"
 }
 
+// Key returns the verdict's stable machine-readable slug, used for
+// metric label segments and the session-journal encoding.
+func (v Verdict) Key() string {
+	switch v {
+	case Correct:
+		return "correct"
+	case Incorrect:
+		return "incorrect"
+	}
+	return "dont-know"
+}
+
+// ParseVerdict inverts Key (and accepts String forms); it reports
+// whether the input was recognized.
+func ParseVerdict(s string) (Verdict, bool) {
+	switch s {
+	case "correct", "yes":
+		return Correct, true
+	case "incorrect", "no":
+		return Incorrect, true
+	case "dont-know", "don't know":
+		return DontKnow, true
+	}
+	return DontKnow, false
+}
+
 // Answer is an oracle's reply to a query.
 type Answer struct {
 	Verdict Verdict

@@ -1,0 +1,164 @@
+package debugger_test
+
+import (
+	"strings"
+	"testing"
+
+	"gadt/internal/assertion"
+	"gadt/internal/debugger"
+	"gadt/internal/exectree"
+	"gadt/internal/pascal/sem"
+)
+
+func interactiveQuery() *debugger.Query {
+	return &debugger.Query{
+		Node:    &exectree.Node{Unit: &sem.Routine{Name: "computs"}},
+		Text:    "computs(In y: 3, Out r1: 12, Out r2: 9)?",
+		Outputs: []string{"r1", "r2"},
+	}
+}
+
+// askInteractive feeds the given stdin transcript to an
+// InteractiveOracle and returns the answer plus everything printed.
+func askInteractive(t *testing.T, input string, db *assertion.DB) (debugger.Answer, string, error) {
+	t.Helper()
+	var out strings.Builder
+	o := &debugger.InteractiveOracle{In: strings.NewReader(input), Out: &out, DB: db}
+	a, err := o.Ask(interactiveQuery())
+	return a, out.String(), err
+}
+
+func TestInteractiveOracleReplies(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		want  debugger.Answer
+	}{
+		{"yes short", "y\n", debugger.Answer{Verdict: debugger.Correct}},
+		{"yes long", "yes\n", debugger.Answer{Verdict: debugger.Correct}},
+		{"yes mixed case", "YES\n", debugger.Answer{Verdict: debugger.Correct}},
+		{"no short", "n\n", debugger.Answer{Verdict: debugger.Incorrect}},
+		{"no long", "no\n", debugger.Answer{Verdict: debugger.Incorrect}},
+		{"no with output", "n r1\n", debugger.Answer{Verdict: debugger.Incorrect, WrongOutput: "r1"}},
+		{"no long with output", "no r2\n", debugger.Answer{Verdict: debugger.Incorrect, WrongOutput: "r2"}},
+		{"output case folded", "n R1\n", debugger.Answer{Verdict: debugger.Incorrect, WrongOutput: "r1"}},
+		{"dontknow short", "d\n", debugger.Answer{Verdict: debugger.DontKnow}},
+		{"dontknow long", "dontknow\n", debugger.Answer{Verdict: debugger.DontKnow}},
+		{"dontknow question mark", "?\n", debugger.Answer{Verdict: debugger.DontKnow}},
+		{"trust answers correct", "t\n", debugger.Answer{Verdict: debugger.Correct}},
+		{"whitespace tolerated", "  y  \n", debugger.Answer{Verdict: debugger.Correct}},
+		{"last line without newline", "y", debugger.Answer{Verdict: debugger.Correct}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, _, err := askInteractive(t, tc.input, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Verdict != tc.want.Verdict || a.WrongOutput != tc.want.WrongOutput {
+				t.Errorf("answer = %+v, want %+v", a, tc.want)
+			}
+		})
+	}
+}
+
+func TestInteractiveOracleBadOutputReprompts(t *testing.T) {
+	a, out, err := askInteractive(t, "n bogus\ny\n", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Verdict != debugger.Correct {
+		t.Errorf("answer = %+v, want Correct after reprompt", a)
+	}
+	if !strings.Contains(out, `unknown output "bogus"`) || !strings.Contains(out, "r1, r2") {
+		t.Errorf("missing output diagnostics:\n%s", out)
+	}
+}
+
+func TestInteractiveOracleGarbageReprompts(t *testing.T) {
+	a, out, err := askInteractive(t, "whatever\nmaybe\nd\n", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Verdict != debugger.DontKnow {
+		t.Errorf("answer = %+v, want DontKnow", a)
+	}
+	if strings.Count(out, "reply y, n,") != 2 {
+		t.Errorf("want 2 reprompts:\n%s", out)
+	}
+}
+
+func TestInteractiveOracleAssertion(t *testing.T) {
+	db := assertion.NewDB()
+	a, _, err := askInteractive(t, "a r1 = y * 4\n", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Assertion == nil || a.Assertion.Unit != "computs" || a.Assertion.Text != "r1 = y * 4" {
+		t.Errorf("assertion = %+v", a.Assertion)
+	}
+	if db.Len() != 1 {
+		t.Errorf("db has %d assertions, want 1", db.Len())
+	}
+}
+
+func TestInteractiveOracleBadAssertionReprompts(t *testing.T) {
+	db := assertion.NewDB()
+	a, out, err := askInteractive(t, "a ((broken\ny\n", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Verdict != debugger.Correct || db.Len() != 0 {
+		t.Errorf("answer = %+v, db len = %d", a, db.Len())
+	}
+	if !strings.Contains(out, "bad assertion") {
+		t.Errorf("missing bad-assertion message:\n%s", out)
+	}
+}
+
+func TestInteractiveOracleTrustRecordsUnit(t *testing.T) {
+	db := assertion.NewDB()
+	if _, _, err := askInteractive(t, "t\n", db); err != nil {
+		t.Fatal(err)
+	}
+	// Trusted units judge every invocation as Holds.
+	n := &exectree.Node{Unit: &sem.Routine{Name: "computs"}}
+	if v := db.Judge(n); v != assertion.Holds {
+		t.Errorf("trusted judge = %v, want Holds", v)
+	}
+}
+
+func TestInteractiveOracleEOF(t *testing.T) {
+	_, _, err := askInteractive(t, "", nil)
+	if err == nil || !strings.Contains(err.Error(), "oracle input closed") {
+		t.Errorf("err = %v, want input-closed error", err)
+	}
+}
+
+func TestVerdictStringsAndKeys(t *testing.T) {
+	cases := []struct {
+		v      debugger.Verdict
+		s, key string
+	}{
+		{debugger.Correct, "yes", "correct"},
+		{debugger.Incorrect, "no", "incorrect"},
+		{debugger.DontKnow, "don't know", "dont-know"},
+		{debugger.Verdict(99), "don't know", "dont-know"},
+	}
+	for _, tc := range cases {
+		if got := tc.v.String(); got != tc.s {
+			t.Errorf("Verdict(%d).String() = %q, want %q", tc.v, got, tc.s)
+		}
+		if got := tc.v.Key(); got != tc.key {
+			t.Errorf("Verdict(%d).Key() = %q, want %q", tc.v, got, tc.key)
+		}
+	}
+	for _, in := range []string{"correct", "yes", "incorrect", "no", "dont-know", "don't know"} {
+		if _, ok := debugger.ParseVerdict(in); !ok {
+			t.Errorf("ParseVerdict(%q) not recognized", in)
+		}
+	}
+	if _, ok := debugger.ParseVerdict("maybe"); ok {
+		t.Error("ParseVerdict accepted garbage")
+	}
+}

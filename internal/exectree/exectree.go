@@ -9,6 +9,7 @@ import (
 	"io"
 	"strings"
 
+	"gadt/internal/obs"
 	"gadt/internal/pascal/ast"
 	"gadt/internal/pascal/interp"
 	"gadt/internal/pascal/sem"
@@ -247,14 +248,34 @@ type TraceResult struct {
 // Extra sinks (e.g. the dynamic dependence recorder) receive the same
 // event stream. A runtime error does not discard the partial tree.
 func Trace(info *sem.Info, input string, extra ...interp.EventSink) *TraceResult {
+	return TraceObserved(info, input, nil, extra...)
+}
+
+// TraceObserved is Trace with metrics: the registry (nil allowed)
+// receives the interpreter's execution counters plus the tree-shape
+// gauges exectree.nodes and exectree.depth.max.
+func TraceObserved(info *sem.Info, input string, metrics *obs.Registry, extra ...interp.EventSink) *TraceResult {
 	b := NewBuilder()
 	sinks := append(interp.MultiSink{b}, extra...)
 	var out strings.Builder
 	it := interp.New(info, interp.Config{
-		Input:  strings.NewReader(input),
-		Output: &out,
-		Sink:   sinks,
+		Input:   strings.NewReader(input),
+		Output:  &out,
+		Sink:    sinks,
+		Metrics: metrics,
 	})
 	err := it.Run()
-	return &TraceResult{Tree: b.Tree(), Output: out.String(), Err: err, Steps: it.Steps()}
+	tree := b.Tree()
+	if metrics != nil {
+		maxDepth := 0
+		tree.Walk(func(n *Node) bool {
+			if n.Depth > maxDepth {
+				maxDepth = n.Depth
+			}
+			return true
+		})
+		metrics.Gauge("exectree.nodes").Set(int64(tree.Size()))
+		metrics.Gauge("exectree.depth.max").SetMax(int64(maxDepth))
+	}
+	return &TraceResult{Tree: tree, Output: out.String(), Err: err, Steps: it.Steps()}
 }

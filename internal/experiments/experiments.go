@@ -15,6 +15,7 @@ import (
 	"gadt/internal/debugger"
 	"gadt/internal/exectree"
 	"gadt/internal/gadt"
+	"gadt/internal/obs"
 	"gadt/internal/paper"
 	"gadt/internal/pascal/interp"
 	"gadt/internal/pascal/printer"
@@ -618,7 +619,11 @@ func RunTraversal() (string, error) {
 	}
 	for _, s := range subjects {
 		for _, strat := range []debugger.Strategy{debugger.TopDown, debugger.DivideAndQuery, debugger.BottomUp} {
-			sys, err := gadt.Load(s.name+".pas", s.buggy)
+			// One registry per run: the question column is sourced from the
+			// observability counters rather than the outcome struct, so the
+			// experiment doubles as an end-to-end check of the metrics.
+			reg := obs.NewRegistry()
+			sys, err := gadt.LoadObserved(s.name+".pas", s.buggy, reg, nil)
 			if err != nil {
 				return "", err
 			}
@@ -634,11 +639,16 @@ func RunTraversal() (string, error) {
 			if err != nil {
 				return "", err
 			}
+			questions := reg.Counter("debugger.oracle.queries.strategy." + strat.String()).Value()
+			if questions != int64(out.Questions) {
+				return "", fmt.Errorf("traversal %s/%s: registry counted %d queries, outcome %d",
+					s.name, strat, questions, out.Questions)
+			}
 			loc := "-"
 			if out.Localized() {
 				loc = out.Bug.Unit.Name
 			}
-			fmt.Fprintf(&b, "%-28s %-18s %9d   %s\n", s.name, strat, out.Questions, loc)
+			fmt.Fprintf(&b, "%-28s %-18s %9d   %s\n", s.name, strat, questions, loc)
 		}
 	}
 	return b.String(), nil

@@ -29,6 +29,7 @@ import (
 	"gadt/internal/assertion"
 	"gadt/internal/debugger"
 	"gadt/internal/exectree"
+	"gadt/internal/obs"
 	"gadt/internal/pascal/parser"
 	"gadt/internal/pascal/printer"
 	"gadt/internal/pascal/sem"
@@ -48,19 +49,37 @@ type System struct {
 	// Transformed is the transformation-phase result, computed lazily by
 	// Trace (or eagerly by Transform).
 	Transformed *transform.Result
+
+	// Metrics and Tracer, when non-nil, observe every phase run through
+	// this system: phase spans (parse, sem, transform, trace, debug) and
+	// the per-layer counters documented in README.md. Both are nil-safe
+	// throughout, so an unobserved system pays nothing.
+	Metrics *obs.Registry
+	Tracer  *obs.Tracer
 }
 
 // Load parses and analyzes a subject program.
 func Load(file, source string) (*System, error) {
+	return LoadObserved(file, source, nil, nil)
+}
+
+// LoadObserved is Load with observability attached: the registry and
+// tracer (either may be nil) observe this load and every later phase of
+// the returned system.
+func LoadObserved(file, source string, m *obs.Registry, t *obs.Tracer) (*System, error) {
+	sp := t.Start("parse")
 	prog, err := parser.ParseProgram(file, source)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = t.Start("sem")
 	info, err := sem.Analyze(prog)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	return &System{File: file, Source: source, Info: info}, nil
+	return &System{File: file, Source: source, Info: info, Metrics: m, Tracer: t}, nil
 }
 
 // Transform runs the transformation phase (idempotent).
@@ -68,10 +87,13 @@ func (s *System) Transform() (*transform.Result, error) {
 	if s.Transformed != nil {
 		return s.Transformed, nil
 	}
+	sp := s.Tracer.Start("transform")
 	res, err := transform.Apply(s.Info)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	res.RecordMetrics(s.Metrics)
 	s.Transformed = res
 	return res, nil
 }
@@ -94,7 +116,11 @@ func (s *System) StaticSlicer() *static.Slicer {
 
 // Lint runs the dataflow anomaly checks over the ORIGINAL program.
 func (s *System) Lint(opts lint.Options) []lint.Diagnostic {
-	return lint.RunInfo(s.Info, s.Source, opts)
+	sp := s.Tracer.Start("lint")
+	diags := lint.RunInfo(s.Info, s.Source, opts)
+	sp.End()
+	lint.Record(s.Metrics, diags)
+	return diags
 }
 
 // LintHints aggregates the lint findings into per-unit suspiciousness
@@ -126,7 +152,10 @@ func (s *System) Trace(input string) (*Run, error) {
 		return nil, err
 	}
 	rec := dynamic.NewRecorder(res.Info)
-	tr := exectree.Trace(res.Info, input, rec)
+	sp := s.Tracer.Start("trace")
+	tr := exectree.TraceObserved(res.Info, input, s.Metrics, rec)
+	sp.End()
+	rec.RecordMetrics(s.Metrics)
 	return &Run{
 		System:   s,
 		Tree:     tr.Tree,
@@ -142,7 +171,10 @@ func (s *System) Trace(input string) (*Run, error) {
 // programs that are already side-effect free, and for comparisons.
 func (s *System) TraceOriginal(input string) *Run {
 	rec := dynamic.NewRecorder(s.Info)
-	tr := exectree.Trace(s.Info, input, rec)
+	sp := s.Tracer.Start("trace")
+	tr := exectree.TraceObserved(s.Info, input, s.Metrics, rec)
+	sp.End()
+	rec.RecordMetrics(s.Metrics)
 	return &Run{
 		System:   s,
 		Tree:     tr.Tree,
@@ -183,9 +215,13 @@ func (r *Run) Debug(oracle debugger.Oracle, cfg DebugConfig) (*debugger.Outcome,
 		Meta:             r.System.Transformed,
 		Hints:            cfg.Hints,
 		MaxQuestions:     cfg.MaxQuestions,
+		Metrics:          r.System.Metrics,
 		NoRootAssumption: cfg.NoRootAssumption,
 	}
-	return debugger.New(r.Tree, oracle, opts).Run()
+	sp := r.System.Tracer.Start("debug")
+	out, err := debugger.New(r.Tree, oracle, opts).Run()
+	sp.End()
+	return out, err
 }
 
 // DebugWithFallback runs the debugging phase and, when the caller's

@@ -1,0 +1,271 @@
+// Package obs is the dependency-free observability layer shared by all
+// three GADT phases: a concurrency-safe metrics registry (counters,
+// gauges, duration histograms) with text and JSON snapshot export, and a
+// span-style phase tracer with pluggable event sinks (see trace.go).
+//
+// Every entry point is nil-safe: methods on a nil *Registry or a nil
+// *Tracer degrade to no-ops, so instrumented code never guards call
+// sites — passing no registry costs one scratch allocation per lookup
+// and nothing per increment. Hot paths (the interpreter's statement
+// loop) resolve their instruments once and increment afterwards.
+//
+// Metric names are dotted paths; variable dimensions append one label
+// segment per axis, e.g. debugger.oracle.queries.verdict.no. The full
+// name inventory lives in README.md's Observability section.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d (negative deltas are ignored; counters only go up).
+func (c *Counter) Add(d int64) {
+	if d > 0 {
+		c.v.Add(d)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a point-in-time value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// SetMax stores v only when it exceeds the current value (high-water
+// marks such as activation depth).
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram accumulates durations (count / sum / min / max).
+type Histogram struct {
+	mu    sync.Mutex
+	count int64
+	sum   time.Duration
+	min   time.Duration
+	max   time.Duration
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.count++
+	h.sum += d
+}
+
+// Stat returns the accumulated statistics.
+func (h *Histogram) Stat() HistStat {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistStat{Count: h.count, SumNS: int64(h.sum), MinNS: int64(h.min), MaxNS: int64(h.max)}
+	if h.count > 0 {
+		s.MeanNS = int64(h.sum) / h.count
+	}
+	return s
+}
+
+// HistStat is an exported histogram snapshot (nanoseconds).
+type HistStat struct {
+	Count  int64 `json:"count"`
+	SumNS  int64 `json:"sum_ns"`
+	MinNS  int64 `json:"min_ns"`
+	MaxNS  int64 `json:"max_ns"`
+	MeanNS int64 `json:"mean_ns"`
+}
+
+// Registry holds named metrics. The zero value is NOT ready; use
+// NewRegistry. All methods are safe for concurrent use, and safe on a
+// nil receiver (they return live but unregistered scratch instruments).
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return new(Counter)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = new(Counter)
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return new(Gauge)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = new(Gauge)
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return new(Histogram)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = new(Histogram)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a consistent copy of every registered metric.
+type Snapshot struct {
+	Counters   map[string]int64    `json:"counters"`
+	Gauges     map[string]int64    `json:"gauges"`
+	Histograms map[string]HistStat `json:"histograms"`
+}
+
+// Snapshot copies the registry's current state. Nil registries snapshot
+// empty.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistStat{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for n, c := range r.counters {
+		s.Counters[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		s.Gauges[n] = g.Value()
+	}
+	for n, h := range r.hists {
+		s.Histograms[n] = h.Stat()
+	}
+	return s
+}
+
+// WriteText renders the snapshot as an aligned table, one metric per
+// line, sorted by name within each kind.
+func (s Snapshot) WriteText(w io.Writer) error {
+	width := 0
+	for _, m := range []int{maxKeyLen(s.Counters), maxKeyLen(s.Gauges)} {
+		if m > width {
+			width = m
+		}
+	}
+	for n := range s.Histograms {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	for _, n := range sortedKeys(s.Counters) {
+		if _, err := fmt.Fprintf(w, "%-*s  %d\n", width, n, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+	for _, n := range sortedKeys(s.Gauges) {
+		if _, err := fmt.Fprintf(w, "%-*s  %d\n", width, n, s.Gauges[n]); err != nil {
+			return err
+		}
+	}
+	var hnames []string
+	for n := range s.Histograms {
+		hnames = append(hnames, n)
+	}
+	sort.Strings(hnames)
+	for _, n := range hnames {
+		h := s.Histograms[n]
+		if _, err := fmt.Fprintf(w, "%-*s  count=%d sum=%s mean=%s min=%s max=%s\n",
+			width, n, h.Count,
+			time.Duration(h.SumNS), time.Duration(h.MeanNS),
+			time.Duration(h.MinNS), time.Duration(h.MaxNS)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+func maxKeyLen(m map[string]int64) int {
+	max := 0
+	for n := range m {
+		if len(n) > max {
+			max = len(n)
+		}
+	}
+	return max
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for n := range m {
+		keys = append(keys, n)
+	}
+	sort.Strings(keys)
+	return keys
+}

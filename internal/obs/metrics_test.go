@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.b")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.b") != c {
+		t.Error("Counter is not idempotent per name")
+	}
+	g := r.Gauge("depth.max")
+	g.Set(3)
+	g.SetMax(7)
+	g.SetMax(2) // lower: kept at 7
+	if got := g.Value(); got != 7 {
+		t.Errorf("gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("phase.trace")
+	h.Observe(10 * time.Millisecond)
+	h.Observe(30 * time.Millisecond)
+	st := h.Stat()
+	if st.Count != 2 || st.MinNS != int64(10*time.Millisecond) ||
+		st.MaxNS != int64(30*time.Millisecond) || st.MeanNS != int64(20*time.Millisecond) {
+		t.Errorf("stat = %+v", st)
+	}
+}
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(1)
+	r.Histogram("z").Observe(time.Second)
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Errorf("nil registry snapshot not empty: %+v", s)
+	}
+}
+
+func TestSnapshotExport(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("debugger.oracle.queries").Add(3)
+	r.Gauge("exectree.nodes").Set(12)
+	r.Histogram("phase.debug").Observe(time.Millisecond)
+	s := r.Snapshot()
+
+	var text strings.Builder
+	if err := s.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"debugger.oracle.queries  3", "exectree.nodes", "phase.debug", "count=1"} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("text snapshot missing %q:\n%s", want, text.String())
+		}
+	}
+
+	var buf strings.Builder
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal([]byte(buf.String()), &decoded); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if decoded.Counters["debugger.oracle.queries"] != 3 || decoded.Gauges["exectree.nodes"] != 12 {
+		t.Errorf("decoded = %+v", decoded)
+	}
+}
+
+// TestRegistryConcurrency hammers one registry from many goroutines;
+// run under -race this validates the concurrent-safety claim.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers, iters = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("shared.counter").Inc()
+				r.Counter("per.worker").Add(1)
+				r.Gauge("high.water").SetMax(int64(id*iters + i))
+				r.Histogram("lat").Observe(time.Duration(i))
+				if i%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared.counter").Value(); got != workers*iters {
+		t.Errorf("shared.counter = %d, want %d", got, workers*iters)
+	}
+	if got := r.Histogram("lat").Stat().Count; got != workers*iters {
+		t.Errorf("histogram count = %d, want %d", got, workers*iters)
+	}
+}

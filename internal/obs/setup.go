@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Setup wires the standard CLI observability surface: it returns a
+// fresh registry and a tracer whose span durations feed that registry.
+// traceOut selects the event sink: "" discards events (metrics only),
+// "-" writes human-readable lines to stderr, anything else creates a
+// JSONL file. The returned close function flushes and closes the sink
+// and must be called before exit.
+func Setup(traceOut string) (*Registry, *Tracer, func() error, error) {
+	reg := NewRegistry()
+	var (
+		sink TraceSink
+		file *os.File
+	)
+	switch traceOut {
+	case "":
+		sink = Discard
+	case "-":
+		sink = TextSink{W: os.Stderr}
+	default:
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("trace-out: %w", err)
+		}
+		file = f
+		sink = JSONLSink{W: f}
+	}
+	tr := NewTracer(sink)
+	tr.Metrics = reg
+	closeFn := func() error {
+		if file != nil {
+			return file.Close()
+		}
+		return nil
+	}
+	return reg, tr, closeFn, nil
+}
+
+// StartProfiles starts pprof profiling: cpuFile receives a CPU profile
+// from now until the returned stop function runs; memFile receives a
+// heap profile written by stop. Either may be empty. stop is never nil.
+func StartProfiles(cpuFile, memFile string) (stop func() error, err error) {
+	var cpu *os.File
+	if cpuFile != "" {
+		cpu, err = os.Create(cpuFile)
+		if err != nil {
+			return func() error { return nil }, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return func() error { return nil }, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() error {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			if err := cpu.Close(); err != nil {
+				return err
+			}
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // stabilize live-heap accounting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// TraceEvent is one entry in the phase-trace event stream. Begin events
+// carry no duration; end events carry the span's wall-clock duration.
+// Timestamps are microseconds since the tracer was created, so traces of
+// the same binary are comparable without absolute clocks.
+type TraceEvent struct {
+	Name   string `json:"name"`
+	Phase  string `json:"ph"` // "B" (begin) or "E" (end)
+	TimeUS int64  `json:"ts_us"`
+	DurUS  int64  `json:"dur_us,omitempty"`
+}
+
+// TraceSink consumes trace events. Emit may be called from multiple
+// goroutines; the Tracer serializes calls.
+type TraceSink interface {
+	Emit(e TraceEvent)
+}
+
+// Discard is a TraceSink that drops every event.
+var Discard TraceSink = discardSink{}
+
+type discardSink struct{}
+
+func (discardSink) Emit(TraceEvent) {}
+
+// TextSink renders events as human-readable lines.
+type TextSink struct{ W io.Writer }
+
+// Emit implements TraceSink.
+func (s TextSink) Emit(e TraceEvent) {
+	if e.Phase == "E" {
+		fmt.Fprintf(s.W, "[%9.3fms] end   %-12s (%s)\n",
+			float64(e.TimeUS)/1e3, e.Name, time.Duration(e.DurUS)*time.Microsecond)
+		return
+	}
+	fmt.Fprintf(s.W, "[%9.3fms] begin %s\n", float64(e.TimeUS)/1e3, e.Name)
+}
+
+// JSONLSink renders events as one JSON object per line.
+type JSONLSink struct{ W io.Writer }
+
+// Emit implements TraceSink.
+func (s JSONLSink) Emit(e TraceEvent) {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	s.W.Write(append(b, '\n'))
+}
+
+// Tracer emits span begin/end events to a sink and, when Metrics is
+// set, records each span's duration in the histogram phase.<name>.
+// A nil *Tracer is valid and free: Start returns a nil Span whose End
+// is a no-op.
+type Tracer struct {
+	mu      sync.Mutex
+	sink    TraceSink
+	start   time.Time
+	Metrics *Registry // optional; span durations land in phase.<name>
+}
+
+// NewTracer returns a tracer emitting to sink (nil means Discard).
+func NewTracer(sink TraceSink) *Tracer {
+	if sink == nil {
+		sink = Discard
+	}
+	return &Tracer{sink: sink, start: time.Now()}
+}
+
+func (t *Tracer) emit(e TraceEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sink.Emit(e)
+}
+
+// Span is one open interval; close it with End.
+type Span struct {
+	t     *Tracer
+	name  string
+	begin time.Time
+}
+
+// Start opens a span and emits its begin event.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	now := time.Now()
+	t.emit(TraceEvent{Name: name, Phase: "B", TimeUS: now.Sub(t.start).Microseconds()})
+	return &Span{t: t, name: name, begin: now}
+}
+
+// End closes the span, emits its end event, and records the duration in
+// the tracer's metrics registry (when one is attached). Safe on nil.
+func (s *Span) End() {
+	if s == nil || s.t == nil {
+		return
+	}
+	now := time.Now()
+	dur := now.Sub(s.begin)
+	s.t.emit(TraceEvent{
+		Name:   s.name,
+		Phase:  "E",
+		TimeUS: now.Sub(s.t.start).Microseconds(),
+		DurUS:  dur.Microseconds(),
+	})
+	s.t.Metrics.Histogram("phase." + s.name).Observe(dur)
+}

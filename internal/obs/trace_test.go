@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTracerJSONL(t *testing.T) {
+	var buf strings.Builder
+	tr := NewTracer(JSONLSink{W: &buf})
+	tr.Metrics = NewRegistry()
+
+	sp := tr.Start("parse")
+	sp.End()
+	tr.Start("debug").End()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d events, want 4 (2 begin + 2 end):\n%s", len(lines), buf.String())
+	}
+	var evs []TraceEvent
+	for _, l := range lines {
+		var e TraceEvent
+		if err := json.Unmarshal([]byte(l), &e); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", l, err)
+		}
+		evs = append(evs, e)
+	}
+	if evs[0].Name != "parse" || evs[0].Phase != "B" || evs[1].Phase != "E" {
+		t.Errorf("events = %+v", evs)
+	}
+	// Span durations land in the attached registry as phase histograms.
+	s := tr.Metrics.Snapshot()
+	if s.Histograms["phase.parse"].Count != 1 || s.Histograms["phase.debug"].Count != 1 {
+		t.Errorf("phase histograms missing: %+v", s.Histograms)
+	}
+}
+
+func TestTracerText(t *testing.T) {
+	var buf strings.Builder
+	tr := NewTracer(TextSink{W: &buf})
+	tr.Start("trace").End()
+	out := buf.String()
+	if !strings.Contains(out, "begin trace") || !strings.Contains(out, "end   trace") {
+		t.Errorf("text trace output:\n%s", out)
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Start("anything").End() // must not panic
+	(*Span)(nil).End()
+}

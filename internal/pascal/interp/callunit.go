@@ -64,6 +64,10 @@ func (it *Interp) CallUnit(target *sem.Routine, args []Value) (*CallInfo, error)
 
 	prev, prevDepth := it.frame, it.depth
 	it.frame, it.depth = nf, 1
+	if it.depth > it.maxDepth {
+		it.maxDepth = it.depth
+	}
+	defer it.recordMetrics()
 	it.sink.EnterCall(ci)
 	ctrl, err := it.execStmt(target.Block.Body)
 	for _, p := range target.Params {

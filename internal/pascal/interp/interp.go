@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 
+	"gadt/internal/obs"
 	"gadt/internal/pascal/ast"
 	"gadt/internal/pascal/sem"
 	"gadt/internal/pascal/token"
@@ -128,6 +129,11 @@ type Config struct {
 	MaxDepth int // call depth budget; <= 0 means the 10000 default
 
 	Sink EventSink // nil means NopSink
+
+	// Metrics, when non-nil, receives the run's execution counters
+	// (interp.statements, interp.calls, interp.depth.max) when Run or
+	// CallUnit returns.
+	Metrics *obs.Registry
 }
 
 const (
@@ -144,10 +150,15 @@ type Interp struct {
 	out  io.Writer
 	sink EventSink
 
-	steps   int
-	depth   int
-	nextID  int64
-	nextLoc Loc
+	steps    int
+	depth    int
+	maxDepth int
+	nextID   int64
+	nextLoc  Loc
+
+	// flushedSteps/flushedCalls mark what recordMetrics already exported.
+	flushedSteps int
+	flushedCalls int64
 
 	frame *frame // current frame
 }
@@ -193,9 +204,25 @@ func New(info *sem.Info, cfg Config) *Interp {
 	return it
 }
 
+// recordMetrics flushes the counters accumulated since the previous
+// flush into the configured registry (a no-op when none is configured).
+// Deltas keep repeated CallUnit invocations on one interpreter from
+// double-counting; the depth gauge is a high-water mark.
+func (it *Interp) recordMetrics() {
+	m := it.cfg.Metrics
+	if m == nil {
+		return
+	}
+	m.Counter("interp.statements").Add(int64(it.steps - it.flushedSteps))
+	m.Counter("interp.calls").Add(it.nextID - it.flushedCalls)
+	m.Gauge("interp.depth.max").SetMax(int64(it.maxDepth))
+	it.flushedSteps, it.flushedCalls = it.steps, it.nextID
+}
+
 // Run executes the program from the start of the program block. The
 // program block itself is reported as call ID 0 to the sink.
 func (it *Interp) Run() error {
+	defer it.recordMetrics()
 	main := it.info.Main
 	it.frame = &frame{routine: main, cells: make(map[*sem.VarSym]*cell)}
 	for _, v := range main.Locals {
@@ -652,6 +679,9 @@ func (it *Interp) call(target *sem.Routine, site ast.Node, args []ast.Expr, pos 
 	prev := it.frame
 	it.frame = nf
 	it.depth++
+	if it.depth > it.maxDepth {
+		it.maxDepth = it.depth
+	}
 	it.sink.EnterCall(ci)
 
 	ctrl, err := it.execStmt(target.Block.Body)

@@ -20,6 +20,7 @@ import (
 	"gadt/internal/analysis/cfg"
 	"gadt/internal/analysis/pdg"
 	"gadt/internal/exectree"
+	"gadt/internal/obs"
 	"gadt/internal/pascal/ast"
 	"gadt/internal/pascal/interp"
 	"gadt/internal/pascal/sem"
@@ -217,6 +218,26 @@ func (r *Recorder) ExitCall(ci *interp.CallInfo) {
 
 // Events reports the number of recorded statement events.
 func (r *Recorder) Events() int { return len(r.events) }
+
+// Edges reports the number of dependence edges in the recorded dynamic
+// dependence graph (data-flow plus dynamic control dependences).
+func (r *Recorder) Edges() int {
+	total := 0
+	for i := range r.events {
+		total += len(r.events[i].deps)
+	}
+	return total
+}
+
+// RecordMetrics sets the recorder's graph-size gauges
+// (slicing.dynamic.events, slicing.dynamic.edges). Nil-safe.
+func (r *Recorder) RecordMetrics(m *obs.Registry) {
+	if m == nil {
+		return
+	}
+	m.Gauge("slicing.dynamic.events").Set(int64(r.Events()))
+	m.Gauge("slicing.dynamic.edges").Set(int64(r.Edges()))
+}
 
 // ---------------------------------------------------------------------------
 // Slicing

@@ -33,6 +33,7 @@ package transform
 import (
 	"fmt"
 
+	"gadt/internal/obs"
 	"gadt/internal/pascal/ast"
 	"gadt/internal/pascal/sem"
 )
@@ -228,4 +229,58 @@ func collectNames(p *ast.Program) map[string]bool {
 type GrowthFactor struct {
 	OrigLines, NewLines int
 	Factor              float64
+}
+
+// Stats summarizes what the transformation phase did, for the
+// observability layer and reports.
+type Stats struct {
+	// Routines is the transformed program's unit count (original
+	// routines plus extracted loop units).
+	Routines int
+	// RoutinesChanged counts units that gained at least one parameter.
+	RoutinesChanged int
+	// LoopUnits counts loop bodies extracted into synthetic units.
+	LoopUnits int
+	// GlobalsLifted counts parameters introduced for non-local
+	// variables, summed over all units.
+	GlobalsLifted int
+	// GotosBroken counts distinct global-goto escape codes introduced.
+	GotosBroken int
+}
+
+// Stats computes the transformation summary from the result.
+func (res *Result) Stats() Stats {
+	st := Stats{Routines: len(res.Units), GotosBroken: len(res.EscapeCodes)}
+	for _, u := range res.Units {
+		if u.Kind == LoopUnit {
+			st.LoopUnits++
+		}
+	}
+	for _, added := range res.Added {
+		if len(added) == 0 {
+			continue
+		}
+		st.RoutinesChanged++
+		for _, a := range added {
+			if a.GlobalOf != "" {
+				st.GlobalsLifted++
+			}
+		}
+	}
+	return st
+}
+
+// RecordMetrics adds the transformation counters to a registry
+// (transform.routines, transform.routines.changed, transform.loop-units,
+// transform.globals-lifted, transform.gotos-broken). Nil-safe.
+func (res *Result) RecordMetrics(m *obs.Registry) {
+	if m == nil {
+		return
+	}
+	st := res.Stats()
+	m.Counter("transform.routines").Add(int64(st.Routines))
+	m.Counter("transform.routines.changed").Add(int64(st.RoutinesChanged))
+	m.Counter("transform.loop-units").Add(int64(st.LoopUnits))
+	m.Counter("transform.globals-lifted").Add(int64(st.GlobalsLifted))
+	m.Counter("transform.gotos-broken").Add(int64(st.GotosBroken))
 }

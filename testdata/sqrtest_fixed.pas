@@ -1,0 +1,85 @@
+program main;
+type
+  intarray = array [1 .. 10] of integer;
+var
+  isok: boolean;
+
+procedure test(r1, r2: integer; var isok: boolean);
+begin
+  isok := r1 = r2;
+end;
+
+procedure arrsum(a: intarray; n: integer; var b: integer);
+var i: integer;
+begin
+  b := 0;
+  for i := 1 to n do
+    b := b + a[i];
+end;
+
+procedure square(y: integer; var r2: integer);
+begin
+  r2 := y * y;
+end;
+
+procedure comput2(y: integer; var r2: integer);
+begin
+  square(y, r2);
+end;
+
+procedure add(s1, s2: integer; var r1: integer);
+begin
+  r1 := s1 + s2;
+end;
+
+function decrement(y: integer): integer;
+begin
+  decrement := y - 1;
+end;
+
+function increment(y: integer): integer;
+begin
+  increment := y + 1;
+end;
+
+procedure sum2(y: integer; var s2: integer);
+begin
+  s2 := decrement(y) * y div 2;
+end;
+
+procedure sum1(y: integer; var s1: integer);
+begin
+  s1 := y * increment(y) div 2;
+end;
+
+procedure partialsums(y: integer; var s1, s2: integer);
+begin
+  sum1(y, s1);
+  sum2(y, s2);
+end;
+
+procedure comput1(y: integer; var r1: integer);
+var s1, s2: integer;
+begin
+  partialsums(y, s1, s2);
+  add(s1, s2, r1);
+end;
+
+procedure computs(y: integer; var r1, r2: integer);
+begin
+  comput1(y, r1);
+  comput2(y, r2);
+end;
+
+procedure sqrtest(ary: intarray; n: integer; var isok: boolean);
+var r1, r2, t: integer;
+begin
+  arrsum(ary, n, t);
+  computs(t, r1, r2);
+  test(r1, r2, isok);
+end;
+
+begin
+  sqrtest([1, 2], 2, isok);
+  writeln(isok);
+end.
