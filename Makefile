@@ -1,16 +1,18 @@
 # Developer entry points for the GADT reproduction.
 #
-#   make check      - formatting, vet, build, tests, journal smoke test
+#   make check      - formatting, vet, build, tests, fuzz + journal smokes
 #   make build      - compile every package and command
 #   make test       - run the test suite
 #   make bench      - run the benchmark suite once
 #   make bench-json - write BENCH_debug.json (queries + ns/op per strategy)
+#   make mutate     - run the full mutation campaign, write BENCH_mutation.json
 #   make lint       - run plint over the fixture and example programs
 #   make fmt        - rewrite sources with gofmt
 
 GO ?= go
+FUZZTIME ?= 5s
 
-.PHONY: check build test bench bench-json lint fmt smoke-journal
+.PHONY: check build test bench bench-json mutate lint fmt smoke-journal smoke-fuzz
 
 check:
 	@unformatted=$$(gofmt -l .); \
@@ -20,7 +22,14 @@ check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
+	$(MAKE) smoke-fuzz
 	$(MAKE) smoke-journal
+
+# Short coverage-guided fuzz runs: the lexer and parser must survive
+# arbitrary inputs without panicking (one -fuzz pattern per package).
+smoke-fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzLexer -fuzztime=$(FUZZTIME) ./internal/pascal/lexer
+	$(GO) test -run='^$$' -fuzz=FuzzParser -fuzztime=$(FUZZTIME) ./internal/pascal/parser
 
 # Record a debugging session against the known-good reference, then
 # replay it with stdin closed: both runs must localize the same unit and
@@ -56,6 +65,11 @@ bench:
 
 bench-json:
 	$(GO) run ./cmd/gadt-bench -o BENCH_debug.json
+
+# Fault-injection evaluation: mutate every subject program, run each
+# mutant through the debugger with the unmutated original as oracle.
+mutate:
+	$(GO) run ./cmd/pmut -budget 240 -seed 1 -json BENCH_mutation.json
 
 lint:
 	$(GO) run ./cmd/plint testdata/*.pas || true

@@ -1,0 +1,224 @@
+// Command pmut runs a parallel mutation campaign: it plants faults into
+// every subject program with classic mutation operators, pushes each
+// mutant through the full GADT pipeline (transform, trace, algorithmic
+// debugging), and answers every debugger query from the unmutated
+// reference program — a fault-injection evaluation of bug localization
+// with zero interactive oracle questions.
+//
+// Usage:
+//
+//	pmut [flags]
+//
+//	-seed n        campaign seed (mutant sampling; default 1)
+//	-budget n      total mutants across all subjects (0 = all; default 240)
+//	-workers n     worker pool size (0 = GOMAXPROCS)
+//	-strategy s    comma list of top-down,divide,bottom-up, or "all"
+//	-ops s         comma list of mutation operators, or "all"
+//	-subject s     only subjects whose name contains s
+//	-fuel n        per-execution statement budget
+//	-depth n       per-execution call-depth budget
+//	-timeout d     per-mutant wall-clock backstop
+//	-json file     report destination ("-" = stdout; default BENCH_mutation.json)
+//	-stats         print the obs metrics snapshot on exit
+//	-v             per-subject and per-mutant progress
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"gadt/internal/campaign"
+	"gadt/internal/debugger"
+	"gadt/internal/mutate"
+	"gadt/internal/obs"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "campaign seed")
+		budget   = flag.Int("budget", 240, "total mutants across subjects (0 = all)")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		strategy = flag.String("strategy", "all", "comma list of top-down,divide,bottom-up, or all")
+		opsFlag  = flag.String("ops", "all", "comma list of mutation operators, or all")
+		subject  = flag.String("subject", "", "only subjects whose name contains this")
+		fuel     = flag.Int("fuel", 0, "per-execution statement budget (0 = default)")
+		depth    = flag.Int("depth", 0, "per-execution call-depth budget (0 = default)")
+		timeout  = flag.Duration("timeout", 0, "per-mutant wall-clock backstop (0 = default)")
+		jsonOut  = flag.String("json", "BENCH_mutation.json", "report destination (\"-\" = stdout)")
+		stats    = flag.Bool("stats", false, "print a metrics snapshot on exit")
+		verbose  = flag.Bool("v", false, "per-subject progress")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*seed, *budget, *workers, *strategy, *opsFlag, *subject,
+		*fuel, *depth, *timeout, *jsonOut, *stats, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "pmut:", err)
+		os.Exit(1)
+	}
+}
+
+func parseStrategies(s string) ([]debugger.Strategy, error) {
+	if s == "" || s == "all" {
+		return nil, nil
+	}
+	var out []debugger.Strategy
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(part) {
+		case "top-down":
+			out = append(out, debugger.TopDown)
+		case "divide", "divide-and-query":
+			out = append(out, debugger.DivideAndQuery)
+		case "bottom-up":
+			out = append(out, debugger.BottomUp)
+		default:
+			return nil, fmt.Errorf("unknown strategy %q", part)
+		}
+	}
+	return out, nil
+}
+
+func parseOps(s string) ([]mutate.Op, error) {
+	if s == "" || s == "all" {
+		return nil, nil
+	}
+	var out []mutate.Op
+	for _, part := range strings.Split(s, ",") {
+		op, ok := mutate.ParseOp(strings.TrimSpace(part))
+		if !ok {
+			return nil, fmt.Errorf("unknown mutation operator %q (have: %v)", part, mutate.AllOps())
+		}
+		out = append(out, op)
+	}
+	return out, nil
+}
+
+func run(seed int64, budget, workers int, strategy, opsFlag, subject string,
+	fuel, depth int, timeout time.Duration, jsonOut string, stats, verbose bool) error {
+	strategies, err := parseStrategies(strategy)
+	if err != nil {
+		return err
+	}
+	ops, err := parseOps(opsFlag)
+	if err != nil {
+		return err
+	}
+	var subjects []campaign.Subject
+	if subject != "" {
+		for _, s := range campaign.DefaultSubjects() {
+			if strings.Contains(s.Name, subject) {
+				subjects = append(subjects, s)
+			}
+		}
+		if len(subjects) == 0 {
+			return fmt.Errorf("no subject matches %q", subject)
+		}
+	}
+
+	reg := obs.NewRegistry()
+	cfg := campaign.Config{
+		Subjects:   subjects,
+		Ops:        ops,
+		Seed:       seed,
+		Budget:     budget,
+		Workers:    workers,
+		Strategies: strategies,
+		Fuel:       fuel,
+		MaxDepth:   depth,
+		Timeout:    timeout,
+		Metrics:    reg,
+	}
+	if verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	rep, err := campaign.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	if verbose {
+		for _, o := range rep.Outcomes {
+			fmt.Fprintf(os.Stderr, "%-28s #%-4d %-10s %-16s %s\n",
+				o.Subject, o.MutantID, o.Status, o.Op, o.Description)
+		}
+	}
+	// With the report going to stdout, keep stdout pure JSON (pipeable
+	// into jq) and move the human summary to stderr.
+	summaryDst := os.Stdout
+	if jsonOut == "-" {
+		summaryDst = os.Stderr
+	}
+	summarize(summaryDst, rep)
+
+	switch jsonOut {
+	case "":
+	case "-":
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	default:
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", jsonOut)
+	}
+	if stats {
+		fmt.Println("\nmetrics:")
+		reg.Snapshot().WriteText(os.Stdout)
+	}
+	return nil
+}
+
+func summarize(w *os.File, rep *campaign.Report) {
+	fmt.Fprintf(w, "mutation campaign: %d subjects, %d sites enumerated, %d mutants evaluated (seed %d, %d workers, %s)\n",
+		rep.Subjects, rep.Enumerated, rep.Mutants, rep.Seed, rep.Workers,
+		time.Duration(rep.ElapsedMS)*time.Millisecond)
+	fmt.Fprintf(w, "  killed %d  survived %d  timeout %d  stillborn %d  panics %d   kill rate %.1f%%\n",
+		rep.Killed, rep.Survived, rep.Timeout, rep.Stillborn, rep.Panics, 100*rep.KillRate())
+	if rep.DebugSkipped > 0 {
+		fmt.Fprintf(w, "  debug skipped on %d oversized trees\n", rep.DebugSkipped)
+	}
+	for _, msg := range rep.SubjectErrors {
+		fmt.Fprintf(w, "  subject error: %s\n", msg)
+	}
+
+	fmt.Fprintf(w, "\n%-18s %8s %8s %8s %8s %10s\n", "operator", "mutants", "killed", "survived", "timeout", "kill rate")
+	for _, op := range sortedKeys(rep.ByOperator) {
+		st := rep.ByOperator[op]
+		fmt.Fprintf(w, "%-18s %8d %8d %8d %8d %9.1f%%\n",
+			op, st.Mutants, st.Killed, st.Survived, st.Timeout, 100*st.KillRate)
+	}
+
+	fmt.Fprintf(w, "\n%-18s %9s %10s %11s %10s %6s\n", "strategy", "sessions", "localized", "rate", "mean q", "max q")
+	for _, name := range sortedKeys(rep.ByStrategy) {
+		st := rep.ByStrategy[name]
+		fmt.Fprintf(w, "%-18s %9d %10d %10.1f%% %10.2f %6d\n",
+			name, st.Sessions, st.Localized, 100*st.LocalizationRate, st.MeanQuestions, st.MaxQuestions)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,144 @@
+package debugger_test
+
+import (
+	"testing"
+
+	"gadt/internal/debugger"
+)
+
+// TestDivideAndQueryEdgeCases pins divide-and-query on degenerate tree
+// shapes: a single-node tree must localize the program body without a
+// single question, an all-correct fringe must fall back to the root
+// after exhausting every candidate, and on a linear chain the strategy
+// must probe the midpoint first (not walk the chain top-down).
+func TestDivideAndQueryEdgeCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		oracle *debugger.ScriptedOracle
+		// wantUnit is the localized unit, wantQuestions the exact count,
+		// wantFirst the unit of the first oracle question ("" = none).
+		wantUnit      string
+		wantQuestions int
+		wantFirst     string
+	}{
+		{
+			// The tree is just the program node: weight-1 candidates are
+			// exhausted immediately and the symptom premise pins the body.
+			name: "single-node tree",
+			src: `
+program solo;
+var x: integer;
+begin
+  x := 2;
+  writeln(x);
+end.`,
+			oracle:        &debugger.ScriptedOracle{},
+			wantUnit:      "solo",
+			wantQuestions: 0,
+		},
+		{
+			// Three equal-weight children: each bisection attempt judges
+			// one child correct and cuts it, so all three are asked and
+			// the root is left as the only suspect.
+			name: "all children correct",
+			src: `
+program trip;
+var a, b, c: integer;
+
+procedure p1(var r: integer);
+begin
+  r := 1;
+end;
+
+procedure p2(var r: integer);
+begin
+  r := 2;
+end;
+
+procedure p3(var r: integer);
+begin
+  r := 3;
+end;
+
+begin
+  p1(a);
+  p2(b);
+  p3(c);
+  writeln(a, b, c);
+end.`,
+			oracle:        &debugger.ScriptedOracle{Default: debugger.Answer{Verdict: debugger.Correct}},
+			wantUnit:      "trip",
+			wantQuestions: 3,
+		},
+		{
+			// Chain main -> a -> b -> c with the fault in a's body. The
+			// weights are a:3, b:2, c:1 against target 2, so the first
+			// probe must be the midpoint b (correct, cutting b and c),
+			// then a (incorrect) — two questions, never touching c.
+			name: "deep chain bisects",
+			src: `
+program chain;
+var r: integer;
+
+function c(x: integer): integer;
+begin
+  c := x + 1;
+end;
+
+function b(x: integer): integer;
+begin
+  b := c(x) * 2;
+end;
+
+function a(x: integer): integer;
+begin
+  a := b(x) - 1;
+end;
+
+begin
+  r := a(3);
+  writeln(r);
+end.`,
+			oracle: &debugger.ScriptedOracle{
+				ByUnit: map[string]debugger.Answer{
+					"a": {Verdict: debugger.Incorrect},
+					"b": {Verdict: debugger.Correct},
+					"c": {Verdict: debugger.Correct},
+				},
+			},
+			wantUnit:      "a",
+			wantQuestions: 2,
+			wantFirst:     "b",
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, _ := traceIt(t, tc.src)
+			sess := debugger.New(res.Tree, tc.oracle, debugger.Options{
+				Strategy: debugger.DivideAndQuery,
+			})
+			out, err := sess.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !out.Localized() || out.Bug.Unit.Name != tc.wantUnit {
+				t.Fatalf("bug = %v, want %s\n%s", out.Bug, tc.wantUnit, transcript(out))
+			}
+			if out.Questions != tc.wantQuestions {
+				t.Errorf("questions = %d, want %d\n%s", out.Questions, tc.wantQuestions, transcript(out))
+			}
+			var first string
+			for _, ev := range out.Transcript {
+				if ev.Kind == debugger.EvQuestion {
+					first = ev.Node.Unit.Name
+					break
+				}
+			}
+			if tc.wantFirst != "" && first != tc.wantFirst {
+				t.Errorf("first question went to %q, want %q\n%s", first, tc.wantFirst, transcript(out))
+			}
+		})
+	}
+}

@@ -255,14 +255,39 @@ func Trace(info *sem.Info, input string, extra ...interp.EventSink) *TraceResult
 // receives the interpreter's execution counters plus the tree-shape
 // gauges exectree.nodes and exectree.depth.max.
 func TraceObserved(info *sem.Info, input string, metrics *obs.Registry, extra ...interp.EventSink) *TraceResult {
+	return TraceWith(info, TraceOpts{Input: input, Metrics: metrics, Extra: extra})
+}
+
+// TraceOpts configures TraceWith beyond the common defaults.
+type TraceOpts struct {
+	Input   string
+	Metrics *obs.Registry
+	Extra   []interp.EventSink
+
+	// MaxSteps and MaxDepth bound the traced execution (<= 0 uses the
+	// interpreter defaults). The mutation campaign sets tight budgets so
+	// mutants with planted infinite loops or runaway recursion stop with
+	// interp.ErrFuelExhausted (resp. a depth error) and a bounded tree
+	// instead of hanging the worker.
+	MaxSteps int
+	MaxDepth int
+}
+
+// TraceWith executes an analyzed program under explicit resource limits
+// and builds its execution tree. A resource-limit or runtime error does
+// not discard the partial tree.
+func TraceWith(info *sem.Info, o TraceOpts) *TraceResult {
 	b := NewBuilder()
-	sinks := append(interp.MultiSink{b}, extra...)
+	sinks := append(interp.MultiSink{b}, o.Extra...)
 	var out strings.Builder
+	metrics := o.Metrics
 	it := interp.New(info, interp.Config{
-		Input:   strings.NewReader(input),
-		Output:  &out,
-		Sink:    sinks,
-		Metrics: metrics,
+		Input:    strings.NewReader(o.Input),
+		Output:   &out,
+		Sink:     sinks,
+		Metrics:  metrics,
+		MaxSteps: o.MaxSteps,
+		MaxDepth: o.MaxDepth,
 	})
 	err := it.Run()
 	tree := b.Tree()

@@ -30,6 +30,7 @@ import (
 	"gadt/internal/debugger"
 	"gadt/internal/exectree"
 	"gadt/internal/obs"
+	"gadt/internal/pascal/interp"
 	"gadt/internal/pascal/parser"
 	"gadt/internal/pascal/printer"
 	"gadt/internal/pascal/sem"
@@ -166,6 +167,37 @@ func (s *System) Trace(input string) (*Run, error) {
 	}, nil
 }
 
+// TraceLimited is Trace under explicit resource budgets: the traced
+// execution stops with interp.ErrFuelExhausted after maxSteps statements
+// and errors past maxDepth call depth (<= 0 uses interpreter defaults).
+// The mutation campaign uses it so a mutant with a planted infinite loop
+// yields a bounded partial tree instead of hanging a worker.
+func (s *System) TraceLimited(input string, maxSteps, maxDepth int) (*Run, error) {
+	res, err := s.Transform()
+	if err != nil {
+		return nil, err
+	}
+	rec := dynamic.NewRecorder(res.Info)
+	sp := s.Tracer.Start("trace")
+	tr := exectree.TraceWith(res.Info, exectree.TraceOpts{
+		Input:    input,
+		Metrics:  s.Metrics,
+		Extra:    []interp.EventSink{rec},
+		MaxSteps: maxSteps,
+		MaxDepth: maxDepth,
+	})
+	sp.End()
+	rec.RecordMetrics(s.Metrics)
+	return &Run{
+		System:   s,
+		Tree:     tr.Tree,
+		Recorder: rec,
+		Output:   tr.Output,
+		RunErr:   tr.Err,
+		Steps:    tr.Steps,
+	}, nil
+}
+
 // TraceOriginal traces the UNTRANSFORMED program (no loop units, no
 // goto/global rewrites). Useful for figure-faithful execution trees of
 // programs that are already side-effect free, and for comparisons.
@@ -261,6 +293,21 @@ func IntendedOracle(refSource string) (debugger.Oracle, error) {
 		return nil, fmt.Errorf("gadt: reference: %w", err)
 	}
 	return &debugger.IntendedOracle{Ref: tref.Info}, nil
+}
+
+// IntendedOracleLimited is IntendedOracle with a per-query step budget
+// on the reference replays, for campaigns over generated programs where
+// even the reference could be driven into a long run by extreme inputs.
+func IntendedOracleLimited(refSource string, maxSteps int) (debugger.Oracle, error) {
+	ref, err := Load("reference.pas", refSource)
+	if err != nil {
+		return nil, fmt.Errorf("gadt: reference: %w", err)
+	}
+	tref, err := ref.Transform()
+	if err != nil {
+		return nil, fmt.Errorf("gadt: reference: %w", err)
+	}
+	return &debugger.IntendedOracle{Ref: tref.Info, MaxSteps: maxSteps}, nil
 }
 
 // IntendedOracleOriginal is IntendedOracle without transformation, for

@@ -1,0 +1,425 @@
+// Package mutate implements fault injection for the mutation campaign:
+// it applies classic mutation operators to parsed Pascal programs,
+// producing deterministic first-order mutants (exactly one planted
+// fault each) together with the ground-truth unit the fault lives in.
+// The campaign runner (package campaign) executes every mutant through
+// the full GADT pipeline and checks that algorithmic debugging
+// localizes the bug back to that unit.
+//
+// Operators (the classic selective set, cf. Offutt's sufficient
+// operators):
+//
+//	rel-flip          relational operator replacement (<, <=, =, ...)
+//	arith-flip        arithmetic operator replacement (+, -, *, div, ...)
+//	const-off-by-one  integer literal n -> n±1
+//	var-swap          reference to a variable replaced by another
+//	                  same-type variable of the same declaration group
+//	negate-cond       if/while/repeat condition wrapped in `not`
+//	drop-stmt         assignment or call statement deleted
+//
+// Every candidate mutant is validated with the semantic analyzer;
+// mutants that no longer type-check are discarded (stillborn), so the
+// returned set contains only executable programs. Enumeration order,
+// mutant IDs and sampling are fully deterministic for a given
+// (source, Config) pair.
+package mutate
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"gadt/internal/pascal/ast"
+	"gadt/internal/pascal/parser"
+	"gadt/internal/pascal/printer"
+	"gadt/internal/pascal/sem"
+	"gadt/internal/pascal/token"
+)
+
+// Op names a mutation operator.
+type Op string
+
+const (
+	RelFlip       Op = "rel-flip"
+	ArithFlip     Op = "arith-flip"
+	ConstOffByOne Op = "const-off-by-one"
+	VarSwap       Op = "var-swap"
+	NegateCond    Op = "negate-cond"
+	DropStmt      Op = "drop-stmt"
+)
+
+// AllOps lists every operator in canonical order.
+func AllOps() []Op {
+	return []Op{RelFlip, ArithFlip, ConstOffByOne, VarSwap, NegateCond, DropStmt}
+}
+
+// ParseOp recognizes an operator name.
+func ParseOp(s string) (Op, bool) {
+	for _, op := range AllOps() {
+		if string(op) == s {
+			return op, true
+		}
+	}
+	return "", false
+}
+
+// Mutant is one validated first-order mutant.
+type Mutant struct {
+	// ID is the mutant's stable index in the full enumeration of its
+	// subject (independent of sampling).
+	ID int
+	Op Op
+	// Unit is the routine the fault was injected into (the program name
+	// for faults in the main program body) — the localization ground
+	// truth.
+	Unit string
+	// Pos is the source position of the mutated construct in the
+	// original program.
+	Pos token.Pos
+	// Description is human-readable, e.g. `rel-flip < -> <= in isprime`.
+	Description string
+	// Source is the complete mutated program.
+	Source string
+}
+
+// Config controls enumeration.
+type Config struct {
+	// Ops enables a subset of operators (nil/empty = all).
+	Ops []Op
+	// Seed drives sampling when Max truncates the enumeration.
+	Seed int64
+	// Max caps the number of returned mutants (0 = all). Sampling is a
+	// deterministic seed-driven choice from the full enumeration, so a
+	// larger Max returns a superset ordering of stable IDs.
+	Max int
+}
+
+// relAlts / arithAlts map an operator token to its replacement
+// candidates. Two alternatives per relational operator cover both the
+// boundary (off-by-one in the comparison) and the polarity fault
+// classes.
+var relAlts = map[token.Kind][]token.Kind{
+	token.Eq:      {token.NotEq, token.LessEq},
+	token.NotEq:   {token.Eq, token.Less},
+	token.Less:    {token.LessEq, token.GreatEq},
+	token.LessEq:  {token.Less, token.Greater},
+	token.Greater: {token.GreatEq, token.LessEq},
+	token.GreatEq: {token.Greater, token.Less},
+}
+
+var arithAlts = map[token.Kind][]token.Kind{
+	token.Plus:  {token.Minus, token.Star},
+	token.Minus: {token.Plus},
+	token.Star:  {token.Plus},
+	token.Div:   {token.Mod, token.Star},
+	token.Mod:   {token.Div},
+	token.Slash: {token.Star},
+}
+
+// site is one latent mutation: apply edits the cloned counterpart of
+// the recorded original node(s).
+type site struct {
+	op    Op
+	unit  string
+	pos   token.Pos
+	desc  string
+	apply func(counterpart func(ast.Node) ast.Node) bool
+}
+
+// Enumerate parses source and returns every enabled, type-correct
+// mutant (sampled down to cfg.Max when set).
+func Enumerate(file, source string, cfg Config) ([]*Mutant, error) {
+	prog, err := parser.ParseProgram(file, source)
+	if err != nil {
+		return nil, fmt.Errorf("mutate: %w", err)
+	}
+	if _, err := sem.Analyze(prog); err != nil {
+		return nil, fmt.Errorf("mutate: %w", err)
+	}
+
+	enabled := make(map[Op]bool)
+	ops := cfg.Ops
+	if len(ops) == 0 {
+		ops = AllOps()
+	}
+	for _, op := range ops {
+		enabled[op] = true
+	}
+
+	var sites []*site
+	collectBlock(prog.Block, prog.Name, nil, enabled, &sites)
+
+	var mutants []*Mutant
+	for i, st := range sites {
+		clone, cm := ast.Clone(prog)
+		old2new := invert(cm)
+		lookup := func(n ast.Node) ast.Node { return old2new[n] }
+		if !st.apply(lookup) {
+			continue
+		}
+		if _, err := sem.Analyze(clone); err != nil {
+			continue // stillborn: the fault does not type-check
+		}
+		mutants = append(mutants, &Mutant{
+			ID:          i,
+			Op:          st.op,
+			Unit:        st.unit,
+			Pos:         st.pos,
+			Description: st.desc,
+			Source:      printer.Print(clone),
+		})
+	}
+
+	if cfg.Max > 0 && len(mutants) > cfg.Max {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		rng.Shuffle(len(mutants), func(i, j int) {
+			mutants[i], mutants[j] = mutants[j], mutants[i]
+		})
+		mutants = mutants[:cfg.Max]
+		sort.Slice(mutants, func(i, j int) bool { return mutants[i].ID < mutants[j].ID })
+	}
+	return mutants, nil
+}
+
+func invert(cm ast.CloneMap) map[ast.Node]ast.Node {
+	inv := make(map[ast.Node]ast.Node, len(cm))
+	for nw, old := range cm {
+		inv[old] = nw
+	}
+	return inv
+}
+
+// collectBlock gathers mutation sites for the block's own body
+// (attributed to unit) and recurses into nested routines. owner is the
+// routine the block belongs to (nil for the program block); its
+// parameter groups join the block's variable groups for var-swap.
+func collectBlock(b *ast.Block, unit string, owner *ast.Routine, enabled map[Op]bool, sites *[]*site) {
+	for _, r := range b.Routines {
+		collectBlock(r.Block, r.Name, r, enabled, sites)
+	}
+	groups := varGroups(b)
+	if owner != nil {
+		paramGroups(owner, groups)
+	}
+	collectBody(b.Body, unit, groups, enabled, sites)
+}
+
+// varGroups returns, for each variable name declared in this block
+// (params of the owning routine are declared in the enclosing Routine,
+// so they are collected by the caller via the block's routine), the
+// other names of its declaration group. Names sharing one VarDecl or
+// one Param entry have identical declared types, making swaps
+// type-safe by construction.
+func varGroups(b *ast.Block) map[string][]string {
+	groups := make(map[string][]string)
+	add := func(names []string) {
+		if len(names) < 2 {
+			return
+		}
+		for _, n := range names {
+			var others []string
+			for _, m := range names {
+				if m != n {
+					others = append(others, m)
+				}
+			}
+			groups[n] = others
+		}
+	}
+	for _, d := range b.Vars {
+		add(d.Names)
+	}
+	return groups
+}
+
+// paramGroups extends varGroups with the routine's parameter groups.
+func paramGroups(r *ast.Routine, groups map[string][]string) {
+	for _, p := range r.Params {
+		if len(p.Names) < 2 {
+			continue
+		}
+		for _, n := range p.Names {
+			var others []string
+			for _, m := range p.Names {
+				if m != n {
+					others = append(others, m)
+				}
+			}
+			groups[n] = others
+		}
+	}
+}
+
+func collectBody(body ast.Stmt, unit string, groups map[string][]string, enabled map[Op]bool, sites *[]*site) {
+	// Statement-level sites: dropped statements and negated conditions.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompoundStmt:
+			collectDrops(n, n.Stmts, unit, enabled, sites)
+		case *ast.RepeatStmt:
+			collectDrops(n, n.Stmts, unit, enabled, sites)
+			collectNegate(n, n.Cond, "until", unit, enabled, sites)
+		case *ast.IfStmt:
+			collectNegate(n, n.Cond, "if", unit, enabled, sites)
+		case *ast.WhileStmt:
+			collectNegate(n, n.Cond, "while", unit, enabled, sites)
+		case *ast.BinaryExpr:
+			collectOpFlip(n, unit, enabled, sites)
+		case *ast.IntLit:
+			collectOffByOne(n, unit, enabled, sites)
+		case *ast.Ident:
+			collectSwap(n, unit, groups, enabled, sites)
+		}
+		return true
+	})
+}
+
+func collectDrops(parent ast.Node, stmts []ast.Stmt, unit string, enabled map[Op]bool, sites *[]*site) {
+	if !enabled[DropStmt] {
+		return
+	}
+	for i, s := range stmts {
+		switch s.(type) {
+		case *ast.AssignStmt, *ast.CallStmt:
+		default:
+			continue
+		}
+		i, s := i, s
+		*sites = append(*sites, &site{
+			op:   DropStmt,
+			unit: unit,
+			pos:  s.Pos(),
+			desc: fmt.Sprintf("drop-stmt `%s` in %s", firstLine(printer.PrintStmt(s)), unit),
+			apply: func(counterpart func(ast.Node) ast.Node) bool {
+				switch p := counterpart(parent).(type) {
+				case *ast.CompoundStmt:
+					p.Stmts[i] = &ast.EmptyStmt{SemiPos: p.Stmts[i].Pos()}
+					return true
+				case *ast.RepeatStmt:
+					p.Stmts[i] = &ast.EmptyStmt{SemiPos: p.Stmts[i].Pos()}
+					return true
+				}
+				return false
+			},
+		})
+	}
+}
+
+func collectNegate(stmt ast.Node, cond ast.Expr, kw, unit string, enabled map[Op]bool, sites *[]*site) {
+	if !enabled[NegateCond] || cond == nil {
+		return
+	}
+	*sites = append(*sites, &site{
+		op:   NegateCond,
+		unit: unit,
+		pos:  cond.Pos(),
+		desc: fmt.Sprintf("negate-cond %s `%s` in %s", kw, firstLine(printer.PrintExpr(cond)), unit),
+		apply: func(counterpart func(ast.Node) ast.Node) bool {
+			negate := func(e *ast.Expr) {
+				*e = &ast.UnaryExpr{OpPos: (*e).Pos(), Op: token.Not, X: *e}
+			}
+			switch s := counterpart(stmt).(type) {
+			case *ast.IfStmt:
+				negate(&s.Cond)
+			case *ast.WhileStmt:
+				negate(&s.Cond)
+			case *ast.RepeatStmt:
+				negate(&s.Cond)
+			default:
+				return false
+			}
+			return true
+		},
+	})
+}
+
+func collectOpFlip(e *ast.BinaryExpr, unit string, enabled map[Op]bool, sites *[]*site) {
+	alts, op := relAlts[e.Op], RelFlip
+	if len(alts) == 0 {
+		alts, op = arithAlts[e.Op], ArithFlip
+	}
+	if len(alts) == 0 || !enabled[op] {
+		return
+	}
+	for _, alt := range alts {
+		alt := alt
+		*sites = append(*sites, &site{
+			op:   op,
+			unit: unit,
+			pos:  e.Pos(),
+			desc: fmt.Sprintf("%s %s -> %s in %s", op, e.Op, alt, unit),
+			apply: func(counterpart func(ast.Node) ast.Node) bool {
+				b, ok := counterpart(e).(*ast.BinaryExpr)
+				if !ok {
+					return false
+				}
+				b.Op = alt
+				return true
+			},
+		})
+	}
+}
+
+func collectOffByOne(e *ast.IntLit, unit string, enabled map[Op]bool, sites *[]*site) {
+	if !enabled[ConstOffByOne] {
+		return
+	}
+	for _, delta := range []int64{1, -1} {
+		delta := delta
+		*sites = append(*sites, &site{
+			op:   ConstOffByOne,
+			unit: unit,
+			pos:  e.Pos(),
+			desc: fmt.Sprintf("const-off-by-one %d -> %d in %s", e.Value, e.Value+delta, unit),
+			apply: func(counterpart func(ast.Node) ast.Node) bool {
+				l, ok := counterpart(e).(*ast.IntLit)
+				if !ok {
+					return false
+				}
+				l.Value += delta
+				return true
+			},
+		})
+	}
+}
+
+func collectSwap(id *ast.Ident, unit string, groups map[string][]string, enabled map[Op]bool, sites *[]*site) {
+	if !enabled[VarSwap] {
+		return
+	}
+	others := groups[id.Name]
+	if len(others) == 0 {
+		return
+	}
+	// One alternative per occurrence keeps the site count linear: the
+	// lexicographically smallest other member of the declaration group.
+	alt := others[0]
+	for _, o := range others[1:] {
+		if o < alt {
+			alt = o
+		}
+	}
+	*sites = append(*sites, &site{
+		op:   VarSwap,
+		unit: unit,
+		pos:  id.Pos(),
+		desc: fmt.Sprintf("var-swap %s -> %s in %s", id.Name, alt, unit),
+		apply: func(counterpart func(ast.Node) ast.Node) bool {
+			n, ok := counterpart(id).(*ast.Ident)
+			if !ok {
+				return false
+			}
+			n.Name = alt
+			return true
+		},
+	})
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i] + " ..."
+		}
+	}
+	return s
+}

@@ -2,6 +2,7 @@ package interp
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -105,12 +106,28 @@ func (NopSink) Stmt(ast.Stmt, *sem.Routine) {}
 
 var _ EventSink = NopSink{}
 
+// ErrFuelExhausted marks step-budget (fuel) exhaustion: the program
+// executed Config.MaxSteps statements without terminating. Callers that
+// run untrusted or generated programs (the mutation campaign, fuzzing)
+// match it with errors.Is to separate "probably an infinite loop" from
+// genuine runtime faults.
+var ErrFuelExhausted = errors.New("step budget exhausted")
+
+// ErrDepthExhausted marks call-depth budget exhaustion. Transformed
+// programs express loops as recursive loop units, so a planted infinite
+// loop usually trips this limit rather than the statement budget;
+// campaign classification treats both as non-termination.
+var ErrDepthExhausted = errors.New("call depth budget exhausted")
+
 // RuntimeError is an error raised during execution, with the source
 // position of the failing construct and the active call stack.
 type RuntimeError struct {
 	Pos   token.Pos
 	Msg   string
 	Stack []string
+	// Cause, when non-nil, is a sentinel classifying the failure
+	// (currently only ErrFuelExhausted); exposed via Unwrap.
+	Cause error
 }
 
 func (e *RuntimeError) Error() string {
@@ -119,6 +136,9 @@ func (e *RuntimeError) Error() string {
 	}
 	return "runtime error: " + e.Msg
 }
+
+// Unwrap exposes the classifying sentinel for errors.Is.
+func (e *RuntimeError) Unwrap() error { return e.Cause }
 
 // Config controls resource limits and I/O of a run.
 type Config struct {
@@ -279,7 +299,9 @@ func (it *Interp) execStmt(s ast.Stmt) (*control, error) {
 	}
 	it.steps++
 	if it.steps > it.cfg.MaxSteps {
-		return nil, it.errorf(s.Pos(), "step budget exhausted (%d statements); possible infinite loop", it.cfg.MaxSteps)
+		err := it.errorf(s.Pos(), "step budget exhausted (%d statements); possible infinite loop", it.cfg.MaxSteps)
+		err.(*RuntimeError).Cause = ErrFuelExhausted
+		return nil, err
 	}
 	it.sink.Stmt(s, it.frame.routine)
 	switch s := s.(type) {
@@ -574,7 +596,9 @@ func (it *Interp) execCallStmt(s *ast.CallStmt) (*control, error) {
 // an error.
 func (it *Interp) call(target *sem.Routine, site ast.Node, args []ast.Expr, pos token.Pos) (Value, *control, error) {
 	if it.depth >= it.cfg.MaxDepth {
-		return nil, nil, it.errorf(pos, "call depth budget exhausted (%d); runaway recursion?", it.cfg.MaxDepth)
+		err := it.errorf(pos, "call depth budget exhausted (%d); runaway recursion?", it.cfg.MaxDepth)
+		err.(*RuntimeError).Cause = ErrDepthExhausted
+		return nil, nil, err
 	}
 	if len(args) != len(target.Params) {
 		return nil, nil, it.errorf(pos, "%s expects %d arguments, got %d", target.Name, len(target.Params), len(args))

@@ -1,6 +1,7 @@
 package interp_test
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -370,6 +371,35 @@ func TestInfiniteLoopBudget(t *testing.T) {
 	err = it.Run()
 	if err == nil || !strings.Contains(err.Error(), "step budget") {
 		t.Errorf("err = %v, want step budget error", err)
+	}
+}
+
+// TestFuelExhaustedTyped pins the fault-injection contract: a program
+// that never terminates halts with an error matching ErrFuelExhausted
+// (so the mutation campaign can classify it) instead of hanging, and
+// genuine runtime faults do NOT match the sentinel.
+func TestFuelExhaustedTyped(t *testing.T) {
+	prog := parser.MustParse("t.pas", `program t; var x: integer; begin while true do x := x + 1; end.`)
+	info, err := sem.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = interp.New(info, interp.Config{MaxSteps: 500}).Run()
+	if !errors.Is(err, interp.ErrFuelExhausted) {
+		t.Fatalf("err = %v, want errors.Is(err, ErrFuelExhausted)", err)
+	}
+	var rte *interp.RuntimeError
+	if !errors.As(err, &rte) || !rte.Pos.IsValid() {
+		t.Errorf("fuel error should be a positioned RuntimeError, got %#v", err)
+	}
+
+	crash := parser.MustParse("t.pas", `program t; var x: integer; begin x := 1 div 0; end.`)
+	info2, err := sem.Analyze(crash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := interp.New(info2, interp.Config{MaxSteps: 500}).Run(); errors.Is(err, interp.ErrFuelExhausted) {
+		t.Errorf("division by zero must not match ErrFuelExhausted: %v", err)
 	}
 }
 

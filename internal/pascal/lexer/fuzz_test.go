@@ -1,0 +1,71 @@
+package lexer_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gadt/internal/pascal/lexer"
+	"gadt/internal/pascal/token"
+)
+
+// seedCorpus feeds every checked-in Pascal program to the fuzzer so it
+// starts from realistic inputs rather than raw bytes.
+func seedCorpus(f *testing.F) {
+	f.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "..", "..", "testdata", "*.pas"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(paths) == 0 {
+		f.Fatal("no testdata/*.pas seeds found")
+	}
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	f.Add("")
+	f.Add("program p; begin end.")
+	f.Add("{ unterminated comment")
+	f.Add("'unterminated string")
+	f.Add("1e999 $ @ 0x")
+}
+
+// FuzzLexer asserts the scanner never panics or loops forever, and that
+// every token and lexical error carries a sane source position: lines
+// start at 1 and never move backwards, columns start at 1.
+func FuzzLexer(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		l := lexer.New("fuzz.pas", src)
+		// A scanner that cannot emit at least one token per input byte
+		// (plus EOF) is stuck; bound the loop so a non-advancing bug
+		// fails fast instead of hanging the fuzzer.
+		budget := len(src) + 2
+		prevLine := 1
+		for i := 0; ; i++ {
+			if i > budget {
+				t.Fatalf("scanner emitted more than %d tokens for %d bytes", budget, len(src))
+			}
+			tok := l.Next()
+			if tok.Pos.Line < 1 || tok.Pos.Col < 1 {
+				t.Fatalf("token %s at non-positive position %v", tok.Kind, tok.Pos)
+			}
+			if tok.Pos.Line < prevLine {
+				t.Fatalf("token %s position went backwards: line %d after line %d", tok.Kind, tok.Pos.Line, prevLine)
+			}
+			prevLine = tok.Pos.Line
+			if tok.Kind == token.EOF {
+				break
+			}
+		}
+		for _, e := range l.Errors() {
+			if e.Pos.Line < 1 || e.Pos.Col < 1 {
+				t.Fatalf("lexical error %q at non-positive position %v", e.Msg, e.Pos)
+			}
+		}
+	})
+}

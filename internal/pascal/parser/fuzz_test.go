@@ -1,0 +1,54 @@
+package parser_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gadt/internal/pascal/ast"
+	"gadt/internal/pascal/parser"
+)
+
+// FuzzParser asserts the parser never panics on arbitrary input and
+// that every node of a successfully parsed program carries a sane
+// source position (line and column at least 1).
+func FuzzParser(f *testing.F) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "..", "testdata", "*.pas"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(paths) == 0 {
+		f.Fatal("no testdata/*.pas seeds found")
+	}
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	f.Add("program p; begin end.")
+	f.Add("program p; var x: integer; begin x := 1; writeln(x) end.")
+	f.Add("program p begin if then else end")
+	f.Add("begin end.")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := parser.ParseProgram("fuzz.pas", src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if prog == nil {
+			t.Fatal("nil program without error")
+		}
+		ast.Inspect(prog, func(n ast.Node) bool {
+			if n == nil {
+				return true
+			}
+			if pos := n.Pos(); pos.Line < 1 || pos.Col < 1 {
+				t.Fatalf("%T at non-positive position %v", n, pos)
+			}
+			return true
+		})
+	})
+}

@@ -1,0 +1,71 @@
+package transform_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gadt/internal/pascal/parser"
+	"gadt/internal/pascal/printer"
+	"gadt/internal/pascal/sem"
+	"gadt/internal/progen"
+	"gadt/internal/transform"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestTransformGoldenProgenGlobals pins the transformed source of a
+// generated Globals-style program with loops: globals become explicit
+// var parameters and every loop is extracted into a recursive loop
+// unit. The mutation campaign and the figure reproductions both depend
+// on this output staying byte-for-byte stable.
+func TestTransformGoldenProgenGlobals(t *testing.T) {
+	p := progen.Generate(progen.Config{Depth: 2, Fanout: 2, Style: progen.Globals, Loops: true})
+	golden := filepath.Join("..", "..", "testdata", "progen_globals_transformed.golden")
+
+	render := func() []byte {
+		prog := parser.MustParse("progen.pas", p.Fixed)
+		info, err := sem.Analyze(prog)
+		if err != nil {
+			t.Fatalf("analyze: %v", err)
+		}
+		res, err := transform.Apply(info)
+		if err != nil {
+			t.Fatalf("transform: %v", err)
+		}
+		var buf bytes.Buffer
+		buf.WriteString(printer.Print(res.Program))
+		return buf.Bytes()
+	}
+
+	got := render()
+	if again := render(); !bytes.Equal(got, again) {
+		t.Fatalf("transformation is not deterministic:\n--- first ---\n%s--- second ---\n%s", got, again)
+	}
+
+	// The transformed source must itself be a valid program — the
+	// debugger traces it, so a print/parse round-trip failure would
+	// break every campaign subject of this style.
+	reparsed, err := parser.ParseProgram("transformed.pas", string(got))
+	if err != nil {
+		t.Fatalf("transformed output does not re-parse: %v\n%s", err, got)
+	}
+	if _, err := sem.Analyze(reparsed); err != nil {
+		t.Fatalf("transformed output does not re-analyze: %v\n%s", err, got)
+	}
+
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("transformed program differs from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}

@@ -102,6 +102,19 @@ type Result struct {
 	EscapeCodes map[int]string
 }
 
+// OriginRoutine maps a transformed unit name back to the ORIGINAL
+// routine it came from: loop units resolve to the routine whose body
+// contained the loop, ordinary routines to themselves, and unknown
+// names (no transformation record) to themselves unchanged. The
+// mutation campaign uses it to compare a localized unit against the
+// routine the fault was injected into.
+func (res *Result) OriginRoutine(unit string) string {
+	if u, ok := res.Units[unit]; ok && u.RoutineName != "" {
+		return u.RoutineName
+	}
+	return unit
+}
+
 // OriginalStmt resolves a transformed statement to its original
 // counterpart, following the construct map transitively. Returns nil
 // when the statement is pure synthesis (inserted glue).
