@@ -6,13 +6,14 @@
 #   make bench      - run the benchmark suite once
 #   make bench-json - write BENCH_debug.json (queries + ns/op per strategy)
 #   make mutate     - run the full mutation campaign, write BENCH_mutation.json
+#   make diff       - run the differential equivalence campaign, write BENCH_diff.json
 #   make lint       - run plint over the fixture and example programs
 #   make fmt        - rewrite sources with gofmt
 
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check build test bench bench-json mutate lint fmt smoke-journal smoke-fuzz
+.PHONY: check build test bench bench-json mutate diff lint fmt smoke-journal smoke-fuzz
 
 check:
 	@unformatted=$$(gofmt -l .); \
@@ -70,6 +71,13 @@ bench-json:
 # mutant through the debugger with the unmutated original as oracle.
 mutate:
 	$(GO) run ./cmd/pmut -budget 240 -seed 1 -json BENCH_mutation.json
+
+# Differential equivalence campaign: every generated/corpus program is
+# run untransformed and through every transformation stage combination;
+# stdout and final global state must agree. Exit 1 on any divergence;
+# minimized counterexamples land in testdata/diff/.
+diff:
+	$(GO) run ./cmd/pdiff -n 250 -seed 1 -dir testdata/diff -json BENCH_diff.json
 
 lint:
 	$(GO) run ./cmd/plint testdata/*.pas || true

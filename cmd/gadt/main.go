@@ -293,7 +293,10 @@ func run(file string, o options) (err error) {
 	fmt.Printf("questions: %d  answered by tests: %d  by assertions: %d  remembered: %d  slices: %d\n",
 		out.Questions, out.ByTests, out.ByAssertions, out.ByMemo, out.Slices)
 	if replayer != nil && replayer.Remaining() > 0 {
-		fmt.Printf("note: %d journal entries were not needed by this session\n", replayer.Remaining())
+		// Leftover recorded answers mean the replayed session traversed
+		// the tree differently from the recorded one — a divergence, and
+		// an error (not a log line): replay's whole point is determinism.
+		return fmt.Errorf("replay divergence: %d recorded journal entries were never consulted (the session asked different questions than the recorded one)", replayer.Remaining())
 	}
 	return nil
 }

@@ -1,0 +1,122 @@
+package main_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildGadt compiles the gadt command once per test run.
+func buildGadt(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "gadt")
+	cmd := exec.Command("go", "build", "-o", bin, "gadt/cmd/gadt")
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// record runs a non-interactive session against the known-good
+// reference, writing the journal to path.
+func record(t *testing.T, bin, journal string) {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-reference", "testdata/sqrtest_fixed.pas",
+		"-journal", journal,
+		"testdata/sqrtest.pas")
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("record session: %v\n%s", err, out)
+	}
+}
+
+func replay(bin, journal string) (string, error) {
+	cmd := exec.Command(bin, "-replay", journal, "testdata/sqrtest.pas")
+	cmd.Dir = "../.."
+	cmd.Stdin = strings.NewReader("")
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+// TestReplayCLIDivergenceExitsNonZero records a session, then tampers
+// with the journal both ways — removing an answer the session needs,
+// and adding one it never consumes — and asserts the CLI reports a
+// replay divergence with a non-zero exit code each time. The intact
+// journal must still replay cleanly.
+func TestReplayCLIDivergenceExitsNonZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the CLI")
+	}
+	bin := buildGadt(t)
+	journal := filepath.Join(t.TempDir(), "session.jsonl")
+	record(t, bin, journal)
+
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	var queries []int
+	for i, l := range lines {
+		if strings.Contains(l, `"kind":"query"`) {
+			queries = append(queries, i)
+		}
+	}
+	if len(queries) < 2 {
+		t.Fatalf("recorded session has %d queries, need at least 2", len(queries))
+	}
+
+	t.Run("intact journal replays cleanly", func(t *testing.T) {
+		out, err := replay(bin, journal)
+		if err != nil {
+			t.Fatalf("replay failed: %v\n%s", err, out)
+		}
+		if !strings.Contains(out, "localized inside the body of") {
+			t.Fatalf("replay did not localize:\n%s", out)
+		}
+	})
+
+	t.Run("missing answer", func(t *testing.T) {
+		truncated := filepath.Join(t.TempDir(), "truncated.jsonl")
+		var kept []string
+		for i, l := range lines {
+			if i != queries[len(queries)-1] {
+				kept = append(kept, l)
+			}
+		}
+		if err := os.WriteFile(truncated, []byte(strings.Join(kept, "\n")+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out, err := replay(bin, truncated)
+		assertDivergence(t, out, err, "no answer for query")
+	})
+
+	t.Run("unconsumed answer", func(t *testing.T) {
+		padded := filepath.Join(t.TempDir(), "padded.jsonl")
+		dup := append([]string{}, lines...)
+		dup = append(dup, lines[queries[len(queries)-1]])
+		if err := os.WriteFile(padded, []byte(strings.Join(dup, "\n")+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out, err := replay(bin, padded)
+		assertDivergence(t, out, err, "never consulted")
+	})
+}
+
+func assertDivergence(t *testing.T, out string, err error, wantMsg string) {
+	t.Helper()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("expected non-zero exit, got err=%v\n%s", err, out)
+	}
+	if code := ee.ExitCode(); code != 1 {
+		t.Fatalf("exit code %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "replay divergence") || !strings.Contains(out, wantMsg) {
+		t.Fatalf("missing divergence message (want %q):\n%s", wantMsg, out)
+	}
+}

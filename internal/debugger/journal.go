@@ -203,7 +203,7 @@ func (o *ReplayOracle) Remaining() int {
 func (o *ReplayOracle) Ask(q *Query) (Answer, error) {
 	idx, ok := o.byText[q.Text]
 	if !ok || len(idx) == 0 {
-		return Answer{}, fmt.Errorf("debugger: journal has no answer for query %q (re-record the session?)", q.Text)
+		return Answer{}, fmt.Errorf("debugger: replay divergence: journal has no answer for query %q (re-record the session?)", q.Text)
 	}
 	e := o.all[idx[0]]
 	if len(idx) == 1 {

@@ -1178,3 +1178,28 @@ func toFloat(v Value) (float64, bool) {
 
 // Steps reports the number of statements executed so far.
 func (it *Interp) Steps() int { return it.steps }
+
+// Globals snapshots the program-level variables after (or during) a run,
+// in declaration order. The differential harness compares these
+// snapshots across transformation pipelines: the transformation phase
+// may add fresh program-level variables but must not change the final
+// value of any original one. Values are deep copies.
+func (it *Interp) Globals() []Binding {
+	main := it.info.Main
+	f := it.frame
+	for f != nil && f.routine != main {
+		f = f.static
+	}
+	if f == nil {
+		return nil
+	}
+	var out []Binding
+	for _, v := range main.Locals {
+		c, ok := f.cells[v]
+		if !ok {
+			continue
+		}
+		out = append(out, Binding{Name: v.Name, Value: CopyValue(c.val), Sym: v})
+	}
+	return out
+}

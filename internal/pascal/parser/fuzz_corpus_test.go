@@ -1,0 +1,50 @@
+package parser_test
+
+import (
+	"strings"
+	"testing"
+
+	"gadt/internal/pascal/parser"
+)
+
+// Regression tests for crashers found by fuzzing. The recursive-descent
+// parser used to recurse once per nesting level with no bound, so a few
+// megabytes of "((((..." (or any other self-nesting construct) blew the
+// goroutine stack — a fatal runtime error that recover() cannot catch.
+// Each case must now come back as an ordinary parse error. The checked-in
+// corpus entry under testdata/fuzz/FuzzParser pins the same class and is
+// replayed by every plain `go test` run, so `make check` fails if the
+// crash ever reproduces.
+func TestDeepNestingRejected(t *testing.T) {
+	const depth = 2_000_000
+	cases := map[string]string{
+		"parens":  "program p; var x: integer; begin x := " + strings.Repeat("(", depth) + "1" + strings.Repeat(")", depth) + " end.",
+		"not":     "program p; var x: boolean; begin if " + strings.Repeat("not ", depth) + "true then x := true end.",
+		"neg":     "program p; var x: integer; begin x := " + strings.Repeat("-", depth) + "1 end.",
+		"begin":   "program p; begin " + strings.Repeat("begin ", depth) + strings.Repeat("end; ", depth) + "end.",
+		"routine": "program p; " + strings.Repeat("procedure q; ", depth) + "begin end.",
+		"array":   "program p; var a: " + strings.Repeat("array [0 .. 1] of ", depth) + "integer; begin end.",
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, err := parser.ParseProgram("deep.pas", src)
+			if err == nil {
+				t.Fatal("deeply nested input parsed without error")
+			}
+			if !strings.Contains(err.Error(), "nesting too deep") {
+				t.Fatalf("wrong error: %v", err)
+			}
+		})
+	}
+}
+
+// TestReasonableNestingAccepted guards the other side of the limit:
+// nesting that real (even machine-generated) programs use must keep
+// parsing.
+func TestReasonableNestingAccepted(t *testing.T) {
+	const depth = 500
+	src := "program p; var x: integer; begin x := " + strings.Repeat("(", depth) + "1" + strings.Repeat(")", depth) + " end."
+	if _, err := parser.ParseProgram("ok.pas", src); err != nil {
+		t.Fatalf("depth-%d parens rejected: %v", depth, err)
+	}
+}

@@ -53,15 +53,34 @@ func (l ErrorList) Err() error {
 
 const maxErrors = 20
 
+// maxNestingDepth bounds statement/expression/type nesting. The parser
+// is recursive-descent, so without a bound a few megabytes of "((((..."
+// overflow the goroutine stack — a fatal runtime error that recover()
+// cannot catch (found by fuzzing, pinned in fuzz_corpus_test.go).
+const maxNestingDepth = 4096
+
 // bailout is panicked when the error budget is exhausted.
 type bailout struct{}
 
 type parser struct {
-	lex  *lexer.Lexer
-	tok  token.Token
-	next token.Token
-	errs ErrorList
+	lex   *lexer.Lexer
+	tok   token.Token
+	next  token.Token
+	errs  ErrorList
+	depth int
 }
+
+// enter guards one level of recursive descent; every call must be
+// paired with a deferred leave.
+func (p *parser) enter(pos token.Pos) {
+	p.depth++
+	if p.depth > maxNestingDepth {
+		p.errorf(pos, "nesting too deep (more than %d levels)", maxNestingDepth)
+		panic(bailout{})
+	}
+}
+
+func (p *parser) leave() { p.depth-- }
 
 // ParseProgram parses a complete program. The returned ErrorList is
 // non-nil iff errors were found; a partial tree may still be returned.
@@ -266,6 +285,8 @@ func (p *parser) parseIdentList() []string {
 }
 
 func (p *parser) parseRoutine() *ast.Routine {
+	p.enter(p.tok.Pos)
+	defer p.leave()
 	pos := p.tok.Pos
 	kind := ast.ProcKind
 	if p.tok.Kind == token.Function {
@@ -318,6 +339,8 @@ func (p *parser) parseParams() []*ast.Param {
 }
 
 func (p *parser) parseTypeExpr() ast.TypeExpr {
+	p.enter(p.tok.Pos)
+	defer p.leave()
 	switch p.tok.Kind {
 	case token.Ident:
 		t := &ast.NamedType{NamePos: p.tok.Pos, Name: p.tok.Lit}
@@ -393,6 +416,8 @@ func (p *parser) parseStmtList(term token.Kind) []ast.Stmt {
 }
 
 func (p *parser) parseStmt() ast.Stmt {
+	p.enter(p.tok.Pos)
+	defer p.leave()
 	// Optional numeric label prefix: `9: stmt`.
 	if p.tok.Kind == token.IntLit && p.next.Kind == token.Colon {
 		pos := p.tok.Pos
@@ -599,6 +624,8 @@ func (p *parser) parseBinary(minPrec int) ast.Expr {
 }
 
 func (p *parser) parseUnary() ast.Expr {
+	p.enter(p.tok.Pos)
+	defer p.leave()
 	switch p.tok.Kind {
 	case token.Plus, token.Minus:
 		pos := p.tok.Pos

@@ -1,0 +1,471 @@
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// This file implements the seeded random program generator behind the
+// differential-testing campaign (cmd/pdiff): deterministic, terminating,
+// type-correct Pascal programs that exercise every construct the
+// transformation pipeline rewrites — loops of all three forms (including
+// downto), nested routines, functions used inside expressions, global
+// communication, case statements and global gotos.
+//
+// Termination is guaranteed by construction: the call graph is acyclic
+// (routines only call previously generated routines), for-loop bounds
+// are small constants, and while/repeat loops count a dedicated counter
+// variable down to zero. Counter variables are declared but never
+// registered in any generation scope, so no generated statement, call or
+// nested routine can assign them — only the loop glue touches them.
+
+// RandomConfig shapes one random program.
+type RandomConfig struct {
+	// Seed fully determines the program and its input.
+	Seed int64
+	// Gotos enables global gotos (from procedures to main-block labels).
+	Gotos bool
+	// Reads adds read(...) of generated input values at the start.
+	Reads bool
+}
+
+// RandomProgram is one generated differential-testing subject.
+type RandomProgram struct {
+	Name   string
+	Source string
+	Input  string
+}
+
+// Random generates a deterministic random program for a seed.
+func Random(cfg RandomConfig) *RandomProgram {
+	g := &rgen{rng: rand.New(rand.NewSource(cfg.Seed)), cfg: cfg}
+	src, input := g.program()
+	return &RandomProgram{
+		Name:   fmt.Sprintf("rnd%d", cfg.Seed),
+		Source: src,
+		Input:  input,
+	}
+}
+
+// nCounters is the number of reserved loop counters per routine (and for
+// the main block). Deeper loop nests reuse counters round-robin, which
+// preserves termination: every counting loop body ends with its own
+// decrement, so an inner reset still drives the outer loop to exit.
+const nCounters = 4
+
+type rroutine struct {
+	name     string
+	isFunc   bool
+	params   int  // value parameters, all integer
+	varParam bool // one trailing `var` parameter
+	// tainted marks routines that may exit via a global goto (directly
+	// or through a callee). Functions must never call tainted routines:
+	// a goto escaping a function frame is a runtime error in the
+	// interpreter and a static rejection in the transformer.
+	tainted bool
+}
+
+// rscope is the set of integer variables visible at a generation site.
+type rscope struct {
+	vars     []string // assignable, readable variables
+	counters []string // reserved loop counters (not in vars)
+	nextCtr  int
+	funcs    []*rroutine // callable integer functions (already declared)
+	procs    []*rroutine // callable procedures (already declared)
+}
+
+type rgen struct {
+	rng   *rand.Rand
+	cfg   RandomConfig
+	b     strings.Builder
+	seq   int
+	label int // 0 = no escape label; else the label number in main
+	depth int // statement nesting depth (for indentation and bounding)
+	// taint tracks whether the routine currently being generated may
+	// exit via a global goto.
+	taint bool
+}
+
+func (g *rgen) fresh(base string) string {
+	g.seq++
+	return fmt.Sprintf("%s%d", base, g.seq)
+}
+
+func (g *rgen) pick(n int) int { return g.rng.Intn(n) }
+
+func (g *rgen) program() (src, input string) {
+	nGlobals := 3 + g.pick(4)
+	var globals []string
+	for i := 0; i < nGlobals; i++ {
+		globals = append(globals, fmt.Sprintf("g%d", i))
+	}
+
+	var reads []string
+	var inputs []string
+	if g.cfg.Reads {
+		for i := 0; i < 1+g.pick(3); i++ {
+			reads = append(reads, fmt.Sprintf("in%d", i))
+			inputs = append(inputs, fmt.Sprintf("%d", g.pick(21)))
+		}
+	}
+
+	useGoto := g.cfg.Gotos && g.pick(2) == 0
+	if useGoto {
+		g.label = 99
+	}
+
+	scope := &rscope{}
+	scope.vars = append(scope.vars, globals...)
+	scope.vars = append(scope.vars, reads...)
+	for i := 0; i < nCounters; i++ {
+		scope.counters = append(scope.counters, fmt.Sprintf("mc%d", i))
+	}
+
+	fmt.Fprintf(&g.b, "program rnd;\n")
+	if g.label != 0 {
+		fmt.Fprintf(&g.b, "label %d;\n", g.label)
+	}
+	fmt.Fprintf(&g.b, "var %s: integer;\n", strings.Join(globals, ", "))
+	if len(reads) > 0 {
+		fmt.Fprintf(&g.b, "var %s: integer;\n", strings.Join(reads, ", "))
+	}
+	fmt.Fprintf(&g.b, "var %s: integer;\n\n", strings.Join(scope.counters, ", "))
+
+	// Routines: acyclic (each only calls previously declared ones), and
+	// roughly one in three nests a child routine.
+	nRoutines := 2 + g.pick(4)
+	for i := 0; i < nRoutines; i++ {
+		g.routine(scope, 1, true)
+	}
+
+	// Main body.
+	g.b.WriteString("begin\n")
+	g.depth = 1
+	if len(reads) > 0 {
+		g.writeIndent()
+		fmt.Fprintf(&g.b, "read(%s);\n", strings.Join(reads, ", "))
+	}
+	for i := 0; i < len(globals); i++ {
+		g.writeIndent()
+		fmt.Fprintf(&g.b, "g%d := %d;\n", i, g.pick(10))
+	}
+	n := 4 + g.pick(5)
+	for i := 0; i < n; i++ {
+		g.stmt(scope, true)
+	}
+	if g.label != 0 {
+		g.writeIndent()
+		fmt.Fprintf(&g.b, "%d: writeln('escaped ', %s);\n", g.label, scope.vars[0])
+	}
+	// Final state dump so the output depends on every global.
+	g.writeIndent()
+	fmt.Fprintf(&g.b, "writeln(%s);\n", strings.Join(globals, ", "))
+	g.b.WriteString("end.\n")
+	return g.b.String(), strings.Join(inputs, " ")
+}
+
+// routine emits one routine (possibly with a nested child) into the
+// output and registers it in scope.
+func (g *rgen) routine(scope *rscope, level int, gotoOK bool) {
+	r := &rroutine{
+		name:   g.fresh("r"),
+		isFunc: g.pick(3) == 0,
+		params: g.pick(3),
+	}
+	if !r.isFunc {
+		r.varParam = g.pick(3) == 0
+	}
+
+	var sig []string
+	inner := &rscope{funcs: scope.funcs, procs: scope.procs}
+	// Routines see the enclosing scope's variables (globals, or also the
+	// parent routine's locals and params for nested children).
+	inner.vars = append(inner.vars, scope.vars...)
+	for i := 0; i < r.params; i++ {
+		p := fmt.Sprintf("p%d_%s", i, r.name)
+		sig = append(sig, fmt.Sprintf("%s: integer", p))
+		inner.vars = append(inner.vars, p)
+	}
+	if r.varParam {
+		p := "vp_" + r.name
+		sig = append(sig, fmt.Sprintf("var %s: integer", p))
+		inner.vars = append(inner.vars, p)
+	}
+	kind, ret := "procedure", ""
+	if r.isFunc {
+		kind, ret = "function", ": integer"
+	}
+	sigStr := ""
+	if len(sig) > 0 {
+		sigStr = "(" + strings.Join(sig, "; ") + ")"
+	}
+	indent := strings.Repeat("  ", level-1)
+	fmt.Fprintf(&g.b, "%s%s %s%s%s;\n", indent, kind, r.name, sigStr, ret)
+
+	// Locals, plus this routine's reserved counters.
+	nLocals := 1 + g.pick(3)
+	var locals []string
+	for i := 0; i < nLocals; i++ {
+		l := fmt.Sprintf("l%d_%s", i, r.name)
+		locals = append(locals, l)
+		inner.vars = append(inner.vars, l)
+	}
+	for i := 0; i < nCounters; i++ {
+		inner.counters = append(inner.counters, fmt.Sprintf("c%d_%s", i, r.name))
+	}
+	fmt.Fprintf(&g.b, "%svar %s: integer;\n", indent, strings.Join(locals, ", "))
+	fmt.Fprintf(&g.b, "%svar %s: integer;\n", indent, strings.Join(inner.counters, ", "))
+
+	allowGoto := gotoOK && !r.isFunc
+
+	// Possibly one nested child routine (one extra level only).
+	if level == 1 && g.pick(3) == 0 {
+		g.routine(inner, level+1, allowGoto)
+	}
+
+	fmt.Fprintf(&g.b, "%sbegin\n", indent)
+	g.depth = level
+	outerTaint := g.taint
+	g.taint = false
+	// Initialize locals so values do not depend on allocation defaults.
+	for _, l := range locals {
+		g.writeIndent()
+		fmt.Fprintf(&g.b, "%s := %s;\n", l, g.expr(inner, 1))
+	}
+	n := 2 + g.pick(4)
+	for i := 0; i < n; i++ {
+		g.stmt(inner, allowGoto)
+	}
+	if r.isFunc {
+		g.writeIndent()
+		fmt.Fprintf(&g.b, "%s := %s;\n", r.name, g.expr(inner, 2))
+	}
+	fmt.Fprintf(&g.b, "%send;\n\n", indent)
+
+	r.tainted = g.taint
+	// A tainted nested child taints the parent: the child's goto unwinds
+	// through the parent's frame when the parent calls it.
+	g.taint = outerTaint || g.taint
+
+	if r.isFunc {
+		scope.funcs = append(scope.funcs, r)
+	} else {
+		scope.procs = append(scope.procs, r)
+	}
+}
+
+func (g *rgen) writeIndent() {
+	g.b.WriteString(strings.Repeat("  ", g.depth))
+}
+
+// stmt emits one random statement. allowGoto additionally permits a
+// global goto; it is false inside functions (and routines nested in
+// functions would make their caller a function with exit effects), which
+// the transformer rejects by design.
+func (g *rgen) stmt(s *rscope, allowGoto bool) {
+	kind := g.pick(20)
+	deep := g.depth >= 4
+	switch {
+	case kind < 7 || deep: // assignment
+		g.writeIndent()
+		fmt.Fprintf(&g.b, "%s := %s;\n", s.vars[g.pick(len(s.vars))], g.expr(s, 2))
+	case kind < 9: // writeln
+		g.writeIndent()
+		fmt.Fprintf(&g.b, "writeln(%s);\n", g.expr(s, 1))
+	case kind < 11 && len(g.callableProcs(s, allowGoto)) > 0: // procedure call
+		g.writeIndent()
+		g.b.WriteString(g.callStmt(s, allowGoto))
+	case kind < 13: // if
+		g.writeIndent()
+		fmt.Fprintf(&g.b, "if %s then begin\n", g.cond(s))
+		g.depth++
+		g.stmt(s, allowGoto)
+		g.depth--
+		g.writeIndent()
+		if g.pick(2) == 0 {
+			g.b.WriteString("end else begin\n")
+			g.depth++
+			g.stmt(s, allowGoto)
+			g.depth--
+			g.writeIndent()
+		}
+		g.b.WriteString("end;\n")
+	case kind < 15: // for loop over a regular variable
+		v := s.vars[g.pick(len(s.vars))]
+		from := g.pick(4)
+		span := 1 + g.pick(5)
+		g.writeIndent()
+		if g.pick(3) == 0 {
+			fmt.Fprintf(&g.b, "for %s := %d downto %d do begin\n", v, from+span, from)
+		} else {
+			fmt.Fprintf(&g.b, "for %s := %d to %d do begin\n", v, from, from+span)
+		}
+		g.depth++
+		g.stmt(s, allowGoto)
+		g.stmt(s, allowGoto)
+		g.depth--
+		g.writeIndent()
+		g.b.WriteString("end;\n")
+	case kind < 16: // while loop counting a reserved counter down
+		c := g.counterVar(s)
+		g.writeIndent()
+		fmt.Fprintf(&g.b, "%s := %d;\n", c, 1+g.pick(5))
+		g.writeIndent()
+		fmt.Fprintf(&g.b, "while %s > 0 do begin\n", c)
+		g.depth++
+		g.stmt(s, allowGoto)
+		g.writeIndent()
+		fmt.Fprintf(&g.b, "%s := %s - 1;\n", c, c)
+		g.depth--
+		g.writeIndent()
+		g.b.WriteString("end;\n")
+	case kind < 17: // repeat loop counting a reserved counter down
+		c := g.counterVar(s)
+		g.writeIndent()
+		fmt.Fprintf(&g.b, "%s := %d;\n", c, 1+g.pick(5))
+		g.writeIndent()
+		g.b.WriteString("repeat\n")
+		g.depth++
+		g.stmt(s, allowGoto)
+		g.writeIndent()
+		fmt.Fprintf(&g.b, "%s := %s - 1;\n", c, c)
+		g.depth--
+		g.writeIndent()
+		fmt.Fprintf(&g.b, "until %s <= 0;\n", c)
+	case kind < 19: // case (negative selector values fall to else)
+		g.writeIndent()
+		fmt.Fprintf(&g.b, "case (%s) mod 3 of\n", g.expr(s, 1))
+		g.depth++
+		for arm := 0; arm < 3; arm++ {
+			g.writeIndent()
+			fmt.Fprintf(&g.b, "%d: begin\n", arm)
+			g.depth++
+			g.stmt(s, allowGoto)
+			g.depth--
+			g.writeIndent()
+			g.b.WriteString("end;\n")
+		}
+		g.writeIndent()
+		g.b.WriteString("else begin\n")
+		g.depth++
+		g.stmt(s, allowGoto)
+		g.depth--
+		g.writeIndent()
+		g.b.WriteString("end;\n")
+		g.depth--
+		g.writeIndent()
+		g.b.WriteString("end;\n")
+	default: // global goto (guarded), else assignment
+		if allowGoto && g.label != 0 && g.pick(3) == 0 {
+			g.writeIndent()
+			fmt.Fprintf(&g.b, "if %s then goto %d;\n", g.cond(s), g.label)
+			g.taint = true
+			return
+		}
+		g.writeIndent()
+		fmt.Fprintf(&g.b, "%s := %s;\n", s.vars[g.pick(len(s.vars))], g.expr(s, 2))
+	}
+}
+
+// counterVar hands out the scope's reserved counters round-robin.
+func (g *rgen) counterVar(s *rscope) string {
+	c := s.counters[s.nextCtr%len(s.counters)]
+	s.nextCtr++
+	return c
+}
+
+// cond builds a parenthesized boolean expression.
+func (g *rgen) cond(s *rscope) string {
+	ops := []string{"<", "<=", ">", ">=", "=", "<>"}
+	c := fmt.Sprintf("(%s) %s (%s)", g.expr(s, 1), ops[g.pick(len(ops))], g.expr(s, 1))
+	switch g.pick(6) {
+	case 0:
+		c2 := fmt.Sprintf("(%s) %s (%s)", g.expr(s, 1), ops[g.pick(len(ops))], g.expr(s, 1))
+		return fmt.Sprintf("(%s) and (%s)", c, c2)
+	case 1:
+		return "not (" + c + ")"
+	case 2:
+		return fmt.Sprintf("odd(%s)", g.expr(s, 1))
+	}
+	return c
+}
+
+// expr builds a fully parenthesized integer expression of bounded depth.
+func (g *rgen) expr(s *rscope, depth int) string {
+	if depth <= 0 {
+		if g.pick(2) == 0 {
+			return fmt.Sprintf("%d", g.pick(10))
+		}
+		return s.vars[g.pick(len(s.vars))]
+	}
+	switch g.pick(10) {
+	case 0, 1:
+		return fmt.Sprintf("%d", g.pick(10))
+	case 2, 3:
+		return s.vars[g.pick(len(s.vars))]
+	case 4:
+		return fmt.Sprintf("(%s) + (%s)", g.expr(s, depth-1), g.expr(s, depth-1))
+	case 5:
+		return fmt.Sprintf("(%s) - (%s)", g.expr(s, depth-1), g.expr(s, depth-1))
+	case 6:
+		return fmt.Sprintf("(%s) * (%s)", g.expr(s, depth-1), g.expr(s, depth-1))
+	case 7:
+		// Non-zero constant denominators keep runs crash-free.
+		if g.pick(2) == 0 {
+			return fmt.Sprintf("(%s) div %d", g.expr(s, depth-1), 2+g.pick(5))
+		}
+		return fmt.Sprintf("(%s) mod %d", g.expr(s, depth-1), 2+g.pick(5))
+	case 8:
+		if len(s.funcs) > 0 {
+			f := s.funcs[g.pick(len(s.funcs))]
+			var args []string
+			for i := 0; i < f.params; i++ {
+				args = append(args, g.expr(s, 0))
+			}
+			if len(args) == 0 {
+				return f.name // parameterless function reference
+			}
+			return fmt.Sprintf("%s(%s)", f.name, strings.Join(args, ", "))
+		}
+		return s.vars[g.pick(len(s.vars))]
+	default:
+		return fmt.Sprintf("-(%s)", g.expr(s, depth-1))
+	}
+}
+
+// callableProcs filters the visible procedures: contexts that may not
+// raise a global goto (function bodies and their nested children) can
+// only call untainted procedures.
+func (g *rgen) callableProcs(s *rscope, allowGoto bool) []*rroutine {
+	if allowGoto {
+		return s.procs
+	}
+	var out []*rroutine
+	for _, p := range s.procs {
+		if !p.tainted {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// callStmt builds a call to a visible procedure (with trailing newline).
+func (g *rgen) callStmt(s *rscope, allowGoto bool) string {
+	procs := g.callableProcs(s, allowGoto)
+	p := procs[g.pick(len(procs))]
+	if p.tainted {
+		g.taint = true
+	}
+	var args []string
+	for i := 0; i < p.params; i++ {
+		args = append(args, g.expr(s, 1))
+	}
+	if p.varParam {
+		args = append(args, s.vars[g.pick(len(s.vars))])
+	}
+	if len(args) == 0 {
+		return p.name + ";\n"
+	}
+	return fmt.Sprintf("%s(%s);\n", p.name, strings.Join(args, ", "))
+}

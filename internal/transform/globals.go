@@ -19,10 +19,14 @@ type globalEntry struct {
 	name    string        // parameter name inside the routine (usually v.Name)
 }
 
-// varBoundVars collects every variable that appears as a var/out actual
-// argument anywhere in the program. Such a variable may be mutated
-// through the parameter alias while a callee runs, so a read-only use of
-// it cannot safely be converted into a value copy.
+// varBoundVars collects every variable that may be reachable through a
+// second name while a callee runs, so a read-only use of it cannot
+// safely be converted into a value copy: variables that appear as a
+// var/out actual argument anywhere in the program, and every var/out
+// formal parameter itself — a by-reference formal aliases whatever the
+// caller passed (here the other direction of the same alias pair), and
+// a value snapshot of it goes stale the moment the aliased cell is
+// written through the original name.
 func varBoundVars(info *sem.Info, cg *callgraph.Graph) map[*sem.VarSym]bool {
 	bound := make(map[*sem.VarSym]bool)
 	for _, sites := range cg.Sites {
@@ -34,6 +38,13 @@ func varBoundVars(info *sem.Info, cg *callgraph.Graph) map[*sem.VarSym]bool {
 				if base := info.VarOf(s.Args[i]); base != nil {
 					bound[base] = true
 				}
+			}
+		}
+	}
+	for _, r := range info.Routines {
+		for _, p := range r.Params {
+			if p.IsByRef() {
+				bound[p] = true
 			}
 		}
 	}
@@ -148,11 +159,15 @@ func (st *state) globalsToParams(p *ast.Program, info *sem.Info) error {
 		// Append the formal parameters.
 		if len(entries) > 0 {
 			for _, en := range entries {
+				texpr, err := typeExprOf(en.v)
+				if err != nil {
+					return fmt.Errorf("transform: lifting %s into a parameter of %s: %w", en.v.Name, r.Name, err)
+				}
 				r.Decl.Params = append(r.Decl.Params, &ast.Param{
 					DeclPos: r.Decl.Pos(),
 					Mode:    en.mode,
 					Names:   []string{en.name},
-					Type:    typeExprOf(en.v),
+					Type:    texpr,
 				})
 				st.res.Added[r.Name] = append(st.res.Added[r.Name], AddedParam{
 					Name: en.name, Mode: en.mode, Display: en.display, GlobalOf: en.v.Name,
@@ -165,15 +180,19 @@ func (st *state) globalsToParams(p *ast.Program, info *sem.Info) error {
 
 // typeExprOf reconstructs a type denotation for v from its declaration.
 // Type names declared in ancestors remain visible in descendants, so the
-// original denotation can be reused verbatim.
-func typeExprOf(v *sem.VarSym) ast.TypeExpr {
+// original denotation can be reused verbatim. A variable whose
+// declaration carries no reusable denotation (e.g. a function-result
+// pseudo-variable, whose Decl is the *ast.Routine) cannot be lifted into
+// a parameter: silently guessing a type here would miscompile the lifted
+// global, so it is a hard error.
+func typeExprOf(v *sem.VarSym) (ast.TypeExpr, error) {
 	switch d := v.Decl.(type) {
 	case *ast.VarDecl:
-		return ast.CloneTypeExpr(d.Type)
+		return ast.CloneTypeExpr(d.Type), nil
 	case *ast.Param:
-		return ast.CloneTypeExpr(d.Type)
+		return ast.CloneTypeExpr(d.Type), nil
 	}
-	return &ast.NamedType{NamePos: v.Pos, Name: "integer"}
+	return nil, fmt.Errorf("variable %s has no reconstructible type denotation (declared by %T)", v.Name, v.Decl)
 }
 
 // extendCalls appends global-passing arguments to every call in r's body

@@ -116,11 +116,21 @@ func (st *state) extractInStmt(s ast.Stmt, b *ast.Block, routineName string) ast
 			s.Body = st.extractInStmt(s.Body, b, routineName)
 			return s
 		}
-		// Introduce an explicit limit variable in the enclosing block.
+		// Introduce explicit limit and trip-counter variables in the
+		// enclosing block. The counter is essential for equivalence: a
+		// Pascal for statement fixes its trip count up front, so a body
+		// that assigns the control variable must neither change the
+		// iteration count nor see its assignment overwritten past the
+		// loop. Driving the recursion off the user-visible variable
+		// would do both (and can recurse forever when the body resets
+		// it); instead the hidden counter drives the recursion and the
+		// control variable is re-seeded from it at each entry — exactly
+		// the interpreter's execFor discipline.
 		limitName := st.fresh(s.Var.Name + "_limit")
+		cntName := st.fresh(s.Var.Name + "_cnt")
 		b.Vars = append(b.Vars, &ast.VarDecl{
 			DeclPos: s.Pos(),
-			Names:   []string{limitName},
+			Names:   []string{limitName, cntName},
 			Type:    &ast.NamedType{NamePos: s.Pos(), Name: "integer"},
 		})
 		cmpOp, stepOp := token.LessEq, token.Plus
@@ -129,18 +139,24 @@ func (st *state) extractInStmt(s ast.Stmt, b *ast.Block, routineName string) ast
 		}
 		mkVar := func() *ast.Ident { return &ast.Ident{NamePos: s.Var.Pos(), Name: s.Var.Name} }
 		mkLimit := func() *ast.Ident { return &ast.Ident{NamePos: s.Pos(), Name: limitName} }
+		mkCnt := func() *ast.Ident { return &ast.Ident{NamePos: s.Pos(), Name: cntName} }
+		// cnt := From; limit := Limit; i := cnt — the interpreter's
+		// evaluation order (From before Limit), each exactly once, and
+		// the control variable holds From even for zero iterations.
 		pre := []ast.Stmt{
+			&ast.AssignStmt{Lhs: mkCnt(), Rhs: s.From},
 			&ast.AssignStmt{Lhs: mkLimit(), Rhs: s.Limit},
-			&ast.AssignStmt{Lhs: mkVar(), Rhs: s.From},
+			&ast.AssignStmt{Lhs: mkVar(), Rhs: mkCnt()},
 		}
 		return st.makeLoopUnit(s, b, routineName, func(self string) ast.Stmt {
-			// if i <= limit then begin B; i := i ± 1; self; end
+			// if cnt <= limit then begin i := cnt; B; cnt := cnt ± 1; self; end
 			return &ast.IfStmt{
 				IfPos: s.Pos(),
-				Cond:  &ast.BinaryExpr{Op: cmpOp, X: mkVar(), Y: mkLimit()},
+				Cond:  &ast.BinaryExpr{Op: cmpOp, X: mkCnt(), Y: mkLimit()},
 				Then: &ast.CompoundStmt{BeginPos: s.Pos(), Stmts: []ast.Stmt{
+					&ast.AssignStmt{Lhs: mkVar(), Rhs: mkCnt()},
 					s.Body,
-					&ast.AssignStmt{Lhs: mkVar(), Rhs: &ast.BinaryExpr{Op: stepOp, X: mkVar(), Y: &ast.IntLit{LitPos: s.Pos(), Value: 1}}},
+					&ast.AssignStmt{Lhs: mkCnt(), Rhs: &ast.BinaryExpr{Op: stepOp, X: mkCnt(), Y: &ast.IntLit{LitPos: s.Pos(), Value: 1}}},
 					&ast.CallStmt{CallPos: s.Pos(), Name: self},
 				}},
 			}

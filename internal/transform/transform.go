@@ -134,9 +134,50 @@ func (res *Result) OriginalStmt(s ast.Stmt) ast.Stmt {
 	return os
 }
 
+// Stages selects which transformation passes run. The zero value runs
+// nothing (identity modulo cloning); AllStages is the full pipeline.
+// Passes always run in pipeline order (loops, then gotos, then globals)
+// regardless of which subset is enabled — the differential harness uses
+// subsets to attribute an equivalence failure to one pass.
+type Stages struct {
+	Loops   bool // pass 1: extract loops into recursive units
+	Gotos   bool // pass 2: break global gotos
+	Globals bool // pass 3: globals to parameters
+}
+
+// AllStages enables the full pipeline.
+func AllStages() Stages { return Stages{Loops: true, Gotos: true, Globals: true} }
+
+// String renders the enabled stage set, e.g. "loops+globals" or "none".
+func (s Stages) String() string {
+	out := ""
+	add := func(on bool, name string) {
+		if !on {
+			return
+		}
+		if out != "" {
+			out += "+"
+		}
+		out += name
+	}
+	add(s.Loops, "loops")
+	add(s.Gotos, "gotos")
+	add(s.Globals, "globals")
+	if out == "" {
+		return "none"
+	}
+	return out
+}
+
 // Apply runs the full transformation pipeline on an analyzed program.
 // The input program is not modified.
 func Apply(info *sem.Info) (*Result, error) {
+	return ApplyStages(info, AllStages())
+}
+
+// ApplyStages runs the selected transformation passes on an analyzed
+// program. The input program is not modified.
+func ApplyStages(info *sem.Info, stages Stages) (*Result, error) {
 	clone, cm := ast.Clone(info.Program)
 	res := &Result{
 		OrigProgram: info.Program,
@@ -154,31 +195,39 @@ func Apply(info *sem.Info) (*Result, error) {
 	st := &state{res: res, names: collectNames(clone)}
 
 	// Pass 1: loop extraction (pure AST rewriting).
-	st.extractLoops(clone)
+	if stages.Loops {
+		st.extractLoops(clone)
+	}
 
-	// Re-analyze for passes 2 and 3, which need fresh scope/effect info.
-	info2, err := sem.Analyze(clone)
+	// (Re-)analyze the clone: the input info describes the original AST,
+	// and passes 2 and 3 must resolve symbols of the clone they rewrite.
+	cur, err := sem.Analyze(clone)
 	if err != nil {
 		return nil, fmt.Errorf("transform: loop extraction broke the program: %w", err)
 	}
 
 	// Pass 2: break global gotos.
-	if err := st.breakGotos(clone, info2); err != nil {
-		return nil, err
-	}
-	info3, err := sem.Analyze(clone)
-	if err != nil {
-		return nil, fmt.Errorf("transform: goto breaking broke the program: %w", err)
+	if stages.Gotos {
+		if err := st.breakGotos(clone, cur); err != nil {
+			return nil, err
+		}
+		info3, err := sem.Analyze(clone)
+		if err != nil {
+			return nil, fmt.Errorf("transform: goto breaking broke the program: %w", err)
+		}
+		cur = info3
 	}
 
 	// Pass 3: globals to parameters.
-	if err := st.globalsToParams(clone, info3); err != nil {
-		return nil, err
+	if stages.Globals {
+		if err := st.globalsToParams(clone, cur); err != nil {
+			return nil, err
+		}
 	}
 
 	final, err := sem.Analyze(clone)
 	if err != nil {
-		return nil, fmt.Errorf("transform: globals-to-params broke the program: %w", err)
+		return nil, fmt.Errorf("transform: transformed program does not re-analyze: %w", err)
 	}
 	res.Program = clone
 	res.Info = final

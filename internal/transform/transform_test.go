@@ -509,3 +509,108 @@ end.`)
 		t.Errorf("hidden parameter for shadowed global not renamed: %v", res.Added["outer"])
 	}
 }
+
+// TestResultVarLiftRejected: a function-result pseudo-variable has no
+// reusable type denotation (its Decl is the *ast.Routine), so lifting
+// it into a parameter must fail loudly instead of silently guessing
+// `integer` — a wrong guess would miscompile the lifted global.
+func TestResultVarLiftRejected(t *testing.T) {
+	src := `program t;
+var g: integer;
+function f: integer;
+  procedure seed;
+  begin
+    f := 3;
+  end;
+begin
+  seed;
+end;
+begin
+  g := f;
+  writeln(g)
+end.
+`
+	prog := parser.MustParse("t.pas", src)
+	info, err := sem.Analyze(prog)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	_, err = transform.Apply(info)
+	if err == nil {
+		t.Fatal("transform accepted a result-variable lift")
+	}
+	if !strings.Contains(err.Error(), "no reconstructible type denotation") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestExtendCallsInEveryStatementForm runs the globals pass alone (so
+// loops stay in place) over call sites inside repeat, for ... downto,
+// and nested case arms, plus a parameterless function reference inside
+// an index expression. Every call must gain the lifted-global argument
+// and the transformed program must behave identically.
+func TestExtendCallsInEveryStatementForm(t *testing.T) {
+	src := `program extend;
+var g: integer;
+var arr: array [0 .. 9] of integer;
+var i, j: integer;
+function pick: integer;
+begin
+  pick := g mod 10;
+end;
+procedure bump;
+begin
+  g := g + 1;
+end;
+begin
+  i := 0;
+  g := 0;
+  repeat
+    bump;
+    i := i + 1;
+  until i >= 2;
+  for j := 3 downto 1 do begin
+    bump;
+  end;
+  case g mod 2 of
+    0: begin
+      case g mod 3 of
+        0: bump;
+      else
+        bump;
+      end;
+    end;
+  else
+    bump;
+  end;
+  arr[pick] := 7;
+  g := arr[pick] + g;
+  writeln(g, ' ', i, ' ', j)
+end.
+`
+	prog := parser.MustParse("extend.pas", src)
+	info, err := sem.Analyze(prog)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	res, err := transform.ApplyStages(info, transform.Stages{Globals: true})
+	if err != nil {
+		t.Fatalf("transform: %v", err)
+	}
+
+	printed := printer.Print(res.Program)
+	if got := strings.Count(printed, "bump(g)"); got != 5 {
+		t.Errorf("bump calls extended %d times, want 5 (repeat, for downto, inner case arm, inner else, outer else)\n%s", got, printed)
+	}
+	// The parameterless function reference inside the index expression
+	// must be promoted to an explicit call carrying the lifted global.
+	if got := strings.Count(printed, "arr[pick(g)]"); got != 2 {
+		t.Errorf("index-position pick references promoted %d times, want 2\n%s", got, printed)
+	}
+
+	want := runProgram(t, info, "")
+	got := runProgram(t, res.Info, "")
+	if want != got {
+		t.Errorf("behavior changed: original %q, transformed %q", want, got)
+	}
+}

@@ -1,0 +1,18 @@
+{ pdiff minimized counterexample
+  subject: for_body_assigns_control
+  stages: loops+gotos+globals
+  kind: status
+  input:
+  detail: a body assignment to the control variable made the extracted loop unit recurse forever; a Pascal for statement fixes its trip count up front
+}
+program forreset;
+var
+  i, n: integer;
+begin
+  n := 0;
+  for i := 0 to 1 do begin
+    i := 0;
+    n := n + 1;
+  end;
+  writeln(i, ' ', n);
+end.

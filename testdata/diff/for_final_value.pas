@@ -1,0 +1,17 @@
+{ pdiff minimized counterexample
+  subject: for_final_value
+  stages: loops+globals
+  kind: output
+  input:
+  detail: loop extraction drove the recursion off the control variable, leaving it limit+1 after the loop; execFor leaves the last iteration value
+}
+program forfinal;
+var
+  i: integer;
+begin
+  i := 0;
+  for i := 1 to 2 do begin
+    i := i;
+  end;
+  writeln(i);
+end.

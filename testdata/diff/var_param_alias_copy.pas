@@ -1,0 +1,22 @@
+{ pdiff minimized counterexample
+  subject: var_param_alias_copy
+  stages: loops+globals
+  kind: output
+  input:
+  detail: a referenced-only var parameter aliasing a global mutated by the extracted loop unit was lifted as a value copy, which went stale; by-reference formals must count as var-bound
+}
+program alias;
+var
+  g, h: integer;
+procedure p(var a: integer);
+begin
+  for g := 1 downto 0 do begin
+    h := a;
+  end;
+end;
+begin
+  g := 0;
+  h := 0;
+  p(g);
+  writeln(g, ' ', h);
+end.
