@@ -5,6 +5,9 @@
 #   make test       - run the test suite
 #   make bench      - run the benchmark suite once
 #   make bench-json - write BENCH_debug.json (queries + ns/op per strategy)
+#   make bench-save    - record interpreter benchmarks to bench.old.txt
+#   make bench-compare - re-run them and diff against bench.old.txt
+#   make bench-interp  - write BENCH_interp.json (hot path vs recorded baseline)
 #   make mutate     - run the full mutation campaign, write BENCH_mutation.json
 #   make diff       - run the differential equivalence campaign, write BENCH_diff.json
 #   make lint       - run plint over the fixture and example programs
@@ -12,8 +15,13 @@
 
 GO ?= go
 FUZZTIME ?= 5s
+# Benchmarks tracked by bench-save / bench-compare; -count 3 gives the
+# comparator (benchstat, or cmd/benchcmp as fallback) repeats to average.
+BENCH_PATTERN ?= BenchmarkInterp
+BENCH_COUNT ?= 3
 
-.PHONY: check build test bench bench-json mutate diff lint fmt smoke-journal smoke-fuzz
+.PHONY: check build test bench bench-json bench-save bench-compare bench-interp \
+	mutate diff lint fmt smoke-journal smoke-fuzz
 
 check:
 	@unformatted=$$(gofmt -l .); \
@@ -66,6 +74,25 @@ bench:
 
 bench-json:
 	$(GO) run ./cmd/gadt-bench -o BENCH_debug.json
+
+# Perf workflow (see README "Performance"): record the current numbers
+# before a change, then compare after it. Uses benchstat when installed,
+# otherwise the in-repo comparator.
+bench-save:
+	$(GO) test -run='^$$' -bench '$(BENCH_PATTERN)' -benchmem -count $(BENCH_COUNT) . | tee bench.old.txt
+
+bench-compare:
+	$(GO) test -run='^$$' -bench '$(BENCH_PATTERN)' -benchmem -count $(BENCH_COUNT) . | tee bench.new.txt
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat bench.old.txt bench.new.txt; \
+	else \
+		$(GO) run ./cmd/benchcmp bench.old.txt bench.new.txt; \
+	fi
+
+# Hot-path report: current interpreter numbers against the committed
+# pre-overhaul baseline (testdata/bench/baseline_interp.txt).
+bench-interp:
+	$(GO) run ./cmd/interp-bench -o BENCH_interp.json
 
 # Fault-injection evaluation: mutate every subject program, run each
 # mutant through the debugger with the unmutated original as oracle.

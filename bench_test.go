@@ -9,9 +9,11 @@ package gadt_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"gadt/internal/analysis/lint"
 	"gadt/internal/assertion"
+	"gadt/internal/campaign"
 	"gadt/internal/debugger"
 	"gadt/internal/exectree"
 	"gadt/internal/gadt"
@@ -19,6 +21,7 @@ import (
 	"gadt/internal/pascal/interp"
 	"gadt/internal/pascal/parser"
 	"gadt/internal/pascal/sem"
+	"gadt/internal/perfbench"
 	"gadt/internal/progen"
 	"gadt/internal/slicing/static"
 	"gadt/internal/slicing/weiser"
@@ -104,6 +107,49 @@ func BenchmarkTraceSynthetic(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- interpreter-bound hot paths -------------------------------------------
+//
+// The workload definitions live in internal/perfbench so cmd/interp-bench
+// (the BENCH_interp.json generator) measures exactly what these track.
+
+// BenchmarkInterpIntLoop measures raw interpreter throughput on the
+// integer-heavy loop (ns/op, B/op, allocs/op are the tracked numbers in
+// BENCH_interp.json).
+func BenchmarkInterpIntLoop(b *testing.B) {
+	perfbench.IntLoop()(b)
+}
+
+// BenchmarkInterpProgen measures whole-program interpretation of seeded
+// progen subjects of graded size, without tracing sinks: the cost the
+// mutation campaign and differential harness pay per evaluation.
+func BenchmarkInterpProgen(b *testing.B) {
+	for _, depth := range perfbench.ProgenDepths {
+		body := perfbench.Progen(depth)
+		b.Run(fmt.Sprintf("depth=%d", depth), body)
+	}
+}
+
+// BenchmarkCampaignEval measures the fixed-seed mutation campaign end to
+// end on one worker: mutant evaluation is interpreter-bound, so this is
+// the campaign-level view of the same hot path.
+func BenchmarkCampaignEval(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := campaign.Run(campaign.Config{
+			Seed:    1,
+			Budget:  24,
+			Workers: 1,
+			Timeout: time.Minute,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Mutants != 24 {
+			b.Fatalf("evaluated %d mutants, want 24", rep.Mutants)
+		}
 	}
 }
 

@@ -1,0 +1,82 @@
+// Command benchcmp compares two `go test -bench` output files and
+// prints a per-benchmark delta table. It is the zero-dependency
+// fallback `make bench-compare` uses when benchstat is not installed;
+// unlike benchstat it does no significance testing — repeats are
+// averaged, so pass -count 3 (or more) when recording either side.
+//
+// Usage:
+//
+//	benchcmp old.txt new.txt
+//
+// Exit status 1 if any benchmark present in old.txt is missing from
+// new.txt (a renamed or deleted benchmark silently hides regressions).
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+
+	"gadt/internal/benchparse"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp old.txt new.txt")
+		os.Exit(2)
+	}
+	if err := run(os.Args[1], os.Args[2]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(oldPath, newPath string) error {
+	olds, err := benchparse.ParseFile(oldPath)
+	if err != nil {
+		return err
+	}
+	news, err := benchparse.ParseFile(newPath)
+	if err != nil {
+		return err
+	}
+	if len(olds) == 0 {
+		return fmt.Errorf("%s contains no benchmark lines", oldPath)
+	}
+	newBy := benchparse.ByName(news)
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "%-40s %14s %14s %8s %12s %12s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta")
+	var missing []string
+	for _, o := range olds {
+		n, ok := newBy[o.Name]
+		if !ok {
+			missing = append(missing, o.Name)
+			continue
+		}
+		fmt.Fprintf(w, "%-40s %14.0f %14.0f %7.1f%% %12.0f %12.0f %7.1f%%\n",
+			o.Name, o.NsPerOp, n.NsPerOp, pct(o.NsPerOp, n.NsPerOp),
+			o.AllocsPerOp, n.AllocsPerOp, pct(o.AllocsPerOp, n.AllocsPerOp))
+	}
+	for _, n := range news {
+		if _, ok := benchparse.ByName(olds)[n.Name]; !ok {
+			fmt.Fprintf(w, "%-40s %14s %14.0f %8s %12s %12.0f %8s\n",
+				n.Name, "-", n.NsPerOp, "new", "-", n.AllocsPerOp, "new")
+		}
+	}
+	if len(missing) > 0 {
+		w.Flush()
+		return fmt.Errorf("benchmarks missing from %s: %v", newPath, missing)
+	}
+	return nil
+}
+
+// pct is the relative change new vs old: negative is an improvement.
+func pct(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return 100 * (new - old) / old
+}

@@ -130,6 +130,17 @@ func run(file string, o options) (err error) {
 	if o.replay != "" && o.reference != "" {
 		return fmt.Errorf("-replay and -reference are mutually exclusive")
 	}
+	// Batch output (program output, lint report, tree render, summary)
+	// goes through one buffered writer. The session is interactive, so
+	// the buffer is flushed before any phase that prompts on stdin —
+	// oracle queries and T-GEN menu selection stay on raw stdout.
+	w := bufio.NewWriter(os.Stdout)
+	defer func() {
+		if ferr := w.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
+
 	reg, tracer, closeTrace, err := obs.Setup(o.traceOut)
 	if err != nil {
 		return err
@@ -143,8 +154,8 @@ func run(file string, o options) (err error) {
 			err = perr
 		}
 		if o.stats {
-			fmt.Println("\nmetrics:")
-			reg.Snapshot().WriteText(os.Stdout)
+			fmt.Fprintln(w, "\nmetrics:")
+			reg.Snapshot().WriteText(w)
 		}
 		if cerr := closeTrace(); cerr != nil && err == nil {
 			err = cerr
@@ -166,9 +177,9 @@ func run(file string, o options) (err error) {
 	var hints map[string]float64
 	if o.lint {
 		if diags := sys.Lint(lint.Options{}); len(diags) > 0 {
-			fmt.Printf("static anomalies (plint; these units are asked about first):\n")
-			lint.Text(os.Stdout, diags)
-			fmt.Println()
+			fmt.Fprintf(w, "static anomalies (plint; these units are asked about first):\n")
+			lint.Text(w, diags)
+			fmt.Fprintln(w)
 			hints = lint.Hints(diags)
 		}
 	}
@@ -182,13 +193,13 @@ func run(file string, o options) (err error) {
 	} else {
 		run = sys.TraceOriginal(o.input)
 	}
-	fmt.Printf("program output:\n%s", run.Output)
+	fmt.Fprintf(w, "program output:\n%s", run.Output)
 	if run.RunErr != nil {
-		fmt.Printf("the program stopped with a runtime error: %v\n", run.RunErr)
+		fmt.Fprintf(w, "the program stopped with a runtime error: %v\n", run.RunErr)
 	}
 	if o.showTree {
-		fmt.Printf("\nexecution tree (%d nodes):\n", run.Tree.Size())
-		run.Tree.Render(os.Stdout, nil, nil)
+		fmt.Fprintf(w, "\nexecution tree (%d nodes):\n", run.Tree.Size())
+		run.Tree.Render(w, nil, nil)
 	}
 
 	cfg := gadt.DebugConfig{Slicing: o.slicing, Hints: hints}
@@ -246,7 +257,7 @@ func run(file string, o options) (err error) {
 		replayer = debugger.NewReplayOracle(journal)
 		replayer.DB = db
 		oracle = replayer
-		fmt.Printf("\nreplaying %d recorded answers from %s (no questions will be asked)\n",
+		fmt.Fprintf(w, "\nreplaying %d recorded answers from %s (no questions will be asked)\n",
 			len(journal.Entries), o.replay)
 	case o.reference != "":
 		refSrc, err := os.ReadFile(o.reference)
@@ -261,10 +272,10 @@ func run(file string, o options) (err error) {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("\nanswering queries from the reference implementation %s\n", o.reference)
+		fmt.Fprintf(w, "\nanswering queries from the reference implementation %s\n", o.reference)
 	default:
 		oracle = &debugger.InteractiveOracle{In: os.Stdin, Out: os.Stdout, DB: db}
-		fmt.Println("\nstarting algorithmic debugging; reply y, n, n <output>, a <assertion>, t, d")
+		fmt.Fprintln(w, "\nstarting algorithmic debugging; reply y, n, n <output>, a <assertion>, t, d")
 	}
 
 	if o.journal != "" {
@@ -280,17 +291,23 @@ func run(file string, o options) (err error) {
 		oracle = &debugger.JournalingOracle{Inner: oracle, Journal: jw}
 	}
 
+	// The debugging phase prompts on stdin: everything queued so far must
+	// be visible before the first question.
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
 	out, err := run.Debug(oracle, cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	if out.Localized() {
-		fmt.Printf("%s.\n", out.Reason)
+		fmt.Fprintf(w, "%s.\n", out.Reason)
 	} else {
-		fmt.Println("no bug could be localized (all answers were 'correct').")
+		fmt.Fprintln(w, "no bug could be localized (all answers were 'correct').")
 	}
-	fmt.Printf("questions: %d  answered by tests: %d  by assertions: %d  remembered: %d  slices: %d\n",
+	fmt.Fprintf(w, "questions: %d  answered by tests: %d  by assertions: %d  remembered: %d  slices: %d\n",
 		out.Questions, out.ByTests, out.ByAssertions, out.ByMemo, out.Slices)
 	if replayer != nil && replayer.Remaining() > 0 {
 		// Leftover recorded answers mean the replayed session traversed

@@ -28,8 +28,10 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -94,10 +96,22 @@ func run(n int, seed int64, corpus bool, workers, fuel int, timeout time.Duratio
 		return false, err
 	}
 
-	summaryDst := os.Stdout
+	// Buffer the summary (and, with -json -, the report itself): the
+	// tables are written line by line and a campaign can emit thousands
+	// of them; everything is flushed once before exit.
+	summaryDst := bufio.NewWriter(os.Stdout)
+	reportDst := summaryDst
 	if jsonOut == "-" {
-		summaryDst = os.Stderr
+		summaryDst = bufio.NewWriter(os.Stderr)
 	}
+	defer func() {
+		if ferr := summaryDst.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+		if ferr := reportDst.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 	summarize(summaryDst, rep)
 
 	if dir != "" && len(rep.Divergences) > 0 {
@@ -109,7 +123,7 @@ func run(n int, seed int64, corpus bool, workers, fuel int, timeout time.Duratio
 	switch jsonOut {
 	case "":
 	case "-":
-		if err := rep.WriteJSON(os.Stdout); err != nil {
+		if err := rep.WriteJSON(reportDst); err != nil {
 			return false, err
 		}
 	default:
@@ -117,7 +131,12 @@ func run(n int, seed int64, corpus bool, workers, fuel int, timeout time.Duratio
 		if err != nil {
 			return false, err
 		}
-		if err := rep.WriteJSON(f); err != nil {
+		w := bufio.NewWriter(f)
+		if err := rep.WriteJSON(w); err != nil {
+			f.Close()
+			return false, err
+		}
+		if err := w.Flush(); err != nil {
 			f.Close()
 			return false, err
 		}
@@ -135,7 +154,7 @@ func run(n int, seed int64, corpus bool, workers, fuel int, timeout time.Duratio
 
 // writeCounterexamples lands each divergence's (minimized) reproducer
 // in dir as a self-describing .pas file; regress tests replay them.
-func writeCounterexamples(dir string, rep *diffharness.Report, log *os.File) error {
+func writeCounterexamples(dir string, rep *diffharness.Report, log io.Writer) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -164,7 +183,7 @@ func sanitize(s string) string {
 	}, s)
 }
 
-func summarize(w *os.File, rep *diffharness.Report) {
+func summarize(w io.Writer, rep *diffharness.Report) {
 	fmt.Fprintf(w, "differential campaign: %d subjects x %d combos = %d comparisons (seed %d, %d workers, %s)\n",
 		rep.Subjects, len(rep.Combos), rep.Compared, rep.Seed, rep.Workers,
 		time.Duration(rep.ElapsedMS)*time.Millisecond)

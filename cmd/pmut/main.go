@@ -24,8 +24,10 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -100,7 +102,7 @@ func parseOps(s string) ([]mutate.Op, error) {
 }
 
 func run(seed int64, budget, workers int, strategy, opsFlag, subject string,
-	fuel, depth int, timeout time.Duration, jsonOut string, stats, verbose bool) error {
+	fuel, depth int, timeout time.Duration, jsonOut string, stats, verbose bool) (err error) {
 	strategies, err := parseStrategies(strategy)
 	if err != nil {
 		return err
@@ -152,17 +154,27 @@ func run(seed int64, budget, workers int, strategy, opsFlag, subject string,
 		}
 	}
 	// With the report going to stdout, keep stdout pure JSON (pipeable
-	// into jq) and move the human summary to stderr.
-	summaryDst := os.Stdout
+	// into jq) and move the human summary to stderr. Both streams are
+	// buffered and flushed once before exit.
+	stdout := bufio.NewWriter(os.Stdout)
+	summaryDst := stdout
 	if jsonOut == "-" {
-		summaryDst = os.Stderr
+		summaryDst = bufio.NewWriter(os.Stderr)
 	}
+	defer func() {
+		if ferr := summaryDst.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+		if ferr := stdout.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 	summarize(summaryDst, rep)
 
 	switch jsonOut {
 	case "":
 	case "-":
-		if err := rep.WriteJSON(os.Stdout); err != nil {
+		if err := rep.WriteJSON(stdout); err != nil {
 			return err
 		}
 	default:
@@ -170,23 +182,28 @@ func run(seed int64, budget, workers int, strategy, opsFlag, subject string,
 		if err != nil {
 			return err
 		}
-		if err := rep.WriteJSON(f); err != nil {
+		w := bufio.NewWriter(f)
+		if err := rep.WriteJSON(w); err != nil {
+			f.Close()
+			return err
+		}
+		if err := w.Flush(); err != nil {
 			f.Close()
 			return err
 		}
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("report written to %s\n", jsonOut)
+		fmt.Fprintf(summaryDst, "report written to %s\n", jsonOut)
 	}
 	if stats {
-		fmt.Println("\nmetrics:")
-		reg.Snapshot().WriteText(os.Stdout)
+		fmt.Fprintln(summaryDst, "\nmetrics:")
+		reg.Snapshot().WriteText(summaryDst)
 	}
 	return nil
 }
 
-func summarize(w *os.File, rep *campaign.Report) {
+func summarize(w io.Writer, rep *campaign.Report) {
 	fmt.Fprintf(w, "mutation campaign: %d subjects, %d sites enumerated, %d mutants evaluated (seed %d, %d workers, %s)\n",
 		rep.Subjects, rep.Enumerated, rep.Mutants, rep.Seed, rep.Workers,
 		time.Duration(rep.ElapsedMS)*time.Millisecond)

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -54,6 +55,16 @@ func main() {
 }
 
 func run(file string, o options) (err error) {
+	// Program output and the rendered tree can run to megabytes; one
+	// buffered writer around stdout turns per-line syscalls into a few
+	// large ones. The deferred flush runs after the stats snapshot.
+	out := bufio.NewWriter(os.Stdout)
+	defer func() {
+		if ferr := out.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
+
 	reg, tracer, closeTrace, err := obs.Setup(o.traceOut)
 	if err != nil {
 		return err
@@ -67,8 +78,8 @@ func run(file string, o options) (err error) {
 			err = perr
 		}
 		if o.stats {
-			fmt.Println("\nmetrics:")
-			reg.Snapshot().WriteText(os.Stdout)
+			fmt.Fprintln(out, "\nmetrics:")
+			reg.Snapshot().WriteText(out)
 		}
 		if cerr := closeTrace(); cerr != nil && err == nil {
 			err = cerr
@@ -96,16 +107,16 @@ func run(file string, o options) (err error) {
 			if err != nil {
 				return err
 			}
-			fmt.Println("--- transformed program ---")
-			fmt.Print(xsrc)
-			fmt.Println("---")
+			fmt.Fprintln(out, "--- transformed program ---")
+			fmt.Fprint(out, xsrc)
+			fmt.Fprintln(out, "---")
 		}
 	}
-	fmt.Printf("program output:\n%s", r.Output)
+	fmt.Fprintf(out, "program output:\n%s", r.Output)
 	if r.RunErr != nil {
-		fmt.Printf("runtime error: %v\n", r.RunErr)
+		fmt.Fprintf(out, "runtime error: %v\n", r.RunErr)
 	}
-	fmt.Printf("execution tree (%d nodes, %d statements executed):\n", r.Tree.Size(), r.Steps)
-	r.Tree.Render(os.Stdout, nil, nil)
+	fmt.Fprintf(out, "execution tree (%d nodes, %d statements executed):\n", r.Tree.Size(), r.Steps)
+	r.Tree.Render(out, nil, nil)
 	return nil
 }

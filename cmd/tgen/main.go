@@ -90,7 +90,7 @@ func run(specFile, subject, expect, reports string) error {
 			for _, b := range ci.Outs {
 				env[b.Name] = b.Value
 			}
-			if ci.Result != nil {
+			if !ci.Result.IsUndef() {
 				env["result"] = ci.Result
 			}
 			return check.Eval(env) == assertion.Holds

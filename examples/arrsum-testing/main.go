@@ -73,13 +73,14 @@ func main() {
 		Spec: spec,
 		Gen:  tgen.SearchGenerator(sys.Info, spec, 5000),
 		Chk: func(_ *tgen.Frame, ci *interp.CallInfo) bool {
-			a := ci.Ins[0].Value.(*interp.ArrayVal)
-			n := ci.Ins[1].Value.(int64)
+			a, _ := ci.Ins[0].Value.AsArray()
+			n, _ := ci.Ins[1].Value.AsInt()
 			var want int64
 			for i := int64(0); i < n && i < int64(len(a.Elems)); i++ {
-				want += a.Elems[i].(int64)
+				iv, _ := a.Elems[i].AsInt()
+				want += iv
 			}
-			got, _ := ci.Outs[0].Value.(int64)
+			got, _ := ci.Outs[0].Value.AsInt()
 			return got == want
 		},
 	}

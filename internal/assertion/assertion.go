@@ -99,7 +99,7 @@ func (a *Assertion) Eval(env Env) Verdict {
 	if err != nil {
 		return Unknown
 	}
-	b, ok := v.(bool)
+	b, ok := v.AsBool()
 	if !ok {
 		return Unknown
 	}
@@ -186,83 +186,82 @@ func Eval(e ast.Expr, env Env) (interp.Value, error) {
 func evalExpr(e ast.Expr, env Env) (interp.Value, error) {
 	switch e := e.(type) {
 	case *ast.IntLit:
-		return e.Value, nil
+		return interp.IntV(e.Value), nil
 	case *ast.RealLit:
-		return e.Value, nil
+		return interp.RealV(e.Value), nil
 	case *ast.StringLit:
-		return e.Value, nil
+		return interp.StrV(e.Value), nil
 	case *ast.Ident:
 		switch e.Name {
 		case "true":
-			return true, nil
+			return interp.BoolV(true), nil
 		case "false":
-			return false, nil
+			return interp.BoolV(false), nil
 		}
 		if v, ok := env[e.Name]; ok {
 			return v, nil
 		}
-		return nil, fmt.Errorf("unbound name %s", e.Name)
+		return interp.Undef, fmt.Errorf("unbound name %s", e.Name)
 	case *ast.UnaryExpr:
 		x, err := evalExpr(e.X, env)
 		if err != nil {
-			return nil, err
+			return interp.Undef, err
 		}
 		switch e.Op {
 		case token.Minus:
-			switch x := x.(type) {
-			case int64:
-				return -x, nil
-			case float64:
-				return -x, nil
+			if i, ok := x.AsInt(); ok {
+				return interp.IntV(-i), nil
+			}
+			if f, ok := x.AsReal(); ok {
+				return interp.RealV(-f), nil
 			}
 		case token.Plus:
 			return x, nil
 		case token.Not:
-			if b, ok := x.(bool); ok {
-				return !b, nil
+			if b, ok := x.AsBool(); ok {
+				return interp.BoolV(!b), nil
 			}
 		}
-		return nil, fmt.Errorf("bad unary operand")
+		return interp.Undef, fmt.Errorf("bad unary operand")
 	case *ast.IndexExpr:
 		x, err := evalExpr(e.X, env)
 		if err != nil {
-			return nil, err
+			return interp.Undef, err
 		}
-		arr, ok := x.(*interp.ArrayVal)
+		cur, ok := x.AsArray()
 		if !ok {
-			return nil, fmt.Errorf("indexing non-array")
+			return interp.Undef, fmt.Errorf("indexing non-array")
 		}
-		cur := arr
-		var out interp.Value = arr
+		out := x
 		for _, ie := range e.Indices {
 			iv, err := evalExpr(ie, env)
 			if err != nil {
-				return nil, err
+				return interp.Undef, err
 			}
-			i, ok := iv.(int64)
+			i, ok := iv.AsInt()
 			if !ok {
-				return nil, fmt.Errorf("non-integer index")
+				return interp.Undef, fmt.Errorf("non-integer index")
 			}
 			slot, err := cur.At(i)
 			if err != nil {
-				return nil, err
+				return interp.Undef, err
 			}
 			out = *slot
-			cur, _ = out.(*interp.ArrayVal)
+			cur, _ = out.AsArray()
 		}
 		return out, nil
 	case *ast.FieldExpr:
 		x, err := evalExpr(e.X, env)
 		if err != nil {
-			return nil, err
+			return interp.Undef, err
 		}
-		rec, ok := x.(*interp.RecordVal)
+		rec, ok := x.AsRecord()
 		if !ok {
-			return nil, fmt.Errorf("selecting field of non-record")
+			return interp.Undef, fmt.Errorf("selecting field of non-record")
 		}
 		slot, err := rec.FieldAddr(e.Field)
 		if err != nil {
-			return nil, err
+			return interp.Undef, err
 		}
 		return *slot, nil
 	case *ast.CallExpr:
@@ -271,7 +270,7 @@ func evalExpr(e ast.Expr, env Env) (interp.Value, error) {
 		for i, a := range e.Args {
 			v, err := evalExpr(a, env)
 			if err != nil {
-				return nil, err
+				return interp.Undef, err
 			}
 			args[i] = v
 		}
@@ -279,15 +278,15 @@ func evalExpr(e ast.Expr, env Env) (interp.Value, error) {
 	case *ast.BinaryExpr:
 		x, err := evalExpr(e.X, env)
 		if err != nil {
-			return nil, err
+			return interp.Undef, err
 		}
 		y, err := evalExpr(e.Y, env)
 		if err != nil {
-			return nil, err
+			return interp.Undef, err
 		}
 		return evalBinary(e.Op, x, y)
 	}
-	return nil, fmt.Errorf("unsupported assertion expression %T", e)
+	return interp.Undef, fmt.Errorf("unsupported assertion expression %T", e)
 }
 
 func evalBuiltin(name string, args []interp.Value) (interp.Value, error) {
@@ -295,7 +294,7 @@ func evalBuiltin(name string, args []interp.Value) (interp.Value, error) {
 		if len(args) != 1 {
 			return 0, fmt.Errorf("%s expects 1 argument", name)
 		}
-		i, ok := args[0].(int64)
+		i, ok := args[0].AsInt()
 		if !ok {
 			return 0, fmt.Errorf("%s expects an integer", name)
 		}
@@ -305,113 +304,113 @@ func evalBuiltin(name string, args []interp.Value) (interp.Value, error) {
 	case "abs":
 		i, err := one()
 		if err != nil {
-			return nil, err
+			return interp.Undef, err
 		}
 		if i < 0 {
-			return -i, nil
+			return interp.IntV(-i), nil
 		}
-		return i, nil
+		return interp.IntV(i), nil
 	case "sqr":
 		i, err := one()
 		if err != nil {
-			return nil, err
+			return interp.Undef, err
 		}
-		return i * i, nil
+		return interp.IntV(i * i), nil
 	case "odd":
 		i, err := one()
 		if err != nil {
-			return nil, err
+			return interp.Undef, err
 		}
-		return i%2 != 0, nil
+		return interp.BoolV(i%2 != 0), nil
 	case "len":
 		if len(args) == 1 {
-			if a, ok := args[0].(*interp.ArrayVal); ok {
-				return a.Hi - a.Lo + 1, nil
+			if a, ok := args[0].AsArray(); ok {
+				return interp.IntV(a.Hi - a.Lo + 1), nil
 			}
 		}
-		return nil, fmt.Errorf("len expects an array")
+		return interp.Undef, fmt.Errorf("len expects an array")
 	case "sum":
 		if len(args) == 1 {
-			if a, ok := args[0].(*interp.ArrayVal); ok {
+			if a, ok := args[0].AsArray(); ok {
 				var s int64
 				for _, el := range a.Elems {
-					i, ok := el.(int64)
+					i, ok := el.AsInt()
 					if !ok {
-						return nil, fmt.Errorf("sum over non-integer array")
+						return interp.Undef, fmt.Errorf("sum over non-integer array")
 					}
 					s += i
 				}
-				return s, nil
+				return interp.IntV(s), nil
 			}
 		}
 		if len(args) == 2 {
 			// sum(a, n): sum of the first n elements.
-			a, ok1 := args[0].(*interp.ArrayVal)
-			n, ok2 := args[1].(int64)
+			a, ok1 := args[0].AsArray()
+			n, ok2 := args[1].AsInt()
 			if ok1 && ok2 {
 				var s int64
 				for i := int64(0); i < n && i < int64(len(a.Elems)); i++ {
-					iv, ok := a.Elems[i].(int64)
+					iv, ok := a.Elems[i].AsInt()
 					if !ok {
-						return nil, fmt.Errorf("sum over non-integer array")
+						return interp.Undef, fmt.Errorf("sum over non-integer array")
 					}
 					s += iv
 				}
-				return s, nil
+				return interp.IntV(s), nil
 			}
 		}
-		return nil, fmt.Errorf("sum expects an array (and optionally a count)")
+		return interp.Undef, fmt.Errorf("sum expects an array (and optionally a count)")
 	}
-	return nil, fmt.Errorf("unknown assertion function %s", name)
+	return interp.Undef, fmt.Errorf("unknown assertion function %s", name)
 }
 
 func evalBinary(op token.Kind, x, y interp.Value) (interp.Value, error) {
 	switch op {
 	case token.And:
-		xb, ok1 := x.(bool)
-		yb, ok2 := y.(bool)
+		xb, ok1 := x.AsBool()
+		yb, ok2 := y.AsBool()
 		if ok1 && ok2 {
-			return xb && yb, nil
+			return interp.BoolV(xb && yb), nil
 		}
 	case token.Or:
-		xb, ok1 := x.(bool)
-		yb, ok2 := y.(bool)
+		xb, ok1 := x.AsBool()
+		yb, ok2 := y.AsBool()
 		if ok1 && ok2 {
-			return xb || yb, nil
+			return interp.BoolV(xb || yb), nil
 		}
 	case token.Eq:
-		return interp.ValuesEqual(x, y), nil
+		return interp.BoolV(interp.ValuesEqual(x, y)), nil
 	case token.NotEq:
-		return !interp.ValuesEqual(x, y), nil
+		return interp.BoolV(!interp.ValuesEqual(x, y)), nil
 	}
-	xi, xInt := x.(int64)
-	yi, yInt := y.(int64)
+	xi, xInt := x.AsInt()
+	yi, yInt := y.AsInt()
 	if xInt && yInt {
 		switch op {
 		case token.Plus:
-			return xi + yi, nil
+			return interp.IntV(xi + yi), nil
 		case token.Minus:
-			return xi - yi, nil
+			return interp.IntV(xi - yi), nil
 		case token.Star:
-			return xi * yi, nil
+			return interp.IntV(xi * yi), nil
 		case token.Div:
 			if yi == 0 {
-				return nil, fmt.Errorf("division by zero")
+				return interp.Undef, fmt.Errorf("division by zero")
 			}
-			return xi / yi, nil
+			return interp.IntV(xi / yi), nil
 		case token.Mod:
 			if yi == 0 {
-				return nil, fmt.Errorf("division by zero")
+				return interp.Undef, fmt.Errorf("division by zero")
 			}
-			return xi % yi, nil
+			return interp.IntV(xi % yi), nil
 		case token.Less:
-			return xi < yi, nil
+			return interp.BoolV(xi < yi), nil
 		case token.LessEq:
-			return xi <= yi, nil
+			return interp.BoolV(xi <= yi), nil
 		case token.Greater:
-			return xi > yi, nil
+			return interp.BoolV(xi > yi), nil
 		case token.GreatEq:
-			return xi >= yi, nil
+			return interp.BoolV(xi >= yi), nil
 		}
 	}
 	xf, xOK := toFloat(x)
@@ -419,35 +418,32 @@ func evalBinary(op token.Kind, x, y interp.Value) (interp.Value, error) {
 	if xOK && yOK {
 		switch op {
 		case token.Plus:
-			return xf + yf, nil
+			return interp.RealV(xf + yf), nil
 		case token.Minus:
-			return xf - yf, nil
+			return interp.RealV(xf - yf), nil
 		case token.Star:
-			return xf * yf, nil
+			return interp.RealV(xf * yf), nil
 		case token.Slash:
 			if yf == 0 {
-				return nil, fmt.Errorf("division by zero")
+				return interp.Undef, fmt.Errorf("division by zero")
 			}
-			return xf / yf, nil
+			return interp.RealV(xf / yf), nil
 		case token.Less:
-			return xf < yf, nil
+			return interp.BoolV(xf < yf), nil
 		case token.LessEq:
-			return xf <= yf, nil
+			return interp.BoolV(xf <= yf), nil
 		case token.Greater:
-			return xf > yf, nil
+			return interp.BoolV(xf > yf), nil
 		case token.GreatEq:
-			return xf >= yf, nil
+			return interp.BoolV(xf >= yf), nil
 		}
 	}
-	return nil, fmt.Errorf("invalid operands for %s", op)
+	return interp.Undef, fmt.Errorf("invalid operands for %s", op)
 }
 
 func toFloat(v interp.Value) (float64, bool) {
-	switch v := v.(type) {
-	case int64:
-		return float64(v), true
-	case float64:
-		return v, true
+	if i, ok := v.AsInt(); ok {
+		return float64(i), true
 	}
-	return 0, false
+	return v.AsReal()
 }

@@ -15,7 +15,7 @@ import (
 func env(pairs ...any) assertion.Env {
 	e := make(assertion.Env)
 	for i := 0; i < len(pairs); i += 2 {
-		e[pairs[i].(string)] = pairs[i+1]
+		e[pairs[i].(string)] = interp.MakeValue(pairs[i+1])
 	}
 	return e
 }
@@ -57,7 +57,7 @@ func TestEvalBasics(t *testing.T) {
 }
 
 func TestArrayHelpers(t *testing.T) {
-	arr := &interp.ArrayVal{Lo: 1, Hi: 4, Elems: []interp.Value{int64(1), int64(2), int64(3), int64(4)}}
+	arr := &interp.ArrayVal{Lo: 1, Hi: 4, Elems: []interp.Value{interp.IntV(1), interp.IntV(2), interp.IntV(3), interp.IntV(4)}}
 	cases := []struct {
 		expr string
 		want assertion.Verdict
@@ -104,17 +104,17 @@ func TestEnvForNode(t *testing.T) {
 		return true
 	})
 	e := assertion.EnvFor(arrsum)
-	if e["n"] != int64(2) {
+	if !interp.ValuesEqual(e["n"], interp.IntV(2)) {
 		t.Errorf("n = %v", e["n"])
 	}
-	if e["b"] != int64(3) {
+	if !interp.ValuesEqual(e["b"], interp.IntV(3)) {
 		t.Errorf("b (exit value) = %v, want 3", e["b"])
 	}
-	if e["old_b"] != int64(0) {
+	if !interp.ValuesEqual(e["old_b"], interp.IntV(0)) {
 		t.Errorf("old_b (entry value) = %v, want 0", e["old_b"])
 	}
 	de := assertion.EnvFor(dec)
-	if de["result"] != int64(4) || de["decrement"] != int64(4) {
+	if !interp.ValuesEqual(de["result"], interp.IntV(4)) || !interp.ValuesEqual(de["decrement"], interp.IntV(4)) {
 		t.Errorf("result bindings = %v / %v", de["result"], de["decrement"])
 	}
 }
@@ -208,7 +208,7 @@ func TestUnknownFunction(t *testing.T) {
 }
 
 func TestRecordFieldAccess(t *testing.T) {
-	rec := &interp.RecordVal{Names: []string{"x", "y"}, Fields: []interp.Value{int64(3), int64(4)}}
+	rec := &interp.RecordVal{Names: []string{"x", "y"}, Fields: []interp.Value{interp.IntV(3), interp.IntV(4)}}
 	a := assertion.MustParse("u", "p.x + p.y = 7")
 	if got := a.Eval(env("p", rec)); got != assertion.Holds {
 		t.Errorf("record assertion = %v", got)

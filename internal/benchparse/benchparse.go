@@ -1,0 +1,132 @@
+// Package benchparse reads the standard `go test -bench` text format:
+// one line per measurement,
+//
+//	BenchmarkName-8   153   7788402 ns/op   478554 B/op   59739 allocs/op
+//
+// and aggregates repeated runs (-count N) per benchmark by averaging.
+// It backs cmd/benchcmp (the benchstat fallback) and cmd/interp-bench
+// (the BENCH_interp.json generator), which compare current numbers
+// against the committed baseline in testdata/bench/.
+package benchparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one aggregated benchmark: the mean over all parsed lines
+// with the same name, with Runs recording how many lines contributed.
+type Result struct {
+	Name        string  `json:"name"`
+	Runs        int     `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Parse reads benchmark lines from r, averaging repeats. Non-benchmark
+// lines (goos/pkg headers, PASS, ok) are skipped. Names are normalized
+// by stripping the -GOMAXPROCS suffix so runs from machines with
+// different core counts compare.
+func Parse(r io.Reader) ([]Result, error) {
+	sums := make(map[string]*Result)
+	var order []string
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Shortest valid line: name, N, value, unit.
+		if len(fields) < 4 {
+			continue
+		}
+		name := normalizeName(fields[0])
+		res := sums[name]
+		if res == nil {
+			res = &Result{Name: name}
+			sums[name] = res
+			order = append(order, name)
+		}
+		var ns, bytes, allocs float64
+		var haveNs bool
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				ns, haveNs = v, true
+			case "B/op":
+				bytes = v
+			case "allocs/op":
+				allocs = v
+			}
+		}
+		if !haveNs {
+			continue
+		}
+		res.Runs++
+		res.NsPerOp += ns
+		res.BytesPerOp += bytes
+		res.AllocsPerOp += allocs
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]Result, 0, len(order))
+	for _, name := range order {
+		r := sums[name]
+		n := float64(r.Runs)
+		out = append(out, Result{
+			Name:        r.Name,
+			Runs:        r.Runs,
+			NsPerOp:     r.NsPerOp / n,
+			BytesPerOp:  r.BytesPerOp / n,
+			AllocsPerOp: r.AllocsPerOp / n,
+		})
+	}
+	return out, nil
+}
+
+// ParseFile parses one benchmark output file.
+func ParseFile(path string) ([]Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	res, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return res, nil
+}
+
+// normalizeName strips the trailing -N GOMAXPROCS suffix Go appends to
+// benchmark names ("BenchmarkX-8" → "BenchmarkX").
+func normalizeName(s string) string {
+	i := strings.LastIndexByte(s, '-')
+	if i < 0 {
+		return s
+	}
+	if _, err := strconv.Atoi(s[i+1:]); err != nil {
+		return s
+	}
+	return s[:i]
+}
+
+// ByName indexes results for lookup when comparing two files.
+func ByName(rs []Result) map[string]Result {
+	m := make(map[string]Result, len(rs))
+	for _, r := range rs {
+		m[r.Name] = r
+	}
+	return m
+}

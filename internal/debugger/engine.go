@@ -659,7 +659,7 @@ func (s *Session) isExitCond(n *exectree.Node, name string) bool {
 // label), per Section 6.1: "the non-local goto is treated as one of the
 // results from the procedure call".
 func (s *Session) exitDescription(b interp.Binding) string {
-	code, ok := b.Value.(int64)
+	code, ok := b.Value.AsInt()
 	if !ok || code == 0 {
 		return "none"
 	}

@@ -7,6 +7,7 @@ import (
 	"gadt/internal/exectree"
 	"gadt/internal/paper"
 	"gadt/internal/pascal/ast"
+	"gadt/internal/pascal/interp"
 	"gadt/internal/pascal/parser"
 	"gadt/internal/pascal/sem"
 )
@@ -104,11 +105,11 @@ func TestNodeBindings(t *testing.T) {
 		t.Fatal("computs not traced")
 	}
 	in, ok := computs.InBinding("y")
-	if !ok || in.Value != int64(3) {
+	if !ok || !interp.ValuesEqual(in.Value, interp.IntV(3)) {
 		t.Errorf("computs In y = %v (%v)", in.Value, ok)
 	}
 	out, ok := computs.OutBinding("r1")
-	if !ok || out.Value != int64(12) {
+	if !ok || !interp.ValuesEqual(out.Value, interp.IntV(12)) {
 		t.Errorf("computs Out r1 = %v (%v)", out.Value, ok)
 	}
 	names := computs.OutputNames()

@@ -286,10 +286,10 @@ func arrsumGen(f *tgen.Frame) ([]interp.Value, bool) {
 	mk := func(vals ...int64) *interp.ArrayVal {
 		a := &interp.ArrayVal{Lo: 1, Hi: 100, Elems: make([]interp.Value, 100)}
 		for i := range a.Elems {
-			a.Elems[i] = int64(0)
+			a.Elems[i] = interp.IntV(0)
 		}
 		for i, v := range vals {
-			a.Elems[i] = v
+			a.Elems[i] = interp.IntV(v)
 		}
 		return a
 	}
@@ -320,19 +320,19 @@ func arrsumGen(f *tgen.Frame) ([]interp.Value, bool) {
 			vals = []int64{-10, 30, 2}
 		}
 	}
-	return []interp.Value{mk(vals...), n, int64(0)}, true
+	return []interp.Value{interp.ArrV(mk(vals...)), interp.IntV(n), interp.IntV(0)}, true
 }
 
 func arrsumCheck(_ *tgen.Frame, ci *interp.CallInfo) bool {
-	a := ci.Ins[0].Value.(*interp.ArrayVal)
-	n := ci.Ins[1].Value.(int64)
+	a, _ := ci.Ins[0].Value.AsArray()
+	n, _ := ci.Ins[1].Value.AsInt()
 	var want int64
 	for i := int64(0); i < n && i < int64(len(a.Elems)); i++ {
-		if iv, ok := a.Elems[i].(int64); ok {
+		if iv, ok := a.Elems[i].AsInt(); ok {
 			want += iv
 		}
 	}
-	got, _ := ci.Outs[0].Value.(int64)
+	got, _ := ci.Outs[0].Value.AsInt()
 	return got == want
 }
 

@@ -7,11 +7,13 @@ import (
 
 // CallUnit invokes a single routine with the given argument values,
 // outside any program run: lexical ancestor frames are fabricated with
-// zero-initialized cells so that name resolution works. This supports
+// zero-initialized slots so that name resolution works. This supports
 // the debugger's intended-semantics oracle, which re-executes a unit of
 // a reference implementation on a recorded call's inputs. It is only
 // meaningful for routines that do not read their enclosing scopes (in
 // particular, any routine of a transformed program).
+//
+// An Undef argument leaves the parameter at its type's zero value.
 //
 // The returned CallInfo carries the input snapshot, the var/out outputs
 // and the function result, exactly as a traced call would.
@@ -25,15 +27,18 @@ func (it *Interp) CallUnit(target *sem.Routine, args []Value) (*CallInfo, error)
 		chain = append([]*sem.Routine{r}, chain...)
 	}
 	var f *frame
+	frames := make([]*frame, 0, len(chain)+1)
 	for _, r := range chain {
-		nf := &frame{routine: r, static: f, cells: make(map[*sem.VarSym]*cell)}
-		for _, v := range r.AllVars() {
-			nf.cells[v] = it.newCell(v.Type)
+		nf := it.newFrame(r, f, f)
+		for _, v := range r.Frame.Vars {
+			nf.zeroSlot(v)
 		}
+		frames = append(frames, nf)
 		f = nf
 	}
 
-	nf := &frame{routine: target, static: f, cells: make(map[*sem.VarSym]*cell)}
+	nf := it.newFrame(target, f, f)
+	frames = append(frames, nf)
 	ci := &CallInfo{
 		ID:        it.nextID,
 		Routine:   target,
@@ -42,23 +47,24 @@ func (it *Interp) CallUnit(target *sem.Routine, args []Value) (*CallInfo, error)
 		ParamLocs: make([]Loc, len(args)),
 	}
 	it.nextID++
-	nf.info = ci
+	it.calls++
 	for i, p := range target.Params {
-		c := it.newCell(p.Type)
-		if args[i] != nil {
+		c := nf.slots[p.Slot]
+		if args[i].IsUndef() {
+			c.val = ZeroValue(p.Type)
+		} else {
 			c.val = CopyValue(args[i])
 		}
-		nf.cells[p] = c
 		ci.ParamLocs[i] = c.loc
 		ci.Ins = append(ci.Ins, Binding{Name: p.Name, Mode: p.Mode, Value: CopyValue(c.val), Sym: p})
 	}
 	for _, v := range target.Locals {
-		nf.cells[v] = it.newCell(v.Type)
+		nf.zeroSlot(v)
 	}
 	var resultCell *cell
 	if target.Result != nil {
-		resultCell = it.newCell(target.Result.Type)
-		nf.cells[target.Result] = resultCell
+		resultCell = nf.slots[target.Result.Slot]
+		resultCell.val = ZeroValue(target.Result.Type)
 		ci.ResultLoc = resultCell.loc
 	}
 
@@ -74,13 +80,16 @@ func (it *Interp) CallUnit(target *sem.Routine, args []Value) (*CallInfo, error)
 		if p.Mode == ast.Value {
 			continue
 		}
-		ci.Outs = append(ci.Outs, Binding{Name: p.Name, Mode: p.Mode, Value: CopyValue(nf.cells[p].val), Sym: p})
+		ci.Outs = append(ci.Outs, Binding{Name: p.Name, Mode: p.Mode, Value: CopyValue(nf.slots[p.Slot].val), Sym: p})
 	}
 	if resultCell != nil {
 		ci.Result = CopyValue(resultCell.val)
 	}
 	it.sink.ExitCall(ci)
 	it.frame, it.depth = prev, prevDepth
+	for i := len(frames) - 1; i >= 0; i-- {
+		it.freeFrame(frames[i])
+	}
 	if err != nil {
 		return ci, err
 	}

@@ -23,14 +23,14 @@ func TestCallUnitFunction(t *testing.T) {
 	info := analyzeSrc(t, paper.Sqrtest)
 	dec := info.LookupRoutine("decrement")
 	it := interp.New(info, interp.Config{})
-	ci, err := it.CallUnit(dec, []interp.Value{int64(3)})
+	ci, err := it.CallUnit(dec, []interp.Value{interp.IntV(3)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ci.Result != int64(4) { // buggy decrement: 3 + 1
+	if r, _ := ci.Result.AsInt(); r != 4 { // buggy decrement: 3 + 1
 		t.Errorf("result = %v, want 4", ci.Result)
 	}
-	if len(ci.Ins) != 1 || ci.Ins[0].Value != int64(3) {
+	if len(ci.Ins) != 1 || !interp.ValuesEqual(ci.Ins[0].Value, interp.IntV(3)) {
 		t.Errorf("ins = %v", ci.Ins)
 	}
 }
@@ -41,14 +41,14 @@ func TestCallUnitProcedureWithVarParam(t *testing.T) {
 	it := interp.New(info, interp.Config{})
 	arr := &interp.ArrayVal{Lo: 1, Hi: 10, Elems: make([]interp.Value, 10)}
 	for i := range arr.Elems {
-		arr.Elems[i] = int64(0)
+		arr.Elems[i] = interp.IntV(0)
 	}
-	arr.Elems[0], arr.Elems[1], arr.Elems[2] = int64(4), int64(5), int64(6)
-	ci, err := it.CallUnit(arrsum, []interp.Value{arr, int64(3), int64(0)})
+	arr.Elems[0], arr.Elems[1], arr.Elems[2] = interp.IntV(4), interp.IntV(5), interp.IntV(6)
+	ci, err := it.CallUnit(arrsum, []interp.Value{interp.ArrV(arr), interp.IntV(3), interp.IntV(0)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ci.Outs) != 1 || ci.Outs[0].Value != int64(15) {
+	if len(ci.Outs) != 1 || !interp.ValuesEqual(ci.Outs[0].Value, interp.IntV(15)) {
 		t.Errorf("outs = %v, want b: 15", ci.Outs)
 	}
 }
@@ -81,11 +81,11 @@ begin
 end.`)
 	inner := info.LookupRoutine("inner")
 	it := interp.New(info, interp.Config{})
-	ci, err := it.CallUnit(inner, []interp.Value{int64(5), int64(0)})
+	ci, err := it.CallUnit(inner, []interp.Value{interp.IntV(5), interp.IntV(0)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ci.Outs) != 1 || ci.Outs[0].Value != int64(15) {
+	if len(ci.Outs) != 1 || !interp.ValuesEqual(ci.Outs[0].Value, interp.IntV(15)) {
 		t.Errorf("outs = %v, want b: 15", ci.Outs)
 	}
 }
@@ -103,7 +103,7 @@ begin
 end.`)
 	boom := info.LookupRoutine("boom")
 	it := interp.New(info, interp.Config{})
-	if _, err := it.CallUnit(boom, []interp.Value{int64(0), int64(0)}); err == nil {
+	if _, err := it.CallUnit(boom, []interp.Value{interp.IntV(0), interp.IntV(0)}); err == nil {
 		t.Error("expected division-by-zero error")
 	}
 }

@@ -42,7 +42,7 @@ type CallInfo struct {
 	Ins  []Binding // value snapshot of every parameter at entry
 	Outs []Binding // snapshot of var/out parameters at exit
 
-	Result Value // function result, nil for procedures
+	Result Value // function result, Undef for procedures
 
 	// ArgLocs holds the location of each argument that is a variable
 	// designator (zero otherwise), in parameter order; ParamLocs holds
@@ -169,10 +169,14 @@ type Interp struct {
 	in   *bufio.Reader
 	out  io.Writer
 	sink EventSink
+	// trace is false when the sink is a NopSink: the hot path then skips
+	// event dispatch and call-snapshot construction entirely.
+	trace bool
 
 	steps    int
 	depth    int
 	maxDepth int
+	calls    int64
 	nextID   int64
 	nextLoc  Loc
 
@@ -181,6 +185,12 @@ type Interp struct {
 	flushedCalls int64
 
 	frame *frame // current frame
+
+	// free is the head of the frame free list. Completed activations
+	// return their frame (slot vector and cell storage included) here,
+	// so call-heavy programs reuse a handful of allocations instead of
+	// churning the garbage collector.
+	free *frame
 }
 
 type cell struct {
@@ -188,11 +198,19 @@ type cell struct {
 	val Value
 }
 
+// frame is one routine activation. Variable storage is a dense slot
+// vector laid out by the layout pass (sem.Routine.Frame): slots[i]
+// addresses the cell of the variable with Slot == i. Owned cells live
+// contiguously in storage; by-reference parameter slots are repointed at
+// the caller's cells instead.
 type frame struct {
 	routine *sem.Routine
-	static  *frame
-	cells   map[*sem.VarSym]*cell
-	info    *CallInfo
+	static  *frame // frame of the lexically enclosing routine
+	caller  *frame // dynamic link, for error stack capture
+	level   int    // == routine.Level (static-chain walk counter)
+	slots   []*cell
+	storage []cell
+	next    *frame // free-list link
 }
 
 // control models non-local transfer: nil for normal completion, or a
@@ -207,6 +225,9 @@ func New(info *sem.Info, cfg Config) *Interp {
 	it := &Interp{info: info, cfg: cfg, sink: cfg.Sink}
 	if it.sink == nil {
 		it.sink = NopSink{}
+	}
+	if _, nop := it.sink.(NopSink); !nop {
+		it.trace = true
 	}
 	if cfg.Input != nil {
 		it.in = bufio.NewReader(cfg.Input)
@@ -234,9 +255,56 @@ func (it *Interp) recordMetrics() {
 		return
 	}
 	m.Counter("interp.statements").Add(int64(it.steps - it.flushedSteps))
-	m.Counter("interp.calls").Add(it.nextID - it.flushedCalls)
+	m.Counter("interp.calls").Add(it.calls - it.flushedCalls)
 	m.Gauge("interp.depth.max").SetMax(int64(it.maxDepth))
-	it.flushedSteps, it.flushedCalls = it.steps, it.nextID
+	it.flushedSteps, it.flushedCalls = it.steps, it.calls
+}
+
+// ---------------------------------------------------------------------------
+// Frames
+
+// newFrame acquires a frame for r (recycled from the free list when
+// possible) with every slot pointing at the frame's own storage under a
+// fresh location. Cell values start Undef; callers zero-initialize the
+// slots they own (parameters are bound explicitly, so their zero init
+// would be wasted work).
+func (it *Interp) newFrame(r *sem.Routine, static, caller *frame) *frame {
+	n := len(r.Frame.Vars)
+	f := it.free
+	if f != nil {
+		it.free = f.next
+		f.next = nil
+	} else {
+		f = &frame{}
+	}
+	f.routine, f.static, f.caller, f.level = r, static, caller, r.Level
+	if cap(f.storage) < n {
+		f.storage = make([]cell, n)
+		f.slots = make([]*cell, n)
+	} else {
+		f.storage = f.storage[:n]
+		f.slots = f.slots[:n]
+	}
+	for i := 0; i < n; i++ {
+		it.nextLoc++
+		f.storage[i] = cell{loc: it.nextLoc}
+		f.slots[i] = &f.storage[i]
+	}
+	return f
+}
+
+// freeFrame returns a completed activation to the free list. The caller
+// must guarantee no live pointers into the frame's storage remain (all
+// sink snapshots are deep copies; results are copied out by value).
+func (it *Interp) freeFrame(f *frame) {
+	f.routine, f.static, f.caller = nil, nil, nil
+	f.next = it.free
+	it.free = f
+}
+
+// zeroSlot installs the zero value of v's type in the frame's own cell.
+func (f *frame) zeroSlot(v *sem.VarSym) {
+	f.storage[v.Slot].val = ZeroValue(v.Type)
 }
 
 // Run executes the program from the start of the program block. The
@@ -244,16 +312,21 @@ func (it *Interp) recordMetrics() {
 func (it *Interp) Run() error {
 	defer it.recordMetrics()
 	main := it.info.Main
-	it.frame = &frame{routine: main, cells: make(map[*sem.VarSym]*cell)}
-	for _, v := range main.Locals {
-		it.frame.cells[v] = it.newCell(v.Type)
+	it.frame = it.newFrame(main, nil, nil)
+	for _, v := range main.Frame.Vars {
+		it.frame.zeroSlot(v)
 	}
-	ci := &CallInfo{ID: it.nextID, Routine: main, Depth: 0}
-	it.nextID++
-	it.frame.info = ci
-	it.sink.EnterCall(ci)
+	it.calls++
+	var ci *CallInfo
+	if it.trace {
+		ci = &CallInfo{ID: it.nextID, Routine: main, Depth: 0}
+		it.nextID++
+		it.sink.EnterCall(ci)
+	}
 	ctrl, err := it.execStmt(it.frame.routine.Block.Body)
-	it.sink.ExitCall(ci)
+	if it.trace {
+		it.sink.ExitCall(ci)
+	}
 	if err != nil {
 		return err
 	}
@@ -263,29 +336,66 @@ func (it *Interp) Run() error {
 	return nil
 }
 
-func (it *Interp) newCell(t types.Type) *cell {
-	it.nextLoc++
-	return &cell{loc: it.nextLoc, val: ZeroValue(t)}
+// maxErrStack bounds how many frame names an error captures; deeper
+// stacks are summarized. Capture cost on the error path is thus O(depth)
+// pointer hops but O(1) allocations, and the hot path never pays it.
+const maxErrStack = 32
+
+// callStack captures the dynamic call stack (innermost first), bounded
+// to maxErrStack named frames plus a summary line for the rest.
+func (it *Interp) callStack() []string {
+	if it.frame == nil {
+		return nil
+	}
+	stack := make([]string, 0, maxErrStack)
+	n := 0
+	for f := it.frame; f != nil; f = f.caller {
+		if n == maxErrStack {
+			rest := 0
+			for ; f != nil; f = f.caller {
+				rest++
+			}
+			stack = append(stack, fmt.Sprintf("... (%d more frames)", rest))
+			break
+		}
+		stack = append(stack, f.routine.Name)
+		n++
+	}
+	return stack
 }
 
 func (it *Interp) errorf(pos token.Pos, format string, args ...any) error {
-	var stack []string
-	for f := it.frame; f != nil; f = f.static {
-		stack = append(stack, f.routine.Name)
-	}
-	return &RuntimeError{Pos: pos, Msg: fmt.Sprintf(format, args...), Stack: stack}
+	return &RuntimeError{Pos: pos, Msg: fmt.Sprintf(format, args...), Stack: it.callStack()}
 }
 
-// lookupCell finds the cell of v by following static links from the
-// current frame to the frame of v's owner routine.
-func (it *Interp) lookupCell(v *sem.VarSym, pos token.Pos) (*cell, error) {
-	for f := it.frame; f != nil; f = f.static {
-		if f.routine == v.Owner {
-			if c, ok := f.cells[v]; ok {
-				return c, nil
-			}
-			break
+// cellOf resolves v's cell without constructing an error: it walks the
+// static chain exactly (current level − owner level) links and indexes
+// the owner frame's slot vector directly. Returns nil when no active
+// frame holds v (probe paths swallow that silently; lookupCell wraps it
+// in a RuntimeError).
+func (it *Interp) cellOf(v *sem.VarSym) *cell {
+	f := it.frame
+	if f == nil {
+		return nil
+	}
+	owner := v.Owner
+	for d := f.level - owner.Level; d > 0; d-- {
+		f = f.static
+		if f == nil {
+			return nil
 		}
+	}
+	if f.routine != owner || v.Slot >= len(f.slots) {
+		return nil
+	}
+	return f.slots[v.Slot]
+}
+
+// lookupCell finds the cell of v on the static chain, as a checked
+// operation that reports a runtime error when v is not in scope.
+func (it *Interp) lookupCell(v *sem.VarSym, pos token.Pos) (*cell, error) {
+	if c := it.cellOf(v); c != nil {
+		return c, nil
 	}
 	return nil, it.errorf(pos, "no active frame holds %s", v.Name)
 }
@@ -303,7 +413,9 @@ func (it *Interp) execStmt(s ast.Stmt) (*control, error) {
 		err.(*RuntimeError).Cause = ErrFuelExhausted
 		return nil, err
 	}
-	it.sink.Stmt(s, it.frame.routine)
+	if it.trace {
+		it.sink.Stmt(s, it.frame.routine)
+	}
 	switch s := s.(type) {
 	case *ast.CompoundStmt:
 		return it.execList(s.Stmts)
@@ -410,59 +522,94 @@ func (it *Interp) execAssign(s *ast.AssignStmt) error {
 // assignTo stores val into the designator lhs, firing Write (and, for
 // partial updates of composites, Read) events on the base variable.
 func (it *Interp) assignTo(lhs ast.Expr, val Value, pos token.Pos) error {
+	// Whole-variable scalar store: resolve the cell directly, no
+	// partial-update bookkeeping.
+	if id, ok := lhs.(*ast.Ident); ok {
+		v, ok := it.info.UseOf(id).(*sem.VarSym)
+		if !ok {
+			return it.errorf(id.Pos(), "%s is not a variable", id.Name)
+		}
+		c := it.cellOf(v)
+		if c == nil {
+			return it.errorf(id.Pos(), "no active frame holds %s", v.Name)
+		}
+		if c.val.kind == val.kind && val.kind <= KindStr {
+			c.val = val
+		} else {
+			stored, err := it.prepareStore(&c.val, val, pos)
+			if err != nil {
+				return err
+			}
+			c.val = stored
+		}
+		if it.trace {
+			it.sink.Write(c.loc, v)
+		}
+		return nil
+	}
 	addr, base, partial, err := it.lvalue(lhs)
 	if err != nil {
 		return err
 	}
-	// Coerce integer into real targets.
-	if _, isReal := (*addr).(float64); isReal {
-		if iv, isInt := val.(int64); isInt {
-			val = float64(iv)
-		}
+	val, err = it.prepareStore(addr, val, pos)
+	if err != nil {
+		return err
 	}
-	// Array display into array target: fill from the low bound.
-	if target, ok := (*addr).(*ArrayVal); ok {
-		if src, ok := val.(*ArrayVal); ok && (src.Lo != target.Lo || src.Hi != target.Hi) {
-			if int64(len(src.Elems)) > int64(len(target.Elems)) {
-				return it.errorf(pos, "array value of %d elements does not fit target of %d", len(src.Elems), len(target.Elems))
-			}
-			fresh := &ArrayVal{Lo: target.Lo, Hi: target.Hi, Elems: make([]Value, len(target.Elems))}
-			for i := range fresh.Elems {
-				if i < len(src.Elems) {
-					fresh.Elems[i] = CopyValue(src.Elems[i])
-				} else {
-					fresh.Elems[i] = zeroLike(target.Elems[i])
-				}
-			}
-			val = fresh
-		}
-	}
-	if partial {
+	if partial && it.trace {
 		// Partial update: the new whole-variable value also depends on
 		// the old one.
 		it.sink.Read(base.loc, it.baseVar(lhs))
 	}
-	*addr = CopyValue(val)
-	it.sink.Write(base.loc, it.baseVar(lhs))
+	*addr = val
+	if it.trace {
+		it.sink.Write(base.loc, it.baseVar(lhs))
+	}
 	return nil
 }
 
-func zeroLike(v Value) Value {
-	switch v := v.(type) {
-	case int64:
-		return int64(0)
-	case float64:
-		return float64(0)
-	case bool:
-		return false
-	case string:
-		return ""
-	case *ArrayVal:
-		return CopyValue(v) // keep shape; contents already zeroed at alloc
-	case *RecordVal:
-		return CopyValue(v)
+// prepareStore adapts val for storage into the slot at dst: integers
+// coerce into real targets, array displays are refitted to the target's
+// bounds, and composite values are deep-copied so the slot never aliases
+// the source.
+func (it *Interp) prepareStore(dst *Value, val Value, pos token.Pos) (Value, error) {
+	if dst.kind == KindReal && val.kind == KindInt {
+		return RealV(float64(val.num)), nil
 	}
-	return int64(0)
+	if val.kind == KindArray {
+		// Array display into array target: fill from the low bound.
+		if target, ok := dst.AsArray(); ok {
+			src := val.arr()
+			if src.Lo != target.Lo || src.Hi != target.Hi {
+				if int64(len(src.Elems)) > int64(len(target.Elems)) {
+					return Undef, it.errorf(pos, "array value of %d elements does not fit target of %d", len(src.Elems), len(target.Elems))
+				}
+				fresh := &ArrayVal{Lo: target.Lo, Hi: target.Hi, Elems: make([]Value, len(target.Elems))}
+				for i := range fresh.Elems {
+					if i < len(src.Elems) {
+						fresh.Elems[i] = CopyValue(src.Elems[i])
+					} else {
+						fresh.Elems[i] = zeroLike(target.Elems[i])
+					}
+				}
+				return ArrV(fresh), nil
+			}
+		}
+	}
+	return CopyValue(val), nil
+}
+
+func zeroLike(v Value) Value {
+	switch v.kind {
+	case KindReal:
+		return RealV(0)
+	case KindBool:
+		return BoolV(false)
+	case KindStr:
+		return StrV("")
+	case KindArray, KindRecord:
+		return CopyValue(v) // keep shape; contents already zeroed at alloc
+	}
+	return IntV(0)
 }
 
 func (it *Interp) baseVar(e ast.Expr) *sem.VarSym {
@@ -475,7 +622,7 @@ func (it *Interp) baseVar(e ast.Expr) *sem.VarSym {
 func (it *Interp) lvalue(e ast.Expr) (addr *Value, base *cell, partial bool, err error) {
 	switch e := e.(type) {
 	case *ast.Ident:
-		sym := it.info.Uses[e]
+		sym := it.info.UseOf(e)
 		v, ok := sym.(*sem.VarSym)
 		if !ok {
 			return nil, nil, false, it.errorf(e.Pos(), "%s is not a variable", e.Name)
@@ -495,7 +642,7 @@ func (it *Interp) lvalue(e ast.Expr) (addr *Value, base *cell, partial bool, err
 			if err != nil {
 				return nil, nil, false, err
 			}
-			arr, ok := (*addr).(*ArrayVal)
+			arr, ok := addr.AsArray()
 			if !ok {
 				return nil, nil, false, it.errorf(e.Pos(), "indexing non-array value")
 			}
@@ -510,7 +657,7 @@ func (it *Interp) lvalue(e ast.Expr) (addr *Value, base *cell, partial bool, err
 		if err != nil {
 			return nil, nil, false, err
 		}
-		rec, ok := (*addr).(*RecordVal)
+		rec, ok := addr.AsRecord()
 		if !ok {
 			return nil, nil, false, it.errorf(e.Pos(), "selecting field of non-record value")
 		}
@@ -532,14 +679,32 @@ func (it *Interp) execFor(s *ast.ForStmt) (*control, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := it.assignTo(s.Var, from, s.Pos()); err != nil {
+	// The control variable is a whole scalar variable (sem checks this),
+	// so its cell is resolved once and written directly per iteration.
+	var lc *cell
+	var lv *sem.VarSym
+	if v, ok := it.info.UseOf(s.Var).(*sem.VarSym); ok {
+		lv = v
+		lc = it.cellOf(v)
+	}
+	setVar := func(i int64) error {
+		if lc != nil {
+			lc.val = IntV(i)
+			if it.trace {
+				it.sink.Write(lc.loc, lv)
+			}
+			return nil
+		}
+		return it.assignTo(s.Var, IntV(i), s.Pos())
+	}
+	if err := setVar(from); err != nil {
 		return nil, err
 	}
 	for i := from; ; {
 		if s.Down && i < limit || !s.Down && i > limit {
 			return nil, nil
 		}
-		if err := it.assignTo(s.Var, i, s.Pos()); err != nil {
+		if err := setVar(i); err != nil {
 			return nil, err
 		}
 		ctrl, err := it.execStmt(s.Body)
@@ -580,10 +745,10 @@ func (it *Interp) execCase(s *ast.CaseStmt) (*control, error) {
 // Calls
 
 func (it *Interp) execCallStmt(s *ast.CallStmt) (*control, error) {
-	if b := it.info.Builtin[s]; b != nil {
+	if b := it.info.BuiltinAt(s.UID, s); b != nil {
 		return nil, it.execBuiltinProc(b, s)
 	}
-	target := it.info.Calls[s]
+	target := it.info.CallAt(s.UID, s)
 	if target == nil {
 		return nil, it.errorf(s.Pos(), "call to unresolved routine %s", s.Name)
 	}
@@ -598,36 +763,41 @@ func (it *Interp) call(target *sem.Routine, site ast.Node, args []ast.Expr, pos 
 	if it.depth >= it.cfg.MaxDepth {
 		err := it.errorf(pos, "call depth budget exhausted (%d); runaway recursion?", it.cfg.MaxDepth)
 		err.(*RuntimeError).Cause = ErrDepthExhausted
-		return nil, nil, err
+		return Undef, nil, err
 	}
 	if len(args) != len(target.Params) {
-		return nil, nil, it.errorf(pos, "%s expects %d arguments, got %d", target.Name, len(target.Params), len(args))
+		return Undef, nil, it.errorf(pos, "%s expects %d arguments, got %d", target.Name, len(target.Params), len(args))
 	}
 
 	// Locate the static link: the active frame of the routine lexically
-	// enclosing the target.
-	var static *frame
-	for f := it.frame; f != nil; f = f.static {
-		if f.routine == target.Parent {
-			static = f
-			break
+	// enclosing the target, reached by walking exactly
+	// (current level − parent level) static links.
+	static := it.frame
+	if parent := target.Parent; parent != nil {
+		for d := static.level - parent.Level; d > 0 && static != nil; d-- {
+			static = static.static
 		}
-	}
-	if static == nil {
-		return nil, nil, it.errorf(pos, "no enclosing frame for %s", target.Name)
+		if static == nil || static.routine != parent {
+			return Undef, nil, it.errorf(pos, "no enclosing frame for %s", target.Name)
+		}
+	} else {
+		return Undef, nil, it.errorf(pos, "no enclosing frame for %s", target.Name)
 	}
 
-	nf := &frame{routine: target, static: static, cells: make(map[*sem.VarSym]*cell)}
-	ci := &CallInfo{
-		ID:        it.nextID,
-		Routine:   target,
-		CallSite:  site,
-		Depth:     it.depth + 1,
-		ArgLocs:   make([]Loc, len(args)),
-		ParamLocs: make([]Loc, len(target.Params)),
+	nf := it.newFrame(target, static, it.frame)
+	it.calls++
+	var ci *CallInfo
+	if it.trace {
+		ci = &CallInfo{
+			ID:        it.nextID,
+			Routine:   target,
+			CallSite:  site,
+			Depth:     it.depth + 1,
+			ArgLocs:   make([]Loc, len(args)),
+			ParamLocs: make([]Loc, len(target.Params)),
+		}
+		it.nextID++
 	}
-	it.nextID++
-	nf.info = ci
 
 	// Bind parameters (argument evaluation happens in the caller frame).
 	for i, p := range target.Params {
@@ -635,31 +805,34 @@ func (it *Interp) call(target *sem.Routine, site ast.Node, args []ast.Expr, pos 
 		if p.Mode == ast.Value {
 			av, err := it.evalExpr(a)
 			if err != nil {
-				return nil, nil, err
+				it.freeFrame(nf)
+				return Undef, nil, err
 			}
 			// Array displays adapt to the parameter's array type.
 			if at, ok := p.Type.(*types.Array); ok {
-				if src, ok := av.(*ArrayVal); ok && (src.Lo != at.Lo || src.Hi != at.Hi) {
+				if src, ok := av.AsArray(); ok && (src.Lo != at.Lo || src.Hi != at.Hi) {
 					adapted := NewArray(at)
 					if int64(len(src.Elems)) > int64(len(adapted.Elems)) {
-						return nil, nil, it.errorf(a.Pos(), "array argument of %d elements does not fit %s", len(src.Elems), at)
+						it.freeFrame(nf)
+						return Undef, nil, it.errorf(a.Pos(), "array argument of %d elements does not fit %s", len(src.Elems), at)
 					}
 					for j, e := range src.Elems {
 						adapted.Elems[j] = CopyValue(e)
 					}
-					av = adapted
+					av = ArrV(adapted)
 				}
 			}
-			c := it.newCell(p.Type)
+			c := nf.slots[p.Slot]
 			c.val = CopyValue(av)
-			nf.cells[p] = c
-			ci.Ins = append(ci.Ins, Binding{Name: p.Name, Mode: p.Mode, Value: CopyValue(av), Sym: p})
-			if bv := it.info.VarOf(a); bv != nil {
-				if bc, err := it.lookupCell(bv, a.Pos()); err == nil {
-					ci.ArgLocs[i] = bc.loc
+			if ci != nil {
+				ci.Ins = append(ci.Ins, Binding{Name: p.Name, Mode: p.Mode, Value: CopyValue(av), Sym: p})
+				if bv := it.info.VarOf(a); bv != nil {
+					if bc := it.cellOf(bv); bc != nil {
+						ci.ArgLocs[i] = bc.loc
+					}
 				}
+				ci.ParamLocs[i] = c.loc
 			}
-			ci.ParamLocs[i] = c.loc
 			continue
 		}
 		// var / out: bind the formal to the argument's base cell. The
@@ -668,35 +841,37 @@ func (it *Interp) call(target *sem.Routine, site ast.Node, args []ast.Expr, pos 
 		// alias the whole base variable (conservative, documented).
 		addr, base, partialSlot, err := it.lvalue(a)
 		if err != nil {
-			return nil, nil, err
+			it.freeFrame(nf)
+			return Undef, nil, err
 		}
-		var bound *cell
 		if partialSlot {
 			// Alias the element slot but account events to the base.
-			bound = &cell{loc: base.loc, val: *addr}
-			// Keep write-back semantics: formals alias *addr via a
-			// forwarding cell; see writeback below.
-			nf.cells[p] = bound
+			// Formals alias *addr via a forwarding cell; the deferred
+			// writeback propagates the final value to the element.
+			bound := &cell{loc: base.loc, val: *addr}
+			nf.slots[p.Slot] = bound
 			defer func(slot *Value, c *cell) { *slot = c.val }(addr, bound)
 		} else {
-			bound = base
-			nf.cells[p] = bound
+			nf.slots[p.Slot] = base
 		}
-		snap := Binding{Name: p.Name, Mode: p.Mode, Value: CopyValue(*addr), Sym: p}
-		ci.Ins = append(ci.Ins, snap)
-		ci.ArgLocs[i] = base.loc
-		ci.ParamLocs[i] = base.loc
+		if ci != nil {
+			ci.Ins = append(ci.Ins, Binding{Name: p.Name, Mode: p.Mode, Value: CopyValue(*addr), Sym: p})
+			ci.ArgLocs[i] = base.loc
+			ci.ParamLocs[i] = base.loc
+		}
 	}
 
 	// Locals and function result.
 	for _, v := range target.Locals {
-		nf.cells[v] = it.newCell(v.Type)
+		nf.zeroSlot(v)
 	}
 	var resultCell *cell
 	if target.Result != nil {
-		resultCell = it.newCell(target.Result.Type)
-		nf.cells[target.Result] = resultCell
-		ci.ResultLoc = resultCell.loc
+		resultCell = nf.slots[target.Result.Slot]
+		resultCell.val = ZeroValue(target.Result.Type)
+		if ci != nil {
+			ci.ResultLoc = resultCell.loc
+		}
 	}
 
 	// Execute the body.
@@ -706,7 +881,9 @@ func (it *Interp) call(target *sem.Routine, site ast.Node, args []ast.Expr, pos 
 	if it.depth > it.maxDepth {
 		it.maxDepth = it.depth
 	}
-	it.sink.EnterCall(ci)
+	if ci != nil {
+		it.sink.EnterCall(ci)
+	}
 
 	ctrl, err := it.execStmt(target.Block.Body)
 
@@ -717,28 +894,34 @@ func (it *Interp) call(target *sem.Routine, site ast.Node, args []ast.Expr, pos 
 		ctrl = nil
 	}
 
-	// Snapshot outputs.
-	for i, p := range target.Params {
-		if p.Mode == ast.Value {
-			continue
+	if ci != nil {
+		// Snapshot outputs.
+		for _, p := range target.Params {
+			if p.Mode == ast.Value {
+				continue
+			}
+			c := nf.slots[p.Slot]
+			ci.Outs = append(ci.Outs, Binding{Name: p.Name, Mode: p.Mode, Value: CopyValue(c.val), Sym: p})
 		}
-		_ = i
-		c := nf.cells[p]
-		ci.Outs = append(ci.Outs, Binding{Name: p.Name, Mode: p.Mode, Value: CopyValue(c.val), Sym: p})
+		if resultCell != nil {
+			ci.Result = CopyValue(resultCell.val)
+		}
+		it.sink.ExitCall(ci)
 	}
-	if resultCell != nil {
-		ci.Result = CopyValue(resultCell.val)
-	}
-	it.sink.ExitCall(ci)
 	it.depth--
 	it.frame = prev
-	if err != nil {
-		return nil, nil, err
-	}
 	var result Value
+	var resultLoc Loc
 	if resultCell != nil {
 		result = resultCell.val
-		it.sink.Read(resultCell.loc, target.Result)
+		resultLoc = resultCell.loc
+	}
+	it.freeFrame(nf)
+	if err != nil {
+		return Undef, nil, err
+	}
+	if resultCell != nil && it.trace {
+		it.sink.Read(resultLoc, target.Result)
 	}
 	return result, ctrl, nil
 }
@@ -747,8 +930,8 @@ func (it *Interp) call(target *sem.Routine, site ast.Node, args []ast.Expr, pos 
 // Builtins
 
 func (it *Interp) execBuiltinProc(b *sem.Builtin, s *ast.CallStmt) error {
-	switch b.Name {
-	case "write", "writeln":
+	switch b.Code {
+	case sem.BuiltinWrite, sem.BuiltinWriteln:
 		var parts []string
 		for _, a := range s.Args {
 			v, err := it.evalExpr(a)
@@ -758,14 +941,14 @@ func (it *Interp) execBuiltinProc(b *sem.Builtin, s *ast.CallStmt) error {
 			parts = append(parts, formatForOutput(v))
 		}
 		line := strings.Join(parts, " ")
-		if b.Name == "writeln" {
+		if b.Code == sem.BuiltinWriteln {
 			line += "\n"
 		}
 		if _, err := io.WriteString(it.out, line); err != nil {
 			return it.errorf(s.Pos(), "write failed: %v", err)
 		}
 		return nil
-	case "read", "readln":
+	case sem.BuiltinRead, sem.BuiltinReadln:
 		for _, a := range s.Args {
 			tok, err := it.readToken()
 			if err != nil {
@@ -779,15 +962,15 @@ func (it *Interp) execBuiltinProc(b *sem.Builtin, s *ast.CallStmt) error {
 				if perr != nil {
 					return it.errorf(a.Pos(), "read: %q is not a real", tok)
 				}
-				v = f
+				v = RealV(f)
 			case t != nil && t.Equal(types.String):
-				v = tok
+				v = StrV(tok)
 			case t != nil && t.Equal(types.Boolean):
 				switch strings.ToLower(tok) {
 				case "true":
-					v = true
+					v = BoolV(true)
 				case "false":
-					v = false
+					v = BoolV(false)
 				default:
 					return it.errorf(a.Pos(), "read: %q is not a boolean", tok)
 				}
@@ -796,7 +979,7 @@ func (it *Interp) execBuiltinProc(b *sem.Builtin, s *ast.CallStmt) error {
 				if perr != nil {
 					return it.errorf(a.Pos(), "read: %q is not an integer", tok)
 				}
-				v = n
+				v = IntV(n)
 			}
 			if err := it.assignTo(a, v, a.Pos()); err != nil {
 				return err
@@ -808,7 +991,7 @@ func (it *Interp) execBuiltinProc(b *sem.Builtin, s *ast.CallStmt) error {
 }
 
 func formatForOutput(v Value) string {
-	if s, ok := v.(string); ok {
+	if s, ok := v.AsStr(); ok {
 		return s // no quotes on program output
 	}
 	return FormatValue(v)
@@ -846,56 +1029,58 @@ func (it *Interp) readToken() (string, error) {
 
 func (it *Interp) evalBuiltinFunc(b *sem.Builtin, e *ast.CallExpr) (Value, error) {
 	if len(e.Args) != 1 {
-		return nil, it.errorf(e.Pos(), "%s expects 1 argument", b.Name)
+		return Undef, it.errorf(e.Pos(), "%s expects 1 argument", b.Name)
 	}
 	v, err := it.evalExpr(e.Args[0])
 	if err != nil {
-		return nil, err
+		return Undef, err
 	}
-	switch b.Name {
-	case "abs":
-		switch v := v.(type) {
-		case int64:
-			if v < 0 {
-				return -v, nil
+	switch b.Code {
+	case sem.BuiltinAbs:
+		switch v.kind {
+		case KindInt:
+			if v.num < 0 {
+				return IntV(-v.num), nil
 			}
 			return v, nil
-		case float64:
-			if v < 0 {
-				return -v, nil
+		case KindReal:
+			if f := v.realv(); f < 0 {
+				return RealV(-f), nil
 			}
 			return v, nil
 		}
-	case "sqr":
-		switch v := v.(type) {
-		case int64:
-			return v * v, nil
-		case float64:
-			return v * v, nil
+	case sem.BuiltinSqr:
+		switch v.kind {
+		case KindInt:
+			return IntV(v.num * v.num), nil
+		case KindReal:
+			f := v.realv()
+			return RealV(f * f), nil
 		}
-	case "odd":
-		if v, ok := v.(int64); ok {
-			return v%2 != 0, nil
+	case sem.BuiltinOdd:
+		if v.kind == KindInt {
+			return BoolV(v.num%2 != 0), nil
 		}
-	case "trunc":
-		switch v := v.(type) {
-		case int64:
+	case sem.BuiltinTrunc:
+		switch v.kind {
+		case KindInt:
 			return v, nil
-		case float64:
-			return int64(v), nil
+		case KindReal:
+			return IntV(int64(v.realv())), nil
 		}
-	case "round":
-		switch v := v.(type) {
-		case int64:
+	case sem.BuiltinRound:
+		switch v.kind {
+		case KindInt:
 			return v, nil
-		case float64:
-			if v >= 0 {
-				return int64(v + 0.5), nil
+		case KindReal:
+			f := v.realv()
+			if f >= 0 {
+				return IntV(int64(f + 0.5)), nil
 			}
-			return int64(v - 0.5), nil
+			return IntV(int64(f - 0.5)), nil
 		}
 	}
-	return nil, it.errorf(e.Pos(), "invalid argument to %s", b.Name)
+	return Undef, it.errorf(e.Pos(), "invalid argument to %s", b.Name)
 }
 
 // ---------------------------------------------------------------------------
@@ -906,11 +1091,10 @@ func (it *Interp) evalBool(e ast.Expr) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	b, ok := v.(bool)
-	if !ok {
+	if v.kind != KindBool {
 		return false, it.errorf(e.Pos(), "boolean expected, have %s", FormatValue(v))
 	}
-	return b, nil
+	return v.boolv(), nil
 }
 
 func (it *Interp) evalInt(e ast.Expr) (int64, error) {
@@ -918,96 +1102,101 @@ func (it *Interp) evalInt(e ast.Expr) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	n, ok := v.(int64)
-	if !ok {
+	if v.kind != KindInt {
 		return 0, it.errorf(e.Pos(), "integer expected, have %s", FormatValue(v))
 	}
-	return n, nil
+	return v.num, nil
 }
 
 func (it *Interp) evalExpr(e ast.Expr) (Value, error) {
 	switch e := e.(type) {
 	case *ast.IntLit:
-		return e.Value, nil
+		return IntV(e.Value), nil
 	case *ast.RealLit:
-		return e.Value, nil
+		return RealV(e.Value), nil
 	case *ast.StringLit:
-		return e.Value, nil
+		return StrV(e.Value), nil
 	case *ast.Ident:
-		switch sym := it.info.Uses[e].(type) {
+		switch sym := it.info.UseOf(e).(type) {
 		case *sem.VarSym:
 			c, err := it.lookupCell(sym, e.Pos())
 			if err != nil {
-				return nil, err
+				return Undef, err
 			}
-			it.sink.Read(c.loc, sym)
+			if it.trace {
+				it.sink.Read(c.loc, sym)
+			}
 			return c.val, nil
 		case *sem.ConstSym:
 			return constToValue(sym.Value), nil
 		}
 		// Parameterless function call.
-		if target := it.info.Calls[e]; target != nil {
+		if target := it.info.CallAt(e.UID, e); target != nil {
 			v, ctrl, err := it.call(target, e, nil, e.Pos())
 			if err != nil {
-				return nil, err
+				return Undef, err
 			}
 			if ctrl != nil {
-				return nil, it.errorf(e.Pos(), "goto %s escaped function %s", ctrl.label, target.Name)
+				return Undef, it.errorf(e.Pos(), "goto %s escaped function %s", ctrl.label, target.Name)
 			}
 			return v, nil
 		}
-		return nil, it.errorf(e.Pos(), "unresolved identifier %s", e.Name)
+		return Undef, it.errorf(e.Pos(), "unresolved identifier %s", e.Name)
 	case *ast.BinaryExpr:
 		return it.evalBinary(e)
 	case *ast.UnaryExpr:
 		v, err := it.evalExpr(e.X)
 		if err != nil {
-			return nil, err
+			return Undef, err
 		}
 		switch e.Op {
 		case token.Minus:
-			switch v := v.(type) {
-			case int64:
-				return -v, nil
-			case float64:
-				return -v, nil
+			switch v.kind {
+			case KindInt:
+				return IntV(-v.num), nil
+			case KindReal:
+				return RealV(-v.realv()), nil
 			}
 		case token.Plus:
 			return v, nil
 		case token.Not:
-			if b, ok := v.(bool); ok {
-				return !b, nil
+			if v.kind == KindBool {
+				return BoolV(!v.boolv()), nil
 			}
 		}
-		return nil, it.errorf(e.Pos(), "invalid unary operand %s", FormatValue(v))
+		return Undef, it.errorf(e.Pos(), "invalid unary operand %s", FormatValue(v))
 	case *ast.IndexExpr:
 		addr, base, _, err := it.lvalue(e)
 		if err != nil {
-			return nil, err
+			return Undef, err
 		}
-		it.sink.Read(base.loc, it.baseVar(e))
+		if it.trace {
+			it.sink.Read(base.loc, it.baseVar(e))
+		}
 		return *addr, nil
 	case *ast.FieldExpr:
 		addr, base, _, err := it.lvalue(e)
 		if err != nil {
-			return nil, err
+			return Undef, err
 		}
-		it.sink.Read(base.loc, it.baseVar(e))
+		if it.trace {
+			it.sink.Read(base.loc, it.baseVar(e))
+		}
 		return *addr, nil
 	case *ast.CallExpr:
-		if b := it.info.Builtin[e]; b != nil {
+		if b := it.info.BuiltinAt(e.UID, e); b != nil {
 			return it.evalBuiltinFunc(b, e)
 		}
-		target := it.info.Calls[e]
+		target := it.info.CallAt(e.UID, e)
 		if target == nil {
-			return nil, it.errorf(e.Pos(), "call to unresolved function %s", e.Name)
+			return Undef, it.errorf(e.Pos(), "call to unresolved function %s", e.Name)
 		}
 		v, ctrl, err := it.call(target, e, e.Args, e.Pos())
 		if err != nil {
-			return nil, err
+			return Undef, err
 		}
 		if ctrl != nil {
-			return nil, it.errorf(e.Pos(), "goto %s escaped function %s", ctrl.label, target.Name)
+			return Undef, it.errorf(e.Pos(), "goto %s escaped function %s", ctrl.label, target.Name)
 		}
 		return v, nil
 	case *ast.SetLit:
@@ -1021,159 +1210,195 @@ func (it *Interp) evalExpr(e ast.Expr) (Value, error) {
 		for i, el := range e.Elems {
 			v, err := it.evalExpr(el)
 			if err != nil {
-				return nil, err
+				return Undef, err
 			}
 			if i >= len(arr.Elems) {
-				return nil, it.errorf(el.Pos(), "array display longer than target array")
+				return Undef, it.errorf(el.Pos(), "array display longer than target array")
 			}
 			arr.Elems[i] = CopyValue(v)
 		}
-		return arr, nil
+		return ArrV(arr), nil
 	}
-	return nil, it.errorf(e.Pos(), "cannot evaluate %T", e)
+	return Undef, it.errorf(e.Pos(), "cannot evaluate %T", e)
 }
 
 func constToValue(v any) Value {
 	switch v := v.(type) {
-	case int64, float64, bool, string:
-		return v
+	case int64:
+		return IntV(v)
+	case float64:
+		return RealV(v)
+	case bool:
+		return BoolV(v)
+	case string:
+		return StrV(v)
 	}
-	return int64(0)
+	return IntV(0)
 }
 
 func (it *Interp) evalBinary(e *ast.BinaryExpr) (Value, error) {
 	x, err := it.evalExpr(e.X)
 	if err != nil {
-		return nil, err
+		return Undef, err
 	}
 	// No short-circuit: ISO Pascal leaves evaluation order unspecified;
 	// classic compilers evaluate both operands, and the paper's subject
 	// programs rely on nothing else.
 	y, err := it.evalExpr(e.Y)
 	if err != nil {
-		return nil, err
+		return Undef, err
+	}
+	// Integer-integer fast path: the overwhelmingly common case in the
+	// paper's subject programs; dispatch inline without re-checking kinds
+	// per operator or copying operands into helper calls.
+	if x.kind == KindInt && y.kind == KindInt {
+		a, b := x.num, y.num
+		switch e.Op {
+		case token.Plus:
+			return IntV(a + b), nil
+		case token.Minus:
+			return IntV(a - b), nil
+		case token.Star:
+			return IntV(a * b), nil
+		case token.Div:
+			if b == 0 {
+				return Undef, it.errorf(e.Pos(), "division by zero")
+			}
+			return IntV(a / b), nil
+		case token.Mod:
+			if b == 0 {
+				return Undef, it.errorf(e.Pos(), "division by zero")
+			}
+			return IntV(a % b), nil
+		case token.Slash:
+			if b == 0 {
+				return Undef, it.errorf(e.Pos(), "division by zero")
+			}
+			return RealV(float64(a) / float64(b)), nil
+		case token.Eq:
+			return BoolV(a == b), nil
+		case token.NotEq:
+			return BoolV(a != b), nil
+		case token.Less:
+			return BoolV(a < b), nil
+		case token.LessEq:
+			return BoolV(a <= b), nil
+		case token.Greater:
+			return BoolV(a > b), nil
+		case token.GreatEq:
+			return BoolV(a >= b), nil
+		}
 	}
 	switch e.Op {
 	case token.And:
-		xb, xok := x.(bool)
-		yb, yok := y.(bool)
-		if xok && yok {
-			return xb && yb, nil
+		if x.kind == KindBool && y.kind == KindBool {
+			return BoolV(x.boolv() && y.boolv()), nil
 		}
 	case token.Or:
-		xb, xok := x.(bool)
-		yb, yok := y.(bool)
-		if xok && yok {
-			return xb || yb, nil
+		if x.kind == KindBool && y.kind == KindBool {
+			return BoolV(x.boolv() || y.boolv()), nil
 		}
 	case token.Plus, token.Minus, token.Star, token.Slash:
 		return it.arith(e, x, y)
 	case token.Div, token.Mod:
-		xi, xok := x.(int64)
-		yi, yok := y.(int64)
-		if xok && yok {
-			if yi == 0 {
-				return nil, it.errorf(e.Pos(), "division by zero")
+		if x.kind == KindInt && y.kind == KindInt {
+			if y.num == 0 {
+				return Undef, it.errorf(e.Pos(), "division by zero")
 			}
 			if e.Op == token.Div {
-				return xi / yi, nil
+				return IntV(x.num / y.num), nil
 			}
-			return xi % yi, nil
+			return IntV(x.num % y.num), nil
 		}
 	case token.Eq:
-		return ValuesEqual(x, y), nil
+		return BoolV(ValuesEqual(x, y)), nil
 	case token.NotEq:
-		return !ValuesEqual(x, y), nil
+		return BoolV(!ValuesEqual(x, y)), nil
 	case token.Less, token.LessEq, token.Greater, token.GreatEq:
 		return it.compare(e, x, y)
 	}
-	return nil, it.errorf(e.Pos(), "invalid operands %s %s %s", FormatValue(x), e.Op, FormatValue(y))
+	return Undef, it.errorf(e.Pos(), "invalid operands %s %s %s", FormatValue(x), e.Op, FormatValue(y))
 }
 
 func (it *Interp) arith(e *ast.BinaryExpr, x, y Value) (Value, error) {
-	if xi, ok := x.(int64); ok {
-		if yi, ok := y.(int64); ok {
-			switch e.Op {
-			case token.Plus:
-				return xi + yi, nil
-			case token.Minus:
-				return xi - yi, nil
-			case token.Star:
-				return xi * yi, nil
-			case token.Slash:
-				if yi == 0 {
-					return nil, it.errorf(e.Pos(), "division by zero")
-				}
-				return float64(xi) / float64(yi), nil
-			}
-		}
-	}
-	xf, xok := toFloat(x)
-	yf, yok := toFloat(y)
-	if xok && yok {
+	if x.kind == KindInt && y.kind == KindInt {
 		switch e.Op {
 		case token.Plus:
-			return xf + yf, nil
+			return IntV(x.num + y.num), nil
 		case token.Minus:
-			return xf - yf, nil
+			return IntV(x.num - y.num), nil
 		case token.Star:
-			return xf * yf, nil
+			return IntV(x.num * y.num), nil
+		case token.Slash:
+			if y.num == 0 {
+				return Undef, it.errorf(e.Pos(), "division by zero")
+			}
+			return RealV(float64(x.num) / float64(y.num)), nil
+		}
+	}
+	if x.numeric() && y.numeric() {
+		xf, yf := x.asFloat(), y.asFloat()
+		switch e.Op {
+		case token.Plus:
+			return RealV(xf + yf), nil
+		case token.Minus:
+			return RealV(xf - yf), nil
+		case token.Star:
+			return RealV(xf * yf), nil
 		case token.Slash:
 			if yf == 0 {
-				return nil, it.errorf(e.Pos(), "division by zero")
+				return Undef, it.errorf(e.Pos(), "division by zero")
 			}
-			return xf / yf, nil
+			return RealV(xf / yf), nil
 		}
 	}
 	// String concatenation with + (common Pascal dialect extension).
-	if xs, ok := x.(string); ok {
-		if ys, ok := y.(string); ok && e.Op == token.Plus {
-			return xs + ys, nil
-		}
+	if x.kind == KindStr && y.kind == KindStr && e.Op == token.Plus {
+		return StrV(x.strv() + y.strv()), nil
 	}
-	return nil, it.errorf(e.Pos(), "invalid operands %s %s %s", FormatValue(x), e.Op, FormatValue(y))
+	return Undef, it.errorf(e.Pos(), "invalid operands %s %s %s", FormatValue(x), e.Op, FormatValue(y))
 }
 
 func (it *Interp) compare(e *ast.BinaryExpr, x, y Value) (Value, error) {
-	if xs, ok := x.(string); ok {
-		if ys, ok := y.(string); ok {
-			switch e.Op {
-			case token.Less:
-				return xs < ys, nil
-			case token.LessEq:
-				return xs <= ys, nil
-			case token.Greater:
-				return xs > ys, nil
-			case token.GreatEq:
-				return xs >= ys, nil
-			}
-		}
-	}
-	xf, xok := toFloat(x)
-	yf, yok := toFloat(y)
-	if xok && yok {
+	if x.kind == KindStr && y.kind == KindStr {
+		xs, ys := x.strv(), y.strv()
 		switch e.Op {
 		case token.Less:
-			return xf < yf, nil
+			return BoolV(xs < ys), nil
 		case token.LessEq:
-			return xf <= yf, nil
+			return BoolV(xs <= ys), nil
 		case token.Greater:
-			return xf > yf, nil
+			return BoolV(xs > ys), nil
 		case token.GreatEq:
-			return xf >= yf, nil
+			return BoolV(xs >= ys), nil
 		}
 	}
-	return nil, it.errorf(e.Pos(), "cannot order %s against %s", FormatValue(x), FormatValue(y))
-}
-
-func toFloat(v Value) (float64, bool) {
-	switch v := v.(type) {
-	case int64:
-		return float64(v), true
-	case float64:
-		return v, true
+	if x.kind == KindInt && y.kind == KindInt {
+		switch e.Op {
+		case token.Less:
+			return BoolV(x.num < y.num), nil
+		case token.LessEq:
+			return BoolV(x.num <= y.num), nil
+		case token.Greater:
+			return BoolV(x.num > y.num), nil
+		case token.GreatEq:
+			return BoolV(x.num >= y.num), nil
+		}
 	}
-	return 0, false
+	if x.numeric() && y.numeric() {
+		xf, yf := x.asFloat(), y.asFloat()
+		switch e.Op {
+		case token.Less:
+			return BoolV(xf < yf), nil
+		case token.LessEq:
+			return BoolV(xf <= yf), nil
+		case token.Greater:
+			return BoolV(xf > yf), nil
+		case token.GreatEq:
+			return BoolV(xf >= yf), nil
+		}
+	}
+	return Undef, it.errorf(e.Pos(), "cannot order %s against %s", FormatValue(x), FormatValue(y))
 }
 
 // Steps reports the number of statements executed so far.
@@ -1195,10 +1420,10 @@ func (it *Interp) Globals() []Binding {
 	}
 	var out []Binding
 	for _, v := range main.Locals {
-		c, ok := f.cells[v]
-		if !ok {
+		if v.Slot >= len(f.slots) {
 			continue
 		}
+		c := f.slots[v.Slot]
 		out = append(out, Binding{Name: v.Name, Value: CopyValue(c.val), Sym: v})
 	}
 	return out

@@ -545,15 +545,15 @@ func TestFormatValue(t *testing.T) {
 		v    interp.Value
 		want string
 	}{
-		{int64(42), "42"},
-		{3.5, "3.5"},
-		{2.0, "2.0"},
-		{true, "true"},
-		{false, "false"},
-		{"hi", "'hi'"},
-		{&interp.ArrayVal{Lo: 1, Hi: 3, Elems: []interp.Value{int64(1), int64(2), int64(0)}}, "[1, 2]"},
-		{&interp.ArrayVal{Lo: 1, Hi: 2, Elems: []interp.Value{int64(0), int64(0)}}, "[]"},
-		{&interp.RecordVal{Names: []string{"x"}, Fields: []interp.Value{int64(1)}}, "(x: 1)"},
+		{interp.IntV(42), "42"},
+		{interp.RealV(3.5), "3.5"},
+		{interp.RealV(2.0), "2.0"},
+		{interp.BoolV(true), "true"},
+		{interp.BoolV(false), "false"},
+		{interp.StrV("hi"), "'hi'"},
+		{interp.ArrV(&interp.ArrayVal{Lo: 1, Hi: 3, Elems: []interp.Value{interp.IntV(1), interp.IntV(2), interp.IntV(0)}}), "[1, 2]"},
+		{interp.ArrV(&interp.ArrayVal{Lo: 1, Hi: 2, Elems: []interp.Value{interp.IntV(0), interp.IntV(0)}}), "[]"},
+		{interp.RecV(&interp.RecordVal{Names: []string{"x"}, Fields: []interp.Value{interp.IntV(1)}}), "(x: 1)"},
 	}
 	for _, tc := range cases {
 		if got := interp.FormatValue(tc.v); got != tc.want {

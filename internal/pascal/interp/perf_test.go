@@ -1,0 +1,177 @@
+package interp_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"gadt/internal/pascal/interp"
+	"gadt/internal/pascal/parser"
+	"gadt/internal/pascal/sem"
+)
+
+// intLoopSrc is a tight integer-assignment loop: every statement in the
+// body only touches integer slots, so a full iteration must allocate
+// nothing under the unboxed value representation.
+func intLoopSrc(n int) string {
+	return fmt.Sprintf(`program tight;
+var i, acc, tmp: integer;
+begin
+  acc := 0;
+  i := 0;
+  while i < %d do
+  begin
+    tmp := i * 3 + acc mod 7;
+    acc := acc + tmp - i div 2;
+    i := i + 1
+  end;
+  writeln(acc)
+end.`, n)
+}
+
+// slotAccessSrc exercises slot access across the static chain: a nested
+// procedure reads and writes its enclosing routine's locals, called once
+// per loop iteration. After the first call warms the frame free list,
+// iterations must allocate nothing.
+func slotAccessSrc(n int) string {
+	return fmt.Sprintf(`program slots;
+var i, acc: integer;
+procedure outer;
+var a, b: integer;
+  procedure inner;
+  begin
+    a := a + i;
+    b := b + a
+  end;
+begin
+  a := 1;
+  b := 2;
+  inner;
+  acc := acc + b
+end;
+begin
+  acc := 0;
+  i := 0;
+  while i < %d do
+  begin
+    outer;
+    i := i + 1
+  end;
+  writeln(acc)
+end.`, n)
+}
+
+// allocsForRun measures one full analyze-free run (interp.New + Run) of
+// the given program.
+func allocsForRun(t *testing.T, src string) float64 {
+	t.Helper()
+	prog, err := parser.ParseProgram("t.pas", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sem.Analyze(prog)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return testing.AllocsPerRun(10, func() {
+		var out strings.Builder
+		it := interp.New(info, interp.Config{Output: &out})
+		if err := it.Run(); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	})
+}
+
+// assertZeroAllocsPerIteration runs the program at two iteration counts
+// and requires the per-run allocation totals to be identical: the fixed
+// setup cost (interpreter, frames, output) cancels out, so any
+// difference is a per-iteration allocation on the hot path.
+func assertZeroAllocsPerIteration(t *testing.T, gen func(int) string) {
+	t.Helper()
+	const n = 2000
+	base := allocsForRun(t, gen(n))
+	double := allocsForRun(t, gen(2*n))
+	if double > base {
+		t.Errorf("hot path allocates: %.0f allocs at %d iterations vs %.0f at %d (%.3f allocs/iteration, want 0)",
+			double, 2*n, base, n, (double-base)/n)
+	}
+}
+
+func TestIntLoopZeroAllocs(t *testing.T) {
+	assertZeroAllocsPerIteration(t, intLoopSrc)
+}
+
+func TestSlotAccessZeroAllocs(t *testing.T) {
+	assertZeroAllocsPerIteration(t, slotAccessSrc)
+}
+
+// TestOutputOrderOnError pins down the error-path contract the buffered
+// CLIs rely on: everything the program wrote before a runtime error has
+// already reached the output writer, in statement order, when Run
+// returns the error.
+func TestOutputOrderOnError(t *testing.T) {
+	src := `program boom;
+var i: integer;
+begin
+  write(1);
+  writeln(2);
+  write(3);
+  i := 0;
+  writeln(5 div i);
+  writeln(99)
+end.`
+	out, err := tryRun(t, src, "", nil)
+	if err == nil {
+		t.Fatal("expected a division-by-zero runtime error")
+	}
+	if !strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("error = %v, want division by zero", err)
+	}
+	if want := "12\n3"; out != want {
+		t.Errorf("output before the error = %q, want %q (writes must be delivered in order up to the failing statement)", out, want)
+	}
+}
+
+// TestDeepRecursionErrorStack checks that the call stack attached to a
+// depth-exhaustion error is bounded: 32 named frames plus one summary
+// line, regardless of how deep the recursion went.
+func TestDeepRecursionErrorStack(t *testing.T) {
+	src := `program deep;
+procedure r(n: integer);
+begin
+  r(n + 1)
+end;
+begin
+  r(0)
+end.`
+	prog, err := parser.ParseProgram("t.pas", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sem.Analyze(prog)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	const depth = 5000
+	it := interp.New(info, interp.Config{MaxDepth: depth})
+	runErr := it.Run()
+	if runErr == nil {
+		t.Fatal("expected a depth-exhaustion error")
+	}
+	re, ok := runErr.(*interp.RuntimeError)
+	if !ok {
+		t.Fatalf("error is %T, want *interp.RuntimeError", runErr)
+	}
+	if len(re.Stack) == 0 || len(re.Stack) > 33 {
+		t.Fatalf("error stack has %d entries, want 1..33 (32 frames + summary)", len(re.Stack))
+	}
+	last := re.Stack[len(re.Stack)-1]
+	if !strings.Contains(last, "more frames") {
+		t.Errorf("deep stack not summarized: last entry = %q, want \"... (N more frames)\"", last)
+	}
+	for _, fr := range re.Stack[:len(re.Stack)-1] {
+		if fr != "r" && fr != "deep" {
+			t.Errorf("unexpected frame name %q in error stack", fr)
+		}
+	}
+}

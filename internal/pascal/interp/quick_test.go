@@ -14,13 +14,13 @@ func randomValue(r *rand.Rand, depth int) interp.Value {
 	if depth <= 0 {
 		switch r.Intn(4) {
 		case 0:
-			return r.Int63n(2000) - 1000
+			return interp.IntV(r.Int63n(2000) - 1000)
 		case 1:
-			return float64(r.Int63n(100)) / 4
+			return interp.RealV(float64(r.Int63n(100)) / 4)
 		case 2:
-			return r.Intn(2) == 0
+			return interp.BoolV(r.Intn(2) == 0)
 		default:
-			return string(rune('a' + r.Intn(26)))
+			return interp.StrV(string(rune('a' + r.Intn(26))))
 		}
 	}
 	switch r.Intn(6) {
@@ -30,7 +30,7 @@ func randomValue(r *rand.Rand, depth int) interp.Value {
 		for i := range a.Elems {
 			a.Elems[i] = randomValue(r, depth-1)
 		}
-		return a
+		return interp.ArrV(a)
 	case 1:
 		n := r.Intn(3) + 1
 		rec := &interp.RecordVal{Names: make([]string, n), Fields: make([]interp.Value, n)}
@@ -38,7 +38,7 @@ func randomValue(r *rand.Rand, depth int) interp.Value {
 			rec.Names[i] = string(rune('f' + i))
 			rec.Fields[i] = randomValue(r, depth-1)
 		}
-		return rec
+		return interp.RecV(rec)
 	default:
 		return randomValue(r, 0)
 	}
@@ -75,8 +75,8 @@ func TestQuickCopyValueIsDeep(t *testing.T) {
 		c := interp.CopyValue(b.V)
 		// Mutating every leaf of the copy must never affect the original.
 		clobber(c)
-		switch b.V.(type) {
-		case *interp.ArrayVal, *interp.RecordVal:
+		switch b.V.Kind() {
+		case interp.KindArray, interp.KindRecord:
 			orig := interp.CopyValue(b.V) // fresh snapshot of the original
 			return interp.ValuesEqual(b.V, orig)
 		default:
@@ -89,23 +89,23 @@ func TestQuickCopyValueIsDeep(t *testing.T) {
 }
 
 func clobber(v interp.Value) {
-	switch v := v.(type) {
-	case *interp.ArrayVal:
-		for i := range v.Elems {
-			switch v.Elems[i].(type) {
-			case *interp.ArrayVal, *interp.RecordVal:
-				clobber(v.Elems[i])
+	if a, ok := v.AsArray(); ok {
+		for i := range a.Elems {
+			switch a.Elems[i].Kind() {
+			case interp.KindArray, interp.KindRecord:
+				clobber(a.Elems[i])
 			default:
-				v.Elems[i] = int64(987654)
+				a.Elems[i] = interp.IntV(987654)
 			}
 		}
-	case *interp.RecordVal:
-		for i := range v.Fields {
-			switch v.Fields[i].(type) {
-			case *interp.ArrayVal, *interp.RecordVal:
-				clobber(v.Fields[i])
+	}
+	if r, ok := v.AsRecord(); ok {
+		for i := range r.Fields {
+			switch r.Fields[i].Kind() {
+			case interp.KindArray, interp.KindRecord:
+				clobber(r.Fields[i])
 			default:
-				v.Fields[i] = int64(987654)
+				r.Fields[i] = interp.IntV(987654)
 			}
 		}
 	}
@@ -132,8 +132,8 @@ func TestQuickValuesEqualSymmetric(t *testing.T) {
 
 func TestQuickIntRealEquality(t *testing.T) {
 	prop := func(n int32) bool {
-		return interp.ValuesEqual(int64(n), float64(n)) &&
-			interp.ValuesEqual(float64(n), int64(n))
+		return interp.ValuesEqual(interp.IntV(int64(n)), interp.RealV(float64(n))) &&
+			interp.ValuesEqual(interp.RealV(float64(n)), interp.IntV(int64(n)))
 	}
 	if err := quick.Check(prop, nil); err != nil {
 		t.Fatal(err)

@@ -55,6 +55,84 @@ type Info struct {
 	EnclosingRoutine map[ast.Stmt]*Routine
 
 	Errors ErrorList
+
+	// Resolution caches: dense UID-indexed mirrors of Uses, Calls and
+	// Builtin, built at the end of Analyze. The interpreter resolves
+	// identifiers and call targets through them without hashing; the
+	// node slot is checked against the querying node, so a stale UID
+	// (the AST was re-analyzed under another Info) falls back to the
+	// maps instead of misresolving.
+	useIdents    []*ast.Ident
+	useSyms      []Symbol
+	callNodes    []ast.Node
+	callRoutines []*Routine
+	callBuiltins []*Builtin
+}
+
+// UseOf resolves an identifier use to its symbol; equivalent to Uses[e]
+// but without a map lookup when e carries a valid cache UID.
+func (in *Info) UseOf(e *ast.Ident) Symbol {
+	if uid := e.UID; uid > 0 && uid < len(in.useIdents) && in.useIdents[uid] == e {
+		return in.useSyms[uid]
+	}
+	return in.Uses[e]
+}
+
+// CallAt resolves the user-routine target of a call node (nil for
+// builtins or unresolved calls); equivalent to Calls[n] minus the map
+// lookup. uid is the node's UID field.
+func (in *Info) CallAt(uid int, n ast.Node) *Routine {
+	if uid > 0 && uid < len(in.callNodes) && in.callNodes[uid] == n {
+		return in.callRoutines[uid]
+	}
+	return in.Calls[n]
+}
+
+// BuiltinAt resolves the predeclared target of a call node (nil for user
+// calls); equivalent to Builtin[n] minus the map lookup.
+func (in *Info) BuiltinAt(uid int, n ast.Node) *Builtin {
+	if uid > 0 && uid < len(in.callNodes) && in.callNodes[uid] == n {
+		return in.callBuiltins[uid]
+	}
+	return in.Builtin[n]
+}
+
+// buildResolutionCache numbers every resolved node and mirrors the
+// resolution maps into the UID-indexed slices.
+func (in *Info) buildResolutionCache() {
+	in.useIdents = make([]*ast.Ident, len(in.Uses)+1)
+	in.useSyms = make([]Symbol, len(in.Uses)+1)
+	uid := 0
+	for id, sym := range in.Uses {
+		uid++
+		id.UID = uid
+		in.useIdents[uid] = id
+		in.useSyms[uid] = sym
+	}
+	n := len(in.Calls) + len(in.Builtin) + 1
+	in.callNodes = make([]ast.Node, n)
+	in.callRoutines = make([]*Routine, n)
+	in.callBuiltins = make([]*Builtin, n)
+	cid := 0
+	number := func(node ast.Node) int {
+		cid++
+		switch node := node.(type) {
+		case *ast.Ident:
+			node.UID = cid
+		case *ast.CallExpr:
+			node.UID = cid
+		case *ast.CallStmt:
+			node.UID = cid
+		}
+		in.callNodes[cid] = node
+		return cid
+	}
+	for node, r := range in.Calls {
+		in.callRoutines[number(node)] = r
+	}
+	for node, b := range in.Builtin {
+		in.callBuiltins[number(node)] = b
+	}
 }
 
 // LookupRoutine finds a routine symbol by name, preferring the first
@@ -75,7 +153,7 @@ func (in *Info) VarOf(e ast.Expr) *VarSym {
 	for {
 		switch x := e.(type) {
 		case *ast.Ident:
-			if v, ok := in.Uses[x].(*VarSym); ok {
+			if v, ok := in.UseOf(x).(*VarSym); ok {
 				return v
 			}
 			return nil
@@ -113,7 +191,25 @@ func Analyze(prog *ast.Program) (*Info, error) {
 	c.info.Routines = append(c.info.Routines, main)
 	c.routineScope(main, c.universe)
 
+	for _, r := range c.info.Routines {
+		LayoutRoutine(r)
+	}
+	c.info.buildResolutionCache()
+
 	return c.info, c.info.Errors.Err()
+}
+
+// LayoutRoutine (re)computes the activation-record layout of a routine,
+// assigning each variable a dense frame-slot index in AllVars order
+// (params, result, locals). Analyze runs it on every routine; callers
+// that add variable symbols to a routine after analysis must rerun it
+// before interpreting.
+func LayoutRoutine(r *Routine) {
+	vars := r.AllVars()
+	for i, v := range vars {
+		v.Slot = i
+	}
+	r.Frame = FrameLayout{Vars: vars}
 }
 
 type checker struct {

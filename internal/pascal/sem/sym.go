@@ -53,6 +53,11 @@ type VarSym struct {
 	// Index is the position among the owner's params (ParamVar) or
 	// locals (LocalVar), assigned in declaration order.
 	Index int
+	// Slot is the dense frame-slot index assigned by the layout pass:
+	// the interpreter stores this variable at Owner's frame slot Slot
+	// (params first, then the result variable, then locals — AllVars
+	// order). Assigned by Analyze via layoutFrames.
+	Slot int
 }
 
 func (v *VarSym) SymName() string   { return v.Name }
@@ -102,7 +107,22 @@ type Routine struct {
 
 	// Synthetic marks transformer-generated routines (loop units).
 	Synthetic bool
+
+	// Frame is the precomputed activation-record layout (slot count and
+	// the variable owning each slot), filled in by the layout pass at
+	// the end of Analyze. The interpreter sizes its slot-addressed
+	// frames from it instead of probing per-variable maps.
+	Frame FrameLayout
 }
+
+// FrameLayout is the activation-record layout of one routine: Vars[i] is
+// the variable stored in frame slot i (and Vars[i].Slot == i).
+type FrameLayout struct {
+	Vars []*VarSym
+}
+
+// Slots returns the number of frame slots the routine needs.
+func (l FrameLayout) Slots() int { return len(l.Vars) }
 
 func (r *Routine) SymName() string { return r.Name }
 func (r *Routine) SymPos() token.Pos {
@@ -135,9 +155,27 @@ type LabelInfo struct {
 	Placement *ast.LabeledStmt
 }
 
+// BuiltinOp enumerates the predeclared routines, so the interpreter
+// dispatches on a small integer instead of the routine name.
+type BuiltinOp uint8
+
+const (
+	BuiltinNone BuiltinOp = iota
+	BuiltinRead
+	BuiltinReadln
+	BuiltinWrite
+	BuiltinWriteln
+	BuiltinAbs
+	BuiltinSqr
+	BuiltinOdd
+	BuiltinTrunc
+	BuiltinRound
+)
+
 // Builtin identifies a predeclared routine.
 type Builtin struct {
 	Name string
+	Code BuiltinOp
 	Proc bool // procedure (write/read family) vs function
 }
 
@@ -146,15 +184,15 @@ func (b *Builtin) SymPos() token.Pos { return token.Pos{} }
 
 // The predeclared routines.
 var builtins = map[string]*Builtin{
-	"read":    {Name: "read", Proc: true},
-	"readln":  {Name: "readln", Proc: true},
-	"write":   {Name: "write", Proc: true},
-	"writeln": {Name: "writeln", Proc: true},
-	"abs":     {Name: "abs"},
-	"sqr":     {Name: "sqr"},
-	"odd":     {Name: "odd"},
-	"trunc":   {Name: "trunc"},
-	"round":   {Name: "round"},
+	"read":    {Name: "read", Code: BuiltinRead, Proc: true},
+	"readln":  {Name: "readln", Code: BuiltinReadln, Proc: true},
+	"write":   {Name: "write", Code: BuiltinWrite, Proc: true},
+	"writeln": {Name: "writeln", Code: BuiltinWriteln, Proc: true},
+	"abs":     {Name: "abs", Code: BuiltinAbs},
+	"sqr":     {Name: "sqr", Code: BuiltinSqr},
+	"odd":     {Name: "odd", Code: BuiltinOdd},
+	"trunc":   {Name: "trunc", Code: BuiltinTrunc},
+	"round":   {Name: "round", Code: BuiltinRound},
 }
 
 // LookupBuiltin returns the predeclared routine with the given name.

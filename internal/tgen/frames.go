@@ -43,7 +43,7 @@ func propEnv(spec *Spec, props map[string]bool) assertion.Env {
 	for _, cat := range spec.Categories {
 		for _, ch := range cat.Choices {
 			for _, p := range ch.Properties {
-				env[p] = props[p]
+				env[p] = interp.BoolV(props[p])
 			}
 		}
 	}
@@ -59,7 +59,7 @@ func selectorHolds(spec *Spec, sel ast.Expr, props map[string]bool) bool {
 	if err != nil {
 		return false
 	}
-	b, _ := v.(bool)
+	b, _ := v.AsBool()
 	return b
 }
 
@@ -198,18 +198,17 @@ func DefaultFeatures(ins []interp.Binding) assertion.Env {
 	env := make(assertion.Env)
 	var n int64 = -1
 	for _, b := range ins {
-		switch v := b.Value.(type) {
-		case int64, float64, bool, string:
-			env[b.Name] = v
+		if b.Value.IsScalar() {
+			env[b.Name] = b.Value
 			if b.Name == "n" {
-				if iv, ok := v.(int64); ok {
+				if iv, ok := b.Value.AsInt(); ok {
 					n = iv
 				}
 			}
 		}
 	}
 	for _, b := range ins {
-		arr, ok := b.Value.(*interp.ArrayVal)
+		arr, ok := b.Value.AsArray()
 		if !ok {
 			continue
 		}
@@ -221,7 +220,7 @@ func DefaultFeatures(ins []interp.Binding) assertion.Env {
 		var min, max int64
 		first := true
 		for i := int64(0); i < limit; i++ {
-			iv, ok := arr.Elems[i].(int64)
+			iv, ok := arr.Elems[i].AsInt()
 			if !ok {
 				continue
 			}
@@ -246,11 +245,11 @@ func DefaultFeatures(ins []interp.Binding) assertion.Env {
 		if !first {
 			spread = max - min
 		}
-		env["poscount"] = pos
-		env["negcount"] = neg
-		env["zerocount"] = zero
-		env["spread"] = spread
-		env["total"] = total
+		env["poscount"] = interp.IntV(pos)
+		env["negcount"] = interp.IntV(neg)
+		env["zerocount"] = interp.IntV(zero)
+		env["spread"] = interp.IntV(spread)
+		env["total"] = interp.IntV(total)
 		break
 	}
 	return env
@@ -290,7 +289,7 @@ func (spec *Spec) Classify(ins []interp.Binding, features Features) (*Frame, err
 			if err != nil {
 				continue
 			}
-			if b, _ := v.(bool); b {
+			if b, _ := v.AsBool(); b {
 				chosen = ch
 				break
 			}

@@ -114,7 +114,7 @@ func selHolds(spec *tgen.Spec, sel ast.Expr, props map[string]bool) bool {
 	for _, c := range spec.Categories {
 		for _, cc := range c.Choices {
 			for _, p := range cc.Properties {
-				env[p] = props[p]
+				env[p] = interp.BoolV(props[p])
 			}
 		}
 	}
@@ -122,7 +122,7 @@ func selHolds(spec *tgen.Spec, sel ast.Expr, props map[string]bool) bool {
 	if err != nil {
 		return false
 	}
-	b, _ := v.(bool)
+	b, _ := v.AsBool()
 	return b
 }
 

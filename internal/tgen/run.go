@@ -137,7 +137,7 @@ func (r *Runner) RunAll() (*ReportDB, error) {
 			for _, b := range ci.Outs {
 				rep.Outputs[b.Name] = interp.FormatValue(b.Value)
 			}
-			if ci.Result != nil {
+			if !ci.Result.IsUndef() {
 				rep.Outputs["result"] = interp.FormatValue(ci.Result)
 			}
 			rep.Pass = r.Chk(f, ci)

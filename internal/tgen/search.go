@@ -75,14 +75,14 @@ func candidates(t types.Type) []interp.Value {
 	case *types.Basic:
 		switch t.Kind {
 		case types.Int:
-			return []interp.Value{int64(0), int64(1), int64(2), int64(3), int64(5),
-				int64(-1), int64(-3), int64(10), int64(100), int64(-100)}
+			return []interp.Value{interp.IntV(0), interp.IntV(1), interp.IntV(2), interp.IntV(3), interp.IntV(5),
+				interp.IntV(-1), interp.IntV(-3), interp.IntV(10), interp.IntV(100), interp.IntV(-100)}
 		case types.Bool:
-			return []interp.Value{false, true}
+			return []interp.Value{interp.BoolV(false), interp.BoolV(true)}
 		case types.Real:
-			return []interp.Value{0.0, 1.5, -2.5}
+			return []interp.Value{interp.RealV(0.0), interp.RealV(1.5), interp.RealV(-2.5)}
 		case types.Str:
-			return []interp.Value{"", "x"}
+			return []interp.Value{interp.StrV(""), interp.StrV("x")}
 		}
 	case *types.Array:
 		if types.IsInteger(t.Elem) {
@@ -106,9 +106,9 @@ func candidates(t types.Type) []interp.Value {
 				}
 				a := interp.NewArray(t)
 				for i, v := range vals {
-					a.Elems[i] = v
+					a.Elems[i] = interp.IntV(v)
 				}
-				out = append(out, a)
+				out = append(out, interp.ArrV(a))
 			}
 			return out
 		}

@@ -137,19 +137,19 @@ func TestSelectorGating(t *testing.T) {
 func mkArray(vals ...int64) *interp.ArrayVal {
 	a := &interp.ArrayVal{Lo: 1, Hi: 100, Elems: make([]interp.Value, 100)}
 	for i := range a.Elems {
-		a.Elems[i] = int64(0)
+		a.Elems[i] = interp.IntV(0)
 	}
 	for i, v := range vals {
-		a.Elems[i] = v
+		a.Elems[i] = interp.IntV(v)
 	}
 	return a
 }
 
 func ins(n int64, vals ...int64) []interp.Binding {
 	return []interp.Binding{
-		{Name: "a", Value: mkArray(vals...)},
-		{Name: "n", Value: n},
-		{Name: "b", Value: int64(0)},
+		{Name: "a", Value: interp.ArrV(mkArray(vals...))},
+		{Name: "n", Value: interp.IntV(n)},
+		{Name: "b", Value: interp.IntV(0)},
 	}
 }
 
@@ -188,16 +188,16 @@ func TestClassify(t *testing.T) {
 
 func TestDefaultFeatures(t *testing.T) {
 	env := tgen.DefaultFeatures(ins(3, -50, 60, 1, 999)) // 999 beyond n
-	if env["n"] != int64(3) {
+	if !interp.ValuesEqual(env["n"], interp.IntV(3)) {
 		t.Errorf("n = %v", env["n"])
 	}
-	if env["poscount"] != int64(2) || env["negcount"] != int64(1) {
+	if !interp.ValuesEqual(env["poscount"], interp.IntV(2)) || !interp.ValuesEqual(env["negcount"], interp.IntV(1)) {
 		t.Errorf("counts = %v/%v", env["poscount"], env["negcount"])
 	}
-	if env["spread"] != int64(110) {
+	if !interp.ValuesEqual(env["spread"], interp.IntV(110)) {
 		t.Errorf("spread = %v, want 110 (999 must be ignored beyond n)", env["spread"])
 	}
-	if env["total"] != int64(11) {
+	if !interp.ValuesEqual(env["total"], interp.IntV(11)) {
 		t.Errorf("total = %v, want 11", env["total"])
 	}
 }
@@ -230,17 +230,18 @@ func arrsumGen(f *tgen.Frame) ([]interp.Value, bool) {
 			vals = []int64{-10, 30, 2}
 		}
 	}
-	return []interp.Value{mkArray(vals...), n, int64(0)}, true
+	return []interp.Value{interp.ArrV(mkArray(vals...)), interp.IntV(n), interp.IntV(0)}, true
 }
 
 func arrsumCheck(f *tgen.Frame, ci *interp.CallInfo) bool {
-	a := ci.Ins[0].Value.(*interp.ArrayVal)
-	n := ci.Ins[1].Value.(int64)
+	a, _ := ci.Ins[0].Value.AsArray()
+	n, _ := ci.Ins[1].Value.AsInt()
 	var want int64
 	for i := int64(0); i < n; i++ {
-		want += a.Elems[i].(int64)
+		iv, _ := a.Elems[i].AsInt()
+		want += iv
 	}
-	got, _ := ci.Outs[0].Value.(int64)
+	got, _ := ci.Outs[0].Value.AsInt()
 	return got == want
 }
 
