@@ -11,6 +11,7 @@
 #   make mutate     - run the full mutation campaign, write BENCH_mutation.json
 #   make diff       - run the differential equivalence campaign, write BENCH_diff.json
 #   make lint       - run plint over the fixture and example programs
+#   make staticcheck - run staticcheck when installed (CI pins its version)
 #   make fmt        - rewrite sources with gofmt
 
 GO ?= go
@@ -21,7 +22,7 @@ BENCH_PATTERN ?= BenchmarkInterp
 BENCH_COUNT ?= 3
 
 .PHONY: check build test bench bench-json bench-save bench-compare bench-interp \
-	mutate diff lint fmt smoke-journal smoke-fuzz
+	mutate diff lint staticcheck fmt smoke-journal smoke-fuzz
 
 check:
 	@unformatted=$$(gofmt -l .); \
@@ -108,6 +109,17 @@ diff:
 
 lint:
 	$(GO) run ./cmd/plint testdata/*.pas || true
+
+# Static analysis beyond go vet. The tool is not vendored; install it
+# with `go install honnef.co/go/tools/cmd/staticcheck@2023.1.7` (the
+# version CI pins). Skips with a notice when the binary is absent so
+# `make check` stays runnable offline.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it pinned)"; \
+	fi
 
 fmt:
 	gofmt -w .

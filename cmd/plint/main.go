@@ -11,6 +11,8 @@
 //	-codes list     comma-separated check codes to run (e.g. P001,P003)
 //	-list           print the check registry and exit
 //	-no-suppress    ignore `lint:ignore` comments
+//	-pval           dump the per-point abstract values (the interval
+//	                lattice behind P012..P015) instead of findings
 //	-stats          print a metrics snapshot (findings by code) on exit
 //	-trace-out f    write per-file lint spans as JSONL ("-" = stderr text)
 //
@@ -29,8 +31,11 @@ import (
 	"os"
 	"strings"
 
+	"gadt/internal/analysis/absint"
 	"gadt/internal/analysis/lint"
 	"gadt/internal/obs"
+	"gadt/internal/pascal/parser"
+	"gadt/internal/pascal/sem"
 )
 
 func main() {
@@ -38,6 +43,7 @@ func main() {
 	codes := flag.String("codes", "", "comma-separated check codes to run (default all)")
 	list := flag.Bool("list", false, "print the check registry and exit")
 	noSuppress := flag.Bool("no-suppress", false, "ignore lint:ignore comments")
+	pval := flag.Bool("pval", false, "dump per-point abstract values instead of findings")
 	stats := flag.Bool("stats", false, "print a metrics snapshot on exit")
 	traceOut := flag.String("trace-out", "", "write lint spans as JSONL to this file (\"-\" = stderr text)")
 	flag.Parse()
@@ -74,6 +80,36 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "plint:", err)
 		os.Exit(2)
+	}
+
+	if *pval {
+		failed := false
+		for _, file := range flag.Args() {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "plint:", err)
+				failed = true
+				continue
+			}
+			prog, err := parser.ParseProgram(file, string(src))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "plint: %s: %v\n", file, err)
+				failed = true
+				continue
+			}
+			info, err := sem.Analyze(prog)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "plint: %s: %v\n", file, err)
+				failed = true
+				continue
+			}
+			fmt.Printf("== %s ==\n", file)
+			fmt.Print(absint.Analyze(info).Dump())
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
 	}
 
 	failed := false

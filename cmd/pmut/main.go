@@ -207,8 +207,11 @@ func summarize(w io.Writer, rep *campaign.Report) {
 	fmt.Fprintf(w, "mutation campaign: %d subjects, %d sites enumerated, %d mutants evaluated (seed %d, %d workers, %s)\n",
 		rep.Subjects, rep.Enumerated, rep.Mutants, rep.Seed, rep.Workers,
 		time.Duration(rep.ElapsedMS)*time.Millisecond)
-	fmt.Fprintf(w, "  killed %d  survived %d  timeout %d  stillborn %d  panics %d   kill rate %.1f%%\n",
-		rep.Killed, rep.Survived, rep.Timeout, rep.Stillborn, rep.Panics, 100*rep.KillRate())
+	fmt.Fprintf(w, "  killed %d  survived %d  timeout %d  stillborn %d  panics %d  equivalent %d   kill rate %.1f%%\n",
+		rep.Killed, rep.Survived, rep.Timeout, rep.Stillborn, rep.Panics, rep.Equivalent, 100*rep.KillRate())
+	if rep.Equivalent > 0 {
+		fmt.Fprintf(w, "  %d mutants proven equivalent by static triage (never executed, excluded from kill rate)\n", rep.Equivalent)
+	}
 	if rep.DebugSkipped > 0 {
 		fmt.Fprintf(w, "  debug skipped on %d oversized trees\n", rep.DebugSkipped)
 	}
@@ -216,11 +219,11 @@ func summarize(w io.Writer, rep *campaign.Report) {
 		fmt.Fprintf(w, "  subject error: %s\n", msg)
 	}
 
-	fmt.Fprintf(w, "\n%-18s %8s %8s %8s %8s %10s\n", "operator", "mutants", "killed", "survived", "timeout", "kill rate")
+	fmt.Fprintf(w, "\n%-18s %8s %8s %8s %8s %8s %10s\n", "operator", "mutants", "killed", "survived", "timeout", "equiv", "kill rate")
 	for _, op := range sortedKeys(rep.ByOperator) {
 		st := rep.ByOperator[op]
-		fmt.Fprintf(w, "%-18s %8d %8d %8d %8d %9.1f%%\n",
-			op, st.Mutants, st.Killed, st.Survived, st.Timeout, 100*st.KillRate)
+		fmt.Fprintf(w, "%-18s %8d %8d %8d %8d %8d %9.1f%%\n",
+			op, st.Mutants, st.Killed, st.Survived, st.Timeout, st.Equivalent, 100*st.KillRate)
 	}
 
 	fmt.Fprintf(w, "\n%-18s %9s %10s %11s %10s %6s\n", "strategy", "sessions", "localized", "rate", "mean q", "max q")

@@ -1,0 +1,1417 @@
+package absint
+
+import (
+	"gadt/internal/analysis/callgraph"
+	"gadt/internal/analysis/cfg"
+	"gadt/internal/analysis/sideeffect"
+	"gadt/internal/pascal/ast"
+	"gadt/internal/pascal/sem"
+	"gadt/internal/pascal/token"
+	"gadt/internal/pascal/types"
+)
+
+// Env is the abstract store at one program point: a map from tracked
+// variables to lattice values, plus a reachability flag. An unreachable
+// Env maps every variable to ⊥; in a reachable Env a missing variable is
+// ⊤ (untracked). Envs are immutable from the caller's perspective —
+// mutating operations clone.
+type Env struct {
+	vals      map[*sem.VarSym]Val
+	reachable bool
+}
+
+// Reachable reports whether the program point can execute at all.
+func (e Env) Reachable() bool { return e.reachable }
+
+// Lookup returns the abstract value of v at this point.
+func (e Env) Lookup(v *sem.VarSym) Val {
+	if !e.reachable {
+		return Bot()
+	}
+	if val, ok := e.vals[v]; ok {
+		return val
+	}
+	return Top()
+}
+
+func botEnv() Env { return Env{} }
+
+func (e Env) clone() Env {
+	out := Env{vals: make(map[*sem.VarSym]Val, len(e.vals)), reachable: e.reachable}
+	for k, v := range e.vals {
+		out.vals[k] = v
+	}
+	return out
+}
+
+// set stores val for v, normalizing explicit ⊤ to absence. Mutates e in
+// place: callers own a fresh clone.
+func (e Env) set(v *sem.VarSym, val Val) {
+	if val.IsTop() {
+		delete(e.vals, v)
+		return
+	}
+	e.vals[v] = val
+}
+
+// join returns the pointwise least upper bound.
+func (e Env) join(o Env) Env {
+	if !e.reachable {
+		return o
+	}
+	if !o.reachable {
+		return e
+	}
+	out := Env{vals: make(map[*sem.VarSym]Val), reachable: true}
+	for k, v := range e.vals {
+		if w, ok := o.vals[k]; ok {
+			j := v.Join(w)
+			if !j.IsTop() {
+				out.vals[k] = j
+			}
+		}
+	}
+	return out
+}
+
+// widen extrapolates o relative to the previous iterate e.
+func (e Env) widen(o Env) Env {
+	if !e.reachable || !o.reachable {
+		return e.join(o)
+	}
+	out := Env{vals: make(map[*sem.VarSym]Val), reachable: true}
+	for k, v := range e.vals {
+		if w, ok := o.vals[k]; ok {
+			j := v.Widen(w)
+			if !j.IsTop() {
+				out.vals[k] = j
+			}
+		}
+	}
+	return out
+}
+
+func (e Env) equal(o Env) bool {
+	if e.reachable != o.reachable {
+		return false
+	}
+	if len(e.vals) != len(o.vals) {
+		return false
+	}
+	for k, v := range e.vals {
+		if w, ok := o.vals[k]; !ok || !v.Equal(w) {
+			return false
+		}
+	}
+	return true
+}
+
+// Result holds the analysis output for a whole program.
+type Result struct {
+	Info   *sem.Info
+	Graphs map[*sem.Routine]*cfg.Graph
+
+	// in maps each CFG node to the abstract store holding immediately
+	// before the node executes.
+	in map[*cfg.Node]Env
+
+	entry   map[*sem.Routine]Env
+	exitEnv map[*sem.Routine]Env
+
+	// untracked lists, per routine, variables excluded from its abstract
+	// store because a var-parameter may alias them (see computeUntracked).
+	// An untracked variable reads as ⊤ at every point of that routine.
+	untracked map[*sem.Routine]map[*sem.VarSym]bool
+
+	// forVarMod caches, per for-statement, whether its body may write the
+	// loop variable (degrading the loop model, see refineFor).
+	forVarMod map[*ast.ForStmt]bool
+
+	// covering lazily maps every evaluated AST node to the CFG node that
+	// evaluates it (see CoveringNode).
+	covering map[ast.Node]*cfg.Node
+
+	side *sideeffect.Result
+	cg   *callgraph.Graph
+}
+
+// Edge is one CFG edge, identified by its endpoints.
+type Edge struct {
+	From, To *cfg.Node
+}
+
+// At returns the abstract store before node n executes (the bottom store
+// when n is unreachable).
+func (r *Result) At(n *cfg.Node) Env { return r.in[n] }
+
+// Reachable reports whether node n can execute.
+func (r *Result) Reachable(n *cfg.Node) bool { return r.in[n].reachable }
+
+// EvalAt evaluates expression e in the store before node n, conservatively
+// accounting for side effects of any calls inside n's statement (a call
+// earlier in the same statement may change variables e reads).
+func (r *Result) EvalAt(n *cfg.Node, e ast.Expr) Val {
+	env := r.in[n]
+	if !env.reachable {
+		return Bot()
+	}
+	a := &analyzer{res: r}
+	env = a.havocCalls(env, nodeRoots(n))
+	return a.eval(env, e)
+}
+
+// VarAt returns the abstract value variable v holds at node n, like
+// EvalAt conservatively accounting for calls inside n's statement. It
+// serves clients asking about a variable that does not occur in the
+// node's own text (e.g. a var-swap replacement candidate).
+func (r *Result) VarAt(n *cfg.Node, v *sem.VarSym) Val {
+	env := r.in[n]
+	if !env.reachable {
+		return Bot()
+	}
+	a := &analyzer{res: r}
+	env = a.havocCalls(env, nodeRoots(n))
+	return env.Lookup(v)
+}
+
+// CoveringNode returns the CFG node that evaluates the given AST node —
+// the atomic statement or condition whose subtree contains it — or nil
+// for nodes outside any evaluated subtree (declarations, case-arm
+// labels, compound shells). When a subtree is evaluated by more than
+// one node (a for-loop limit is captured at init and re-checked by the
+// header), the first evaluation wins, matching the moment the
+// interpreter reads the expression's operands.
+func (r *Result) CoveringNode(m ast.Node) *cfg.Node {
+	if r.covering == nil {
+		r.covering = make(map[ast.Node]*cfg.Node)
+		for _, g := range r.Graphs {
+			for _, n := range g.Nodes {
+				for _, root := range nodeRoots(n) {
+					n := n
+					ast.Inspect(root, func(x ast.Node) bool {
+						if x == nil {
+							return false
+						}
+						if _, seen := r.covering[x]; !seen {
+							r.covering[x] = n
+						}
+						return true
+					})
+				}
+			}
+		}
+	}
+	return r.covering[m]
+}
+
+// nodeRoots returns the AST subtrees node n evaluates.
+func nodeRoots(n *cfg.Node) []ast.Node {
+	switch n.Kind {
+	case cfg.Stmt:
+		if n.Stmt != nil {
+			return []ast.Node{n.Stmt}
+		}
+	case cfg.Cond:
+		if n.Cond != nil {
+			return []ast.Node{n.Cond}
+		}
+	case cfg.ForInit:
+		fs := n.Stmt.(*ast.ForStmt)
+		return []ast.Node{fs.From, fs.Limit}
+	case cfg.ForCond:
+		fs := n.Stmt.(*ast.ForStmt)
+		return []ast.Node{fs.Limit}
+	}
+	return nil
+}
+
+// InfeasibleEdges returns the branch edges the analysis proves can never
+// be taken: the condition has a definite value and the edge carries the
+// opposite outcome. Edges out of unreachable nodes are not listed (whole
+// nodes are reported through Reachable).
+func (r *Result) InfeasibleEdges(g *cfg.Graph) []Edge {
+	a := &analyzer{res: r}
+	var out []Edge
+	for _, n := range g.Nodes {
+		env := r.in[n]
+		if !env.reachable {
+			continue
+		}
+		if n.Kind != cfg.Cond && n.Kind != cfg.ForCond {
+			continue
+		}
+		post := a.transfer(g, n, env, false)
+		for _, s := range n.Succs {
+			br := g.Label(n, s)
+			if br != cfg.BranchTrue && br != cfg.BranchFalse {
+				continue
+			}
+			if !a.refineEdge(g, n, post, br).reachable {
+				out = append(out, Edge{From: n, To: s})
+			}
+		}
+	}
+	return out
+}
+
+// Analyze runs the abstract interpretation over freshly built CFGs.
+func Analyze(info *sem.Info) *Result {
+	cg := callgraph.Build(info)
+	return AnalyzeGraphs(info, cfg.BuildAll(info), cg, sideeffect.Analyze(info, cg))
+}
+
+// AnalyzeGraphs runs the analysis over caller-provided CFGs and
+// supporting analyses, so clients that already built them (the SDG
+// builder, the linter) do not pay for them twice.
+func AnalyzeGraphs(info *sem.Info, graphs map[*sem.Routine]*cfg.Graph, cg *callgraph.Graph, side *sideeffect.Result) *Result {
+	res := &Result{
+		Info:      info,
+		Graphs:    graphs,
+		in:        make(map[*cfg.Node]Env),
+		entry:     make(map[*sem.Routine]Env),
+		exitEnv:   make(map[*sem.Routine]Env),
+		untracked: computeUntracked(info, cg, side),
+		forVarMod: make(map[*ast.ForStmt]bool),
+		side:      side,
+		cg:        cg,
+	}
+	a := &analyzer{res: res, entryJoins: make(map[*sem.Routine]int), exitJoins: make(map[*sem.Routine]int)}
+
+	// Main's entry store: the interpreter zero-initializes every frame
+	// slot, so all globals start at 0 / false (implementation semantics,
+	// not ISO Pascal).
+	main := info.Main
+	env := Env{vals: make(map[*sem.VarSym]Val), reachable: true}
+	for _, v := range main.AllVars() {
+		if val, ok := zeroValue(v.Type); ok {
+			env.set(v, val)
+		}
+	}
+	res.entry[main] = env
+
+	// Interprocedural fixpoint: re-analyze a routine when its entry store
+	// grows, and its callers when its exit summary grows. Entry and exit
+	// joins widen after a few updates, bounding the chain; the sweep cap
+	// is a defensive backstop (widening makes it unreachable in practice).
+	dirty := []*sem.Routine{main}
+	inDirty := map[*sem.Routine]bool{main: true}
+	for rounds := 0; len(dirty) > 0 && rounds < 64*len(info.Routines); rounds++ {
+		r := dirty[0]
+		dirty = dirty[1:]
+		inDirty[r] = false
+		changed := a.analyzeRoutine(r)
+		for _, cr := range changed {
+			if !inDirty[cr] {
+				inDirty[cr] = true
+				dirty = append(dirty, cr)
+			}
+		}
+	}
+	return res
+}
+
+// zeroValue returns the abstract zero-initialized value for a declared
+// type (ok=false for untracked types).
+func zeroValue(t types.Type) (Val, bool) {
+	b, ok := t.(*types.Basic)
+	if !ok {
+		return Top(), false
+	}
+	switch b.Kind {
+	case types.Int:
+		return IntConst(0), true
+	case types.Bool:
+		return BoolConst(false), true
+	}
+	return Top(), false
+}
+
+// tracked reports whether v participates in the abstract store of a
+// routine: integer/boolean scalars only.
+func trackedType(v *sem.VarSym) bool {
+	_, ok := zeroValue(v.Type)
+	return ok
+}
+
+// computeUntracked handles var-parameter aliasing. A write through a
+// by-reference formal mutates its actual mid-call, so a routine whose
+// formal may be bound to a variable the routine can also name directly
+// (a global, its own variable under recursion) would otherwise carry
+// stale facts about that variable. The store keeps strong updates and
+// instead drops the entangled names: within such a routine the aliased
+// variable is untracked (always ⊤), and the formal too when the routine
+// may also write the variable under its own name.
+//
+// carriers(f) is the set of root variables a by-ref formal f may be
+// bound to across all call sites, propagated transitively through
+// formal-to-formal forwarding (fixpoint over the call graph). A by-ref
+// actual that is not a plain variable (an array element, say) makes the
+// formal's binding unanalyzable and the formal itself untracked.
+func computeUntracked(info *sem.Info, cg *callgraph.Graph, side *sideeffect.Result) map[*sem.Routine]map[*sem.VarSym]bool {
+	carriers := make(map[*sem.VarSym]map[*sem.VarSym]bool)
+	unknown := make(map[*sem.VarSym]bool)
+	add := func(p, v *sem.VarSym) bool {
+		if carriers[p][v] {
+			return false
+		}
+		if carriers[p] == nil {
+			carriers[p] = make(map[*sem.VarSym]bool)
+		}
+		carriers[p][v] = true
+		return true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, sites := range cg.Sites {
+			for _, site := range sites {
+				for i, p := range site.Callee.Params {
+					if !p.IsByRef() || i >= len(site.Args) {
+						continue
+					}
+					var v *sem.VarSym
+					if _, isIdent := site.Args[i].(*ast.Ident); isIdent {
+						v = info.VarOf(site.Args[i])
+					}
+					if v == nil {
+						if !unknown[p] {
+							unknown[p] = true
+							changed = true
+						}
+						continue
+					}
+					if add(p, v) {
+						changed = true
+					}
+					if v.IsByRef() {
+						for t := range carriers[v] {
+							if add(p, t) {
+								changed = true
+							}
+						}
+						if unknown[v] && !unknown[p] {
+							unknown[p] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	un := make(map[*sem.Routine]map[*sem.VarSym]bool)
+	mark := func(r *sem.Routine, v *sem.VarSym) {
+		if un[r] == nil {
+			un[r] = make(map[*sem.VarSym]bool)
+		}
+		un[r][v] = true
+	}
+	for _, r := range info.Routines {
+		var refs []*sem.VarSym
+		for _, p := range r.Params {
+			if p.IsByRef() {
+				refs = append(refs, p)
+			}
+		}
+		eff := side.Of[r]
+		for _, p := range refs {
+			if unknown[p] {
+				mark(r, p)
+			}
+			for t := range carriers[p] {
+				if trackedType(t) && (t.Owner == info.Main || t.Owner == r) {
+					mark(r, t)
+				}
+				// The routine (or a callee) may write t under its own
+				// name while the formal still claims the old value.
+				if t.Owner == r || (eff != nil && eff.ModGlobals[t]) {
+					mark(r, p)
+				}
+			}
+		}
+		// Two formals bound to the same root alias each other.
+		for i, p := range refs {
+			for _, q := range refs[i+1:] {
+				for t := range carriers[p] {
+					if carriers[q][t] {
+						mark(r, p)
+						mark(r, q)
+						break
+					}
+				}
+			}
+		}
+	}
+	return un
+}
+
+type analyzer struct {
+	res        *Result
+	entryJoins map[*sem.Routine]int
+	exitJoins  map[*sem.Routine]int
+
+	// pending accumulates routines whose entry store grew during the
+	// registration pass of analyzeRoutine.
+	pending []*sem.Routine
+}
+
+const (
+	maxSweeps        = 60 // intraprocedural widened-iteration backstop
+	narrowSweeps     = 2  // bounded decreasing iterations after the fixpoint
+	joinsBeforeWiden = 3  // interprocedural joins before switching to widening
+)
+
+// analyzeRoutine runs the intraprocedural fixpoint for r under its
+// current entry store and callee summaries, updates Result.in for r's
+// nodes, and returns the routines whose stores changed as a consequence
+// (callees with grown entries, callers when r's exit summary grew).
+func (a *analyzer) analyzeRoutine(r *sem.Routine) []*sem.Routine {
+	res := a.res
+	g := res.Graphs[r]
+	if g == nil {
+		return nil
+	}
+	order := rpo(g)
+	in := make(map[*cfg.Node]Env, len(g.Nodes))
+	heads := loopHeads(g, order)
+
+	recompute := func(n *cfg.Node) Env {
+		if n == g.Entry {
+			return res.entry[r]
+		}
+		cur := botEnv()
+		for _, p := range n.Preds {
+			pe, ok := in[p]
+			if !ok || !pe.reachable {
+				continue
+			}
+			out := a.transfer(g, p, pe, false)
+			cur = cur.join(a.refineEdge(g, p, out, g.Label(p, n)))
+		}
+		return cur
+	}
+
+	converged := false
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		changed := false
+		for _, n := range order {
+			next := recompute(n)
+			old, seen := in[n]
+			if heads[n] && seen && sweep > 0 {
+				next = old.widen(next)
+			}
+			if !seen || !old.equal(next) {
+				in[n] = next
+				changed = true
+			}
+		}
+		if !changed {
+			converged = true
+			break
+		}
+	}
+	if !converged {
+		// Defensive: widening at every cycle head makes the cap
+		// unreachable, but if it ever trips, degrade to the sound
+		// everything-unknown store rather than publish a non-fixpoint.
+		for _, n := range g.Nodes {
+			in[n] = Env{vals: map[*sem.VarSym]Val{}, reachable: true}
+		}
+	}
+	// Narrowing: a short decreasing iteration recovers precision the
+	// widening jumps lost (loop exits know their bounds again). Plain
+	// recomputation from a post-fixpoint stays above the least fixpoint,
+	// so any cutoff is sound.
+	if converged {
+		for sweep := 0; sweep < narrowSweeps; sweep++ {
+			for _, n := range order {
+				in[n] = recompute(n)
+			}
+		}
+	}
+
+	for _, n := range g.Nodes {
+		if _, ok := in[n]; !ok {
+			in[n] = botEnv()
+		}
+		res.in[n] = in[n]
+	}
+
+	// Registration pass: with the routine's stores final for this round,
+	// fold call-site argument/global values into callee entry stores.
+	a.pending = a.pending[:0]
+	for _, n := range g.Nodes {
+		if env := in[n]; env.reachable {
+			a.transfer(g, n, env, true)
+		}
+	}
+	changed := append([]*sem.Routine(nil), a.pending...)
+
+	// Publish the exit summary; join-monotone across re-analyses so the
+	// interprocedural iteration terminates.
+	newExit := res.exitEnv[r].join(in[g.Exit])
+	if a.exitJoins[r] > joinsBeforeWiden {
+		newExit = res.exitEnv[r].widen(in[g.Exit])
+	}
+	if !newExit.equal(res.exitEnv[r]) {
+		res.exitEnv[r] = newExit
+		a.exitJoins[r]++
+		changed = append(changed, res.cg.Callers[r]...)
+	}
+	return changed
+}
+
+// rpo returns the nodes in reverse postorder from Entry; unreached nodes
+// (dead code) follow in ID order so they still receive (bottom) stores.
+func rpo(g *cfg.Graph) []*cfg.Node {
+	seen := make(map[*cfg.Node]bool, len(g.Nodes))
+	var post []*cfg.Node
+	var walk func(n *cfg.Node)
+	walk = func(n *cfg.Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, s := range n.Succs {
+			walk(s)
+		}
+		post = append(post, n)
+	}
+	walk(g.Entry)
+	out := make([]*cfg.Node, 0, len(g.Nodes))
+	for i := len(post) - 1; i >= 0; i-- {
+		out = append(out, post[i])
+	}
+	for _, n := range g.Nodes {
+		if !seen[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// loopHeads marks widening points: targets of retreating edges under the
+// reverse postorder.
+func loopHeads(g *cfg.Graph, order []*cfg.Node) map[*cfg.Node]bool {
+	idx := make(map[*cfg.Node]int, len(order))
+	for i, n := range order {
+		idx[n] = i
+	}
+	heads := make(map[*cfg.Node]bool)
+	for _, n := range order {
+		for _, s := range n.Succs {
+			if idx[s] <= idx[n] {
+				heads[s] = true
+			}
+		}
+	}
+	return heads
+}
+
+// ---------------------------------------------------------------------------
+// Transfer functions
+
+// transfer computes the store after node n executes, from the store env
+// before it. When register is true, call sites additionally fold their
+// entry stores into callees (the registration pass).
+func (a *analyzer) transfer(g *cfg.Graph, n *cfg.Node, env Env, register bool) Env {
+	if !env.reachable {
+		return env
+	}
+	r := g.Routine
+	switch n.Kind {
+	case cfg.Entry, cfg.Exit:
+		return env
+	case cfg.Cond:
+		// Condition evaluation can call functions with side effects.
+		return a.havocCalls(env, nodeRoots(n), registerOpt(register)...)
+	case cfg.ForInit:
+		fs := n.Stmt.(*ast.ForStmt)
+		env = a.havocCalls(env, []ast.Node{fs.From, fs.Limit}, registerOpt(register)...)
+		if !env.reachable {
+			return env
+		}
+		if v := a.res.Info.VarOf(fs.Var); v != nil && a.trackedIn(r, v) {
+			env = env.clone()
+			env.set(v, a.eval(env, fs.From))
+		}
+		return env
+	case cfg.ForCond:
+		return env
+	case cfg.ForIncr:
+		fs := n.Stmt.(*ast.ForStmt)
+		if v := a.res.Info.VarOf(fs.Var); v != nil && a.trackedIn(r, v) && !a.loopVarWritten(fs, v) {
+			env = env.clone()
+			one := IntConst(1)
+			if fs.Down {
+				env.set(v, env.Lookup(v).Sub(one))
+			} else {
+				env.set(v, env.Lookup(v).Add(one))
+			}
+		}
+		return env
+	}
+	switch s := n.Stmt.(type) {
+	case *ast.AssignStmt:
+		env = a.havocCalls(env, []ast.Node{s.Rhs, s.Lhs}, registerOpt(register)...)
+		if !env.reachable {
+			return env
+		}
+		val := a.eval(env, s.Rhs)
+		if lhs, ok := s.Lhs.(*ast.Ident); ok {
+			if v := a.res.Info.VarOf(lhs); v != nil && a.trackedIn(r, v) {
+				env = env.clone()
+				env.set(v, val)
+			}
+		}
+		// Index/field stores touch untracked aggregates: no effect on
+		// the scalar store.
+		return env
+	case *ast.CallStmt:
+		return a.callStmt(env, r, s, register)
+	}
+	return env
+}
+
+func registerOpt(register bool) []bool {
+	if register {
+		return []bool{true}
+	}
+	return nil
+}
+
+// trackedIn reports whether v is part of routine r's abstract store:
+// r's own variables plus the program globals, scalars only, minus the
+// names a by-ref parameter of r may alias.
+func (a *analyzer) trackedIn(r *sem.Routine, v *sem.VarSym) bool {
+	if !trackedType(v) {
+		return false
+	}
+	if v.Owner != r && v.Owner != a.res.Info.Main {
+		return false
+	}
+	return !a.res.untracked[r][v]
+}
+
+// callStmt models a direct procedure/function-statement call: argument
+// evaluation, entry registration, then the callee's exit summary applied
+// to modified globals and by-reference actuals.
+func (a *analyzer) callStmt(env Env, r *sem.Routine, s *ast.CallStmt, register bool) Env {
+	info := a.res.Info
+	callee := info.CallAt(s.UID, s)
+	if callee == nil {
+		// Builtin procedure: read/readln havoc their targets; the write
+		// family evaluates arguments (nested calls included).
+		env = a.havocCalls(env, exprNodes(s.Args), registerOpt(register)...)
+		if !env.reachable {
+			return env
+		}
+		b := info.BuiltinAt(s.UID, s)
+		if b != nil && (b.Code == sem.BuiltinRead || b.Code == sem.BuiltinReadln) {
+			env = env.clone()
+			for _, arg := range s.Args {
+				if v := info.VarOf(arg); v != nil && a.trackedIn(r, v) {
+					if _, isIdent := arg.(*ast.Ident); isIdent {
+						env.set(v, topOfType(v.Type))
+					}
+				}
+			}
+		}
+		return env
+	}
+
+	// Nested calls inside the arguments run first.
+	env = a.havocCalls(env, exprNodes(s.Args), registerOpt(register)...)
+	if !env.reachable {
+		return env
+	}
+	if register {
+		a.registerCall(env, callee, s.Args)
+	}
+	exit := a.res.exitEnv[callee]
+	if !exit.reachable {
+		// As currently known the callee never returns; a later summary
+		// growth re-queues this routine.
+		return botEnv()
+	}
+	env = env.clone()
+	// Modified non-locals take their summary exit values (Top when the
+	// callee does not track them, e.g. an enclosing routine's local).
+	for g := range a.res.side.Of[callee].ModGlobals {
+		if a.trackedIn(r, g) {
+			env.set(g, exit.Lookup(g))
+		}
+	}
+	// By-reference actuals take the formal's exit value.
+	for i, p := range callee.Params {
+		if i >= len(s.Args) || !p.IsByRef() {
+			continue
+		}
+		if v := info.VarOf(s.Args[i]); v != nil && a.trackedIn(r, v) {
+			if _, isIdent := s.Args[i].(*ast.Ident); isIdent {
+				env.set(v, exit.Lookup(p))
+			}
+		}
+	}
+	return env
+}
+
+// registerCall folds one call site's entry store into the callee.
+func (a *analyzer) registerCall(env Env, callee *sem.Routine, args []ast.Expr) {
+	info := a.res.Info
+	centry := Env{vals: make(map[*sem.VarSym]Val), reachable: true}
+	for i, p := range callee.Params {
+		if !a.trackedIn(callee, p) {
+			continue
+		}
+		if i < len(args) {
+			centry.set(p, a.eval(env, args[i]))
+		}
+	}
+	if callee.Result != nil && a.trackedIn(callee, callee.Result) {
+		if z, ok := zeroValue(callee.Result.Type); ok {
+			centry.set(callee.Result, z)
+		}
+	}
+	for _, l := range callee.Locals {
+		if !a.trackedIn(callee, l) {
+			continue
+		}
+		if z, ok := zeroValue(l.Type); ok {
+			centry.set(l, z)
+		}
+	}
+	for _, gv := range info.Main.Locals {
+		if a.trackedIn(callee, gv) {
+			centry.set(gv, env.Lookup(gv))
+		}
+	}
+	old := a.res.entry[callee]
+	next := old.join(centry)
+	if a.entryJoins[callee] > joinsBeforeWiden {
+		next = old.widen(centry)
+	}
+	if !next.equal(old) {
+		a.res.entry[callee] = next
+		a.entryJoins[callee]++
+		a.pending = append(a.pending, callee)
+	}
+}
+
+func exprNodes(es []ast.Expr) []ast.Node {
+	out := make([]ast.Node, len(es))
+	for i, e := range es {
+		out[i] = e
+	}
+	return out
+}
+
+// havocCalls conservatively accounts for user calls embedded anywhere in
+// the given subtrees: every variable a callee may modify is joined with
+// its summary exit value, so reads before, between and after the calls
+// are all over-approximated. Entry stores are registered when requested.
+// Returns the bottom store when a callee provably never returns.
+func (a *analyzer) havocCalls(env Env, roots []ast.Node, register ...bool) Env {
+	if !env.reachable {
+		return env
+	}
+	reg := len(register) > 0 && register[0]
+	info := a.res.Info
+	var refs []callRef
+	for _, root := range roots {
+		a.collectCalls(root, &refs)
+	}
+	for _, ref := range refs {
+		callee := ref.callee
+		if !env.reachable {
+			return env
+		}
+		if reg {
+			a.registerCall(env, callee, ref.args)
+		}
+		exit := a.res.exitEnv[callee]
+		if !exit.reachable {
+			return botEnv()
+		}
+		env = env.clone()
+		// A variable absent from the store is already ⊤ and needs no
+		// join; only present entries weaken.
+		for g := range a.res.side.Of[callee].ModGlobals {
+			if val, ok := env.vals[g]; ok {
+				env.set(g, val.Join(exit.Lookup(g)))
+			}
+		}
+		for i, p := range callee.Params {
+			if i >= len(ref.args) || !p.IsByRef() {
+				continue
+			}
+			if v := info.VarOf(ref.args[i]); v != nil {
+				if val, ok := env.vals[v]; ok {
+					env.set(v, val.Join(exit.Lookup(p)))
+				}
+			}
+		}
+	}
+	return env
+}
+
+// callRef is one user-routine call occurrence: a CallExpr, a CallStmt,
+// or a bare identifier invoking a parameterless function.
+type callRef struct {
+	callee *sem.Routine
+	args   []ast.Expr
+}
+
+// collectCalls gathers user calls under n in evaluation order (builtins
+// are pure or handled separately and are skipped).
+func (a *analyzer) collectCalls(n ast.Node, out *[]callRef) {
+	info := a.res.Info
+	switch x := n.(type) {
+	case nil:
+		return
+	case *ast.Ident:
+		if callee := info.CallAt(x.UID, x); callee != nil {
+			*out = append(*out, callRef{callee: callee})
+		}
+	case *ast.CallExpr:
+		for _, arg := range x.Args {
+			a.collectCalls(arg, out)
+		}
+		if callee := info.CallAt(x.UID, x); callee != nil {
+			*out = append(*out, callRef{callee: callee, args: x.Args})
+		}
+	case *ast.CallStmt:
+		for _, arg := range x.Args {
+			a.collectCalls(arg, out)
+		}
+		if callee := info.CallAt(x.UID, x); callee != nil {
+			*out = append(*out, callRef{callee: callee, args: x.Args})
+		}
+	case *ast.AssignStmt:
+		collect2(a, out, x.Lhs, x.Rhs)
+	case *ast.BinaryExpr:
+		collect2(a, out, x.X, x.Y)
+	case *ast.UnaryExpr:
+		a.collectCalls(x.X, out)
+	case *ast.IndexExpr:
+		a.collectCalls(x.X, out)
+		for _, i := range x.Indices {
+			a.collectCalls(i, out)
+		}
+	case *ast.FieldExpr:
+		a.collectCalls(x.X, out)
+	case *ast.SetLit:
+		for _, e := range x.Elems {
+			a.collectCalls(e, out)
+		}
+	}
+}
+
+func collect2(a *analyzer, out *[]callRef, x, y ast.Node) {
+	a.collectCalls(x, out)
+	a.collectCalls(y, out)
+}
+
+func topOfType(t types.Type) Val {
+	b, ok := t.(*types.Basic)
+	if !ok {
+		return Top()
+	}
+	switch b.Kind {
+	case types.Int:
+		return AnyInt()
+	case types.Bool:
+		return AnyBool()
+	}
+	return Top()
+}
+
+// ---------------------------------------------------------------------------
+// Expression evaluation
+
+// eval computes the abstract value of e in env. Calls embedded in e are
+// read through their summaries; their side effects must have been applied
+// to env beforehand (havocCalls).
+func (a *analyzer) eval(env Env, e ast.Expr) Val {
+	if !env.reachable {
+		return Bot()
+	}
+	info := a.res.Info
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return IntConst(x.Value)
+	case *ast.Ident:
+		// A bare identifier can invoke a parameterless function.
+		if callee := info.CallAt(x.UID, x); callee != nil {
+			if callee.Result == nil {
+				return Top()
+			}
+			return a.res.exitEnv[callee].Lookup(callee.Result)
+		}
+		switch sym := info.UseOf(x).(type) {
+		case *sem.ConstSym:
+			switch v := sym.Value.(type) {
+			case int64:
+				return IntConst(v)
+			case bool:
+				return BoolConst(v)
+			}
+			return Top()
+		case *sem.VarSym:
+			return env.Lookup(sym)
+		}
+		return Top()
+	case *ast.UnaryExpr:
+		v := a.eval(env, x.X)
+		switch x.Op {
+		case token.Plus:
+			return v
+		case token.Minus:
+			return v.Neg()
+		case token.Not:
+			return v.Not()
+		}
+		return Top()
+	case *ast.BinaryExpr:
+		return a.evalBinary(env, x)
+	case *ast.CallExpr:
+		return a.evalCall(env, x)
+	}
+	// RealLit, StringLit, IndexExpr, FieldExpr, SetLit: untracked.
+	return Top()
+}
+
+func (a *analyzer) evalBinary(env Env, e *ast.BinaryExpr) Val {
+	info := a.res.Info
+	x := a.eval(env, e.X)
+	y := a.eval(env, e.Y)
+	switch e.Op {
+	case token.Plus, token.Minus, token.Star, token.Div, token.Mod:
+		// Integer arithmetic only; `+` over reals (or a mistyped tree)
+		// falls back to ⊤.
+		if t, ok := info.TypeOf[e].(*types.Basic); !ok || t.Kind != types.Int {
+			return Top()
+		}
+		switch e.Op {
+		case token.Plus:
+			return x.Add(y)
+		case token.Minus:
+			return x.Sub(y)
+		case token.Star:
+			return x.Mul(y)
+		case token.Div:
+			return x.Div(y)
+		case token.Mod:
+			return x.Mod(y)
+		}
+	case token.Slash:
+		return Top() // real division
+	case token.Eq:
+		return x.EqV(y)
+	case token.NotEq:
+		return x.NeV(y)
+	case token.Less:
+		return intOnlyCmp(info, e, x.Lt(y))
+	case token.LessEq:
+		return intOnlyCmp(info, e, x.Le(y))
+	case token.Greater:
+		return intOnlyCmp(info, e, x.Gt(y))
+	case token.GreatEq:
+		return intOnlyCmp(info, e, x.Ge(y))
+	case token.And:
+		return x.And(y)
+	case token.Or:
+		return x.Or(y)
+	}
+	return Top()
+}
+
+// intOnlyCmp guards ordered comparisons: the interval reasoning is only
+// meaningful when both operands are integers (reals and strings compare
+// through ⊤ operands, but a real-typed literal tree would otherwise leak
+// int conclusions).
+func intOnlyCmp(info *sem.Info, e *ast.BinaryExpr, v Val) Val {
+	tx, okx := info.TypeOf[e.X].(*types.Basic)
+	ty, oky := info.TypeOf[e.Y].(*types.Basic)
+	if okx && oky && tx.Kind == types.Int && ty.Kind == types.Int {
+		return v
+	}
+	return AnyBool()
+}
+
+func (a *analyzer) evalCall(env Env, e *ast.CallExpr) Val {
+	info := a.res.Info
+	if callee := info.CallAt(e.UID, e); callee != nil {
+		if callee.Result == nil {
+			return Top()
+		}
+		return a.res.exitEnv[callee].Lookup(callee.Result)
+	}
+	b := info.BuiltinAt(e.UID, e)
+	if b == nil || len(e.Args) != 1 {
+		return Top()
+	}
+	arg := a.eval(env, e.Args[0])
+	argInt := false
+	if t, ok := info.TypeOf[e.Args[0]].(*types.Basic); ok && t.Kind == types.Int {
+		argInt = true
+	}
+	switch b.Code {
+	case sem.BuiltinAbs:
+		if argInt {
+			return arg.Abs()
+		}
+	case sem.BuiltinSqr:
+		if argInt {
+			return arg.Mul(arg)
+		}
+	case sem.BuiltinOdd:
+		return arg.Odd()
+	case sem.BuiltinTrunc, sem.BuiltinRound:
+		return AnyInt()
+	}
+	return Top()
+}
+
+// ---------------------------------------------------------------------------
+// Branch refinement
+
+// refineEdge narrows the post-store of node p along an outgoing edge
+// with branch label br.
+func (a *analyzer) refineEdge(g *cfg.Graph, p *cfg.Node, env Env, br cfg.Branch) Env {
+	if br != cfg.BranchTrue && br != cfg.BranchFalse {
+		return env
+	}
+	want := br == cfg.BranchTrue
+	switch p.Kind {
+	case cfg.Cond:
+		if _, isCase := p.Stmt.(*ast.CaseStmt); isCase {
+			return env // selector edges carry no boolean outcome
+		}
+		// A call embedded in the condition may change a variable after
+		// its operand value was already read (evaluation is left to
+		// right), so the comparison constrains the value read, not the
+		// value held at the branch point. Such variables must not be
+		// clamped.
+		return a.refine(env, g.Routine, p.Cond, want, a.condModSet(p.Cond))
+	case cfg.ForCond:
+		return a.refineFor(env, g.Routine, p.Stmt.(*ast.ForStmt), want)
+	}
+	return env
+}
+
+// condModSet returns the variables that calls embedded in cond may
+// modify (nil when the condition is call-free).
+func (a *analyzer) condModSet(cond ast.Expr) map[*sem.VarSym]bool {
+	var refs []callRef
+	a.collectCalls(cond, &refs)
+	if len(refs) == 0 {
+		return nil
+	}
+	mods := make(map[*sem.VarSym]bool)
+	for _, ref := range refs {
+		if eff := a.res.side.Of[ref.callee]; eff != nil {
+			for g := range eff.ModGlobals {
+				mods[g] = true
+			}
+		}
+		for i, p := range ref.callee.Params {
+			if p.IsByRef() && i < len(ref.args) {
+				if v := a.res.Info.VarOf(ref.args[i]); v != nil {
+					mods[v] = true
+				}
+			}
+		}
+	}
+	return mods
+}
+
+// refineFor narrows the loop variable along the ForCond edges. The
+// interpreter captures `from` and `limit` once at loop entry, steps an
+// internal counter, and copies it to the loop variable only when the
+// bounds check passes — so the variable never runs past the limit: at
+// the exit edge it holds either the captured `from` (zero iterations,
+// possible only when from lies beyond the limit) or the captured limit
+// itself (at least one iteration, possible only when from started on
+// the near side). Since the store at ForCond joins the entry path, the
+// intervals of both expressions here over-approximate the captured
+// values, so clamping against their bounds is sound.
+func (a *analyzer) refineFor(env Env, r *sem.Routine, fs *ast.ForStmt, want bool) Env {
+	if !env.reachable {
+		return env
+	}
+	v := a.res.Info.VarOf(fs.Var)
+	if v == nil || !a.trackedIn(r, v) {
+		return env
+	}
+	from := a.eval(env, fs.From)
+	limit := a.eval(env, fs.Limit)
+	flo, fhi, fok := from.Bounds()
+	llo, lhi, lok := limit.Bounds()
+	if !fok || !lok {
+		return botEnv()
+	}
+	cur := env.Lookup(v)
+	var met Val
+	if a.loopVarWritten(fs, v) {
+		// The body may overwrite the variable, so it no longer mirrors
+		// the counter. On the body edge the iteration-top write v := i
+		// still applies (counter within the captured bounds); on the
+		// exit edge the variable keeps whatever the last body pass (or
+		// the init, on zero iterations) left — no refinement possible.
+		if !want {
+			return env
+		}
+		if fs.Down {
+			met = IntRange(llo, fhi)
+		} else {
+			met = IntRange(flo, lhi)
+		}
+	} else if want {
+		// Body entry: the variable mirrors the counter, still in range.
+		var clamp Val
+		if fs.Down {
+			clamp = IntRange(llo, posInf) // v >= limit
+		} else {
+			clamp = IntRange(negInf, lhi) // v <= limit
+		}
+		met = cur.Meet(clamp)
+	} else {
+		var skipped, finished Val
+		if fs.Down {
+			skipped = from.Meet(IntRange(negInf, satSub(lhi, 1)))
+			finished = limit.Meet(IntRange(negInf, fhi))
+		} else {
+			skipped = from.Meet(IntRange(satAdd(llo, 1), posInf))
+			finished = limit.Meet(IntRange(flo, posInf))
+		}
+		met = cur.Meet(skipped.Join(finished))
+	}
+	if met.IsBot() {
+		return botEnv()
+	}
+	if met.Equal(cur) {
+		return env
+	}
+	env = env.clone()
+	env.set(v, met)
+	return env
+}
+
+// loopVarWritten reports whether the body of fs may write its loop
+// variable: a direct assignment, a read into it, an inner for loop
+// driving it, passing it by reference, or calling a routine that may
+// modify it as a non-local.
+func (a *analyzer) loopVarWritten(fs *ast.ForStmt, v *sem.VarSym) bool {
+	if mod, ok := a.res.forVarMod[fs]; ok {
+		return mod
+	}
+	info := a.res.Info
+	mod := false
+	isV := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && info.VarOf(id) == v
+	}
+	calleeMods := func(callee *sem.Routine, args []ast.Expr) bool {
+		if callee == nil {
+			return false
+		}
+		if eff := a.res.side.Of[callee]; eff != nil && eff.ModGlobals[v] {
+			return true
+		}
+		for i, p := range callee.Params {
+			if p.IsByRef() && i < len(args) && isV(args[i]) {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fs.Body, func(n ast.Node) bool {
+		if mod {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			mod = mod || isV(x.Lhs)
+		case *ast.ForStmt:
+			mod = mod || isV(x.Var)
+		case *ast.CallStmt:
+			if b := info.BuiltinAt(x.UID, x); b != nil && (b.Code == sem.BuiltinRead || b.Code == sem.BuiltinReadln) {
+				for _, arg := range x.Args {
+					mod = mod || isV(arg)
+				}
+			}
+			mod = mod || calleeMods(info.CallAt(x.UID, x), x.Args)
+		case *ast.CallExpr:
+			mod = mod || calleeMods(info.CallAt(x.UID, x), x.Args)
+		case *ast.Ident:
+			if callee := info.CallAt(x.UID, x); callee != nil {
+				mod = mod || calleeMods(callee, nil)
+			}
+		}
+		return !mod
+	})
+	a.res.forVarMod[fs] = mod
+	return mod
+}
+
+// refine narrows env under the assumption that boolean expression e
+// evaluates to want. Returns the bottom store when the assumption is
+// contradictory.
+func (a *analyzer) refine(env Env, r *sem.Routine, e ast.Expr, want bool, skip map[*sem.VarSym]bool) Env {
+	if !env.reachable || e == nil {
+		return env
+	}
+	if b, ok := a.eval(env, e).ConstBool(); ok && b != want {
+		return botEnv()
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		if v := a.res.Info.VarOf(x); v != nil && a.trackedIn(r, v) && !skip[v] {
+			cur := env.Lookup(v)
+			met := cur.Meet(BoolConst(want))
+			if met.IsBot() {
+				return botEnv()
+			}
+			if !met.Equal(cur) {
+				env = env.clone()
+				env.set(v, met)
+			}
+		}
+		return env
+	case *ast.UnaryExpr:
+		if x.Op == token.Not {
+			return a.refine(env, r, x.X, !want, skip)
+		}
+		return env
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.And:
+			if want {
+				return a.refine(a.refine(env, r, x.X, true, skip), r, x.Y, true, skip)
+			}
+			return a.refine(env, r, x.X, false, skip).join(a.refine(env, r, x.Y, false, skip))
+		case token.Or:
+			if !want {
+				return a.refine(a.refine(env, r, x.X, false, skip), r, x.Y, false, skip)
+			}
+			return a.refine(env, r, x.X, true, skip).join(a.refine(env, r, x.Y, true, skip))
+		case token.Eq, token.NotEq, token.Less, token.LessEq, token.Greater, token.GreatEq:
+			return a.refineRel(env, r, x, want, skip)
+		}
+	}
+	return env
+}
+
+// refineRel narrows the variables of a relational comparison.
+func (a *analyzer) refineRel(env Env, r *sem.Routine, e *ast.BinaryExpr, want bool, skip map[*sem.VarSym]bool) Env {
+	info := a.res.Info
+	op := e.Op
+	if !want {
+		op = negateRel(op)
+	}
+	// Integer ordering only (equality over booleans is handled by the
+	// definite-value check in refine).
+	tx, okx := info.TypeOf[e.X].(*types.Basic)
+	ty, oky := info.TypeOf[e.Y].(*types.Basic)
+	if !okx || !oky || tx.Kind != types.Int || ty.Kind != types.Int {
+		return env
+	}
+	env = a.clampVar(env, r, e.X, op, a.eval(env, e.Y), skip)
+	if !env.reachable {
+		return env
+	}
+	return a.clampVar(env, r, e.Y, flipRel(op), a.eval(env, e.X), skip)
+}
+
+// clampVar narrows `x op bound` when x is a tracked variable.
+func (a *analyzer) clampVar(env Env, r *sem.Routine, x ast.Expr, op token.Kind, bound Val, skip map[*sem.VarSym]bool) Env {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return env
+	}
+	v := a.res.Info.VarOf(id)
+	if v == nil || !a.trackedIn(r, v) || skip[v] {
+		return env
+	}
+	lo, hi, bok := bound.Bounds()
+	if !bok {
+		return botEnv()
+	}
+	var clamp Val
+	switch op {
+	case token.Less:
+		clamp = IntRange(negInf, satSub(hi, 1))
+	case token.LessEq:
+		clamp = IntRange(negInf, hi)
+	case token.Greater:
+		clamp = IntRange(satAdd(lo, 1), posInf)
+	case token.GreatEq:
+		clamp = IntRange(lo, posInf)
+	case token.Eq:
+		clamp = IntRange(lo, hi)
+	case token.NotEq:
+		// Only edge exclusion of a singleton bound is expressible.
+		cur := env.Lookup(v)
+		clo, chi, cok := cur.Bounds()
+		if c, isC := bound.ConstInt(); isC && cok {
+			if clo == c && chi == c {
+				return botEnv()
+			}
+			if clo == c {
+				clamp = IntRange(satAdd(c, 1), posInf)
+			} else if chi == c {
+				clamp = IntRange(negInf, satSub(c, 1))
+			} else {
+				return env
+			}
+		} else {
+			return env
+		}
+	default:
+		return env
+	}
+	cur := env.Lookup(v)
+	met := cur.Meet(clamp)
+	if met.IsBot() {
+		return botEnv()
+	}
+	if met.Equal(cur) {
+		return env
+	}
+	env = env.clone()
+	env.set(v, met)
+	return env
+}
+
+func negateRel(op token.Kind) token.Kind {
+	switch op {
+	case token.Eq:
+		return token.NotEq
+	case token.NotEq:
+		return token.Eq
+	case token.Less:
+		return token.GreatEq
+	case token.LessEq:
+		return token.Greater
+	case token.Greater:
+		return token.LessEq
+	case token.GreatEq:
+		return token.Less
+	}
+	return op
+}
+
+// flipRel mirrors the relation for the swapped operand order.
+func flipRel(op token.Kind) token.Kind {
+	switch op {
+	case token.Less:
+		return token.Greater
+	case token.LessEq:
+		return token.GreatEq
+	case token.Greater:
+		return token.Less
+	case token.GreatEq:
+		return token.LessEq
+	}
+	return op // Eq, NotEq symmetric
+}

@@ -1,0 +1,257 @@
+package absint
+
+import (
+	"testing"
+
+	"gadt/internal/pascal/ast"
+	"gadt/internal/pascal/parser"
+	"gadt/internal/pascal/sem"
+)
+
+func analyzeSrc(t *testing.T, src string) (*sem.Info, *Result) {
+	t.Helper()
+	prog, err := parser.ParseProgram("t.pas", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sem.Analyze(prog)
+	if err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	return info, Analyze(info)
+}
+
+func globalVar(t *testing.T, info *sem.Info, name string) *sem.VarSym {
+	t.Helper()
+	for _, v := range info.Main.Locals {
+		if v.Name == name {
+			return v
+		}
+	}
+	t.Fatalf("no global %q", name)
+	return nil
+}
+
+func exitEnvOf(res *Result, r *sem.Routine) Env {
+	return res.At(res.Graphs[r].Exit)
+}
+
+func wantConst(t *testing.T, env Env, v *sem.VarSym, c int64) {
+	t.Helper()
+	got, ok := env.Lookup(v).ConstInt()
+	if !ok || got != c {
+		t.Fatalf("%s = %s, want constant %d", v.Name, env.Lookup(v), c)
+	}
+}
+
+func TestConstantPropagation(t *testing.T) {
+	info, res := analyzeSrc(t, `
+program p;
+var x, y: integer;
+begin
+  x := 2;
+  y := x * 3 + 1
+end.`)
+	env := exitEnvOf(res, info.Main)
+	wantConst(t, env, globalVar(t, info, "x"), 2)
+	wantConst(t, env, globalVar(t, info, "y"), 7)
+}
+
+func TestBranchRefinement(t *testing.T) {
+	info, res := analyzeSrc(t, `
+program p;
+var x, y: integer;
+begin
+  read(x);
+  if x > 10 then
+    y := 1
+  else
+    y := 0
+end.`)
+	// Inside the then branch, x must be clamped to [11, +inf).
+	var thenAssign ast.Stmt
+	ast.Inspect(info.Program, func(n ast.Node) bool {
+		if s, ok := n.(*ast.IfStmt); ok {
+			thenAssign = s.Then
+		}
+		return true
+	})
+	g := res.Graphs[info.Main]
+	node := g.NodeOf[thenAssign]
+	if node == nil {
+		t.Fatal("no CFG node for then-branch assignment")
+	}
+	lo, _, ok := res.At(node).Lookup(globalVar(t, info, "x")).Bounds()
+	if !ok || lo != 11 {
+		t.Fatalf("x in then branch = %s, want lower bound 11", res.At(node).Lookup(globalVar(t, info, "x")))
+	}
+	// After the join, y is [0..1].
+	env := exitEnvOf(res, info.Main)
+	ylo, yhi, _ := env.Lookup(globalVar(t, info, "y")).Bounds()
+	if ylo != 0 || yhi != 1 {
+		t.Fatalf("y at exit = %s, want [0..1]", env.Lookup(globalVar(t, info, "y")))
+	}
+}
+
+func TestWhileLoopWidenNarrow(t *testing.T) {
+	info, res := analyzeSrc(t, `
+program p;
+var i: integer;
+begin
+  i := 0;
+  while i < 10 do
+    i := i + 1
+end.`)
+	// Widening blows the loop counter to [0, +inf); narrowing plus the
+	// false-branch clamp must recover i = 10 exactly at exit.
+	wantConst(t, exitEnvOf(res, info.Main), globalVar(t, info, "i"), 10)
+}
+
+func TestForLoopBounds(t *testing.T) {
+	info, res := analyzeSrc(t, `
+program p;
+var i, acc: integer;
+begin
+  acc := 0;
+  for i := 1 to 5 do
+    acc := acc + i
+end.`)
+	// The interpreter only writes the loop variable while the bounds
+	// check passes, so after the loop i holds the limit, not limit+1.
+	env := exitEnvOf(res, info.Main)
+	wantConst(t, env, globalVar(t, info, "i"), 5)
+	lo, _, ok := env.Lookup(globalVar(t, info, "acc")).Bounds()
+	if !ok || lo < 0 {
+		t.Fatalf("acc at exit = %s, want nonnegative interval", env.Lookup(globalVar(t, info, "acc")))
+	}
+}
+
+func TestInterproceduralSummaries(t *testing.T) {
+	info, res := analyzeSrc(t, `
+program p;
+var r0: integer;
+
+function double(x: integer): integer;
+begin
+  double := x * 2
+end;
+
+procedure setit(var o: integer);
+begin
+  o := 42
+end;
+
+begin
+  r0 := double(3);
+  setit(r0)
+end.`)
+	env := exitEnvOf(res, info.Main)
+	wantConst(t, env, globalVar(t, info, "r0"), 42)
+
+	// Before the setit call, the function summary gives r0 = 6.
+	var call ast.Stmt
+	ast.Inspect(info.Program, func(n ast.Node) bool {
+		if s, ok := n.(*ast.CallStmt); ok && s.Name == "setit" {
+			call = s
+		}
+		return true
+	})
+	node := res.Graphs[info.Main].NodeOf[call]
+	wantConst(t, res.At(node), globalVar(t, info, "r0"), 6)
+}
+
+func TestInfeasibleBranch(t *testing.T) {
+	info, res := analyzeSrc(t, `
+program p;
+var mode, x: integer;
+begin
+  mode := 0;
+  if mode > 0 then
+    x := 1
+  else
+    x := 2
+end.`)
+	g := res.Graphs[info.Main]
+	edges := res.InfeasibleEdges(g)
+	if len(edges) != 1 {
+		t.Fatalf("infeasible edges = %d, want 1", len(edges))
+	}
+	var thenAssign, elseAssign ast.Stmt
+	ast.Inspect(info.Program, func(n ast.Node) bool {
+		if s, ok := n.(*ast.IfStmt); ok {
+			thenAssign, elseAssign = s.Then, s.Else
+		}
+		return true
+	})
+	if !res.Reachable(g.NodeOf[elseAssign]) {
+		t.Fatal("else branch should be reachable")
+	}
+	if res.Reachable(g.NodeOf[thenAssign]) {
+		t.Fatal("then branch should be unreachable")
+	}
+	wantConst(t, exitEnvOf(res, info.Main), globalVar(t, info, "x"), 2)
+}
+
+func TestRepeatLoop(t *testing.T) {
+	info, res := analyzeSrc(t, `
+program p;
+var i: integer;
+begin
+  i := 0;
+  repeat
+    i := i + 1
+  until i >= 3
+end.`)
+	env := exitEnvOf(res, info.Main)
+	lo, _, ok := env.Lookup(globalVar(t, info, "i")).Bounds()
+	if !ok || lo < 3 {
+		t.Fatalf("i at exit = %s, want lower bound >= 3", env.Lookup(globalVar(t, info, "i")))
+	}
+}
+
+func TestEvalAtAccountsForCalls(t *testing.T) {
+	// g is read inside the same statement that calls bump, which
+	// modifies g: EvalAt must not claim g is still exactly 1.
+	info, res := analyzeSrc(t, `
+program p;
+var g, x: integer;
+
+function bump: integer;
+begin
+  g := g + 100;
+  bump := 1
+end;
+
+begin
+  g := 1;
+  x := bump + g
+end.`)
+	var assign ast.Stmt
+	ast.Inspect(info.Program, func(n ast.Node) bool {
+		if s, ok := n.(*ast.AssignStmt); ok {
+			if id, isID := s.Lhs.(*ast.Ident); isID && id.Name == "x" {
+				assign = s
+			}
+		}
+		return true
+	})
+	node := res.Graphs[info.Main].NodeOf[assign]
+	rhs := assign.(*ast.AssignStmt).Rhs.(*ast.BinaryExpr)
+	v := res.EvalAt(node, rhs.Y) // the `g` operand
+	if _, isConst := v.ConstInt(); isConst {
+		t.Fatalf("g during call-carrying statement = %s, want non-singleton", v)
+	}
+}
+
+func TestDumpRenders(t *testing.T) {
+	_, res := analyzeSrc(t, `
+program p;
+var x: integer;
+begin
+  x := 1
+end.`)
+	out := res.Dump()
+	if out == "" {
+		t.Fatal("empty dump")
+	}
+}

@@ -1,0 +1,63 @@
+package absint
+
+import "testing"
+
+func TestIntervalArith(t *testing.T) {
+	tests := []struct {
+		name string
+		got  Val
+		want Val
+	}{
+		{"add", IntRange(1, 2).Add(IntRange(10, 20)), IntRange(11, 22)},
+		{"sub", IntRange(1, 2).Sub(IntRange(10, 20)), IntRange(-19, -8)},
+		{"mul-sign", IntRange(-2, 3).Mul(IntRange(4, 5)), IntRange(-10, 15)},
+		{"neg", IntRange(-3, 7).Neg(), IntRange(-7, 3)},
+		{"div-pos", IntRange(10, 20).Div(IntConst(3)), IntRange(3, 6)},
+		{"div-neg-trunc", IntRange(-7, -7).Div(IntConst(2)), IntConst(-3)},
+		{"div-span-zero-divisor", IntConst(10).Div(IntRange(-2, 2)), IntRange(-10, 10)},
+		{"div-by-zero-only", IntConst(1).Div(IntConst(0)), Bot()},
+		{"mod", IntRange(0, 100).Mod(IntConst(7)), IntRange(0, 6)},
+		{"mod-neg-dividend", IntRange(-5, -1).Mod(IntConst(3)), IntRange(-2, 0)},
+		{"abs", IntRange(-3, 2).Abs(), IntRange(0, 3)},
+		{"add-overflow", IntConst(posInf - 1).Add(IntConst(posInf - 1)), IntConst(posInf)},
+		{"join", IntRange(0, 1).Join(IntRange(5, 9)), IntRange(0, 9)},
+		{"meet-disjoint", IntRange(0, 1).Meet(IntRange(5, 9)), Bot()},
+		{"meet", IntRange(0, 7).Meet(IntRange(5, 9)), IntRange(5, 7)},
+		{"widen-hi", IntRange(0, 1).Widen(IntRange(0, 2)), IntRange(0, posInf)},
+		{"widen-lo-threshold", IntRange(5, 9).Widen(IntRange(2, 9)), IntRange(0, 9)},
+		{"bot-absorbs", Bot().Add(IntConst(1)), Bot()},
+		{"top-degrades", Top().Add(IntConst(1)), AnyInt()},
+	}
+	for _, tc := range tests {
+		if !tc.got.Equal(tc.want) {
+			t.Errorf("%s: got %s, want %s", tc.name, tc.got, tc.want)
+		}
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	tests := []struct {
+		name string
+		got  Val
+		want Val
+	}{
+		{"lt-definite", IntRange(0, 4).Lt(IntRange(5, 9)), BoolConst(true)},
+		{"lt-overlap", IntRange(0, 5).Lt(IntRange(5, 9)), AnyBool()},
+		{"ge-definite-false", IntRange(0, 4).Ge(IntRange(5, 9)), BoolConst(false)},
+		{"eq-disjoint", IntConst(1).EqV(IntConst(2)), BoolConst(false)},
+		{"eq-same-const", IntConst(3).EqV(IntConst(3)), BoolConst(true)},
+		{"eq-overlap", IntRange(0, 5).EqV(IntConst(3)), AnyBool()},
+		{"ne", IntConst(1).NeV(IntConst(2)), BoolConst(true)},
+		{"and", BoolConst(true).And(AnyBool()), AnyBool()},
+		{"and-false", BoolConst(false).And(AnyBool()), BoolConst(false)},
+		{"or-true", BoolConst(true).Or(AnyBool()), BoolConst(true)},
+		{"not", BoolConst(true).Not(), BoolConst(false)},
+		{"odd-const", IntConst(-3).Odd(), BoolConst(true)},
+		{"odd-range", IntRange(0, 3).Odd(), AnyBool()},
+	}
+	for _, tc := range tests {
+		if !tc.got.Equal(tc.want) {
+			t.Errorf("%s: got %s, want %s", tc.name, tc.got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package absint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gadt/internal/analysis/cfg"
+	"gadt/internal/pascal/sem"
+)
+
+// Dump renders the per-program-point stores as text, one routine per
+// section in declaration order, one line per CFG node:
+//
+//	n3   cond i < n              {i: [1..10], n: 10}
+//
+// Unreachable nodes print {unreachable}. The format is a debugging aid
+// for the analysis itself (plint -pval), not a stable interface.
+func (r *Result) Dump() string {
+	var sb strings.Builder
+	for _, rt := range r.Info.Routines {
+		g := r.Graphs[rt]
+		if g == nil {
+			continue
+		}
+		fmt.Fprintf(&sb, "%s %s:\n", rt.Kind, rt.Name)
+		for _, n := range g.Nodes {
+			fmt.Fprintf(&sb, "  n%-3d %-28s %s\n", n.ID, clip(n.String(), 28), r.describeEnv(rt, n))
+		}
+	}
+	return sb.String()
+}
+
+func clip(s string, n int) string {
+	s = strings.ReplaceAll(s, "\n", " ")
+	if len(s) > n {
+		return s[:n-3] + "..."
+	}
+	return s
+}
+
+// describeEnv renders the tracked variables of rt (own scalars plus the
+// program globals) at node n, sorted by name; ⊤ entries are elided.
+func (r *Result) describeEnv(rt *sem.Routine, n *cfg.Node) string {
+	env := r.At(n)
+	if !env.Reachable() {
+		return "{unreachable}"
+	}
+	vars := append([]*sem.VarSym(nil), rt.AllVars()...)
+	if rt != r.Info.Main {
+		vars = append(vars, r.Info.Main.Locals...)
+	}
+	var parts []string
+	for _, v := range vars {
+		val := env.Lookup(v)
+		if val.IsTop() {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s: %s", v.Name, val))
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, ", ") + "}"
+}

@@ -48,6 +48,43 @@ func (k Kind) String() string {
 	return "stmt"
 }
 
+// Branch labels an edge with the condition outcome that takes it. Edges
+// out of Cond/ForCond nodes carry BranchTrue or BranchFalse; when both
+// outcomes of a condition reach the same node (an empty branch) the
+// merged edge is BranchBoth. All other edges are BranchAlways.
+type Branch int
+
+const (
+	BranchAlways Branch = iota // unconditional flow
+	BranchTrue                 // taken when the condition holds
+	BranchFalse                // taken when the condition fails
+	BranchBoth                 // true and false outcomes merge here
+)
+
+func (br Branch) String() string {
+	switch br {
+	case BranchTrue:
+		return "true"
+	case BranchFalse:
+		return "false"
+	case BranchBoth:
+		return "both"
+	}
+	return "always"
+}
+
+// mergeBranch combines the labels of two parallel edges between the same
+// node pair (the builder dedups such edges into one).
+func mergeBranch(a, b Branch) Branch {
+	if a == b {
+		return a
+	}
+	if a == BranchAlways || b == BranchAlways {
+		return BranchAlways
+	}
+	return BranchBoth
+}
+
 // Node is one CFG node.
 type Node struct {
 	ID   int
@@ -94,6 +131,45 @@ type Graph struct {
 	NodeOf map[ast.Stmt]*Node
 	// CondOf maps a structured statement to its condition node(s).
 	CondOf map[ast.Stmt][]*Node
+
+	// labels records the branch label of every edge, keyed by the
+	// (from, to) node-ID pair.
+	labels map[[2]int]Branch
+}
+
+// Label returns the branch label of the from→to edge (BranchAlways when
+// the edge does not exist or carries no condition outcome).
+func (g *Graph) Label(from, to *Node) Branch {
+	return g.labels[[2]int{from.ID, to.ID}]
+}
+
+// RemoveEdge deletes the from→to edge, if present. Used by clients that
+// prune statically infeasible branches before dependence analysis.
+func (g *Graph) RemoveEdge(from, to *Node) {
+	for i, s := range from.Succs {
+		if s == to {
+			from.Succs = append(from.Succs[:i], from.Succs[i+1:]...)
+			break
+		}
+	}
+	for i, p := range to.Preds {
+		if p == from {
+			to.Preds = append(to.Preds[:i], to.Preds[i+1:]...)
+			break
+		}
+	}
+	delete(g.labels, [2]int{from.ID, to.ID})
+}
+
+// Disconnect removes every edge touching n, detaching it from the graph
+// (the node itself stays in Nodes so IDs remain stable).
+func (g *Graph) Disconnect(n *Node) {
+	for _, s := range append([]*Node(nil), n.Succs...) {
+		g.RemoveEdge(n, s)
+	}
+	for _, p := range append([]*Node(nil), n.Preds...) {
+		g.RemoveEdge(p, n)
+	}
 }
 
 // Build constructs the CFG of routine r using resolved goto targets from
@@ -105,25 +181,26 @@ func Build(info *sem.Info, r *sem.Routine) *Graph {
 			Routine: r,
 			NodeOf:  make(map[ast.Stmt]*Node),
 			CondOf:  make(map[ast.Stmt][]*Node),
+			labels:  make(map[[2]int]Branch),
 		},
 		labels: make(map[string]*Node),
 	}
 	b.g.Entry = b.newNode(Entry)
 	b.g.Exit = b.newNode(Exit)
 
-	exits := b.stmt(r.Block.Body, []*Node{b.g.Entry})
-	for _, n := range exits {
-		b.edge(n, b.g.Exit)
+	exits := b.stmt(r.Block.Body, []flow{{b.g.Entry, BranchAlways}})
+	for _, f := range exits {
+		b.edge(f.n, b.g.Exit, f.br)
 	}
 	// Wire pending local gotos now that all labels are known.
 	for _, pg := range b.pendingGotos {
 		target, ok := b.labels[pg.label]
 		if !ok {
 			// Label exists per sem but was not seen: defensive fallback.
-			b.edge(pg.node, b.g.Exit)
+			b.edge(pg.node, b.g.Exit, BranchAlways)
 			continue
 		}
-		b.edge(pg.node, target)
+		b.edge(pg.node, target, BranchAlways)
 	}
 	return b.g
 }
@@ -155,26 +232,36 @@ func (b *builder) newNode(k Kind) *Node {
 	return n
 }
 
-func (b *builder) edge(from, to *Node) {
+// flow is a dangling edge source awaiting its target: the node control
+// leaves from, plus the branch outcome that leaves it.
+type flow struct {
+	n  *Node
+	br Branch
+}
+
+func (b *builder) edge(from, to *Node, br Branch) {
+	key := [2]int{from.ID, to.ID}
 	for _, s := range from.Succs {
 		if s == to {
+			b.g.labels[key] = mergeBranch(b.g.labels[key], br)
 			return
 		}
 	}
 	from.Succs = append(from.Succs, to)
 	to.Preds = append(to.Preds, from)
+	b.g.labels[key] = br
 }
 
-func (b *builder) connect(preds []*Node, to *Node) {
+func (b *builder) connect(preds []flow, to *Node) {
 	for _, p := range preds {
-		b.edge(p, to)
+		b.edge(p.n, to, p.br)
 	}
 }
 
 // stmt adds nodes for s with the given predecessors and returns the set
-// of nodes whose fall-through continues after s. Nodes that transfer
-// control elsewhere (goto) return no exits.
-func (b *builder) stmt(s ast.Stmt, preds []*Node) []*Node {
+// of dangling flows whose fall-through continues after s. Nodes that
+// transfer control elsewhere (goto) return no exits.
+func (b *builder) stmt(s ast.Stmt, preds []flow) []flow {
 	switch s := s.(type) {
 	case nil:
 		return preds
@@ -191,7 +278,7 @@ func (b *builder) stmt(s ast.Stmt, preds []*Node) []*Node {
 		n.Stmt = s
 		b.g.NodeOf[s] = n
 		b.connect(preds, n)
-		return []*Node{n}
+		return []flow{{n, BranchAlways}}
 	case *ast.GotoStmt:
 		n := b.newNode(Stmt)
 		n.Stmt = s
@@ -201,7 +288,7 @@ func (b *builder) stmt(s ast.Stmt, preds []*Node) []*Node {
 		if li == nil || li.Routine != b.g.Routine {
 			// Escaping goto: control leaves this routine.
 			b.g.EscapingGotos = append(b.g.EscapingGotos, s)
-			b.edge(n, b.g.Exit)
+			b.edge(n, b.g.Exit, BranchAlways)
 		} else {
 			b.pendingGotos = append(b.pendingGotos, pendingGoto{node: n, label: s.Label})
 		}
@@ -215,18 +302,18 @@ func (b *builder) stmt(s ast.Stmt, preds []*Node) []*Node {
 		b.g.NodeOf[s] = join
 		b.labels[s.Label] = join
 		b.connect(preds, join)
-		return b.stmt(s.Stmt, []*Node{join})
+		return b.stmt(s.Stmt, []flow{{join, BranchAlways}})
 	case *ast.IfStmt:
 		cond := b.newNode(Cond)
 		cond.Cond = s.Cond
 		cond.Stmt = s
 		b.g.CondOf[s] = append(b.g.CondOf[s], cond)
 		b.connect(preds, cond)
-		thenExits := b.stmt(s.Then, []*Node{cond})
+		thenExits := b.stmt(s.Then, []flow{{cond, BranchTrue}})
 		if s.Else == nil {
-			return append(thenExits, cond)
+			return append(thenExits, flow{cond, BranchFalse})
 		}
-		elseExits := b.stmt(s.Else, []*Node{cond})
+		elseExits := b.stmt(s.Else, []flow{{cond, BranchFalse}})
 		return append(thenExits, elseExits...)
 	case *ast.WhileStmt:
 		cond := b.newNode(Cond)
@@ -234,16 +321,16 @@ func (b *builder) stmt(s ast.Stmt, preds []*Node) []*Node {
 		cond.Stmt = s
 		b.g.CondOf[s] = append(b.g.CondOf[s], cond)
 		b.connect(preds, cond)
-		bodyExits := b.stmt(s.Body, []*Node{cond})
+		bodyExits := b.stmt(s.Body, []flow{{cond, BranchTrue}})
 		b.connect(bodyExits, cond)
-		return []*Node{cond}
+		return []flow{{cond, BranchFalse}}
 	case *ast.RepeatStmt:
 		// Body executes at least once; condition tested after.
 		first := b.newNode(Stmt)
 		first.Stmt = &ast.EmptyStmt{SemiPos: s.Pos()}
 		b.g.NodeOf[s] = first
 		b.connect(preds, first)
-		cur := []*Node{first}
+		cur := []flow{{first, BranchAlways}}
 		for _, c := range s.Stmts {
 			cur = b.stmt(c, cur)
 		}
@@ -252,8 +339,8 @@ func (b *builder) stmt(s ast.Stmt, preds []*Node) []*Node {
 		cond.Stmt = s
 		b.g.CondOf[s] = append(b.g.CondOf[s], cond)
 		b.connect(cur, cond)
-		b.edge(cond, first) // loop back when condition false
-		return []*Node{cond}
+		b.edge(cond, first, BranchFalse) // loop back when condition false
+		return []flow{{cond, BranchTrue}}
 	case *ast.ForStmt:
 		init := b.newNode(ForInit)
 		init.Stmt = s
@@ -262,27 +349,27 @@ func (b *builder) stmt(s ast.Stmt, preds []*Node) []*Node {
 		cond := b.newNode(ForCond)
 		cond.Stmt = s
 		b.g.CondOf[s] = append(b.g.CondOf[s], cond)
-		b.edge(init, cond)
-		bodyExits := b.stmt(s.Body, []*Node{cond})
+		b.edge(init, cond, BranchAlways)
+		bodyExits := b.stmt(s.Body, []flow{{cond, BranchTrue}})
 		incr := b.newNode(ForIncr)
 		incr.Stmt = s
 		b.connect(bodyExits, incr)
-		b.edge(incr, cond)
-		return []*Node{cond}
+		b.edge(incr, cond, BranchAlways)
+		return []flow{{cond, BranchFalse}}
 	case *ast.CaseStmt:
 		cond := b.newNode(Cond)
 		cond.Cond = s.Expr
 		cond.Stmt = s
 		b.g.CondOf[s] = append(b.g.CondOf[s], cond)
 		b.connect(preds, cond)
-		var exits []*Node
+		var exits []flow
 		for _, arm := range s.Arms {
-			exits = append(exits, b.stmt(arm.Body, []*Node{cond})...)
+			exits = append(exits, b.stmt(arm.Body, []flow{{cond, BranchAlways}})...)
 		}
 		if s.Else != nil {
-			exits = append(exits, b.stmt(s.Else, []*Node{cond})...)
+			exits = append(exits, b.stmt(s.Else, []flow{{cond, BranchAlways}})...)
 		} else {
-			exits = append(exits, cond) // no matching arm falls through
+			exits = append(exits, flow{cond, BranchAlways}) // no matching arm falls through
 		}
 		return exits
 	}
@@ -291,7 +378,7 @@ func (b *builder) stmt(s ast.Stmt, preds []*Node) []*Node {
 	n.Stmt = s
 	b.g.NodeOf[s] = n
 	b.connect(preds, n)
-	return []*Node{n}
+	return []flow{{n, BranchAlways}}
 }
 
 // Reachable returns the set of nodes reachable from Entry.
@@ -320,6 +407,10 @@ func (g *Graph) Dot() string {
 	}
 	for _, n := range g.Nodes {
 		for _, s := range n.Succs {
+			if br := g.Label(n, s); br != BranchAlways {
+				fmt.Fprintf(&sb, "  n%d -> n%d [label=%q];\n", n.ID, s.ID, br)
+				continue
+			}
 			fmt.Fprintf(&sb, "  n%d -> n%d;\n", n.ID, s.ID)
 		}
 	}

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"gadt/internal/analysis/absint"
 	"gadt/internal/analysis/callgraph"
 	"gadt/internal/analysis/cfg"
 	"gadt/internal/analysis/dataflow"
@@ -23,6 +24,9 @@ type Context struct {
 	Graphs map[*sem.Routine]*cfg.Graph
 	Flows  map[*sem.Routine]*dataflow.Result
 	Lives  map[*sem.Routine]*dataflow.Live
+	// Values is the abstract-interpretation result backing the provable
+	// checks P012–P015.
+	Values *absint.Result
 
 	// Observed holds, per CFG node, the variables whose incoming value the
 	// node may actually read — Flows' UsesAt with flow-insensitive call
@@ -67,6 +71,8 @@ func NewContext(info *sem.Info, src string) *Context {
 			}
 		}
 	}
+	// The value analysis shares the CFGs built above.
+	cx.Values = absint.AnalyzeGraphs(info, cx.Graphs, cx.CG, cx.Side)
 	// Observing uses need every routine's flow results, so this runs after
 	// the per-routine loop. usedAnywhere counts observing uses only: a
 	// variable that is merely overwritten through var-parameter bindings
@@ -107,6 +113,10 @@ func Checks() []Check {
 		{"P009", "result-unassigned", "function has paths that never assign its result", checkResultUnassigned},
 		{"P010", "goto-into-loop", "goto jumps into the body of a loop", checkGotoIntoLoop},
 		{"P011", "nonlocal-exit", "routine may exit non-locally via goto", checkNonlocalExit},
+		{"P012", "constant-condition", "branch condition always evaluates the same way", checkConstCond},
+		{"P013", "index-out-of-range", "array index is provably outside the declared bounds", checkIndexRange},
+		{"P014", "div-by-zero", "right operand of div/mod is provably zero", checkDivByZero},
+		{"P015", "redundant-store", "assignment provably stores the value the variable already holds", checkRedundantStore},
 	}
 }
 

@@ -91,6 +91,15 @@ func TestCorpus(t *testing.T) {
 				}
 				continue
 			}
+			if p.Name == "checksum" {
+				// The constant-false debug guard is planted: P012 must
+				// prove it, and nothing else may fire.
+				if len(diags) != 1 || diags[0].Code != "P012" ||
+					!strings.Contains(diags[0].Message, "always false") {
+					t.Errorf("checksum: want exactly the planted P012 always-false finding, got %+v", diags)
+				}
+				continue
+			}
 			if len(diags) > 0 {
 				var buf bytes.Buffer
 				lint.Text(&buf, diags)
@@ -365,5 +374,193 @@ func TestLookupCheck(t *testing.T) {
 	}
 	if c := lint.LookupCheck("nope"); c != nil {
 		t.Errorf("LookupCheck(nope) = %+v, want nil", c)
+	}
+}
+
+// TestValueChecks exercises the abstract-interpretation-backed checks
+// P012..P015 on both firing and deliberately-near-miss programs: each
+// check must report only facts that hold on every execution.
+func TestValueChecks(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string // codes that must fire
+		ban  []string // codes that must stay silent
+	}{
+		{
+			name: "dead guard",
+			src: `program p;
+var mode, x: integer;
+begin
+  mode := 0;
+  x := 1;
+  if mode > 0 then
+    x := 2;
+  writeln(x);
+end.`,
+			want: []string{"P012"},
+		},
+		{
+			name: "live guard reads input",
+			src: `program p;
+var mode, x: integer;
+begin
+  read(mode);
+  x := 1;
+  if mode > 0 then
+    x := 2;
+  writeln(x);
+end.`,
+			ban: []string{"P012"},
+		},
+		{
+			name: "literal condition is idiom",
+			src: `program p;
+var x: integer;
+begin
+  x := 0;
+  while true do begin
+    x := x + 1;
+    if x > 3 then
+      x := 0;
+  end;
+end.`,
+			ban: []string{"P012"},
+		},
+		{
+			name: "index always past the end",
+			src: `program p;
+var a: array [1 .. 4] of integer;
+    i: integer;
+begin
+  i := 9;
+  a[i] := 1;
+  writeln(a[1]);
+end.`,
+			want: []string{"P013"},
+		},
+		{
+			name: "index interval overlaps bounds",
+			src: `program p;
+var a: array [1 .. 4] of integer;
+    i: integer;
+begin
+  read(i);
+  a[i] := 1;
+  writeln(a[1]);
+end.`,
+			ban: []string{"P013"},
+		},
+		{
+			name: "index narrowed by loop stays inside",
+			src: `program p;
+var a: array [1 .. 4] of integer;
+    i: integer;
+begin
+  for i := 1 to 4 do
+    a[i] := i;
+  writeln(a[2]);
+end.`,
+			ban: []string{"P013"},
+		},
+		{
+			name: "divisor pinned to zero",
+			src: `program p;
+var z, n: integer;
+begin
+  read(n);
+  z := 0;
+  writeln(n div z);
+end.`,
+			want: []string{"P014"},
+		},
+		{
+			name: "divisor only maybe zero",
+			src: `program p;
+var z, n: integer;
+begin
+  read(n);
+  z := n - 1;
+  writeln(n div z, n mod z);
+end.`,
+			ban: []string{"P014"},
+		},
+		{
+			name: "store rewrites held constant",
+			src: `program p;
+var k: integer;
+begin
+  k := 4;
+  writeln(k);
+  k := 2 + 2;
+  writeln(k);
+end.`,
+			want: []string{"P015"},
+		},
+		{
+			name: "initializer stores are style",
+			src: `program p;
+var k: integer;
+begin
+  k := 0;
+  writeln(k);
+end.`,
+			ban: []string{"P015"},
+		},
+		{
+			name: "store changes the value",
+			src: `program p;
+var k: integer;
+begin
+  k := 4;
+  writeln(k);
+  k := 5;
+  writeln(k);
+end.`,
+			ban: []string{"P015"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags, err := lint.Run("p.pas", tc.src, lint.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fired := make(map[string]bool)
+			for _, d := range diags {
+				fired[d.Code] = true
+			}
+			for _, code := range tc.want {
+				if !fired[code] {
+					var buf bytes.Buffer
+					lint.Text(&buf, diags)
+					t.Errorf("%s did not fire; findings:\n%s", code, buf.String())
+				}
+			}
+			for _, code := range tc.ban {
+				if fired[code] {
+					var buf bytes.Buffer
+					lint.Text(&buf, diags)
+					t.Errorf("%s fired on a near-miss; findings:\n%s", code, buf.String())
+				}
+			}
+		})
+	}
+}
+
+// TestJSONGolden pins the exact -json rendering of the fixture — the
+// machine-readable contract plint exposes to CI and gadt-serve clients.
+func TestJSONGolden(t *testing.T) {
+	diags := runFile(t, "lint_anomalies.pas", lint.Options{})
+	var buf bytes.Buffer
+	if err := lint.JSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("..", "..", "..", "testdata", "lint_anomalies.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != string(want) {
+		t.Errorf("JSON golden mismatch:\n--- got ---\n%s--- want ---\n%s", buf.String(), want)
 	}
 }

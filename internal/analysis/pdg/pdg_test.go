@@ -273,3 +273,204 @@ func TestPredsSuccsConsistent(t *testing.T) {
 		t.Errorf("edge counts inconsistent: %d succs vs %d preds", fwd, bwd)
 	}
 }
+
+// TestPostDomUnreachableBlock: a goto jumps over a block, leaving nodes
+// that cannot reach Exit forwards but are still in Nodes. Reachable
+// nodes must keep a postdominator chain to Exit; the analysis must not
+// loop or panic on the dead region.
+func TestPostDomUnreachableBlock(t *testing.T) {
+	_, g := buildCFG(t, `
+program t;
+label 10;
+var x: integer;
+begin
+  goto 10;
+  x := 99;
+  10: x := 1;
+end.`, "")
+	ipdom := postDoms(g)
+	reach := g.Reachable()
+	for _, n := range g.Nodes {
+		if !reach[n] || n == g.Exit {
+			continue
+		}
+		cur := n
+		for steps := 0; cur != g.Exit; steps++ {
+			next, ok := ipdom[cur]
+			if !ok || next == nil || steps > len(g.Nodes) {
+				t.Fatalf("reachable node n%d has no postdominator chain to exit", n.ID)
+			}
+			cur = next
+		}
+	}
+	if deps := controlDeps(g); len(deps) == 0 {
+		t.Fatal("no control dependences computed")
+	}
+}
+
+// TestPostDomMultiExit: an escaping goto gives the routine two edges
+// into Exit. The branch condition's immediate postdominator is then
+// Exit itself, and both arms are control-dependent on the condition.
+func TestPostDomMultiExit(t *testing.T) {
+	_, g := buildCFG(t, `
+program t;
+label 99;
+procedure p(n: integer);
+begin
+  if n < 0 then
+    goto 99;
+  writeln(n);
+end;
+begin
+  p(3);
+  99: writeln(0);
+end.`, "p")
+	if len(g.EscapingGotos) != 1 {
+		t.Fatalf("want 1 escaping goto, got %d", len(g.EscapingGotos))
+	}
+	ipdom := postDoms(g)
+	var cond *cfg.Node
+	for _, n := range g.Nodes {
+		if n.Kind == cfg.Cond {
+			cond = n
+		}
+	}
+	if cond == nil {
+		t.Fatal("condition node missing")
+	}
+	if ipdom[cond] != g.Exit {
+		t.Errorf("ipdom(cond) = %v, want Exit: neither arm rejoins before the routine ends", ipdom[cond])
+	}
+	deps := controlDeps(g)
+	for _, n := range g.Nodes {
+		if n.Kind != cfg.Stmt {
+			continue
+		}
+		found := false
+		for _, d := range deps[n] {
+			if d == cond {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("node n%d (%v) not control-dependent on the branch", n.ID, n.Stmt)
+		}
+	}
+}
+
+// TestPostDomSelfLoop: a goto targeting its own label is a self-loop
+// that never reaches Exit. postDoms must terminate, leave the trapped
+// node without an ipdom entry, and controlDeps must still attribute the
+// loop entry to the guarding condition.
+func TestPostDomSelfLoop(t *testing.T) {
+	_, g := buildCFG(t, `
+program t;
+label 10;
+var x: integer;
+begin
+  x := 1;
+  if x > 5 then
+    10: goto 10;
+  writeln(x);
+end.`, "")
+	ipdom := postDoms(g)
+	var cond *cfg.Node
+	var cycle []*cfg.Node
+	for _, n := range g.Nodes {
+		if n.Kind == cfg.Cond {
+			cond = n
+		}
+		// The trapped cycle is a self-edge or the two-node join<->goto
+		// loop the labeled goto expands to.
+		for _, s := range n.Succs {
+			if s == n {
+				cycle = append(cycle, n)
+				continue
+			}
+			for _, s2 := range s.Succs {
+				if s2 == n && n != g.Exit {
+					cycle = append(cycle, n)
+				}
+			}
+		}
+	}
+	if len(cycle) == 0 || cond == nil {
+		t.Fatal("self-loop or condition node missing")
+	}
+	deps := controlDeps(g)
+	found := false
+	for _, n := range cycle {
+		if _, ok := ipdom[n]; ok {
+			t.Errorf("trapped node n%d should have no postdominator (it never reaches Exit)", n.ID)
+		}
+		for _, d := range deps[n] {
+			if d == cond {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no node of the trapped cycle is control-dependent on its guard")
+	}
+}
+
+// TestPostDomPrunedGraph drives postDoms and controlDeps over a graph
+// mutated exactly the way pruneInfeasible does: a branch edge removed
+// and the orphaned arm disconnected. The surviving nodes must keep
+// postdominator chains and the one-armed condition must control
+// nothing.
+func TestPostDomPrunedGraph(t *testing.T) {
+	_, g := buildCFG(t, `
+program t;
+var x: integer;
+begin
+  x := 0;
+  if x > 0 then
+    x := 1
+  else
+    x := 2;
+  writeln(x);
+end.`, "")
+	var cond, thenN *cfg.Node
+	for _, n := range g.Nodes {
+		if n.Kind == cfg.Cond {
+			cond = n
+		}
+		if n.Kind == cfg.Stmt {
+			if as, ok := n.Stmt.(*ast.AssignStmt); ok {
+				if lit, ok := as.Rhs.(*ast.IntLit); ok && lit.Value == 1 {
+					thenN = n
+				}
+			}
+		}
+	}
+	if cond == nil || thenN == nil {
+		t.Fatal("nodes missing")
+	}
+	g.RemoveEdge(cond, thenN)
+	g.Disconnect(thenN)
+
+	ipdom := postDoms(g)
+	reach := g.Reachable()
+	for _, n := range g.Nodes {
+		if !reach[n] || n == g.Exit {
+			continue
+		}
+		cur := n
+		for steps := 0; cur != g.Exit; steps++ {
+			next, ok := ipdom[cur]
+			if !ok || next == nil || steps > len(g.Nodes) {
+				t.Fatalf("node n%d lost its postdominator chain after pruning", n.ID)
+			}
+			cur = next
+		}
+	}
+	deps := controlDeps(g)
+	for n, ds := range deps {
+		for _, d := range ds {
+			if d == cond {
+				t.Errorf("node n%d still control-dependent on the one-armed condition", n.ID)
+			}
+		}
+	}
+}

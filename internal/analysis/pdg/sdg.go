@@ -3,6 +3,7 @@ package pdg
 import (
 	"fmt"
 
+	"gadt/internal/analysis/absint"
 	"gadt/internal/analysis/callgraph"
 	"gadt/internal/analysis/cfg"
 	"gadt/internal/analysis/dataflow"
@@ -102,6 +103,9 @@ type SDG struct {
 	Info *sem.Info
 	CG   *callgraph.Graph
 	SE   *sideeffect.Result
+	// Values is the abstract-interpretation result used to prune
+	// statically infeasible CFG edges before dependence construction.
+	Values *absint.Result
 
 	Nodes []*Node
 
@@ -163,8 +167,20 @@ func (s *SDG) addEdge(from, to *Node, kind EdgeKind) {
 
 // Build constructs the SDG of an analyzed program: per-routine PDGs
 // (control + flow dependence), parameter linkage at call sites, and
-// HRB summary edges.
+// HRB summary edges. Control flow the value analysis proves infeasible
+// is pruned first, so slices never include dead branches.
 func Build(info *sem.Info) *SDG {
+	return build(info, true)
+}
+
+// BuildUnpruned constructs the SDG without infeasible-edge pruning.
+// Differential tests use it to compare against value-blind baselines
+// such as the Weiser slicer; regular clients want Build.
+func BuildUnpruned(info *sem.Info) *SDG {
+	return build(info, false)
+}
+
+func build(info *sem.Info, prune bool) *SDG {
 	cg := callgraph.Build(info)
 	se := sideeffect.Analyze(info, cg)
 	s := &SDG{
@@ -186,6 +202,16 @@ func Build(info *sem.Info) *SDG {
 		sitesAt:              make(map[*cfg.Node][]*callgraph.Site),
 	}
 
+	// Build every CFG first, then let the value analysis prune branches
+	// it proves untakeable: a dependence can only arise along an edge
+	// some execution follows, so dropping infeasible edges (and the
+	// nodes they orphan) shrinks every downstream slice soundly.
+	for _, r := range info.Routines {
+		s.CFGs[r] = cfg.Build(info, r)
+	}
+	if prune {
+		s.pruneInfeasible()
+	}
 	for _, r := range info.Routines {
 		s.buildRoutineSkeleton(r)
 	}
@@ -199,10 +225,33 @@ func Build(info *sem.Info) *SDG {
 	return s
 }
 
+// pruneInfeasible removes CFG edges the abstract interpretation proves
+// can never be taken, then fully detaches nodes left unreachable (by
+// the analysis or by the edge removal), so control and flow dependence
+// never route through dead branches.
+func (s *SDG) pruneInfeasible() {
+	res := absint.AnalyzeGraphs(s.Info, s.CFGs, s.CG, s.SE)
+	s.Values = res
+	for _, r := range s.Info.Routines {
+		g := s.CFGs[r]
+		for _, e := range res.InfeasibleEdges(g) {
+			g.RemoveEdge(e.From, e.To)
+		}
+		reach := g.Reachable()
+		for _, n := range g.Nodes {
+			if n == g.Entry || n == g.Exit {
+				continue
+			}
+			if !reach[n] || !res.Reachable(n) {
+				g.Disconnect(n)
+			}
+		}
+	}
+}
+
 // buildRoutineSkeleton creates the routine's nodes and control edges.
 func (s *SDG) buildRoutineSkeleton(r *sem.Routine) {
-	g := cfg.Build(s.Info, r)
-	s.CFGs[r] = g
+	g := s.CFGs[r]
 	s.Flows[r] = dataflow.ReachingDefs(s.Info, g, s.SE)
 
 	entry := s.newNode(&Node{Kind: EntryKind, Routine: r, CFG: g.Entry})

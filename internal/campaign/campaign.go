@@ -65,11 +65,12 @@ func DefaultSubjects() []Subject {
 
 // Mutant status values.
 const (
-	StatusKilled    = "killed"    // output diverged or the mutant crashed
-	StatusSurvived  = "survived"  // identical output (possibly equivalent)
-	StatusTimeout   = "timeout"   // fuel or wall-clock exhausted (possibly equivalent)
-	StatusStillborn = "stillborn" // transformation/analysis of the mutant failed
-	StatusPanic     = "panic"     // pipeline panicked (isolated to the mutant)
+	StatusKilled     = "killed"     // output diverged or the mutant crashed
+	StatusSurvived   = "survived"   // identical output (not provably equivalent)
+	StatusTimeout    = "timeout"    // fuel or wall-clock exhausted (possibly equivalent)
+	StatusStillborn  = "stillborn"  // transformation/analysis of the mutant failed
+	StatusPanic      = "panic"      // pipeline panicked (isolated to the mutant)
+	StatusEquivalent = "equivalent" // static triage proved the mutant behaviour-preserving
 )
 
 // Config shapes a campaign run.
@@ -172,7 +173,7 @@ func Run(cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	start := time.Now()
 
-	jobs, subjectErrs, enumerated, err := buildJobs(cfg)
+	jobs, preclassified, subjectErrs, enumerated, err := buildJobs(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -196,7 +197,7 @@ func Run(cfg Config) (*Report, error) {
 	wg.Wait()
 	close(out)
 
-	var outcomes []MutantOutcome
+	outcomes := preclassified
 	for o := range out {
 		outcomes = append(outcomes, o)
 	}
@@ -212,36 +213,66 @@ func Run(cfg Config) (*Report, error) {
 	return rep, nil
 }
 
-// buildJobs enumerates mutants for every subject, computes the
-// reference outputs, and samples the combined list down to Budget with
-// the campaign seed.
-func buildJobs(cfg Config) (jobs []job, subjectErrs []string, enumerated int, err error) {
+// buildJobs enumerates mutants for every subject, triages the provably
+// equivalent ones out of the execution pool, computes the reference
+// outputs, and samples the remaining list down to Budget with the
+// campaign seed. Equivalent mutants bypass the budget: their verdict is
+// free, so they are always reported.
+func buildJobs(cfg Config) (jobs []job, preclassified []MutantOutcome, subjectErrs []string, enumerated int, err error) {
 	for _, s := range cfg.Subjects {
 		want, werr := referenceOutput(s, cfg)
 		if werr != nil {
 			subjectErrs = append(subjectErrs, fmt.Sprintf("%s: %v", s.Name, werr))
 			continue
 		}
-		ms, merr := mutate.Enumerate(s.Name+".pas", s.Source, mutate.Config{Ops: cfg.Ops})
+		en, merr := mutate.EnumerateProgram(s.Name+".pas", s.Source, mutate.Config{Ops: cfg.Ops})
 		if merr != nil {
 			subjectErrs = append(subjectErrs, fmt.Sprintf("%s: %v", s.Name, merr))
 			continue
 		}
-		enumerated += len(ms)
+		equivalents := triage(en)
+		enumerated += len(en.Mutants)
 		if cfg.Logf != nil {
-			cfg.Logf("subject %-28s %4d mutation sites", s.Name, len(ms))
+			cfg.Logf("subject %-28s %4d mutation sites, %d provably equivalent",
+				s.Name, len(en.Mutants), equivalents)
 		}
-		for _, m := range ms {
+		for _, m := range en.Mutants {
+			if m.Equivalent {
+				o := MutantOutcome{
+					Subject:     s.Name,
+					MutantID:    m.ID,
+					Op:          string(m.Op),
+					Unit:        m.Unit,
+					Description: m.Description,
+					Status:      StatusEquivalent,
+					Detail:      "static triage: " + m.EquivReason,
+				}
+				preclassified = append(preclassified, o)
+				continue
+			}
 			jobs = append(jobs, job{subject: s, want: want, mutant: m})
 		}
 	}
-	if len(jobs) == 0 {
-		return nil, subjectErrs, 0, errors.New("campaign: no mutants enumerated")
+	if len(jobs) == 0 && len(preclassified) == 0 {
+		return nil, nil, subjectErrs, 0, errors.New("campaign: no mutants enumerated")
 	}
 	if cfg.Budget > 0 && len(jobs) > cfg.Budget {
 		jobs = sample(jobs, cfg.Budget, cfg.Seed)
 	}
-	return jobs, subjectErrs, enumerated, nil
+	return jobs, preclassified, subjectErrs, enumerated, nil
+}
+
+// triage classifies equivalent mutants with the value analysis of the
+// original subject. It is advisory — a panic inside the analysis of an
+// exotic subject must not sink the whole campaign, so it is isolated
+// the same way mutant evaluation is.
+func triage(en *mutate.Enumeration) (marked int) {
+	defer func() {
+		if r := recover(); r != nil {
+			marked = 0
+		}
+	}()
+	return mutate.TriageEquivalent(en)
 }
 
 // referenceOutput runs the unmutated subject once under campaign

@@ -9,6 +9,7 @@ import (
 
 	"gadt/internal/campaign"
 	"gadt/internal/debugger"
+	"gadt/internal/gadt"
 	"gadt/internal/mutate"
 	"gadt/internal/obs"
 )
@@ -61,7 +62,7 @@ func TestCampaignLooperFates(t *testing.T) {
 	if rep.Mutants == 0 || rep.Mutants != rep.Enumerated {
 		t.Fatalf("evaluated %d of %d mutants", rep.Mutants, rep.Enumerated)
 	}
-	if got := rep.Killed + rep.Survived + rep.Timeout + rep.Stillborn + rep.Panics; got != rep.Mutants {
+	if got := rep.Killed + rep.Survived + rep.Timeout + rep.Stillborn + rep.Panics + rep.Equivalent; got != rep.Mutants {
 		t.Errorf("status totals %d != mutants %d", got, rep.Mutants)
 	}
 	if rep.Killed == 0 {
@@ -93,6 +94,69 @@ func TestCampaignLooperFates(t *testing.T) {
 		if st.Questions == 0 {
 			t.Errorf("strategy %s asked zero questions over %d sessions", name, st.Sessions)
 		}
+	}
+}
+
+// deadGuardSubject keeps a debug branch behind a constant-false guard:
+// every mutant planted inside that branch is provably equivalent, while
+// mutants in live code must still be executed and killed as usual.
+const deadGuardSubject = `
+program guarded;
+var x, debug: integer;
+begin
+  debug := 0;
+  x := 3;
+  if debug > 0 then begin
+    x := x + 7;
+    writeln(x);
+  end;
+  writeln(x);
+end.
+`
+
+// TestCampaignEquivalentTriage checks that static triage pulls
+// dead-branch mutants out of the execution pool, reports them with
+// their own status, and keeps them out of the kill rate.
+func TestCampaignEquivalentTriage(t *testing.T) {
+	rep := small(t, campaign.Config{
+		Subjects: []campaign.Subject{{Name: "guarded", Source: deadGuardSubject}},
+		Seed:     7,
+		Fuel:     20_000,
+		Timeout:  time.Minute,
+	})
+	if rep.Equivalent == 0 {
+		t.Fatal("no mutants triaged as equivalent in the dead debug branch")
+	}
+	if rep.Killed == 0 {
+		t.Error("live-code mutants should still be killed")
+	}
+	if got := rep.Killed + rep.Survived + rep.Timeout + rep.Stillborn + rep.Panics + rep.Equivalent; got != rep.Mutants {
+		t.Errorf("status totals %d != mutants %d", got, rep.Mutants)
+	}
+	for _, o := range rep.Outcomes {
+		if o.Status != campaign.StatusEquivalent {
+			continue
+		}
+		if len(o.Strategies) != 0 {
+			t.Errorf("mutant %d: equivalent mutants must not be debugged", o.MutantID)
+		}
+		if !strings.HasPrefix(o.Detail, "static triage:") {
+			t.Errorf("mutant %d: detail %q does not name the triage rule", o.MutantID, o.Detail)
+		}
+	}
+	// Kill rate only ranges over executed, decided mutants.
+	if den := rep.Killed + rep.Survived; den > 0 {
+		want := float64(rep.Killed) / float64(den)
+		if got := rep.KillRate(); got != want {
+			t.Errorf("KillRate() = %v, want %v", got, want)
+		}
+	}
+	var equivOps int
+	for _, op := range rep.ByOperator {
+		equivOps += op.Equivalent
+	}
+	if equivOps != rep.Equivalent {
+		t.Errorf("per-operator equivalent counts sum to %d, want %d", equivOps, rep.Equivalent)
 	}
 }
 
@@ -164,6 +228,62 @@ func TestCampaignBudgetAndOps(t *testing.T) {
 	}
 }
 
+// TestTriageEquivalentsSurviveExecution brute-force checks the triage
+// verdicts over the full default subject set: every mutant marked
+// equivalent must produce exactly the reference output when actually
+// executed. A divergence here means the value analysis or a triage
+// rule is unsound.
+func TestTriageEquivalentsSurviveExecution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("brute-force triage validation is not short")
+	}
+	run := func(name, source, input string) (string, error) {
+		sys, err := gadt.Load(name+".pas", source)
+		if err != nil {
+			return "", err
+		}
+		r, err := sys.TraceLimited(input, 60_000, 1000)
+		if err != nil {
+			return "", err
+		}
+		if r.RunErr != nil {
+			return "", r.RunErr
+		}
+		return r.Output, nil
+	}
+	checked := 0
+	for _, s := range campaign.DefaultSubjects() {
+		want, err := run(s.Name, s.Source, s.Input)
+		if err != nil {
+			continue // campaign skips such subjects too
+		}
+		en, err := mutate.EnumerateProgram(s.Name+".pas", s.Source, mutate.Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		mutate.TriageEquivalent(en)
+		for _, m := range en.Mutants {
+			if !m.Equivalent {
+				continue
+			}
+			checked++
+			got, err := run(s.Name, m.Source, s.Input)
+			if err != nil {
+				t.Errorf("%s mutant %d (%s; %s): equivalent mutant failed: %v",
+					s.Name, m.ID, m.Description, m.EquivReason, err)
+				continue
+			}
+			if got != want {
+				t.Errorf("%s mutant %d (%s; %s): output diverged despite equivalence proof",
+					s.Name, m.ID, m.Description, m.EquivReason)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no equivalent mutants found across the default subjects")
+	}
+}
+
 // TestCampaignCorpusSmoke runs a tiny budget over the full default
 // subject set — the same shape `pmut` and CI use — and checks the JSON
 // report round-trips.
@@ -172,8 +292,10 @@ func TestCampaignCorpusSmoke(t *testing.T) {
 		t.Skip("campaign smoke is not short")
 	}
 	rep := small(t, campaign.Config{Seed: 1, Budget: 20, Timeout: time.Minute})
-	if rep.Mutants != 20 {
-		t.Fatalf("evaluated %d mutants, want 20", rep.Mutants)
+	// Statically triaged equivalents bypass the budget (their verdict is
+	// free); the budget caps the executed remainder.
+	if got := rep.Mutants - rep.Equivalent; got != 20 {
+		t.Fatalf("executed %d mutants, want budget 20", got)
 	}
 	if rep.Enumerated < 200 {
 		t.Errorf("default subjects enumerate only %d sites, want >= 200 for make mutate", rep.Enumerated)

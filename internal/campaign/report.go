@@ -28,11 +28,12 @@ func sample(jobs []job, n int, seed int64) []job {
 
 // OperatorStats aggregates outcomes per mutation operator.
 type OperatorStats struct {
-	Mutants  int     `json:"mutants"`
-	Killed   int     `json:"killed"`
-	Survived int     `json:"survived"`
-	Timeout  int     `json:"timeout"`
-	KillRate float64 `json:"kill_rate"`
+	Mutants    int     `json:"mutants"`
+	Killed     int     `json:"killed"`
+	Survived   int     `json:"survived"`
+	Timeout    int     `json:"timeout"`
+	Equivalent int     `json:"equivalent"`
+	KillRate   float64 `json:"kill_rate"`
 }
 
 // StrategyStats aggregates debugging sessions per traversal strategy,
@@ -64,6 +65,9 @@ type Report struct {
 	Timeout   int `json:"timeout"`
 	Stillborn int `json:"stillborn"`
 	Panics    int `json:"panics"`
+	// Equivalent counts mutants the static value analysis proved
+	// behaviour-preserving; they are reported but never executed.
+	Equivalent int `json:"equivalent"`
 	// DebugSkipped counts killed mutants whose tree exceeded the
 	// debugging size cap.
 	DebugSkipped int `json:"debug_skipped"`
@@ -75,8 +79,9 @@ type Report struct {
 	Outcomes      []MutantOutcome `json:"outcomes"`
 }
 
-// KillRate is killed / (killed + survived): timeouts and stillborns are
-// excluded as possibly-equivalent or invalid.
+// KillRate is killed / (killed + survived): proven-equivalent mutants
+// are out of the denominator by construction, and timeouts and
+// stillborns are excluded as possibly-equivalent or invalid.
 func (r *Report) KillRate() float64 {
 	den := r.Killed + r.Survived
 	if den == 0 {
@@ -124,6 +129,9 @@ func aggregate(cfg Config, outcomes []MutantOutcome, enumerated int, subjectErrs
 			rep.Stillborn++
 		case StatusPanic:
 			rep.Panics++
+		case StatusEquivalent:
+			rep.Equivalent++
+			op.Equivalent++
 		}
 		for _, s := range o.Strategies {
 			st := rep.ByStrategy[s.Strategy]
@@ -169,6 +177,7 @@ func record(m *obs.Registry, rep *Report) {
 	m.Counter("campaign.timeout").Add(int64(rep.Timeout))
 	m.Counter("campaign.stillborn").Add(int64(rep.Stillborn))
 	m.Counter("campaign.panics").Add(int64(rep.Panics))
+	m.Counter("campaign.equivalent").Add(int64(rep.Equivalent))
 	m.Gauge("campaign.workers").Set(int64(rep.Workers))
 	for name, st := range rep.ByStrategy {
 		m.Counter("campaign.sessions.strategy." + name).Add(int64(st.Sessions))

@@ -404,5 +404,36 @@ begin
 end.`,
 			BugUnit: "analyze", // drops the most significant digit
 		},
+		{
+			// checksum keeps a debug branch behind a constant-false
+			// guard: the value analysis proves it dead, which the
+			// equivalent-mutant triage and slice pruning both exploit.
+			Name: "checksum",
+			Source: `
+program checksum;
+var n, value, acc, debug, i: integer;
+
+procedure mix(v: integer; var a: integer);
+begin
+  a := (a * 31 + v) mod 65536;
+end;
+
+begin
+  debug := 0;
+  acc := 7;
+  read(n);
+  for i := 1 to n do begin
+    read(value);
+    mix(value, acc);
+    if debug > 0 then begin
+      acc := acc + 1000000;
+      writeln('mix', i, acc);
+    end;
+  end;
+  writeln(acc);
+end.`,
+			Input: "3 10 20 30",
+			Want:  "22189\n",
+		},
 	}
 }

@@ -80,6 +80,17 @@ type Mutant struct {
 	Description string
 	// Source is the complete mutated program.
 	Source string
+	// Equivalent marks mutants that static triage proved
+	// behaviour-preserving (see TriageEquivalent); the campaign reports
+	// them without executing them.
+	Equivalent bool
+	// EquivReason names the triage rule that fired, e.g. `site
+	// unreachable on all inputs`.
+	EquivReason string
+
+	// orig points at the mutation site in the original program, the
+	// handle triage uses to consult the value analysis.
+	orig *site
 }
 
 // Config controls enumeration.
@@ -124,16 +135,43 @@ type site struct {
 	pos   token.Pos
 	desc  string
 	apply func(counterpart func(ast.Node) ast.Node) bool
+
+	// Triage metadata. node is the original-program construct the
+	// mutation edits (nil opts the site out of static triage); altOp and
+	// altName record the replacement for flip and swap operators.
+	node    ast.Node
+	altOp   token.Kind
+	altName string
+}
+
+// Enumeration couples the parsed original program with its validated
+// mutants, so whole-program analyses of the original can classify them
+// (see TriageEquivalent).
+type Enumeration struct {
+	Prog    *ast.Program
+	Info    *sem.Info
+	Mutants []*Mutant
 }
 
 // Enumerate parses source and returns every enabled, type-correct
 // mutant (sampled down to cfg.Max when set).
 func Enumerate(file, source string, cfg Config) ([]*Mutant, error) {
+	en, err := EnumerateProgram(file, source, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return en.Mutants, nil
+}
+
+// EnumerateProgram is Enumerate keeping the original program and its
+// semantic info alongside the mutants.
+func EnumerateProgram(file, source string, cfg Config) (*Enumeration, error) {
 	prog, err := parser.ParseProgram(file, source)
 	if err != nil {
 		return nil, fmt.Errorf("mutate: %w", err)
 	}
-	if _, err := sem.Analyze(prog); err != nil {
+	info, err := sem.Analyze(prog)
+	if err != nil {
 		return nil, fmt.Errorf("mutate: %w", err)
 	}
 
@@ -167,6 +205,7 @@ func Enumerate(file, source string, cfg Config) ([]*Mutant, error) {
 			Pos:         st.pos,
 			Description: st.desc,
 			Source:      printer.Print(clone),
+			orig:        st,
 		})
 	}
 
@@ -178,7 +217,7 @@ func Enumerate(file, source string, cfg Config) ([]*Mutant, error) {
 		mutants = mutants[:cfg.Max]
 		sort.Slice(mutants, func(i, j int) bool { return mutants[i].ID < mutants[j].ID })
 	}
-	return mutants, nil
+	return &Enumeration{Prog: prog, Info: info, Mutants: mutants}, nil
 }
 
 func invert(cm ast.CloneMap) map[ast.Node]ast.Node {
@@ -290,6 +329,7 @@ func collectDrops(parent ast.Node, stmts []ast.Stmt, unit string, enabled map[Op
 			unit: unit,
 			pos:  s.Pos(),
 			desc: fmt.Sprintf("drop-stmt `%s` in %s", firstLine(printer.PrintStmt(s)), unit),
+			node: s,
 			apply: func(counterpart func(ast.Node) ast.Node) bool {
 				switch p := counterpart(parent).(type) {
 				case *ast.CompoundStmt:
@@ -314,6 +354,7 @@ func collectNegate(stmt ast.Node, cond ast.Expr, kw, unit string, enabled map[Op
 		unit: unit,
 		pos:  cond.Pos(),
 		desc: fmt.Sprintf("negate-cond %s `%s` in %s", kw, firstLine(printer.PrintExpr(cond)), unit),
+		node: cond,
 		apply: func(counterpart func(ast.Node) ast.Node) bool {
 			negate := func(e *ast.Expr) {
 				*e = &ast.UnaryExpr{OpPos: (*e).Pos(), Op: token.Not, X: *e}
@@ -344,10 +385,12 @@ func collectOpFlip(e *ast.BinaryExpr, unit string, enabled map[Op]bool, sites *[
 	for _, alt := range alts {
 		alt := alt
 		*sites = append(*sites, &site{
-			op:   op,
-			unit: unit,
-			pos:  e.Pos(),
-			desc: fmt.Sprintf("%s %s -> %s in %s", op, e.Op, alt, unit),
+			op:    op,
+			unit:  unit,
+			pos:   e.Pos(),
+			desc:  fmt.Sprintf("%s %s -> %s in %s", op, e.Op, alt, unit),
+			node:  e,
+			altOp: alt,
 			apply: func(counterpart func(ast.Node) ast.Node) bool {
 				b, ok := counterpart(e).(*ast.BinaryExpr)
 				if !ok {
@@ -371,6 +414,7 @@ func collectOffByOne(e *ast.IntLit, unit string, enabled map[Op]bool, sites *[]*
 			unit: unit,
 			pos:  e.Pos(),
 			desc: fmt.Sprintf("const-off-by-one %d -> %d in %s", e.Value, e.Value+delta, unit),
+			node: e,
 			apply: func(counterpart func(ast.Node) ast.Node) bool {
 				l, ok := counterpart(e).(*ast.IntLit)
 				if !ok {
@@ -400,10 +444,12 @@ func collectSwap(id *ast.Ident, unit string, groups map[string][]string, enabled
 		}
 	}
 	*sites = append(*sites, &site{
-		op:   VarSwap,
-		unit: unit,
-		pos:  id.Pos(),
-		desc: fmt.Sprintf("var-swap %s -> %s in %s", id.Name, alt, unit),
+		op:      VarSwap,
+		unit:    unit,
+		pos:     id.Pos(),
+		desc:    fmt.Sprintf("var-swap %s -> %s in %s", id.Name, alt, unit),
+		node:    id,
+		altName: alt,
 		apply: func(counterpart func(ast.Node) ast.Node) bool {
 			n, ok := counterpart(id).(*ast.Ident)
 			if !ok {

@@ -1,0 +1,104 @@
+package mutate
+
+import (
+	"strings"
+	"testing"
+)
+
+// triageSrc exercises every triage rule: a dead debug branch
+// (unreachable sites), a comparison with a provable gap (rel-flip with
+// identical outcome), an addition of a provable zero (arith-flip), a
+// swap between two variables pinned to the same constant, and a
+// zero-store into a zero-initialized variable (dead store).
+const triageSrc = `
+program triaged;
+var a, b, zero, debug, out: integer;
+begin
+  zero := 0;
+  debug := 0;
+  a := 5;
+  b := 5;
+  out := 0;
+  if debug > 0 then
+    out := out * 99;
+  if a < 100 then
+    out := out + a + zero;
+  out := out + b;
+  writeln(out);
+end.
+`
+
+func triaged(t *testing.T) []*Mutant {
+	t.Helper()
+	en, err := EnumerateProgram("triaged.pas", triageSrc, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := TriageEquivalent(en)
+	marked := 0
+	for _, m := range en.Mutants {
+		if m.Equivalent {
+			marked++
+			if m.EquivReason == "" {
+				t.Errorf("mutant %d marked equivalent without a reason", m.ID)
+			}
+		}
+	}
+	if n != marked {
+		t.Errorf("TriageEquivalent reported %d, %d mutants marked", n, marked)
+	}
+	return en.Mutants
+}
+
+func TestTriageRules(t *testing.T) {
+	mutants := triaged(t)
+	// wantRule maps a description fragment to the reason fragment the
+	// triage verdict must cite.
+	wantRule := map[string]string{
+		"const-off-by-one 99": "unreachable",          // dead debug branch
+		"rel-flip < -> <=":    "under both operators", // a in [5,5], gap to 100
+		"arith-flip + -> -":   "both operators yield", // + zero vs - zero
+		"var-swap b -> a":     "hold 5 at the site",   // both constant 5
+		"drop-stmt `out := 0": "rewrites the 0",       // zero-init dead store
+	}
+	found := make(map[string]bool)
+	for _, m := range mutants {
+		if !m.Equivalent {
+			continue
+		}
+		for frag, reason := range wantRule {
+			if strings.Contains(m.Description, frag) {
+				if !strings.Contains(m.EquivReason, reason) {
+					t.Errorf("mutant %q: reason %q, want it to mention %q",
+						m.Description, m.EquivReason, reason)
+				}
+				found[frag] = true
+			}
+		}
+	}
+	for frag := range wantRule {
+		if !found[frag] {
+			t.Errorf("no equivalent mutant matching %q; triage rule did not fire", frag)
+		}
+	}
+}
+
+// TestTriageConservative pins constructs that must NOT be classified
+// equivalent: negations of live conditions, off-by-one on live
+// constants, and drops of live stores.
+func TestTriageConservative(t *testing.T) {
+	for _, m := range triaged(t) {
+		if !m.Equivalent {
+			continue
+		}
+		for _, bad := range []string{
+			"negate-cond if `a < 100`", // flips a taken branch
+			"const-off-by-one 5 -> ",   // changes a live constant
+			"drop-stmt `a := 5",        // drops a live store
+		} {
+			if strings.Contains(m.Description, bad) {
+				t.Errorf("mutant %q wrongly classified equivalent (%s)", m.Description, m.EquivReason)
+			}
+		}
+	}
+}

@@ -400,6 +400,17 @@ func (it *Interp) lookupCell(v *sem.VarSym, pos token.Pos) (*cell, error) {
 	return nil, it.errorf(pos, "no active frame holds %s", v.Name)
 }
 
+// Peek returns the current value of v, resolved on the active static
+// chain, without raising an error when no frame holds it. Read-only
+// observation hook: EventSink clients (the absint soundness harness)
+// compare concrete values against static predictions mid-run.
+func (it *Interp) Peek(v *sem.VarSym) (Value, bool) {
+	if c := it.cellOf(v); c != nil {
+		return c.val, true
+	}
+	return Value{}, false
+}
+
 // ---------------------------------------------------------------------------
 // Statements
 

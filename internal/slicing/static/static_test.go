@@ -1,11 +1,13 @@
 package static_test
 
 import (
-	"gadt/internal/pascal/ast"
 	"strings"
 	"testing"
 
+	"gadt/internal/analysis/pdg"
+	"gadt/internal/corpus"
 	"gadt/internal/paper"
+	"gadt/internal/pascal/ast"
 	"gadt/internal/pascal/parser"
 	"gadt/internal/pascal/sem"
 	"gadt/internal/slicing/static"
@@ -431,4 +433,58 @@ func TestDescribeAndCount(t *testing.T) {
 	if d := sl.Describe(); !strings.Contains(d, "statements") {
 		t.Errorf("describe = %q", d)
 	}
+}
+
+// TestInfeasiblePruningShrinksCorpusSlice pins the slice-pruning payoff
+// on a real corpus program: checksum guards a debug branch with a
+// constant-false condition, and the branch assigns to the criterion
+// variable. The default (pruned) SDG must drop the dead branch and the
+// guard chain; the unpruned SDG keeps both, and everything the pruned
+// slice keeps must also be in the unpruned one.
+func TestInfeasiblePruningShrinksCorpusSlice(t *testing.T) {
+	var checksum corpus.Program
+	for _, p := range corpus.All() {
+		if p.Name == "checksum" {
+			checksum = p
+		}
+	}
+	if checksum.Source == "" {
+		t.Fatal("checksum corpus program missing")
+	}
+	prog := parser.MustParse("checksum.pas", checksum.Source)
+	info, err := sem.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := static.LookupVar(info, info.Main, "acc")
+
+	pruned := static.New(info).OnVarAtEnd(info.Main, acc)
+	full := (&static.Slicer{Info: info, SDG: pdg.BuildUnpruned(info)}).OnVarAtEnd(info.Main, acc)
+
+	out := pruned.Render()
+	for _, want := range []string{"acc := 7", "mix(value, acc)", "read(value)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("pruned slice missing live statement %q:\n%s", want, out)
+		}
+	}
+	for _, dead := range []string{"acc := acc + 1000000", "debug := 0"} {
+		if strings.Contains(out, dead) {
+			t.Errorf("pruned slice kept dead-branch statement %q:\n%s", dead, out)
+		}
+		if !strings.Contains(full.Render(), dead) {
+			t.Errorf("unpruned slice unexpectedly dropped %q — pinning the wrong thing", dead)
+		}
+	}
+	if p, f := pruned.StmtCount(), full.StmtCount(); p >= f {
+		t.Errorf("pruned slice has %d statements, unpruned %d; want strictly smaller", p, f)
+	}
+	// Subset check: pruning must only ever remove statements.
+	ast.Inspect(info.Program, func(n ast.Node) bool {
+		if s, ok := n.(ast.Stmt); ok {
+			if pruned.IncludesStmt(s) && !full.IncludesStmt(s) {
+				t.Errorf("pruned slice gained %T@%s", s, s.Pos())
+			}
+		}
+		return true
+	})
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"gadt/internal/analysis/pdg"
 	"gadt/internal/paper"
 	"gadt/internal/pascal/ast"
 	"gadt/internal/pascal/parser"
@@ -46,9 +47,11 @@ func TestFigure2Weiser(t *testing.T) {
 }
 
 // TestDifferentialAgainstSDG: on intraprocedural criteria the Weiser
-// baseline and the SDG slicer compute the same statement sets. Programs
-// are generated from a small deterministic grammar driven by the quick
-// fuzz inputs.
+// baseline and the unpruned SDG slicer compute the same statement sets.
+// Programs are generated from a small deterministic grammar driven by
+// the quick fuzz inputs. The default (pruned) SDG is compared
+// separately in TestPrunedSliceSubset, since value-based pruning makes
+// its slices deliberately smaller.
 func TestDifferentialAgainstSDG(t *testing.T) {
 	prop := func(opsRaw []uint8, targetRaw uint8) bool {
 		src, varNames := genProgram(opsRaw)
@@ -70,7 +73,7 @@ func TestDifferentialAgainstSDG(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		ssl := static.New(info).OnVarAtEnd(info.Main, v)
+		ssl := (&static.Slicer{Info: info, SDG: pdg.BuildUnpruned(info)}).OnVarAtEnd(info.Main, v)
 
 		// Compare atomic statement sets.
 		var onlyW, onlyS []string
@@ -103,6 +106,62 @@ func TestDifferentialAgainstSDG(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPrunedSliceSubset: the default SDG prunes control flow the value
+// analysis proves infeasible, so over the same generated programs its
+// slices must be subsets of the unpruned ones — and strictly smaller on
+// at least one program, since the generator seeds every variable with a
+// constant that decides some branches.
+func TestPrunedSliceSubset(t *testing.T) {
+	shrank := false
+	prop := func(opsRaw []uint8, targetRaw uint8) bool {
+		src, varNames := genProgram(opsRaw)
+		prog, err := parser.ParseProgram("q.pas", src)
+		if err != nil {
+			return false
+		}
+		info, err := sem.Analyze(prog)
+		if err != nil {
+			return false
+		}
+		target := varNames[int(targetRaw)%len(varNames)]
+		v := static.LookupVar(info, info.Main, target)
+
+		full := (&static.Slicer{Info: info, SDG: pdg.BuildUnpruned(info)}).OnVarAtEnd(info.Main, v)
+		pruned := static.New(info).OnVarAtEnd(info.Main, v)
+
+		ok := true
+		dropped := 0
+		ast.Inspect(info.Program, func(n ast.Node) bool {
+			s, isStmt := n.(ast.Stmt)
+			if !isStmt {
+				return true
+			}
+			switch s.(type) {
+			case *ast.AssignStmt, *ast.CallStmt:
+				inFull, inPruned := full.IncludesStmt(s), pruned.IncludesStmt(s)
+				if inPruned && !inFull {
+					t.Logf("pruned slice gained %T@%s on %s:\n%s", s, s.Pos(), target, src)
+					ok = false
+				}
+				if inFull && !inPruned {
+					dropped++
+				}
+			}
+			return true
+		})
+		if dropped > 0 {
+			shrank = true
+		}
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+	if !shrank {
+		t.Error("pruning never shrank a slice over 120 generated programs")
 	}
 }
 

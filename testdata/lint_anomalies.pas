@@ -1,10 +1,14 @@
 program anomalies;
-{ One seeded dataflow anomaly per plint check, P001..P011. The expected
-  findings live in lint_anomalies.golden; keep both in sync. }
+{ One seeded anomaly per plint check, P001..P015. The expected findings
+  live in lint_anomalies.golden; keep both in sync. Note the value
+  analysis also proves the boolean parameters of maybeuninit and
+  halfassign constant from their single call sites, so those `if flag`
+  guards carry P012 findings on top of the seeded ones. }
 label 99;
 var
   total: integer;
   g: integer;
+  oob: array [1 .. 3] of integer;
 
 { P001: u is read but no assignment ever reaches the read. }
 function usebeforedef: integer;
@@ -122,6 +126,43 @@ begin
   bailout(n);
 end;
 
+{ P012: the guard can never hold — debug never leaves 0. }
+procedure constcond(var r: integer);
+var debug: integer;
+begin
+  debug := 0;
+  if debug > 0 then
+    r := r + 1;
+end;
+
+{ P013: the index is pinned two past the end of the array. }
+procedure outofrange;
+var i: integer;
+begin
+  i := 5;
+  oob[i] := 1;
+  writeln(oob[1]);
+end;
+
+{ P014: the divisor is provably zero when the division runs. }
+function divzero(n: integer): integer;
+var z: integer;
+begin
+  z := 0;
+  divzero := n div z;
+end;
+
+{ P015: the second store rewrites the 4 that k already holds, yet the
+  store is live — P003 stays silent. }
+procedure samestore(var r: integer);
+var k: integer;
+begin
+  k := 4;
+  r := r + k;
+  k := 2 + 2;
+  r := r + k;
+end;
+
 begin
   total := usebeforedef + maybeuninit(true);
   deadstore(total);
@@ -134,5 +175,9 @@ begin
   total := total + noassign(1) + halfassign(false);
   jumpin(total);
   wrapper(total);
+  constcond(total);
+  outofrange;
+  total := total + divzero(2);
+  samestore(total);
   99: writeln(total, g);
 end.
