@@ -10,6 +10,7 @@
 #   make bench-interp  - write BENCH_interp.json (hot path vs recorded baseline)
 #   make mutate     - run the full mutation campaign, write BENCH_mutation.json
 #   make diff       - run the differential equivalence campaign, write BENCH_diff.json
+#   make trace-smoke - record Chrome traces (gadt + pmut) and validate them
 #   make lint       - run plint over the fixture and example programs
 #   make staticcheck - run staticcheck when installed (CI pins its version)
 #   make fmt        - rewrite sources with gofmt
@@ -22,7 +23,10 @@ BENCH_PATTERN ?= BenchmarkInterp
 BENCH_COUNT ?= 3
 
 .PHONY: check build test bench bench-json bench-save bench-compare bench-interp \
-	mutate diff lint staticcheck fmt smoke-journal smoke-fuzz
+	mutate diff trace-smoke lint staticcheck fmt smoke-journal smoke-fuzz
+
+# Where trace-smoke leaves its artifacts (CI uploads this directory).
+TRACE_DIR ?= trace-out
 
 check:
 	@unformatted=$$(gofmt -l .); \
@@ -106,6 +110,18 @@ mutate:
 # minimized counterexamples land in testdata/diff/.
 diff:
 	$(GO) run ./cmd/pdiff -n 250 -seed 1 -dir testdata/diff -json BENCH_diff.json
+
+# Record two Perfetto-loadable traces — a single-lane debugging session
+# and a multi-lane mutation campaign — then validate both with
+# cmd/tracecheck: well-formed JSON, balanced B/E per lane, nested spans,
+# labeled thread_name lanes.
+trace-smoke:
+	mkdir -p $(TRACE_DIR)
+	$(GO) run ./cmd/gadt -reference testdata/sqrtest_fixed.pas \
+		-trace-out $(TRACE_DIR)/gadt.trace.json testdata/sqrtest.pas > /dev/null
+	$(GO) run ./cmd/pmut -budget 12 -seed 1 -workers 2 -json "" \
+		-trace-out $(TRACE_DIR)/pmut.trace.json > /dev/null
+	$(GO) run ./cmd/tracecheck $(TRACE_DIR)/gadt.trace.json $(TRACE_DIR)/pmut.trace.json
 
 lint:
 	$(GO) run ./cmd/plint testdata/*.pas || true

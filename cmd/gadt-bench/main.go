@@ -107,7 +107,7 @@ func run(out string) error {
 			results = append(results, result{
 				Subject:     s.name,
 				Strategy:    strat.String(),
-				Questions:   reg.Counter("debugger.oracle.queries.strategy." + strat.String()).Value(),
+				Questions:   reg.CounterVec("debugger.oracle.queries.strategy", "strategy").With(strat.String()).Value(),
 				Localized:   loc,
 				NsPerOp:     br.NsPerOp(),
 				BytesPerOp:  br.AllocedBytesPerOp(),

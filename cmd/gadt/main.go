@@ -17,7 +17,10 @@
 //	-spec file         T-GEN specification matching -reports
 //	-tree              print the execution tree before debugging
 //	-stats             print a metrics snapshot on exit
-//	-trace-out file    write phase-trace events as JSONL ("-" = stderr text)
+//	-ops addr          serve /metrics, /healthz, expvar and pprof on addr
+//	-trace-out file    write a Chrome trace-event JSON file (loads in
+//	                   Perfetto / chrome://tracing; ".jsonl" suffix = raw
+//	                   JSONL events, "-" = stderr text)
 //	-journal file      record every oracle query/answer as JSONL
 //	-replay file       re-answer a session from a recorded journal
 //	-cpuprofile file   write a pprof CPU profile
@@ -86,6 +89,7 @@ type options struct {
 	showTree   bool
 	reference  string
 	stats      bool
+	ops        string
 	traceOut   string
 	journal    string
 	replay     string
@@ -105,7 +109,8 @@ func main() {
 	flag.BoolVar(&o.showTree, "tree", false, "print the execution tree first")
 	flag.StringVar(&o.reference, "reference", "", "known-good reference program answering queries instead of the user")
 	flag.BoolVar(&o.stats, "stats", false, "print a metrics snapshot on exit")
-	flag.StringVar(&o.traceOut, "trace-out", "", "write phase-trace events as JSONL to this file (\"-\" = stderr text)")
+	flag.StringVar(&o.ops, "ops", "", "serve the live ops endpoint (/metrics, /healthz, pprof) on this address, e.g. :80 or :0")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write a Chrome trace-event JSON file (Perfetto-loadable; \".jsonl\" = raw events, \"-\" = stderr text)")
 	flag.StringVar(&o.journal, "journal", "", "record every oracle query/answer as JSONL to this file")
 	flag.StringVar(&o.replay, "replay", "", "re-answer the session from a recorded journal")
 	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a pprof CPU profile to this file")
@@ -149,6 +154,14 @@ func run(file string, o options) (err error) {
 	if err != nil {
 		return err
 	}
+	if o.ops != "" {
+		srv, serr := obs.ServeOps(o.ops, reg)
+		if serr != nil {
+			return serr
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "gadt: ops endpoint on http://%s (metrics, healthz, pprof)\n", srv.Addr())
+	}
 	defer func() {
 		if perr := stopProfiles(); perr != nil && err == nil {
 			err = perr
@@ -161,6 +174,12 @@ func run(file string, o options) (err error) {
 			err = cerr
 		}
 	}()
+
+	// The whole run is one root span: every pipeline phase started below
+	// (parse, sem, transform, trace, debug) nests under it in the trace.
+	session := tracer.Start("session")
+	session.SetAttr("file", file)
+	defer session.End()
 
 	src, err := os.ReadFile(file)
 	if err != nil {

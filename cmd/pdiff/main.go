@@ -21,6 +21,9 @@
 //	-dir d         write minimized counterexamples to d ("" = don't write)
 //	-json file     report destination ("-" = stdout; default BENCH_diff.json)
 //	-stats         print the obs metrics snapshot on exit
+//	-ops addr      serve /metrics, /healthz, expvar and pprof on addr
+//	-trace-out f   write a Perfetto-loadable Chrome trace (one lane per worker)
+//	-progress      heartbeat lines on stderr (throughput, ETA, divergences so far)
 //	-v             progress lines on stderr
 //
 // Exit status is 1 when any divergence (or pipeline panic) was found,
@@ -44,24 +47,32 @@ import (
 
 func main() {
 	var (
-		n       = flag.Int("n", 250, "random programs to generate")
-		seed    = flag.Int64("seed", 1, "generation seed")
-		corpus  = flag.Bool("corpus", true, "also include corpus fixtures and progen shapes")
-		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		fuel    = flag.Int("fuel", 0, "untransformed statement budget (0 = default)")
-		timeout = flag.Duration("timeout", 0, "per-comparison wall-clock backstop (0 = default)")
-		shrink  = flag.Bool("shrink", true, "minimize divergent programs")
-		dir     = flag.String("dir", "", "write minimized counterexamples to this directory")
-		jsonOut = flag.String("json", "BENCH_diff.json", "report destination (\"-\" = stdout)")
-		stats   = flag.Bool("stats", false, "print a metrics snapshot on exit")
-		verbose = flag.Bool("v", false, "progress lines on stderr")
+		n        = flag.Int("n", 250, "random programs to generate")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		corpus   = flag.Bool("corpus", true, "also include corpus fixtures and progen shapes")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		fuel     = flag.Int("fuel", 0, "untransformed statement budget (0 = default)")
+		timeout  = flag.Duration("timeout", 0, "per-comparison wall-clock backstop (0 = default)")
+		shrink   = flag.Bool("shrink", true, "minimize divergent programs")
+		dir      = flag.String("dir", "", "write minimized counterexamples to this directory")
+		jsonOut  = flag.String("json", "BENCH_diff.json", "report destination (\"-\" = stdout)")
+		stats    = flag.Bool("stats", false, "print a metrics snapshot on exit")
+		opsAddr  = flag.String("ops", "", "serve the live ops endpoint (/metrics, /healthz, pprof) on this address")
+		traceOut = flag.String("trace-out", "", "write a Chrome trace-event JSON file (Perfetto-loadable; \".jsonl\" = raw events, \"-\" = stderr text)")
+		progress = flag.Bool("progress", false, "heartbeat lines on stderr (throughput, ETA, divergences so far)")
+		verbose  = flag.Bool("v", false, "progress lines on stderr")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	divergent, err := run(*n, *seed, *corpus, *workers, *fuel, *timeout, *shrink, *dir, *jsonOut, *stats, *verbose)
+	divergent, err := run(runOpts{
+		n: *n, seed: *seed, corpus: *corpus, workers: *workers,
+		fuel: *fuel, timeout: *timeout, shrink: *shrink, dir: *dir,
+		jsonOut: *jsonOut, stats: *stats, opsAddr: *opsAddr,
+		traceOut: *traceOut, progress: *progress, verbose: *verbose,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pdiff:", err)
 		os.Exit(1)
@@ -72,20 +83,57 @@ func main() {
 	}
 }
 
-func run(n int, seed int64, corpus bool, workers, fuel int, timeout time.Duration,
-	shrink bool, dir, jsonOut string, stats, verbose bool) (divergent bool, err error) {
-	reg := obs.NewRegistry()
-	cfg := diffharness.Config{
-		Programs: n,
-		Seed:     seed,
-		Corpus:   corpus,
-		Workers:  workers,
-		Fuel:     fuel,
-		Timeout:  timeout,
-		Shrink:   shrink,
-		Metrics:  reg,
+type runOpts struct {
+	n        int
+	seed     int64
+	corpus   bool
+	workers  int
+	fuel     int
+	timeout  time.Duration
+	shrink   bool
+	dir      string
+	jsonOut  string
+	stats    bool
+	opsAddr  string
+	traceOut string
+	progress bool
+	verbose  bool
+}
+
+func run(o runOpts) (divergent bool, err error) {
+	reg, tracer, closeTrace, err := obs.Setup(o.traceOut)
+	if err != nil {
+		return false, err
 	}
-	if verbose {
+	defer func() {
+		if cerr := closeTrace(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	if o.opsAddr != "" {
+		srv, serr := obs.ServeOps(o.opsAddr, reg)
+		if serr != nil {
+			return false, serr
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "pdiff: ops endpoint on http://%s (metrics, healthz, pprof)\n", srv.Addr())
+	}
+
+	cfg := diffharness.Config{
+		Programs: o.n,
+		Seed:     o.seed,
+		Corpus:   o.corpus,
+		Workers:  o.workers,
+		Fuel:     o.fuel,
+		Timeout:  o.timeout,
+		Shrink:   o.shrink,
+		Metrics:  reg,
+		Tracer:   tracer,
+	}
+	if o.progress {
+		cfg.Progress = os.Stderr
+	}
+	if o.verbose {
 		cfg.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
@@ -101,7 +149,7 @@ func run(n int, seed int64, corpus bool, workers, fuel int, timeout time.Duratio
 	// of them; everything is flushed once before exit.
 	summaryDst := bufio.NewWriter(os.Stdout)
 	reportDst := summaryDst
-	if jsonOut == "-" {
+	if o.jsonOut == "-" {
 		summaryDst = bufio.NewWriter(os.Stderr)
 	}
 	defer func() {
@@ -114,20 +162,20 @@ func run(n int, seed int64, corpus bool, workers, fuel int, timeout time.Duratio
 	}()
 	summarize(summaryDst, rep)
 
-	if dir != "" && len(rep.Divergences) > 0 {
-		if err := writeCounterexamples(dir, rep, summaryDst); err != nil {
+	if o.dir != "" && len(rep.Divergences) > 0 {
+		if err := writeCounterexamples(o.dir, rep, summaryDst); err != nil {
 			return false, err
 		}
 	}
 
-	switch jsonOut {
+	switch o.jsonOut {
 	case "":
 	case "-":
 		if err := rep.WriteJSON(reportDst); err != nil {
 			return false, err
 		}
 	default:
-		f, err := os.Create(jsonOut)
+		f, err := os.Create(o.jsonOut)
 		if err != nil {
 			return false, err
 		}
@@ -143,9 +191,9 @@ func run(n int, seed int64, corpus bool, workers, fuel int, timeout time.Duratio
 		if err := f.Close(); err != nil {
 			return false, err
 		}
-		fmt.Fprintf(summaryDst, "report written to %s\n", jsonOut)
+		fmt.Fprintf(summaryDst, "report written to %s\n", o.jsonOut)
 	}
-	if stats {
+	if o.stats {
 		fmt.Fprintln(summaryDst, "\nmetrics:")
 		reg.Snapshot().WriteText(summaryDst)
 	}

@@ -13,13 +13,16 @@
 //	-budget n      total mutants across all subjects (0 = all; default 240)
 //	-workers n     worker pool size (0 = GOMAXPROCS)
 //	-strategy s    comma list of top-down,divide,bottom-up, or "all"
-//	-ops s         comma list of mutation operators, or "all"
+//	-operators s   comma list of mutation operators, or "all"
 //	-subject s     only subjects whose name contains s
 //	-fuel n        per-execution statement budget
 //	-depth n       per-execution call-depth budget
 //	-timeout d     per-mutant wall-clock backstop
 //	-json file     report destination ("-" = stdout; default BENCH_mutation.json)
 //	-stats         print the obs metrics snapshot on exit
+//	-ops addr      serve /metrics, /healthz, expvar and pprof on addr
+//	-trace-out f   write a Perfetto-loadable Chrome trace (one lane per worker)
+//	-progress      heartbeat lines on stderr (throughput, ETA, kills so far)
 //	-v             per-subject and per-mutant progress
 package main
 
@@ -45,13 +48,16 @@ func main() {
 		budget   = flag.Int("budget", 240, "total mutants across subjects (0 = all)")
 		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		strategy = flag.String("strategy", "all", "comma list of top-down,divide,bottom-up, or all")
-		opsFlag  = flag.String("ops", "all", "comma list of mutation operators, or all")
+		opsFlag  = flag.String("operators", "all", "comma list of mutation operators, or all")
 		subject  = flag.String("subject", "", "only subjects whose name contains this")
 		fuel     = flag.Int("fuel", 0, "per-execution statement budget (0 = default)")
 		depth    = flag.Int("depth", 0, "per-execution call-depth budget (0 = default)")
 		timeout  = flag.Duration("timeout", 0, "per-mutant wall-clock backstop (0 = default)")
 		jsonOut  = flag.String("json", "BENCH_mutation.json", "report destination (\"-\" = stdout)")
 		stats    = flag.Bool("stats", false, "print a metrics snapshot on exit")
+		opsAddr  = flag.String("ops", "", "serve the live ops endpoint (/metrics, /healthz, pprof) on this address")
+		traceOut = flag.String("trace-out", "", "write a Chrome trace-event JSON file (Perfetto-loadable; \".jsonl\" = raw events, \"-\" = stderr text)")
+		progress = flag.Bool("progress", false, "heartbeat lines on stderr (throughput, ETA, kills so far)")
 		verbose  = flag.Bool("v", false, "per-subject progress")
 	)
 	flag.Parse()
@@ -59,8 +65,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*seed, *budget, *workers, *strategy, *opsFlag, *subject,
-		*fuel, *depth, *timeout, *jsonOut, *stats, *verbose); err != nil {
+	if err := run(runOpts{
+		seed: *seed, budget: *budget, workers: *workers,
+		strategy: *strategy, opsFlag: *opsFlag, subject: *subject,
+		fuel: *fuel, depth: *depth, timeout: *timeout, jsonOut: *jsonOut,
+		stats: *stats, opsAddr: *opsAddr, traceOut: *traceOut,
+		progress: *progress, verbose: *verbose,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "pmut:", err)
 		os.Exit(1)
 	}
@@ -101,42 +112,78 @@ func parseOps(s string) ([]mutate.Op, error) {
 	return out, nil
 }
 
-func run(seed int64, budget, workers int, strategy, opsFlag, subject string,
-	fuel, depth int, timeout time.Duration, jsonOut string, stats, verbose bool) (err error) {
-	strategies, err := parseStrategies(strategy)
+type runOpts struct {
+	seed            int64
+	budget, workers int
+	strategy        string
+	opsFlag         string
+	subject         string
+	fuel, depth     int
+	timeout         time.Duration
+	jsonOut         string
+	stats           bool
+	opsAddr         string
+	traceOut        string
+	progress        bool
+	verbose         bool
+}
+
+func run(o runOpts) (err error) {
+	strategies, err := parseStrategies(o.strategy)
 	if err != nil {
 		return err
 	}
-	ops, err := parseOps(opsFlag)
+	ops, err := parseOps(o.opsFlag)
 	if err != nil {
 		return err
 	}
 	var subjects []campaign.Subject
-	if subject != "" {
+	if o.subject != "" {
 		for _, s := range campaign.DefaultSubjects() {
-			if strings.Contains(s.Name, subject) {
+			if strings.Contains(s.Name, o.subject) {
 				subjects = append(subjects, s)
 			}
 		}
 		if len(subjects) == 0 {
-			return fmt.Errorf("no subject matches %q", subject)
+			return fmt.Errorf("no subject matches %q", o.subject)
 		}
 	}
 
-	reg := obs.NewRegistry()
+	reg, tracer, closeTrace, err := obs.Setup(o.traceOut)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := closeTrace(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	if o.opsAddr != "" {
+		srv, serr := obs.ServeOps(o.opsAddr, reg)
+		if serr != nil {
+			return serr
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "pmut: ops endpoint on http://%s (metrics, healthz, pprof)\n", srv.Addr())
+	}
+
 	cfg := campaign.Config{
 		Subjects:   subjects,
 		Ops:        ops,
-		Seed:       seed,
-		Budget:     budget,
-		Workers:    workers,
+		Seed:       o.seed,
+		Budget:     o.budget,
+		Workers:    o.workers,
 		Strategies: strategies,
-		Fuel:       fuel,
-		MaxDepth:   depth,
-		Timeout:    timeout,
+		Fuel:       o.fuel,
+		MaxDepth:   o.depth,
+		Timeout:    o.timeout,
 		Metrics:    reg,
+		Tracer:     tracer,
 	}
-	if verbose {
+	if o.progress {
+		cfg.Progress = os.Stderr
+	}
+	if o.verbose {
 		cfg.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
@@ -147,10 +194,10 @@ func run(seed int64, budget, workers int, strategy, opsFlag, subject string,
 		return err
 	}
 
-	if verbose {
-		for _, o := range rep.Outcomes {
+	if o.verbose {
+		for _, oc := range rep.Outcomes {
 			fmt.Fprintf(os.Stderr, "%-28s #%-4d %-10s %-16s %s\n",
-				o.Subject, o.MutantID, o.Status, o.Op, o.Description)
+				oc.Subject, oc.MutantID, oc.Status, oc.Op, oc.Description)
 		}
 	}
 	// With the report going to stdout, keep stdout pure JSON (pipeable
@@ -158,7 +205,7 @@ func run(seed int64, budget, workers int, strategy, opsFlag, subject string,
 	// buffered and flushed once before exit.
 	stdout := bufio.NewWriter(os.Stdout)
 	summaryDst := stdout
-	if jsonOut == "-" {
+	if o.jsonOut == "-" {
 		summaryDst = bufio.NewWriter(os.Stderr)
 	}
 	defer func() {
@@ -171,14 +218,14 @@ func run(seed int64, budget, workers int, strategy, opsFlag, subject string,
 	}()
 	summarize(summaryDst, rep)
 
-	switch jsonOut {
+	switch o.jsonOut {
 	case "":
 	case "-":
 		if err := rep.WriteJSON(stdout); err != nil {
 			return err
 		}
 	default:
-		f, err := os.Create(jsonOut)
+		f, err := os.Create(o.jsonOut)
 		if err != nil {
 			return err
 		}
@@ -194,9 +241,9 @@ func run(seed int64, budget, workers int, strategy, opsFlag, subject string,
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Fprintf(summaryDst, "report written to %s\n", jsonOut)
+		fmt.Fprintf(summaryDst, "report written to %s\n", o.jsonOut)
 	}
-	if stats {
+	if o.stats {
 		fmt.Fprintln(summaryDst, "\nmetrics:")
 		reg.Snapshot().WriteText(summaryDst)
 	}

@@ -1,0 +1,144 @@
+// Command tracecheck validates a Chrome trace-event JSON file of the
+// kind gadt/pmut/pdiff write with -trace-out: the same structural rules
+// Perfetto and chrome://tracing rely on, enforced mechanically so CI can
+// gate on them instead of a human loading the file in a browser.
+//
+// Usage:
+//
+//	tracecheck trace.json [trace2.json ...]
+//
+// Checks, per file:
+//   - the file is one well-formed JSON array of event objects (an
+//     unterminated array means a sink was never flushed);
+//   - every event carries name, ph, ts, pid and tid;
+//   - every ph is B, E or M, and B/E events balance per tid with E
+//     timestamps never before their B;
+//   - at least one span nests inside another (the whole point of
+//     hierarchical tracing);
+//   - thread_name metadata is present, so lanes are labeled.
+//
+// Exit status is 1 if any file fails, with one line per violation.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// event mirrors obs.chromeEvent; unknown fields are ignored so the
+// checker stays valid if the writer grows attributes.
+type event struct {
+	Name string          `json:"name"`
+	Ph   string          `json:"ph"`
+	TS   *float64        `json:"ts"`
+	PID  *int            `json:"pid"`
+	TID  *int            `json:"tid"`
+	Args json.RawMessage `json:"args"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck trace.json [trace2.json ...]")
+		os.Exit(2)
+	}
+	failed := false
+	for _, file := range os.Args[1:] {
+		if errs := checkFile(file); len(errs) > 0 {
+			failed = true
+			for _, e := range errs {
+				fmt.Fprintf(os.Stderr, "tracecheck: %s: %s\n", file, e)
+			}
+		} else {
+			fmt.Printf("tracecheck: %s ok\n", file)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func checkFile(file string) []string {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var events []event
+	if err := json.Unmarshal(data, &events); err != nil {
+		return []string{fmt.Sprintf("not a JSON event array (unflushed sink?): %v", err)}
+	}
+	return check(events)
+}
+
+func check(events []event) []string {
+	var errs []string
+	if len(events) == 0 {
+		return []string{"trace has no events"}
+	}
+
+	// open tracks the B-event stack per (pid, tid) lane; depth>0 at a B
+	// means the span nests.
+	type lane struct{ pid, tid int }
+	open := make(map[lane][]event)
+	nested := false
+	namedLanes := 0
+	spans := 0
+
+	for i, ev := range events {
+		where := fmt.Sprintf("event %d (%q)", i, ev.Name)
+		if ev.Name == "" {
+			errs = append(errs, fmt.Sprintf("event %d: missing name", i))
+		}
+		if ev.TS == nil {
+			errs = append(errs, where+": missing ts")
+		}
+		if ev.PID == nil || ev.TID == nil {
+			errs = append(errs, where+": missing pid/tid")
+			continue
+		}
+		l := lane{*ev.PID, *ev.TID}
+		switch ev.Ph {
+		case "B":
+			spans++
+			if len(open[l]) > 0 {
+				nested = true
+			}
+			open[l] = append(open[l], ev)
+		case "E":
+			stack := open[l]
+			if len(stack) == 0 {
+				errs = append(errs, where+": E without matching B on its tid")
+				continue
+			}
+			top := stack[len(stack)-1]
+			open[l] = stack[:len(stack)-1]
+			if top.Name != ev.Name {
+				errs = append(errs, fmt.Sprintf("%s: closes %q (spans must nest strictly)", where, top.Name))
+			}
+			if top.TS != nil && ev.TS != nil && *ev.TS < *top.TS {
+				errs = append(errs, fmt.Sprintf("%s: ends at ts=%v before its B at ts=%v", where, *ev.TS, *top.TS))
+			}
+		case "M":
+			if ev.Name == "thread_name" {
+				namedLanes++
+			}
+		default:
+			errs = append(errs, fmt.Sprintf("%s: unknown phase %q", where, ev.Ph))
+		}
+	}
+
+	for l, stack := range open {
+		for _, ev := range stack {
+			errs = append(errs, fmt.Sprintf("span %q on tid %d never ends", ev.Name, l.tid))
+		}
+	}
+	if spans == 0 {
+		errs = append(errs, "trace has no B/E spans")
+	} else if !nested {
+		errs = append(errs, "no span nests inside another (hierarchy lost)")
+	}
+	if namedLanes == 0 {
+		errs = append(errs, "no thread_name metadata (lanes would be unlabeled)")
+	}
+	return errs
+}

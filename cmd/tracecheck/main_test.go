@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, src string) []event {
+	t.Helper()
+	var evs []event
+	if err := json.Unmarshal([]byte(src), &evs); err != nil {
+		t.Fatalf("test fixture does not parse: %v", err)
+	}
+	return evs
+}
+
+const goodTrace = `[
+ {"name":"thread_name","cat":"meta","ph":"M","ts":0,"pid":1,"tid":0,"args":{"name":"main"}},
+ {"name":"session","cat":"span","ph":"B","ts":0,"pid":1,"tid":0},
+ {"name":"parse","cat":"span","ph":"B","ts":5,"pid":1,"tid":0},
+ {"name":"parse","cat":"span","ph":"E","ts":9,"pid":1,"tid":0},
+ {"name":"session","cat":"span","ph":"E","ts":12,"pid":1,"tid":0}
+]`
+
+func TestCheckGoodTrace(t *testing.T) {
+	if errs := check(parse(t, goodTrace)); len(errs) != 0 {
+		t.Fatalf("valid trace rejected: %v", errs)
+	}
+}
+
+func TestCheckViolations(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"empty", `[]`, "no events"},
+		{"unbalanced", `[
+			{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":0},
+			{"name":"a","ph":"B","ts":0,"pid":1,"tid":0},
+			{"name":"b","ph":"B","ts":1,"pid":1,"tid":0},
+			{"name":"b","ph":"E","ts":2,"pid":1,"tid":0}]`, "never ends"},
+		{"strayEnd", `[
+			{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":0},
+			{"name":"a","ph":"B","ts":0,"pid":1,"tid":0},
+			{"name":"b","ph":"B","ts":1,"pid":1,"tid":0},
+			{"name":"b","ph":"E","ts":2,"pid":1,"tid":0},
+			{"name":"a","ph":"E","ts":3,"pid":1,"tid":0},
+			{"name":"c","ph":"E","ts":4,"pid":1,"tid":0}]`, "without matching B"},
+		{"crossed", `[
+			{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":0},
+			{"name":"a","ph":"B","ts":0,"pid":1,"tid":0},
+			{"name":"b","ph":"B","ts":1,"pid":1,"tid":0},
+			{"name":"a","ph":"E","ts":2,"pid":1,"tid":0},
+			{"name":"b","ph":"E","ts":3,"pid":1,"tid":0}]`, "must nest strictly"},
+		{"timeTravel", `[
+			{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":0},
+			{"name":"a","ph":"B","ts":10,"pid":1,"tid":0},
+			{"name":"b","ph":"B","ts":11,"pid":1,"tid":0},
+			{"name":"b","ph":"E","ts":4,"pid":1,"tid":0},
+			{"name":"a","ph":"E","ts":12,"pid":1,"tid":0}]`, "before its B"},
+		{"missingFields", `[
+			{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":0},
+			{"name":"a","ph":"B","pid":1,"tid":0},
+			{"name":"a","ph":"E","ts":2,"pid":1,"tid":0},
+			{"ph":"B","ts":0,"pid":1,"tid":0}]`, "missing ts"},
+		{"flat", `[
+			{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":0},
+			{"name":"a","ph":"B","ts":0,"pid":1,"tid":0},
+			{"name":"a","ph":"E","ts":1,"pid":1,"tid":0}]`, "no span nests"},
+		{"noLanes", `[
+			{"name":"a","ph":"B","ts":0,"pid":1,"tid":0},
+			{"name":"b","ph":"B","ts":1,"pid":1,"tid":0},
+			{"name":"b","ph":"E","ts":2,"pid":1,"tid":0},
+			{"name":"a","ph":"E","ts":3,"pid":1,"tid":0}]`, "thread_name"},
+		{"badPhase", `[
+			{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":0},
+			{"name":"a","ph":"B","ts":0,"pid":1,"tid":0},
+			{"name":"x","ph":"Q","ts":1,"pid":1,"tid":0},
+			{"name":"b","ph":"B","ts":1,"pid":1,"tid":0},
+			{"name":"b","ph":"E","ts":2,"pid":1,"tid":0},
+			{"name":"a","ph":"E","ts":3,"pid":1,"tid":0}]`, "unknown phase"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := check(parse(t, tc.src))
+			found := false
+			for _, e := range errs {
+				if strings.Contains(e, tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("want a violation containing %q, got %v", tc.want, errs)
+			}
+		})
+	}
+}
+
+func TestCheckFileRejectsUnflushedArray(t *testing.T) {
+	dir := t.TempDir()
+	f := dir + "/trunc.json"
+	// What a crashed run leaves behind: the array is never terminated.
+	if err := os.WriteFile(f, []byte(`[{"name":"a","ph":"B","ts":0,"pid":1,"tid":0}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	errs := checkFile(f)
+	if len(errs) == 0 || !strings.Contains(errs[0], "unflushed") {
+		t.Fatalf("truncated file accepted: %v", errs)
+	}
+}

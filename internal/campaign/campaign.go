@@ -13,8 +13,10 @@ package campaign
 import (
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -101,8 +103,16 @@ type Config struct {
 	MaxTreeNodes int
 	// MaxQuestions bounds oracle queries per debugging session (0 = 2000).
 	MaxQuestions int
-	// Metrics, when non-nil, receives campaign.* counters.
+	// Metrics, when non-nil, receives campaign.* counters, the live
+	// campaign.inflight/campaign.done gauges, and the labeled
+	// campaign.outcomes{status=...} series.
 	Metrics *obs.Registry
+	// Tracer, when non-nil, receives one span per mutant evaluation on a
+	// per-worker lane (one Perfetto track per pool worker).
+	Tracer *obs.Tracer
+	// Progress, when non-nil, receives periodic heartbeat lines
+	// (throughput, ETA, killed/survived so far) during the run.
+	Progress io.Writer
 	// Logf, when non-nil, receives one progress line per subject.
 	Logf func(format string, args ...any)
 }
@@ -178,17 +188,49 @@ func Run(cfg Config) (*Report, error) {
 		return nil, err
 	}
 
+	rec := obs.NewReportRecorder(cfg.Metrics, "campaign")
+	rec.Count(StatusEquivalent, int64(len(preclassified)))
+	var hb *obs.Heartbeat
+	if cfg.Progress != nil {
+		hb = obs.StartHeartbeat(obs.HeartbeatConfig{
+			W:     cfg.Progress,
+			Label: "campaign",
+			Total: int64(len(jobs)),
+			Done:  rec.DoneCount,
+			Extra: func() string {
+				return fmt.Sprintf("killed=%d survived=%d",
+					rec.StatusCount(StatusKilled), rec.StatusCount(StatusSurvived))
+			},
+		})
+	}
+
 	in := make(chan job)
 	out := make(chan MutantOutcome, len(jobs))
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(id int) {
 			defer wg.Done()
+			lane := cfg.Tracer.Lane("campaign-worker-" + strconv.Itoa(id))
+			// One "worker" span covers the lane's whole lifetime; the
+			// per-mutant spans nest under it, so Perfetto shows both the
+			// worker occupancy bar and the individual evaluations.
+			wsp := lane.Start("worker")
+			defer wsp.End()
 			for j := range in {
-				out <- evalWithBackstop(cfg, j)
+				sp := lane.Start("mutant")
+				sp.SetAttr("subject", j.subject.Name)
+				sp.SetAttr("mutant", strconv.Itoa(j.mutant.ID))
+				sp.SetAttr("op", string(j.mutant.Op))
+				rec.JobStart()
+				jobStart := time.Now()
+				o := evalWithBackstop(cfg, j)
+				rec.JobDone(o.Status, time.Since(jobStart))
+				sp.SetAttr("status", o.Status)
+				sp.End()
+				out <- o
 			}
-		}()
+		}(w)
 	}
 	for _, j := range jobs {
 		in <- j
@@ -196,6 +238,8 @@ func Run(cfg Config) (*Report, error) {
 	close(in)
 	wg.Wait()
 	close(out)
+	rec.Finish(cfg.Workers)
+	hb.Stop()
 
 	outcomes := preclassified
 	for o := range out {
@@ -225,7 +269,7 @@ func buildJobs(cfg Config) (jobs []job, preclassified []MutantOutcome, subjectEr
 			subjectErrs = append(subjectErrs, fmt.Sprintf("%s: %v", s.Name, werr))
 			continue
 		}
-		en, merr := mutate.EnumerateProgram(s.Name+".pas", s.Source, mutate.Config{Ops: cfg.Ops})
+		en, merr := mutate.EnumerateProgram(s.Name+".pas", s.Source, mutate.Config{Ops: cfg.Ops, Metrics: cfg.Metrics})
 		if merr != nil {
 			subjectErrs = append(subjectErrs, fmt.Sprintf("%s: %v", s.Name, merr))
 			continue

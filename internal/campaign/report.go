@@ -166,23 +166,24 @@ func aggregate(cfg Config, outcomes []MutantOutcome, enumerated int, subjectErrs
 	return rep
 }
 
-// record exports the campaign totals to the observability registry.
+// record exports the campaign-specific end-of-run totals to the
+// observability registry. Per-status tallies, in-flight/done gauges,
+// per-job latency and pool size are recorded live by the shared
+// obs.ReportRecorder in Run — only what the recorder cannot know lands
+// here.
 func record(m *obs.Registry, rep *Report) {
 	if m == nil {
 		return
 	}
 	m.Counter("campaign.mutants").Add(int64(rep.Mutants))
-	m.Counter("campaign.killed").Add(int64(rep.Killed))
-	m.Counter("campaign.survived").Add(int64(rep.Survived))
-	m.Counter("campaign.timeout").Add(int64(rep.Timeout))
-	m.Counter("campaign.stillborn").Add(int64(rep.Stillborn))
-	m.Counter("campaign.panics").Add(int64(rep.Panics))
-	m.Counter("campaign.equivalent").Add(int64(rep.Equivalent))
-	m.Gauge("campaign.workers").Set(int64(rep.Workers))
+	m.Counter("campaign.enumerated").Add(int64(rep.Enumerated))
+	sessions := m.CounterVec("campaign.sessions", "strategy")
+	localized := m.CounterVec("campaign.localized", "strategy")
+	questions := m.CounterVec("campaign.questions", "strategy")
 	for name, st := range rep.ByStrategy {
-		m.Counter("campaign.sessions.strategy." + name).Add(int64(st.Sessions))
-		m.Counter("campaign.localized.strategy." + name).Add(int64(st.Localized))
-		m.Counter("campaign.questions.strategy." + name).Add(int64(st.Questions))
+		sessions.With(name).Add(int64(st.Sessions))
+		localized.With(name).Add(int64(st.Localized))
+		questions.With(name).Add(int64(st.Questions))
 	}
 }
 

@@ -79,9 +79,11 @@ type Options struct {
 	Hints map[string]float64
 
 	// Metrics, when non-nil, receives the session's observability
-	// counters: debugger.oracle.queries (plus .verdict.<v> and
-	// .strategy.<s> breakdowns), debugger.answers.{memo,assertions,
-	// tests}, debugger.slices and the debugger.slice.kept.nodes gauge.
+	// counters: debugger.oracle.queries (plus the labeled
+	// debugger.oracle.queries.verdict{verdict=...} and
+	// debugger.oracle.queries.strategy{strategy=...} breakdowns),
+	// debugger.answers.{memo,assertions,tests}, debugger.slices, the
+	// debugger.slice.kept.nodes gauge, and the sessions.active gauge.
 	Metrics *obs.Registry
 
 	// NoRootAssumption disables the premise that the program block
@@ -161,6 +163,15 @@ type Session struct {
 	view map[*exectree.Node]bool // nil = full tree
 	memo map[string]Answer
 	out  *Outcome
+
+	// Instrument handles resolved once at session start so judge — the
+	// per-question hot path — never takes the registry lookup lock.
+	mQueries    *obs.Counter
+	mByVerdict  *obs.CounterVec
+	mByStrategy *obs.Counter
+	mMemo       *obs.Counter
+	mAssertions *obs.Counter
+	mTests      *obs.Counter
 }
 
 // New prepares a session.
@@ -168,12 +179,20 @@ func New(tree *exectree.Tree, oracle Oracle, opts Options) *Session {
 	if opts.MaxQuestions <= 0 {
 		opts.MaxQuestions = 10000
 	}
+	m := opts.Metrics
 	return &Session{
 		Tree:   tree,
 		Oracle: oracle,
 		Opts:   opts,
 		memo:   make(map[string]Answer),
 		out:    &Outcome{},
+
+		mQueries:    m.Counter("debugger.oracle.queries"),
+		mByVerdict:  m.CounterVec("debugger.oracle.queries.verdict", "verdict"),
+		mByStrategy: m.CounterVec("debugger.oracle.queries.strategy", "strategy").With(opts.Strategy.String()),
+		mMemo:       m.Counter("debugger.answers.memo"),
+		mAssertions: m.Counter("debugger.answers.assertions"),
+		mTests:      m.Counter("debugger.answers.tests"),
 	}
 }
 
@@ -237,10 +256,9 @@ func (s *Session) record(ev Event) {
 // information."
 func (s *Session) judge(n *exectree.Node) (Answer, error) {
 	q := s.query(n)
-	m := s.Opts.Metrics
 	if a, ok := s.memo[q.Text]; ok {
 		s.out.ByMemo++
-		m.Counter("debugger.answers.memo").Inc()
+		s.mMemo.Inc()
 		s.record(Event{Kind: EvMemo, Node: n, Text: q.Text, Verdict: a.Verdict})
 		return a, nil
 	}
@@ -250,14 +268,14 @@ func (s *Session) judge(n *exectree.Node) (Answer, error) {
 			a := Answer{Verdict: Correct}
 			s.memo[q.Text] = a
 			s.out.ByAssertions++
-			m.Counter("debugger.answers.assertions").Inc()
+			s.mAssertions.Inc()
 			s.record(Event{Kind: EvAssertion, Node: n, Text: q.Text, Verdict: Correct})
 			return a, nil
 		case assertion.Violated:
 			a := Answer{Verdict: Incorrect}
 			s.memo[q.Text] = a
 			s.out.ByAssertions++
-			m.Counter("debugger.answers.assertions").Inc()
+			s.mAssertions.Inc()
 			s.record(Event{Kind: EvAssertion, Node: n, Text: q.Text, Verdict: Incorrect})
 			return a, nil
 		}
@@ -268,14 +286,14 @@ func (s *Session) judge(n *exectree.Node) (Answer, error) {
 			a := Answer{Verdict: Correct}
 			s.memo[q.Text] = a
 			s.out.ByTests++
-			m.Counter("debugger.answers.tests").Inc()
+			s.mTests.Inc()
 			s.record(Event{Kind: EvTest, Node: n, Text: q.Text, Verdict: Correct})
 			return a, nil
 		case Incorrect:
 			a := Answer{Verdict: Incorrect}
 			s.memo[q.Text] = a
 			s.out.ByTests++
-			m.Counter("debugger.answers.tests").Inc()
+			s.mTests.Inc()
 			s.record(Event{Kind: EvTest, Node: n, Text: q.Text, Verdict: Incorrect})
 			return a, nil
 		}
@@ -306,9 +324,9 @@ func (s *Session) judge(n *exectree.Node) (Answer, error) {
 		}
 	}
 	s.memo[q.Text] = a
-	m.Counter("debugger.oracle.queries").Inc()
-	m.Counter("debugger.oracle.queries.verdict." + a.Verdict.Key()).Inc()
-	m.Counter("debugger.oracle.queries.strategy." + s.Opts.Strategy.String()).Inc()
+	s.mQueries.Inc()
+	s.mByVerdict.With(a.Verdict.Key()).Inc()
+	s.mByStrategy.Inc()
 	detail := ""
 	if a.WrongOutput != "" {
 		detail = "error on output " + a.WrongOutput
@@ -353,6 +371,9 @@ func (s *Session) applySlice(n *exectree.Node, output string) {
 // observable symptom).
 func (s *Session) Run() (*Outcome, error) {
 	s.Opts.Metrics.Counter("debugger.sessions").Inc()
+	active := s.Opts.Metrics.Gauge("sessions.active")
+	active.Add(1)
+	defer active.Add(-1)
 	var bug *exectree.Node
 	var err error
 	switch s.Opts.Strategy {

@@ -18,8 +18,10 @@ package diffharness
 import (
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -82,8 +84,17 @@ type Config struct {
 	Timeout time.Duration
 	// Shrink minimizes divergent subjects to counterexamples.
 	Shrink bool
-	// Metrics, when non-nil, receives diff.* counters.
+	// Metrics, when non-nil, receives diff.* counters, the live
+	// diff.inflight/diff.done gauges, and the labeled
+	// diff.outcomes{status=...} series.
 	Metrics *obs.Registry
+	// Tracer, when non-nil, receives one span per comparison on a
+	// per-worker lane (one Perfetto track per pool worker) and one span
+	// per shrink.
+	Tracer *obs.Tracer
+	// Progress, when non-nil, receives periodic heartbeat lines
+	// (throughput, ETA, divergences so far) during the run.
+	Progress io.Writer
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -188,17 +199,47 @@ func Run(cfg Config) (*Report, error) {
 			len(subs), len(Combos()), len(jobs), cfg.Workers)
 	}
 
+	rec := obs.NewReportRecorder(cfg.Metrics, "diff")
+	var hb *obs.Heartbeat
+	if cfg.Progress != nil {
+		hb = obs.StartHeartbeat(obs.HeartbeatConfig{
+			W:     cfg.Progress,
+			Label: "diff",
+			Total: int64(len(jobs)),
+			Done:  rec.DoneCount,
+			Extra: func() string {
+				return fmt.Sprintf("equivalent=%d divergent=%d",
+					rec.StatusCount(StatusEquivalent), rec.StatusCount(StatusDivergent))
+			},
+		})
+	}
+
 	in := make(chan job)
 	out := make(chan Outcome, len(jobs))
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(id int) {
 			defer wg.Done()
+			lane := cfg.Tracer.Lane("diff-worker-" + strconv.Itoa(id))
+			// One "worker" span covers the lane's whole lifetime; the
+			// per-comparison spans nest under it, so Perfetto shows both
+			// the worker occupancy bar and the individual comparisons.
+			wsp := lane.Start("worker")
+			defer wsp.End()
 			for j := range in {
-				out <- compareWithBackstop(cfg, j)
+				sp := lane.Start("compare")
+				sp.SetAttr("subject", j.subject.Name)
+				sp.SetAttr("stages", j.stages.String())
+				rec.JobStart()
+				jobStart := time.Now()
+				o := compareWithBackstop(cfg, j)
+				rec.JobDone(o.Status, time.Since(jobStart))
+				sp.SetAttr("status", o.Status)
+				sp.End()
+				out <- o
 			}
-		}()
+		}(w)
 	}
 	for _, j := range jobs {
 		in <- j
@@ -206,6 +247,8 @@ func Run(cfg Config) (*Report, error) {
 	close(in)
 	wg.Wait()
 	close(out)
+	rec.Finish(cfg.Workers)
+	hb.Stop()
 
 	var outcomes []Outcome
 	for o := range out {
@@ -227,8 +270,12 @@ func Run(cfg Config) (*Report, error) {
 			if cfg.Logf != nil {
 				cfg.Logf("diff: shrinking %s [%s]", o.Subject, o.Stages)
 			}
+			sp := cfg.Tracer.Start("shrink")
+			sp.SetAttr("subject", o.Subject)
+			sp.SetAttr("stages", o.Stages)
 			min := Shrink(o.Div.Source, o.Div.Input, parseStages(o.Stages), cfg)
 			o.Div.Minimized = min
+			sp.End()
 		}
 	}
 

@@ -100,19 +100,18 @@ func aggregate(cfg Config, subjects int, outcomes []Outcome, elapsed time.Durati
 	return rep
 }
 
-// record exports the campaign totals to the observability registry.
+// record exports the harness-specific end-of-run totals to the
+// observability registry. Per-status tallies, in-flight/done gauges,
+// per-job latency and pool size are recorded live by the shared
+// obs.ReportRecorder in Run — only what the recorder cannot know lands
+// here.
 func record(m *obs.Registry, rep *Report) {
 	if m == nil {
 		return
 	}
 	m.Counter("diff.compared").Add(int64(rep.Compared))
-	m.Counter("diff.equivalent").Add(int64(rep.Equivalent))
-	m.Counter("diff.divergent").Add(int64(rep.Divergent))
-	m.Counter("diff.rejected").Add(int64(rep.Rejected))
-	m.Counter("diff.inconclusive").Add(int64(rep.Inconclusive))
-	m.Counter("diff.panics").Add(int64(rep.Panics))
-	m.Counter("diff.timeouts").Add(int64(rep.Timeouts))
-	m.Gauge("diff.workers").Set(int64(rep.Workers))
+	m.Counter("diff.subjects").Add(int64(rep.Subjects))
+	m.Counter("diff.shrunk").Add(int64(len(rep.Divergences)))
 }
 
 // WriteJSON writes the report as indented JSON.

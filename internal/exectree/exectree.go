@@ -299,7 +299,9 @@ func TraceWith(info *sem.Info, o TraceOpts) *TraceResult {
 			}
 			return true
 		})
+		metrics.Counter("exectree.traces").Inc()
 		metrics.Gauge("exectree.nodes").Set(int64(tree.Size()))
+		metrics.Gauge("exectree.nodes.max").SetMax(int64(tree.Size()))
 		metrics.Gauge("exectree.depth.max").SetMax(int64(maxDepth))
 	}
 	return &TraceResult{Tree: tree, Output: out.String(), Err: err, Steps: it.Steps()}

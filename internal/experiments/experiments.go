@@ -639,7 +639,7 @@ func RunTraversal() (string, error) {
 			if err != nil {
 				return "", err
 			}
-			questions := reg.Counter("debugger.oracle.queries.strategy." + strat.String()).Value()
+			questions := reg.CounterVec("debugger.oracle.queries.strategy", "strategy").With(strat.String()).Value()
 			if questions != int64(out.Questions) {
 				return "", fmt.Errorf("traversal %s/%s: registry counted %d queries, outcome %d",
 					s.name, strat, questions, out.Questions)

@@ -29,6 +29,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"gadt/internal/obs"
 	"gadt/internal/pascal/ast"
 	"gadt/internal/pascal/parser"
 	"gadt/internal/pascal/printer"
@@ -103,6 +104,10 @@ type Config struct {
 	// deterministic seed-driven choice from the full enumeration, so a
 	// larger Max returns a superset ordering of stable IDs.
 	Max int
+	// Metrics, when non-nil, receives enumeration counters: the labeled
+	// mutate.sites{op=...} series, mutate.stillborn (faults that do not
+	// type-check), and mutate.mutants (viable mutants returned).
+	Metrics *obs.Registry
 }
 
 // relAlts / arithAlts map an operator token to its replacement
@@ -186,6 +191,10 @@ func EnumerateProgram(file, source string, cfg Config) (*Enumeration, error) {
 
 	var sites []*site
 	collectBlock(prog.Block, prog.Name, nil, enabled, &sites)
+	siteVec := cfg.Metrics.CounterVec("mutate.sites", "op")
+	for _, st := range sites {
+		siteVec.With(string(st.op)).Inc()
+	}
 
 	var mutants []*Mutant
 	for i, st := range sites {
@@ -196,6 +205,7 @@ func EnumerateProgram(file, source string, cfg Config) (*Enumeration, error) {
 			continue
 		}
 		if _, err := sem.Analyze(clone); err != nil {
+			cfg.Metrics.Counter("mutate.stillborn").Inc()
 			continue // stillborn: the fault does not type-check
 		}
 		mutants = append(mutants, &Mutant{
@@ -217,6 +227,7 @@ func EnumerateProgram(file, source string, cfg Config) (*Enumeration, error) {
 		mutants = mutants[:cfg.Max]
 		sort.Slice(mutants, func(i, j int) bool { return mutants[i].ID < mutants[j].ID })
 	}
+	cfg.Metrics.Counter("mutate.mutants").Add(int64(len(mutants)))
 	return &Enumeration{Prog: prog, Info: info, Mutants: mutants}, nil
 }
 

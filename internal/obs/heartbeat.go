@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// HeartbeatConfig shapes a periodic progress reporter for long runs.
+type HeartbeatConfig struct {
+	// W receives one progress line per tick (nil = no lines; gauge-only
+	// consumers still get the Done callback polled).
+	W io.Writer
+	// Interval between ticks (0 = 2s).
+	Interval time.Duration
+	// Label prefixes every line, e.g. "pmut".
+	Label string
+	// Total is the expected item count (0 = unknown: no percentage/ETA).
+	Total int64
+	// Done returns the completed item count so far; called every tick.
+	Done func() int64
+	// Extra, when non-nil, returns additional status rendered at the end
+	// of each line (e.g. "killed=12 survived=3").
+	Extra func() string
+}
+
+// Heartbeat is a running progress reporter; Stop emits a final line and
+// terminates it. A nil *Heartbeat is valid: Stop is a no-op, so callers
+// can start one conditionally and defer Stop unconditionally.
+type Heartbeat struct {
+	cfg   HeartbeatConfig
+	start time.Time
+	stop  chan struct{}
+	wg    sync.WaitGroup
+	once  sync.Once
+}
+
+// StartHeartbeat launches the reporter goroutine. Throughput is the
+// cumulative rate since start (stable under bursty workers) and the ETA
+// extrapolates it over the remaining items.
+func StartHeartbeat(cfg HeartbeatConfig) *Heartbeat {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 2 * time.Second
+	}
+	h := &Heartbeat{cfg: cfg, start: time.Now(), stop: make(chan struct{})}
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		tick := time.NewTicker(h.cfg.Interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				h.report(false)
+			case <-h.stop:
+				return
+			}
+		}
+	}()
+	return h
+}
+
+// Stop halts the reporter and emits one final progress line. Safe on
+// nil and idempotent.
+func (h *Heartbeat) Stop() {
+	if h == nil {
+		return
+	}
+	h.once.Do(func() {
+		close(h.stop)
+		h.wg.Wait()
+		h.report(true)
+	})
+}
+
+func (h *Heartbeat) report(final bool) {
+	if h.cfg.W == nil {
+		return
+	}
+	var done int64
+	if h.cfg.Done != nil {
+		done = h.cfg.Done()
+	}
+	elapsed := time.Since(h.start)
+	rate := 0.0
+	if sec := elapsed.Seconds(); sec > 0 {
+		rate = float64(done) / sec
+	}
+	line := fmt.Sprintf("%s: %d", h.cfg.Label, done)
+	if h.cfg.Total > 0 {
+		line = fmt.Sprintf("%s/%d (%.1f%%)", line, h.cfg.Total, 100*float64(done)/float64(h.cfg.Total))
+	}
+	line += fmt.Sprintf(" %.1f/s", rate)
+	if final {
+		line += fmt.Sprintf(" in %s", elapsed.Round(time.Millisecond))
+	} else if h.cfg.Total > 0 && rate > 0 && done < h.cfg.Total {
+		eta := time.Duration(float64(h.cfg.Total-done)/rate) * time.Second
+		line += fmt.Sprintf(" eta %s", eta.Round(time.Second))
+	}
+	if h.cfg.Extra != nil {
+		if x := h.cfg.Extra(); x != "" {
+			line += " " + x
+		}
+	}
+	fmt.Fprintln(h.cfg.W, line)
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// syncBuffer serializes writes so the heartbeat goroutine and the test
+// can share it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestHeartbeat(t *testing.T) {
+	var out syncBuffer
+	var done atomic.Int64
+	h := StartHeartbeat(HeartbeatConfig{
+		W:        &out,
+		Interval: 5 * time.Millisecond,
+		Label:    "pmut",
+		Total:    10,
+		Done:     done.Load,
+		Extra:    func() string { return "killed=2" },
+	})
+	done.Store(4)
+	time.Sleep(30 * time.Millisecond)
+	h.Stop()
+	h.Stop() // idempotent
+
+	got := out.String()
+	if !strings.Contains(got, "pmut: 4/10 (40.0%)") {
+		t.Errorf("heartbeat output missing progress line:\n%s", got)
+	}
+	if !strings.Contains(got, "killed=2") {
+		t.Errorf("heartbeat output missing extra status:\n%s", got)
+	}
+	if !strings.Contains(got, "/s") {
+		t.Errorf("heartbeat output missing rate:\n%s", got)
+	}
+	// Final line (after Stop) reports elapsed time instead of an ETA.
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if last := lines[len(lines)-1]; !strings.Contains(last, " in ") {
+		t.Errorf("final line missing elapsed: %q", last)
+	}
+}
+
+func TestHeartbeatUnknownTotal(t *testing.T) {
+	var out syncBuffer
+	h := StartHeartbeat(HeartbeatConfig{
+		W:        &out,
+		Interval: time.Hour, // only the final line fires
+		Label:    "pdiff",
+		Done:     func() int64 { return 7 },
+	})
+	h.Stop()
+	got := out.String()
+	if !strings.Contains(got, "pdiff: 7 ") {
+		t.Errorf("output = %q", got)
+	}
+	if strings.Contains(got, "%") || strings.Contains(got, "eta") {
+		t.Errorf("unknown-total heartbeat must not show %% or eta: %q", got)
+	}
+}
+
+func TestReportRecorder(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewReportRecorder(reg, "campaign")
+	rec.JobStart()
+	rec.JobStart()
+	if got := reg.Gauge("campaign.inflight").Value(); got != 2 {
+		t.Errorf("inflight = %d, want 2", got)
+	}
+	rec.JobDone("killed", time.Millisecond)
+	rec.JobDone("survived", 2*time.Millisecond)
+	rec.Count("equivalent", 3)
+	rec.Finish(4)
+
+	if got := reg.Gauge("campaign.inflight").Value(); got != 0 {
+		t.Errorf("inflight after done = %d, want 0", got)
+	}
+	if got := rec.DoneCount(); got != 2 {
+		t.Errorf("done = %d, want 2", got)
+	}
+	if got := rec.StatusCount("killed"); got != 1 {
+		t.Errorf("killed = %d, want 1", got)
+	}
+	if got := rec.StatusCount("equivalent"); got != 3 {
+		t.Errorf("equivalent = %d, want 3", got)
+	}
+	s := reg.Snapshot()
+	if s.Counters["campaign.outcomes{status=survived}"] != 1 {
+		t.Errorf("outcomes vec missing: %+v", s.Counters)
+	}
+	if s.Gauges["campaign.workers"] != 4 {
+		t.Errorf("workers = %d, want 4", s.Gauges["campaign.workers"])
+	}
+	if s.Histograms["campaign.eval"].Count != 2 {
+		t.Errorf("eval histogram = %+v", s.Histograms["campaign.eval"])
+	}
+}
+
+func TestReportRecorderNilRegistry(t *testing.T) {
+	rec := NewReportRecorder(nil, "x")
+	rec.JobStart()
+	rec.JobDone("killed", time.Second)
+	rec.Count("equivalent", 2)
+	rec.Finish(1)
+	if rec.DoneCount() != 1 { // scratch instruments still count locally
+		t.Errorf("done = %d", rec.DoneCount())
+	}
+}
+
+// TestReportRecorderConcurrency runs a worker-pool shape under -race.
+func TestReportRecorderConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewReportRecorder(reg, "pool")
+	const workers, jobs = 8, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < jobs; i++ {
+				rec.JobStart()
+				status := "killed"
+				if i%3 == 0 {
+					status = "survived"
+				}
+				rec.JobDone(status, time.Duration(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := rec.DoneCount(); got != workers*jobs {
+		t.Errorf("done = %d, want %d", got, workers*jobs)
+	}
+	if got := reg.Gauge("pool.inflight").Value(); got != 0 {
+		t.Errorf("inflight = %d, want 0", got)
+	}
+}

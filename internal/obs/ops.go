@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// OpsServer is the embeddable live-operations endpoint: one HTTP
+// listener serving the metrics registry in Prometheus text exposition
+// and JSON, a health probe, expvar, and the pprof profiling handlers.
+// Every long-running or campaign CLI mounts it behind a single
+// -ops :addr flag; gadt-serve will reuse it per-endpoint.
+type OpsServer struct {
+	reg *Registry
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeOps listens on addr (":0" picks a free port) and serves, in a
+// background goroutine:
+//
+//	/metrics        Prometheus text exposition (counters, gauges,
+//	                p50/p95/p99 summaries for every duration histogram)
+//	/metrics.json   the same snapshot as indented JSON
+//	/healthz        liveness probe ("ok")
+//	/debug/vars     expvar
+//	/debug/pprof/   pprof index, profile, heap, trace, symbol, cmdline
+//
+// The registry may be nil (the endpoint then serves empty snapshots).
+// Close stops the listener.
+func ServeOps(addr string, reg *Registry) (*OpsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ops: %w", err)
+	}
+	s := &OpsServer{reg: reg, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+func (s *OpsServer) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "gadt ops endpoint")
+	for _, p := range []string{"/metrics", "/metrics.json", "/healthz", "/debug/vars", "/debug/pprof/"} {
+		fmt.Fprintln(w, "  "+p)
+	}
+}
+
+func (s *OpsServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.Snapshot().WritePrometheus(w) //nolint:errcheck // client went away
+}
+
+func (s *OpsServer) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	s.reg.Snapshot().WriteJSON(w) //nolint:errcheck // client went away
+}
+
+// Addr returns the resolved listen address (host:port, the port bound
+// even when :0 was requested). Safe on nil.
+func (s *OpsServer) Addr() string {
+	if s == nil || s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and in-flight handlers. Safe on nil.
+func (s *OpsServer) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

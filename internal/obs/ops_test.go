@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestServeOps(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("campaign.done").Add(3)
+	reg.CounterVec("campaign.outcomes", "status").With("killed").Add(2)
+	reg.Histogram("phase.debug").Observe(5 * time.Millisecond)
+
+	srv, err := ServeOps("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	addr := srv.Addr()
+	if addr == "" || strings.HasSuffix(addr, ":0") {
+		t.Fatalf("addr = %q, want resolved port", addr)
+	}
+	get := func(path string) (int, string) {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	code, body := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"campaign_done 3",
+		`campaign_outcomes{status="killed"} 2`,
+		`phase_debug{quantile="0.5"}`,
+		`phase_debug{quantile="0.95"}`,
+		`phase_debug{quantile="0.99"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	code, body = get("/metrics.json")
+	if code != 200 {
+		t.Fatalf("/metrics.json = %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json not valid JSON: %v", err)
+	}
+	if snap.Counters["campaign.done"] != 3 {
+		t.Errorf("json snapshot = %+v", snap)
+	}
+	if code, _ := get("/debug/vars"); code != 200 {
+		t.Errorf("/debug/vars = %d", code)
+	}
+	if code, _ := get("/debug/pprof/"); code != 200 {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+	if code, _ := get("/nope"); code != 404 {
+		t.Errorf("/nope = %d, want 404", code)
+	}
+}
+
+func TestServeOpsNilRegistry(t *testing.T) {
+	srv, err := ServeOps("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("/metrics on nil registry = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format (version 0.0.4), the format the /metrics ops
+// endpoint serves. Dotted metric names become underscore-separated
+// (campaign.outcomes -> campaign_outcomes), labeled series keep their
+// labels, and duration histograms are exported as summaries: quantile
+// series for p50/p95/p99 plus _sum and _count, all in seconds per
+// Prometheus convention.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	typed := make(map[string]bool) // families that already got a # TYPE line
+
+	write := func(kind, series string, render func(name, labels string) error) error {
+		name, keys, vals := splitSeries(series)
+		pname := promName(name)
+		if !typed[pname] {
+			typed[pname] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", pname, kind); err != nil {
+				return err
+			}
+		}
+		return render(pname, promLabels(keys, vals))
+	}
+
+	for _, series := range sortedKeys(s.Counters) {
+		v := s.Counters[series]
+		err := write("counter", series, func(name, labels string) error {
+			_, err := fmt.Fprintf(w, "%s%s %d\n", name, labels, v)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for _, series := range sortedKeys(s.Gauges) {
+		v := s.Gauges[series]
+		err := write("gauge", series, func(name, labels string) error {
+			_, err := fmt.Fprintf(w, "%s%s %d\n", name, labels, v)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	var hnames []string
+	for n := range s.Histograms {
+		hnames = append(hnames, n)
+	}
+	sort.Strings(hnames)
+	for _, series := range hnames {
+		h := s.Histograms[series]
+		err := write("summary", series, func(name, labels string) error {
+			for _, q := range []struct {
+				q  string
+				ns int64
+			}{{"0.5", h.P50NS}, {"0.95", h.P95NS}, {"0.99", h.P99NS}} {
+				ql := mergeLabels(labels, fmt.Sprintf(`quantile=%q`, q.q))
+				if _, err := fmt.Fprintf(w, "%s%s %g\n", name, ql, float64(q.ns)/1e9); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", name, labels, float64(h.SumNS)/1e9); err != nil {
+				return err
+			}
+			_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.Count)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName maps a dotted metric name onto the Prometheus grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabels renders a label set as {k="v",...} ("" when unlabeled).
+func promLabels(keys, vals []string) string {
+	if len(keys) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := ""
+		if i < len(vals) {
+			v = vals[i]
+		}
+		fmt.Fprintf(&b, "%s=%q", promName(k), v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// mergeLabels appends one rendered pair to an existing {..} label set.
+func mergeLabels(labels, pair string) string {
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}

@@ -1,0 +1,91 @@
+package obs
+
+import "time"
+
+// ReportRecorder is the shared obs backend for pool-style campaigns
+// (the mutation campaign and the differential harness): live in-flight
+// and completion tracking for the ops endpoint and heartbeat, one
+// labeled outcome counter per status, a per-job duration histogram, and
+// the end-of-run totals. All instruments live under one prefix:
+//
+//	<prefix>.inflight          gauge      jobs currently evaluating
+//	<prefix>.done              counter    jobs completed (live)
+//	<prefix>.outcomes{status}  counter    verdicts by status (live)
+//	<prefix>.eval              histogram  per-job wall time, percentiles
+//	<prefix>.workers           gauge      pool size (set by Finish)
+//
+// A nil registry yields a recorder whose methods are no-ops, so engines
+// call it unconditionally.
+type ReportRecorder struct {
+	outcomes *CounterVec
+	inflight *Gauge
+	done     *Counter
+	eval     *Histogram
+	workers  *Gauge
+}
+
+// NewReportRecorder builds the instrument set under prefix. m may be
+// nil (every handle degrades to a scratch instrument).
+func NewReportRecorder(m *Registry, prefix string) *ReportRecorder {
+	return &ReportRecorder{
+		outcomes: m.CounterVec(prefix+".outcomes", "status"),
+		inflight: m.Gauge(prefix + ".inflight"),
+		done:     m.Counter(prefix + ".done"),
+		eval:     m.Histogram(prefix + ".eval"),
+		workers:  m.Gauge(prefix + ".workers"),
+	}
+}
+
+// JobStart marks one job entering evaluation. Safe on nil.
+func (r *ReportRecorder) JobStart() {
+	if r == nil {
+		return
+	}
+	r.inflight.Add(1)
+}
+
+// JobDone marks one job finished with the given status verdict and
+// wall time. Safe on nil.
+func (r *ReportRecorder) JobDone(status string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.inflight.Add(-1)
+	r.done.Inc()
+	r.outcomes.With(status).Inc()
+	r.eval.Observe(d)
+}
+
+// Count records n pre-classified outcomes that never entered the pool
+// (e.g. mutants proven equivalent by static triage). Safe on nil.
+func (r *ReportRecorder) Count(status string, n int64) {
+	if r == nil {
+		return
+	}
+	r.outcomes.With(status).Add(n)
+}
+
+// StatusCount reads the live tally for one status (heartbeat lines show
+// killed/survived so far). Safe on nil.
+func (r *ReportRecorder) StatusCount(status string) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.outcomes.With(status).Value()
+}
+
+// DoneCount reads the live completed-job tally. Safe on nil.
+func (r *ReportRecorder) DoneCount() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.done.Value()
+}
+
+// Finish records the end-of-run pool facts. Safe on nil.
+func (r *ReportRecorder) Finish(workers int) {
+	if r == nil {
+		return
+	}
+	r.workers.Set(int64(workers))
+}

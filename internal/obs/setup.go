@@ -5,38 +5,56 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 )
 
 // Setup wires the standard CLI observability surface: it returns a
 // fresh registry and a tracer whose span durations feed that registry.
 // traceOut selects the event sink: "" discards events (metrics only),
-// "-" writes human-readable lines to stderr, anything else creates a
-// JSONL file. The returned close function flushes and closes the sink
-// and must be called before exit.
+// "-" writes human-readable lines to stderr, a path ending in .jsonl
+// writes raw TraceEvent JSON lines, and any other path writes a Chrome
+// trace-event JSON file that loads directly in Perfetto
+// (ui.perfetto.dev) or chrome://tracing. The returned close function
+// flushes the sink, closes the file, and reports the FIRST write error
+// seen anywhere in the trace stream; every CLI must call it before exit
+// so a truncated trace file cannot pass unnoticed.
 func Setup(traceOut string) (*Registry, *Tracer, func() error, error) {
 	reg := NewRegistry()
 	var (
 		sink TraceSink
 		file *os.File
 	)
-	switch traceOut {
-	case "":
+	switch {
+	case traceOut == "":
 		sink = Discard
-	case "-":
-		sink = TextSink{W: os.Stderr}
+	case traceOut == "-":
+		sink = NewTextSink(os.Stderr)
 	default:
 		f, err := os.Create(traceOut)
 		if err != nil {
 			return nil, nil, nil, fmt.Errorf("trace-out: %w", err)
 		}
 		file = f
-		sink = JSONLSink{W: f}
+		if strings.HasSuffix(traceOut, ".jsonl") {
+			sink = NewJSONLSink(f)
+		} else {
+			sink = NewChromeSink(f)
+		}
 	}
 	tr := NewTracer(sink)
 	tr.Metrics = reg
 	closeFn := func() error {
+		var first error
+		if fs, ok := sink.(FlushSink); ok {
+			first = fs.Flush()
+		}
 		if file != nil {
-			return file.Close()
+			if err := file.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		if first != nil {
+			return fmt.Errorf("trace-out: %w", first)
 		}
 		return nil
 	}

@@ -1,28 +1,46 @@
 package obs
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// TraceEvent is one entry in the phase-trace event stream. Begin events
-// carry no duration; end events carry the span's wall-clock duration.
-// Timestamps are microseconds since the tracer was created, so traces of
-// the same binary are comparable without absolute clocks.
+// TraceEvent is one entry in the trace event stream. Begin events carry
+// no duration; end events carry the span's wall-clock duration and the
+// span's key/value attributes. Metadata events (Phase "M") name lanes.
+// Timestamps are microseconds since the tracer was created, so traces
+// of the same binary are comparable without absolute clocks.
 type TraceEvent struct {
-	Name   string `json:"name"`
-	Phase  string `json:"ph"` // "B" (begin) or "E" (end)
-	TimeUS int64  `json:"ts_us"`
-	DurUS  int64  `json:"dur_us,omitempty"`
+	Name   string            `json:"name"`
+	Phase  string            `json:"ph"` // "B" (begin), "E" (end), "M" (metadata)
+	TimeUS int64             `json:"ts_us"`
+	DurUS  int64             `json:"dur_us,omitempty"`
+	ID     int64             `json:"id,omitempty"`     // span ID (unique per tracer)
+	Parent int64             `json:"parent,omitempty"` // enclosing span's ID (0 = root)
+	TID    int               `json:"tid"`              // lane: 0 = main, workers get their own
+	Args   map[string]string `json:"args,omitempty"`
 }
 
 // TraceSink consumes trace events. Emit may be called from multiple
-// goroutines; the Tracer serializes calls.
+// goroutines; the Tracer serializes calls. Sinks that buffer or can
+// fail additionally implement FlushSink.
 type TraceSink interface {
 	Emit(e TraceEvent)
+}
+
+// FlushSink is implemented by sinks that buffer output: Flush drains
+// the buffer and reports the first write or encode error encountered
+// since the sink was created, so truncated trace files fail loudly at
+// exit instead of passing unnoticed. Setup's close function calls it.
+type FlushSink interface {
+	TraceSink
+	Flush() error
 }
 
 // Discard is a TraceSink that drops every event.
@@ -32,39 +50,179 @@ type discardSink struct{}
 
 func (discardSink) Emit(TraceEvent) {}
 
-// TextSink renders events as human-readable lines.
-type TextSink struct{ W io.Writer }
-
-// Emit implements TraceSink.
-func (s TextSink) Emit(e TraceEvent) {
-	if e.Phase == "E" {
-		fmt.Fprintf(s.W, "[%9.3fms] end   %-12s (%s)\n",
-			float64(e.TimeUS)/1e3, e.Name, time.Duration(e.DurUS)*time.Microsecond)
-		return
-	}
-	fmt.Fprintf(s.W, "[%9.3fms] begin %s\n", float64(e.TimeUS)/1e3, e.Name)
+// sinkCore is the shared buffered-writer/first-error state of the
+// concrete sinks.
+type sinkCore struct {
+	w   *bufio.Writer
+	err error
 }
 
-// JSONLSink renders events as one JSON object per line.
-type JSONLSink struct{ W io.Writer }
+func (c *sinkCore) setErr(err error) {
+	if c.err == nil && err != nil {
+		c.err = err
+	}
+}
+
+func (c *sinkCore) flush() error {
+	if err := c.w.Flush(); err != nil {
+		c.setErr(err)
+	}
+	return c.err
+}
+
+// TextSink renders events as human-readable lines. Output is buffered;
+// call Flush before discarding the sink.
+type TextSink struct{ sinkCore }
+
+// NewTextSink returns a buffered text sink over w.
+func NewTextSink(w io.Writer) *TextSink {
+	return &TextSink{sinkCore{w: bufio.NewWriter(w)}}
+}
 
 // Emit implements TraceSink.
-func (s JSONLSink) Emit(e TraceEvent) {
+func (s *TextSink) Emit(e TraceEvent) {
+	var err error
+	switch e.Phase {
+	case "E":
+		_, err = fmt.Fprintf(s.w, "[%9.3fms] [lane %d] end   %-12s (%s)%s\n",
+			float64(e.TimeUS)/1e3, e.TID, e.Name,
+			time.Duration(e.DurUS)*time.Microsecond, formatArgs(e.Args))
+	case "M":
+		_, err = fmt.Fprintf(s.w, "[%9.3fms] [lane %d] =%s=%s\n",
+			float64(e.TimeUS)/1e3, e.TID, e.Name, formatArgs(e.Args))
+	default:
+		_, err = fmt.Fprintf(s.w, "[%9.3fms] [lane %d] begin %s\n",
+			float64(e.TimeUS)/1e3, e.TID, e.Name)
+	}
+	s.setErr(err)
+}
+
+// Flush implements FlushSink.
+func (s *TextSink) Flush() error { return s.flush() }
+
+func formatArgs(args map[string]string) string {
+	if len(args) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(args))
+	for k := range args {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := " {"
+	for i, k := range keys {
+		if i > 0 {
+			out += ", "
+		}
+		out += k + "=" + args[k]
+	}
+	return out + "}"
+}
+
+// JSONLSink renders events as one JSON object per line (the raw
+// TraceEvent schema). Output is buffered; call Flush before discarding
+// the sink.
+type JSONLSink struct{ sinkCore }
+
+// NewJSONLSink returns a buffered JSONL sink over w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{sinkCore{w: bufio.NewWriter(w)}}
+}
+
+// Emit implements TraceSink.
+func (s *JSONLSink) Emit(e TraceEvent) {
 	b, err := json.Marshal(e)
 	if err != nil {
+		s.setErr(err)
 		return
 	}
-	s.W.Write(append(b, '\n'))
+	if _, err := s.w.Write(append(b, '\n')); err != nil {
+		s.setErr(err)
+	}
+}
+
+// Flush implements FlushSink.
+func (s *JSONLSink) Flush() error { return s.flush() }
+
+// chromeEvent is the Chrome trace-event (Trace Event Format) shape of
+// one TraceEvent: what Perfetto and chrome://tracing load directly.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   int64             `json:"ts"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// ChromeSink renders events as a Chrome trace-event JSON array; the
+// resulting file loads directly in Perfetto (ui.perfetto.dev) or
+// chrome://tracing, with one horizontal lane per tracer Lane and nested
+// spans stacked by begin/end pairing. Output is buffered and the array
+// is terminated by Flush — an unflushed file is invalid JSON by
+// construction, so a crashed run cannot masquerade as a complete trace.
+type ChromeSink struct {
+	sinkCore
+	n int // events emitted (for comma placement)
+}
+
+// NewChromeSink returns a buffered Chrome trace sink over w.
+func NewChromeSink(w io.Writer) *ChromeSink {
+	s := &ChromeSink{sinkCore: sinkCore{w: bufio.NewWriter(w)}}
+	if _, err := s.w.WriteString("[\n"); err != nil {
+		s.setErr(err)
+	}
+	return s
+}
+
+// Emit implements TraceSink.
+func (s *ChromeSink) Emit(e TraceEvent) {
+	ce := chromeEvent{Name: e.Name, Cat: "gadt", Ph: e.Phase, TS: e.TimeUS, PID: 1, TID: e.TID, Args: e.Args}
+	if e.Phase == "M" {
+		ce.Cat = "__metadata"
+	}
+	b, err := json.Marshal(ce)
+	if err != nil {
+		s.setErr(err)
+		return
+	}
+	if s.n > 0 {
+		if _, err := s.w.WriteString(",\n"); err != nil {
+			s.setErr(err)
+		}
+	}
+	s.n++
+	if _, err := s.w.Write(b); err != nil {
+		s.setErr(err)
+	}
+}
+
+// Flush terminates the JSON array and drains the buffer, reporting the
+// first error seen by any write.
+func (s *ChromeSink) Flush() error {
+	if _, err := s.w.WriteString("\n]\n"); err != nil {
+		s.setErr(err)
+	}
+	return s.flush()
 }
 
 // Tracer emits span begin/end events to a sink and, when Metrics is
 // set, records each span's duration in the histogram phase.<name>.
-// A nil *Tracer is valid and free: Start returns a nil Span whose End
-// is a no-op.
+// Spans nest: within one Lane, a span started while another is open
+// becomes its child (IDs and parent links land in the events), so a
+// trace of a debugging session shows parse/sem/transform/trace/debug
+// stacked under the session root. Concurrent pools give each worker its
+// own Lane, which renders as one horizontal track per worker in
+// Perfetto. A nil *Tracer is valid and free: Start returns a nil Span
+// whose methods are no-ops.
 type Tracer struct {
 	mu      sync.Mutex
 	sink    TraceSink
 	start   time.Time
+	nextID  atomic.Int64
+	nextTID int
+	main    *Lane
 	Metrics *Registry // optional; span durations land in phase.<name>
 }
 
@@ -73,7 +231,10 @@ func NewTracer(sink TraceSink) *Tracer {
 	if sink == nil {
 		sink = Discard
 	}
-	return &Tracer{sink: sink, start: time.Now()}
+	t := &Tracer{sink: sink, start: time.Now()}
+	t.main = &Lane{t: t, tid: 0}
+	t.emit(TraceEvent{Name: "thread_name", Phase: "M", TID: 0, Args: map[string]string{"name": "main"}})
+	return t
 }
 
 func (t *Tracer) emit(e TraceEvent) {
@@ -82,36 +243,130 @@ func (t *Tracer) emit(e TraceEvent) {
 	t.sink.Emit(e)
 }
 
-// Span is one open interval; close it with End.
-type Span struct {
-	t     *Tracer
-	name  string
-	begin time.Time
+// Lane allocates a new trace lane (its own track in Perfetto) named for
+// the worker or subsystem that owns it. The lane must be used from one
+// goroutine at a time; concurrent pools create one lane per worker.
+// Safe on a nil tracer (returns a nil lane whose Start is a no-op).
+func (t *Tracer) Lane(name string) *Lane {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.nextTID++
+	tid := t.nextTID
+	t.mu.Unlock()
+	t.emit(TraceEvent{
+		Name:   "thread_name",
+		Phase:  "M",
+		TimeUS: time.Since(t.start).Microseconds(),
+		TID:    tid,
+		Args:   map[string]string{"name": name},
+	})
+	return &Lane{t: t, tid: tid}
 }
 
-// Start opens a span and emits its begin event.
+// Lane is one track of spans; spans started on a lane nest under the
+// lane's currently open span.
+type Lane struct {
+	t   *Tracer
+	tid int
+	cur *Span // innermost open span; guarded by t.mu
+}
+
+// Start opens a span on this lane, nested under the lane's innermost
+// open span. Safe on nil.
+func (l *Lane) Start(name string) *Span {
+	if l == nil || l.t == nil {
+		return nil
+	}
+	t := l.t
+	now := time.Now()
+	s := &Span{t: t, lane: l, name: name, begin: now, id: t.nextID.Add(1)}
+	t.mu.Lock()
+	s.parent = l.cur
+	if s.parent != nil {
+		s.parentID = s.parent.id
+	}
+	l.cur = s
+	e := TraceEvent{
+		Name:   name,
+		Phase:  "B",
+		TimeUS: now.Sub(t.start).Microseconds(),
+		ID:     s.id,
+		Parent: s.parentID,
+		TID:    l.tid,
+	}
+	t.sink.Emit(e)
+	t.mu.Unlock()
+	return s
+}
+
+// Start opens a span on the tracer's main lane. Safe on nil.
 func (t *Tracer) Start(name string) *Span {
 	if t == nil {
 		return nil
 	}
-	now := time.Now()
-	t.emit(TraceEvent{Name: name, Phase: "B", TimeUS: now.Sub(t.start).Microseconds()})
-	return &Span{t: t, name: name, begin: now}
+	return t.main.Start(name)
 }
 
-// End closes the span, emits its end event, and records the duration in
-// the tracer's metrics registry (when one is attached). Safe on nil.
+// Span is one open interval; close it with End.
+type Span struct {
+	t        *Tracer
+	lane     *Lane
+	parent   *Span
+	parentID int64
+	id       int64
+	name     string
+	begin    time.Time
+	args     map[string]string
+}
+
+// SetAttr attaches a key/value attribute to the span; attributes are
+// emitted with the end event (and shown in Perfetto's detail pane).
+// Safe on nil. Call from the goroutine that owns the span's lane.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	if s.args == nil {
+		s.args = make(map[string]string, 4)
+	}
+	s.args[key] = value
+}
+
+// End closes the span, emits its end event (attributes included), and
+// records the duration in the tracer's metrics registry under
+// phase.<name>. Safe on nil.
 func (s *Span) End() {
 	if s == nil || s.t == nil {
 		return
 	}
+	t := s.t
 	now := time.Now()
 	dur := now.Sub(s.begin)
-	s.t.emit(TraceEvent{
+	t.mu.Lock()
+	// Restore the lane's open-span chain; out-of-order ends (a parent
+	// ended before its child) just unwind to this span's parent.
+	if s.lane != nil {
+		s.lane.cur = s.parent
+	}
+	t.sink.Emit(TraceEvent{
 		Name:   s.name,
 		Phase:  "E",
-		TimeUS: now.Sub(s.t.start).Microseconds(),
+		TimeUS: now.Sub(t.start).Microseconds(),
 		DurUS:  dur.Microseconds(),
+		ID:     s.id,
+		Parent: s.parentID,
+		TID:    laneTID(s.lane),
+		Args:   s.args,
 	})
-	s.t.Metrics.Histogram("phase." + s.name).Observe(dur)
+	t.mu.Unlock()
+	t.Metrics.Histogram("phase." + s.name).Observe(dur)
+}
+
+func laneTID(l *Lane) int {
+	if l == nil {
+		return 0
+	}
+	return l.tid
 }

@@ -1,54 +1,288 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
-func TestTracerJSONL(t *testing.T) {
-	var buf strings.Builder
-	tr := NewTracer(JSONLSink{W: &buf})
+// collectSink records every event for structural assertions.
+type collectSink struct {
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+func (s *collectSink) Emit(e TraceEvent) {
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+func TestTracerSpansAndMetrics(t *testing.T) {
+	sink := &collectSink{}
+	tr := NewTracer(sink)
 	tr.Metrics = NewRegistry()
 
-	sp := tr.Start("parse")
-	sp.End()
-	tr.Start("debug").End()
+	root := tr.Start("session")
+	child := tr.Start("parse")
+	child.SetAttr("file", "x.pas")
+	child.End()
+	root.End()
 
-	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
-	if len(lines) != 4 {
-		t.Fatalf("got %d events, want 4 (2 begin + 2 end):\n%s", len(lines), buf.String())
+	// metadata(main) + B(session) + B(parse) + E(parse) + E(session)
+	if len(sink.events) != 5 {
+		t.Fatalf("got %d events, want 5: %+v", len(sink.events), sink.events)
 	}
-	var evs []TraceEvent
-	for _, l := range lines {
-		var e TraceEvent
-		if err := json.Unmarshal([]byte(l), &e); err != nil {
-			t.Fatalf("bad JSONL line %q: %v", l, err)
-		}
-		evs = append(evs, e)
+	if sink.events[0].Phase != "M" || sink.events[0].Name != "thread_name" {
+		t.Errorf("first event not thread_name metadata: %+v", sink.events[0])
 	}
-	if evs[0].Name != "parse" || evs[0].Phase != "B" || evs[1].Phase != "E" {
-		t.Errorf("events = %+v", evs)
+	bSession, bParse, eParse := sink.events[1], sink.events[2], sink.events[3]
+	if bSession.Phase != "B" || bSession.Name != "session" || bSession.Parent != 0 {
+		t.Errorf("session begin = %+v", bSession)
 	}
-	// Span durations land in the attached registry as phase histograms.
-	s := tr.Metrics.Snapshot()
-	if s.Histograms["phase.parse"].Count != 1 || s.Histograms["phase.debug"].Count != 1 {
-		t.Errorf("phase histograms missing: %+v", s.Histograms)
+	if bParse.Parent != bSession.ID {
+		t.Errorf("parse not nested under session: parent=%d want=%d", bParse.Parent, bSession.ID)
+	}
+	if eParse.Phase != "E" || eParse.Args["file"] != "x.pas" {
+		t.Errorf("parse end missing attrs: %+v", eParse)
+	}
+	if got := tr.Metrics.Histogram("phase.parse").Stat().Count; got != 1 {
+		t.Errorf("phase.parse count = %d, want 1", got)
+	}
+	// After both ended, a new span is a root again.
+	s2 := tr.Start("debug")
+	s2.End()
+	if last := sink.events[len(sink.events)-1]; last.Parent != 0 {
+		t.Errorf("post-unwind span has parent %d, want 0", last.Parent)
 	}
 }
 
-func TestTracerText(t *testing.T) {
-	var buf strings.Builder
-	tr := NewTracer(TextSink{W: &buf})
-	tr.Start("trace").End()
-	out := buf.String()
-	if !strings.Contains(out, "begin trace") || !strings.Contains(out, "end   trace") {
-		t.Errorf("text trace output:\n%s", out)
+func TestTracerLanes(t *testing.T) {
+	sink := &collectSink{}
+	tr := NewTracer(sink)
+	lane := tr.Lane("worker-1")
+	s := lane.Start("mutant")
+	s.End()
+
+	var meta []TraceEvent
+	for _, e := range sink.events {
+		if e.Phase == "M" {
+			meta = append(meta, e)
+		}
+	}
+	if len(meta) != 2 || meta[1].Args["name"] != "worker-1" || meta[1].TID == 0 {
+		t.Fatalf("lane metadata wrong: %+v", meta)
+	}
+	for _, e := range sink.events[2:] {
+		if e.TID != meta[1].TID {
+			t.Errorf("span event on wrong lane: %+v", e)
+		}
 	}
 }
 
 func TestNilTracerIsSafe(t *testing.T) {
 	var tr *Tracer
-	tr.Start("anything").End() // must not panic
+	s := tr.Start("x")
+	s.SetAttr("k", "v")
+	s.End()
+	lane := tr.Lane("w")
+	ls := lane.Start("y")
+	ls.End()
+	(*Span)(nil).SetAttr("a", "b")
 	(*Span)(nil).End()
+}
+
+func TestTracerJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	tr := NewTracer(sink)
+	tr.Start("phase").End()
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 { // metadata + B + E
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	for _, ln := range lines {
+		var e TraceEvent
+		if err := json.Unmarshal([]byte(ln), &e); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", ln, err)
+		}
+	}
+}
+
+func TestTextSink(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewTextSink(&buf)
+	tr := NewTracer(sink)
+	s := tr.Start("trace")
+	s.SetAttr("nodes", "12")
+	s.End()
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"begin trace", "end   trace", "nodes=12"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestChromeSink validates the Perfetto-loadable trace shape: a JSON
+// array of events with name/ph/ts/pid/tid, thread_name metadata, and
+// nested B/E pairs.
+func TestChromeSink(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewChromeSink(&buf)
+	tr := NewTracer(sink)
+	lane := tr.Lane("worker-0")
+	root := lane.Start("mutant")
+	inner := lane.Start("eval")
+	inner.End()
+	root.End()
+
+	// Before Flush the array is unterminated — invalid JSON by design.
+	var pre []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &pre); err == nil {
+		t.Error("unflushed chrome trace parsed as JSON; want invalid until Flush")
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	// main metadata + worker metadata + B + B + E + E
+	if len(events) != 6 {
+		t.Fatalf("got %d events, want 6: %v", len(events), events)
+	}
+	var metaNames []string
+	begins, ends := 0, 0
+	for _, e := range events {
+		for _, key := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := e[key]; !ok {
+				t.Errorf("event missing %q: %v", key, e)
+			}
+		}
+		switch e["ph"] {
+		case "M":
+			if e["name"] == "thread_name" {
+				args := e["args"].(map[string]any)
+				metaNames = append(metaNames, args["name"].(string))
+			}
+		case "B":
+			begins++
+		case "E":
+			ends++
+		}
+	}
+	if begins != 2 || ends != 2 {
+		t.Errorf("unbalanced B/E: %d/%d", begins, ends)
+	}
+	want := []string{"main", "worker-0"}
+	if len(metaNames) != 2 || metaNames[0] != want[0] || metaNames[1] != want[1] {
+		t.Errorf("thread_name lanes = %v, want %v", metaNames, want)
+	}
+}
+
+// failWriter fails every write after the first n bytes.
+type failWriter struct {
+	n   int
+	err error
+}
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, w.err
+	}
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, w.err
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+// TestSinkErrorPropagation is the heart of the silent-swallow fix: a
+// failing writer must surface its first error from Flush, for every
+// sink flavor.
+func TestSinkErrorPropagation(t *testing.T) {
+	wantErr := errors.New("disk full")
+	sinks := map[string]FlushSink{
+		"text":   NewTextSink(&failWriter{n: 4, err: wantErr}),
+		"jsonl":  NewJSONLSink(&failWriter{n: 4, err: wantErr}),
+		"chrome": NewChromeSink(&failWriter{n: 4, err: wantErr}),
+	}
+	for name, sink := range sinks {
+		tr := NewTracer(sink)
+		for i := 0; i < 4096; i++ { // overflow the bufio buffer so writes hit the failWriter
+			tr.Start("spanspanspanspanspanspanspanspan").End()
+		}
+		if err := sink.Flush(); !errors.Is(err, wantErr) {
+			t.Errorf("%s sink Flush = %v, want %v", name, err, wantErr)
+		}
+	}
+}
+
+// TestTracerConcurrency exercises concurrent span start/end on separate
+// lanes with snapshots in flight; meaningful under -race.
+func TestTracerConcurrency(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewChromeSink(&buf)
+	tr := NewTracer(sink)
+	tr.Metrics = NewRegistry()
+	const workers, iters = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			lane := tr.Lane("worker")
+			for i := 0; i < iters; i++ {
+				s := lane.Start("job")
+				inner := lane.Start("step")
+				inner.End()
+				s.SetAttr("i", "x")
+				s.End()
+				if i%50 == 0 {
+					tr.Metrics.Snapshot()
+				}
+			}
+		}(w)
+	}
+	// Main lane traffic racing the workers.
+	for i := 0; i < iters; i++ {
+		tr.Start("tick").End()
+	}
+	wg.Wait()
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("concurrent chrome trace invalid: %v", err)
+	}
+	if got := tr.Metrics.Histogram("phase.job").Stat().Count; got != workers*iters {
+		t.Errorf("phase.job count = %d, want %d", got, workers*iters)
+	}
+}
+
+func TestSpanDurationRecorded(t *testing.T) {
+	tr := NewTracer(Discard)
+	tr.Metrics = NewRegistry()
+	s := tr.Start("sleepy")
+	time.Sleep(2 * time.Millisecond)
+	s.End()
+	st := tr.Metrics.Histogram("phase.sleepy").Stat()
+	if st.Count != 1 || st.MaxNS < int64(time.Millisecond) {
+		t.Errorf("stat = %+v", st)
+	}
 }

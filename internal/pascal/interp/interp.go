@@ -184,6 +184,13 @@ type Interp struct {
 	flushedSteps int
 	flushedCalls int64
 
+	// Instrument handles resolved once in New: recordMetrics touches no
+	// registry lock and allocates nothing, so instrumented runs keep the
+	// interpreter's zero-alloc guarantee. All nil when cfg.Metrics is nil.
+	mStatements *obs.Counter
+	mCalls      *obs.Counter
+	mDepthMax   *obs.Gauge
+
 	frame *frame // current frame
 
 	// free is the head of the frame free list. Completed activations
@@ -242,6 +249,11 @@ func New(info *sem.Info, cfg Config) *Interp {
 	if it.cfg.MaxDepth <= 0 {
 		it.cfg.MaxDepth = defaultMaxDepth
 	}
+	if m := cfg.Metrics; m != nil {
+		it.mStatements = m.Counter("interp.statements")
+		it.mCalls = m.Counter("interp.calls")
+		it.mDepthMax = m.Gauge("interp.depth.max")
+	}
 	return it
 }
 
@@ -250,13 +262,12 @@ func New(info *sem.Info, cfg Config) *Interp {
 // Deltas keep repeated CallUnit invocations on one interpreter from
 // double-counting; the depth gauge is a high-water mark.
 func (it *Interp) recordMetrics() {
-	m := it.cfg.Metrics
-	if m == nil {
+	if it.mStatements == nil {
 		return
 	}
-	m.Counter("interp.statements").Add(int64(it.steps - it.flushedSteps))
-	m.Counter("interp.calls").Add(it.calls - it.flushedCalls)
-	m.Gauge("interp.depth.max").SetMax(int64(it.maxDepth))
+	it.mStatements.Add(int64(it.steps - it.flushedSteps))
+	it.mCalls.Add(it.calls - it.flushedCalls)
+	it.mDepthMax.SetMax(int64(it.maxDepth))
 	it.flushedSteps, it.flushedCalls = it.steps, it.calls
 }
 

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"gadt/internal/obs"
 	"gadt/internal/pascal/interp"
 	"gadt/internal/pascal/parser"
 	"gadt/internal/pascal/sem"
@@ -62,8 +63,9 @@ end.`, n)
 }
 
 // allocsForRun measures one full analyze-free run (interp.New + Run) of
-// the given program.
-func allocsForRun(t *testing.T, src string) float64 {
+// the given program; metrics, when non-nil, attaches the observability
+// registry to every run.
+func allocsForRun(t *testing.T, src string, metrics *obs.Registry) float64 {
 	t.Helper()
 	prog, err := parser.ParseProgram("t.pas", src)
 	if err != nil {
@@ -75,7 +77,7 @@ func allocsForRun(t *testing.T, src string) float64 {
 	}
 	return testing.AllocsPerRun(10, func() {
 		var out strings.Builder
-		it := interp.New(info, interp.Config{Output: &out})
+		it := interp.New(info, interp.Config{Output: &out, Metrics: metrics})
 		if err := it.Run(); err != nil {
 			t.Fatalf("run: %v", err)
 		}
@@ -86,11 +88,11 @@ func allocsForRun(t *testing.T, src string) float64 {
 // and requires the per-run allocation totals to be identical: the fixed
 // setup cost (interpreter, frames, output) cancels out, so any
 // difference is a per-iteration allocation on the hot path.
-func assertZeroAllocsPerIteration(t *testing.T, gen func(int) string) {
+func assertZeroAllocsPerIteration(t *testing.T, gen func(int) string, metrics *obs.Registry) {
 	t.Helper()
 	const n = 2000
-	base := allocsForRun(t, gen(n))
-	double := allocsForRun(t, gen(2*n))
+	base := allocsForRun(t, gen(n), metrics)
+	double := allocsForRun(t, gen(2*n), metrics)
 	if double > base {
 		t.Errorf("hot path allocates: %.0f allocs at %d iterations vs %.0f at %d (%.3f allocs/iteration, want 0)",
 			double, 2*n, base, n, (double-base)/n)
@@ -98,11 +100,27 @@ func assertZeroAllocsPerIteration(t *testing.T, gen func(int) string) {
 }
 
 func TestIntLoopZeroAllocs(t *testing.T) {
-	assertZeroAllocsPerIteration(t, intLoopSrc)
+	assertZeroAllocsPerIteration(t, intLoopSrc, nil)
 }
 
 func TestSlotAccessZeroAllocs(t *testing.T) {
-	assertZeroAllocsPerIteration(t, slotAccessSrc)
+	assertZeroAllocsPerIteration(t, slotAccessSrc, nil)
+}
+
+// TestZeroAllocsWithMetrics re-runs the zero-alloc checks with the
+// observability registry attached: instrument handles are resolved once
+// in New and the flush is delta-based, so instrumentation must not put
+// allocations (or registry lock traffic) on the per-iteration hot path.
+func TestZeroAllocsWithMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	assertZeroAllocsPerIteration(t, intLoopSrc, reg)
+	assertZeroAllocsPerIteration(t, slotAccessSrc, reg)
+	if reg.Counter("interp.statements").Value() == 0 {
+		t.Error("instrumented runs recorded no statements")
+	}
+	if reg.Counter("interp.calls").Value() == 0 {
+		t.Error("instrumented runs recorded no calls")
+	}
 }
 
 // TestOutputOrderOnError pins down the error-path contract the buffered
