@@ -11,6 +11,7 @@
 #   make mutate     - run the full mutation campaign, write BENCH_mutation.json
 #   make diff       - run the differential equivalence campaign, write BENCH_diff.json
 #   make trace-smoke - record Chrome traces (gadt + pmut) and validate them
+#   make serve-smoke - boot gadt-serve, drive a curl session, scrape /metrics
 #   make lint       - run plint over the fixture and example programs
 #   make staticcheck - run staticcheck when installed (CI pins its version)
 #   make fmt        - rewrite sources with gofmt
@@ -23,7 +24,7 @@ BENCH_PATTERN ?= BenchmarkInterp
 BENCH_COUNT ?= 3
 
 .PHONY: check build test bench bench-json bench-save bench-compare bench-interp \
-	mutate diff trace-smoke lint staticcheck fmt smoke-journal smoke-fuzz
+	mutate diff trace-smoke serve-smoke lint staticcheck fmt smoke-journal smoke-fuzz
 
 # Where trace-smoke leaves its artifacts (CI uploads this directory).
 TRACE_DIR ?= trace-out
@@ -39,11 +40,13 @@ check:
 	$(MAKE) smoke-fuzz
 	$(MAKE) smoke-journal
 
-# Short coverage-guided fuzz runs: the lexer and parser must survive
-# arbitrary inputs without panicking (one -fuzz pattern per package).
+# Short coverage-guided fuzz runs: the lexer, the parser and the HTTP
+# session API must survive arbitrary inputs without panicking (one
+# -fuzz pattern per package).
 smoke-fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzLexer -fuzztime=$(FUZZTIME) ./internal/pascal/lexer
 	$(GO) test -run='^$$' -fuzz=FuzzParser -fuzztime=$(FUZZTIME) ./internal/pascal/parser
+	$(GO) test -run='^$$' -fuzz=FuzzSessionAPI -fuzztime=$(FUZZTIME) ./internal/serve
 
 # Record a debugging session against the known-good reference, then
 # replay it with stdin closed: both runs must localize the same unit and
@@ -122,6 +125,15 @@ trace-smoke:
 	$(GO) run ./cmd/pmut -budget 12 -seed 1 -workers 2 -json "" \
 		-trace-out $(TRACE_DIR)/pmut.trace.json > /dev/null
 	$(GO) run ./cmd/tracecheck $(TRACE_DIR)/gadt.trace.json $(TRACE_DIR)/pmut.trace.json
+
+# Where serve-smoke leaves its transcript (CI uploads this directory).
+SERVE_SMOKE_DIR ?= serve-smoke-out
+
+# End-to-end binary smoke: build and boot gadt-serve on an ephemeral
+# port, replay the checked-in CLI journal over curl, require the
+# decrement diagnosis and nonzero serve_* counters on /metrics.
+serve-smoke:
+	sh scripts/serve-smoke.sh $(SERVE_SMOKE_DIR)
 
 lint:
 	$(GO) run ./cmd/plint testdata/*.pas || true

@@ -1,0 +1,99 @@
+// Command gadt-serve hosts the GADT pipeline as a long-running
+// HTTP/JSON service: submit a Pascal program plus its failing input,
+// answer the oracle questions over the wire, and receive the localized
+// diagnosis. Parse/sem/transform artifacts and execution traces are
+// content-addressed and shared across sessions; every traced run is
+// capped by fuel and depth budgets so hostile programs cannot hang a
+// worker. The operations surface (/metrics, /metrics.json, /healthz,
+// expvar, pprof) is mounted on the same listener.
+//
+// Usage:
+//
+//	gadt-serve [flags]
+//
+//	-addr string          listen address (default :8372; ":0" picks a port)
+//	-port-file string     write the resolved host:port to this file (for scripts)
+//	-workers int          pipeline worker pool size (default 4)
+//	-fuel int             per-session statement budget (default 2000000)
+//	-depth int            per-session call-depth budget (default 5000)
+//	-idle-timeout dur     evict sessions idle this long (default 15m)
+//	-max-body bytes       request body cap (default 1048576)
+//	-max-sessions int     concurrent session cap (default 4096)
+//	-cache-entries int    content-addressed cache cap (default 1024)
+//
+// The answer wire format is the `gadt -journal` JSONL entry, so a
+// recorded journal replays against the server line by line; see the
+// README "Serving" walkthrough.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gadt/internal/obs"
+	"gadt/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8372", "listen address (\":0\" picks a free port)")
+	portFile := flag.String("port-file", "", "write the resolved host:port to this file")
+	workers := flag.Int("workers", 4, "pipeline worker pool size")
+	fuel := flag.Int("fuel", 2_000_000, "per-session statement budget")
+	depth := flag.Int("depth", 5_000, "per-session call-depth budget")
+	idle := flag.Duration("idle-timeout", 15*time.Minute, "evict sessions idle this long")
+	maxBody := flag.Int64("max-body", 1<<20, "request body cap in bytes")
+	maxSessions := flag.Int("max-sessions", 4096, "concurrent session cap")
+	cacheEntries := flag.Int("cache-entries", 1024, "content-addressed cache entry cap")
+	flag.Parse()
+
+	if err := run(*addr, *portFile, serve.Options{
+		Workers:      *workers,
+		Fuel:         *fuel,
+		Depth:        *depth,
+		IdleTimeout:  *idle,
+		MaxBody:      *maxBody,
+		MaxSessions:  *maxSessions,
+		CacheEntries: *cacheEntries,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "gadt-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, portFile string, opts serve.Options) error {
+	reg := obs.NewRegistry()
+	srv := serve.NewServer(reg, opts)
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	resolved := ln.Addr().String()
+	if portFile != "" {
+		if err := os.WriteFile(portFile, []byte(resolved+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "gadt-serve: listening on http://%s (API + metrics + pprof)\n", resolved)
+
+	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "gadt-serve: %v, shutting down\n", s)
+		return hs.Close()
+	}
+}

@@ -120,8 +120,13 @@ type Journal struct {
 	Entries []JournalEntry
 }
 
-// LoadJournal parses a JSONL journal stream. Unknown kinds are skipped
-// so the format can grow.
+// LoadJournal parses and validates a JSONL journal stream. The journal
+// is the wire format of gadt-serve as well as the -replay input, so the
+// loader is strict: every non-blank line must be a JSON object whose
+// "kind" is either "session" (at most once, before any query) or
+// "query" with a recognized verdict. Anything else — truncated JSON
+// from a crashed writer, bare nulls, unknown kinds, shell output
+// appended after the last entry — is an error, not a skip.
 func LoadJournal(r io.Reader) (*Journal, error) {
 	j := &Journal{}
 	sc := bufio.NewScanner(r)
@@ -134,20 +139,27 @@ func LoadJournal(r io.Reader) (*Journal, error) {
 			continue
 		}
 		var probe struct {
-			Kind string `json:"kind"`
+			Kind *string `json:"kind"`
 		}
 		if err := json.Unmarshal([]byte(line), &probe); err != nil {
 			return nil, fmt.Errorf("journal line %d: %w", lineNo, err)
 		}
-		switch probe.Kind {
+		if probe.Kind == nil {
+			return nil, fmt.Errorf("journal line %d: not a journal record (missing \"kind\")", lineNo)
+		}
+		switch *probe.Kind {
 		case "session":
 			var h JournalHeader
 			if err := json.Unmarshal([]byte(line), &h); err != nil {
 				return nil, fmt.Errorf("journal line %d: %w", lineNo, err)
 			}
-			if j.Header == nil {
-				j.Header = &h
+			if j.Header != nil {
+				return nil, fmt.Errorf("journal line %d: duplicate session header", lineNo)
 			}
+			if len(j.Entries) > 0 {
+				return nil, fmt.Errorf("journal line %d: session header after query entries", lineNo)
+			}
+			j.Header = &h
 		case "query":
 			var e JournalEntry
 			if err := json.Unmarshal([]byte(line), &e); err != nil {
@@ -157,6 +169,8 @@ func LoadJournal(r io.Reader) (*Journal, error) {
 				return nil, fmt.Errorf("journal line %d: unknown verdict %q", lineNo, e.Verdict)
 			}
 			j.Entries = append(j.Entries, e)
+		default:
+			return nil, fmt.Errorf("journal line %d: unknown record kind %q", lineNo, *probe.Kind)
 		}
 	}
 	if err := sc.Err(); err != nil {

@@ -123,16 +123,38 @@ func TestReplayMissingQuery(t *testing.T) {
 	}
 }
 
+// TestLoadJournalRejectsGarbage pins the strict wire-format contract:
+// the journal is gadt-serve's answer schema, so the loader must reject
+// every malformed line instead of skipping it — in particular trailing
+// garbage after the last entry, which the pre-server loader accepted.
 func TestLoadJournalRejectsGarbage(t *testing.T) {
-	if _, err := debugger.LoadJournal(strings.NewReader("{not json\n")); err == nil {
-		t.Error("want error on malformed line")
+	valid := `{"kind":"session","file":"b.pas"}` + "\n" +
+		`{"kind":"query","seq":1,"node":1,"unit":"p","query":"p?","verdict":"correct"}` + "\n"
+	if j, err := debugger.LoadJournal(strings.NewReader(valid)); err != nil || len(j.Entries) != 1 {
+		t.Fatalf("valid journal: j=%+v err=%v", j, err)
 	}
-	if _, err := debugger.LoadJournal(strings.NewReader(`{"kind":"query","verdict":"maybe"}` + "\n")); err == nil {
-		t.Error("want error on unknown verdict")
+
+	bad := []struct{ name, tail string }{
+		{"malformed line", "{not json\n"},
+		{"unknown verdict", `{"kind":"query","verdict":"maybe"}` + "\n"},
+		{"unknown kind", `{"kind":"future-thing"}` + "\n"},
+		{"missing kind", "{}\n"},
+		{"null record", "null\n"},
+		{"non-object", `"done"` + "\n"},
+		{"truncated entry", `{"kind":"query","seq":2` + "\n"},
+		{"duplicate header", `{"kind":"session","file":"b.pas"}` + "\n"},
+		{"shell noise", "session complete\n"},
 	}
-	// Unknown kinds are skipped for forward compatibility.
-	j, err := debugger.LoadJournal(strings.NewReader(`{"kind":"future-thing"}` + "\n"))
-	if err != nil || len(j.Entries) != 0 {
-		t.Errorf("unknown kind: j=%+v err=%v", j, err)
+	for _, tc := range bad {
+		if _, err := debugger.LoadJournal(strings.NewReader(valid + tc.tail)); err == nil {
+			t.Errorf("%s: trailing garbage %q accepted, want error", tc.name, tc.tail)
+		}
+	}
+
+	// A header is only valid before the first query entry.
+	outOfOrder := `{"kind":"query","seq":1,"node":1,"unit":"p","query":"p?","verdict":"correct"}` + "\n" +
+		`{"kind":"session","file":"b.pas"}` + "\n"
+	if _, err := debugger.LoadJournal(strings.NewReader(outOfOrder)); err == nil {
+		t.Error("header after query entries accepted, want error")
 	}
 }

@@ -13,15 +13,18 @@ import (
 // listener serving the metrics registry in Prometheus text exposition
 // and JSON, a health probe, expvar, and the pprof profiling handlers.
 // Every long-running or campaign CLI mounts it behind a single
-// -ops :addr flag; gadt-serve will reuse it per-endpoint.
+// -ops :addr flag; gadt-serve mounts the same surface on its API
+// listener via RegisterOps.
 type OpsServer struct {
 	reg *Registry
 	ln  net.Listener
 	srv *http.Server
 }
 
-// ServeOps listens on addr (":0" picks a free port) and serves, in a
-// background goroutine:
+// OpsPaths lists the routes RegisterOps mounts, for index pages.
+var OpsPaths = []string{"/metrics", "/metrics.json", "/healthz", "/debug/vars", "/debug/pprof/"}
+
+// RegisterOps mounts the ops surface on an existing mux:
 //
 //	/metrics        Prometheus text exposition (counters, gauges,
 //	                p50/p95/p99 summaries for every duration histogram)
@@ -31,17 +34,18 @@ type OpsServer struct {
 //	/debug/pprof/   pprof index, profile, heap, trace, symbol, cmdline
 //
 // The registry may be nil (the endpoint then serves empty snapshots).
-// Close stops the listener.
-func ServeOps(addr string, reg *Registry) (*OpsServer, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("ops: %w", err)
-	}
-	s := &OpsServer{reg: reg, ln: ln}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/", s.handleIndex)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
+// Servers with their own listener (gadt-serve) call this to share one
+// port between the API and operations; ServeOps uses it for the
+// standalone -ops endpoint.
+func RegisterOps(mux *http.ServeMux, reg *Registry) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.Snapshot().WritePrometheus(w) //nolint:errcheck // client went away
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		reg.Snapshot().WriteJSON(w) //nolint:errcheck // client went away
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -52,6 +56,20 @@ func ServeOps(addr string, reg *Registry) (*OpsServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// ServeOps listens on addr (":0" picks a free port) and serves the
+// RegisterOps surface in a background goroutine. Close stops the
+// listener.
+func ServeOps(addr string, reg *Registry) (*OpsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ops: %w", err)
+	}
+	s := &OpsServer{reg: reg, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	RegisterOps(mux, reg)
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
 	return s, nil
@@ -64,19 +82,9 @@ func (s *OpsServer) handleIndex(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "gadt ops endpoint")
-	for _, p := range []string{"/metrics", "/metrics.json", "/healthz", "/debug/vars", "/debug/pprof/"} {
+	for _, p := range OpsPaths {
 		fmt.Fprintln(w, "  "+p)
 	}
-}
-
-func (s *OpsServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.reg.Snapshot().WritePrometheus(w) //nolint:errcheck // client went away
-}
-
-func (s *OpsServer) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	s.reg.Snapshot().WriteJSON(w) //nolint:errcheck // client went away
 }
 
 // Addr returns the resolved listen address (host:port, the port bound

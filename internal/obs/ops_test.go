@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
@@ -88,5 +89,29 @@ func TestServeOpsNilRegistry(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != 200 {
 		t.Errorf("/metrics on nil registry = %d", resp.StatusCode)
+	}
+}
+
+// TestRegisterOps mounts the ops surface on a caller-owned mux — the
+// way gadt-serve shares one listener between API and operations — and
+// checks every advertised path answers.
+func TestRegisterOps(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("serve.something").Inc()
+	mux := http.NewServeMux()
+	RegisterOps(mux, reg)
+	for _, path := range OpsPaths {
+		req, _ := http.NewRequest("GET", path, nil)
+		rw := httptest.NewRecorder()
+		mux.ServeHTTP(rw, req)
+		if rw.Code != 200 {
+			t.Errorf("GET %s = %d, want 200", path, rw.Code)
+		}
+	}
+	req, _ := http.NewRequest("GET", "/metrics", nil)
+	rw := httptest.NewRecorder()
+	mux.ServeHTTP(rw, req)
+	if !strings.Contains(rw.Body.String(), "serve_something 1") {
+		t.Errorf("/metrics missing counter:\n%s", rw.Body.String())
 	}
 }

@@ -1,0 +1,98 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"gadt/internal/obs"
+	"gadt/internal/paper"
+	"gadt/internal/serve"
+)
+
+// FuzzSessionAPI throws arbitrary create and answer bodies at the real
+// handler. The invariants: the server never panics, never hangs, never
+// answers a request with a 5xx (hostile input is always a clean 4xx),
+// and every JSON endpoint returns a decodable body.
+func FuzzSessionAPI(f *testing.F) {
+	// Seeds: the checked-in curl fixture, a journal answer line, and a
+	// sampler of malformed shapes the adversarial tests pin.
+	if fixture, err := os.ReadFile("../../testdata/serve/sqrtest_create.json"); err == nil {
+		f.Add(string(fixture), `{"verdict":"correct"}`)
+	}
+	if journal, err := os.ReadFile("../../testdata/serve/sqrtest_session.jsonl"); err == nil {
+		lines := bytes.Split(bytes.TrimSpace(journal), []byte("\n"))
+		f.Add(`{"program":"program x; begin writeln(1) end."}`, string(lines[len(lines)-1]))
+	}
+	f.Add(`{"program":"`+`program b; var x: integer; begin x:=0; while x>=0 do x:=1 end.`+`"}`,
+		`{"verdict":"incorrect","wrong_output":"x"}`)
+	f.Add(`{"program": 42}`, `null`)
+	f.Add(`not json`, `{"seq":99,"verdict":"correct"}`)
+	f.Add(`{"program":"x","exploit":true}`, `{"assertion":"((("}`)
+	f.Add(``, ``)
+
+	fixed, _ := json.Marshal(serve.CreateRequest{Program: paper.SqrtestFixed})
+
+	f.Fuzz(func(t *testing.T, createBody, answerBody string) {
+		reg := obs.NewRegistry()
+		srv := serve.NewServer(reg, serve.Options{
+			Fuel:        20_000,
+			Depth:       200,
+			MaxBody:     16 << 10,
+			PrepareWait: 10 * time.Second,
+			AnswerWait:  10 * time.Second,
+		})
+		defer srv.Close()
+		h := srv.Handler()
+
+		do := func(method, path string, body []byte) (int, []byte) {
+			req := httptest.NewRequest(method, path, bytes.NewReader(body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			return rec.Code, rec.Body.Bytes()
+		}
+		checkJSON := func(status int, raw []byte, what string) {
+			if status >= 500 {
+				t.Fatalf("%s: server error %d: %s", what, status, raw)
+			}
+			var v any
+			if err := json.Unmarshal(raw, &v); err != nil {
+				t.Fatalf("%s: status %d with undecodable body: %v\n%s", what, status, err, raw)
+			}
+		}
+
+		status, raw := do("POST", "/v1/sessions", []byte(createBody))
+		checkJSON(status, raw, "fuzzed create")
+		if status == http.StatusCreated {
+			var resp serve.SessionResponse
+			if err := json.Unmarshal(raw, &resp); err != nil {
+				t.Fatalf("created session body: %v\n%s", err, raw)
+			}
+			status, raw = do("POST", "/v1/sessions/"+resp.ID+"/answer", []byte(answerBody))
+			checkJSON(status, raw, "fuzzed answer")
+			status, raw = do("GET", "/v1/sessions/"+resp.ID, nil)
+			checkJSON(status, raw, "get after fuzzed answer")
+		}
+
+		// A well-formed session against the same server must be
+		// unaffected by whatever the fuzzed bodies did.
+		status, raw = do("POST", "/v1/sessions", fixed)
+		checkJSON(status, raw, "well-formed create")
+		if status != http.StatusCreated {
+			t.Fatalf("well-formed create = %d after fuzzed traffic: %s", status, raw)
+		}
+		var resp serve.SessionResponse
+		if err := json.Unmarshal(raw, &resp); err != nil {
+			t.Fatal(err)
+		}
+		status, raw = do("POST", "/v1/sessions/"+resp.ID+"/answer", []byte(answerBody))
+		checkJSON(status, raw, "fuzzed answer to well-formed session")
+		if status, _ := do("DELETE", "/v1/sessions/"+resp.ID, nil); status != http.StatusNoContent {
+			t.Fatalf("delete = %d", status)
+		}
+	})
+}
