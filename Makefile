@@ -104,8 +104,10 @@ bench-interp:
 
 # Fault-injection evaluation: mutate every subject program, run each
 # mutant through the debugger with the unmutated original as oracle.
+# -gate fails the run if weighted divide-and-query's median question
+# count regresses above plain divide-and-query's.
 mutate:
-	$(GO) run ./cmd/pmut -budget 240 -seed 1 -json BENCH_mutation.json
+	$(GO) run ./cmd/pmut -budget 240 -seed 1 -gate -json BENCH_mutation.json
 
 # Differential equivalence campaign: every generated/corpus program is
 # run untransformed and through every transformation stage combination;

@@ -100,7 +100,7 @@ type options struct {
 func main() {
 	var o options
 	flag.StringVar(&o.input, "input", "", "program input")
-	flag.StringVar(&o.strategy, "strategy", "top-down", "top-down | divide | bottom-up")
+	flag.StringVar(&o.strategy, "strategy", "top-down", "top-down | divide | weighted | bottom-up")
 	noSlicing := flag.Bool("no-slicing", false, "disable dynamic slicing")
 	noTransform := flag.Bool("no-transform", false, "trace the original program")
 	noLint := flag.Bool("no-lint", false, "skip the plint pre-flight")
@@ -222,16 +222,11 @@ func run(file string, o options) (err error) {
 	}
 
 	cfg := gadt.DebugConfig{Slicing: o.slicing, Hints: hints}
-	switch o.strategy {
-	case "top-down", "":
-		cfg.Strategy = debugger.TopDown
-	case "divide":
-		cfg.Strategy = debugger.DivideAndQuery
-	case "bottom-up":
-		cfg.Strategy = debugger.BottomUp
-	default:
+	strat, ok := debugger.ParseStrategy(o.strategy)
+	if !ok {
 		return fmt.Errorf("unknown strategy %q", o.strategy)
 	}
+	cfg.Strategy = strat
 
 	db := assertion.NewDB()
 	cfg.Assertions = db
@@ -324,7 +319,7 @@ func run(file string, o options) (err error) {
 	if out.Localized() {
 		fmt.Fprintf(w, "%s.\n", out.Reason)
 	} else {
-		fmt.Fprintln(w, "no bug could be localized (all answers were 'correct').")
+		fmt.Fprintln(w, "no bug could be localized (the answers were 'correct' or 'don't know' everywhere a bug could hide).")
 	}
 	fmt.Fprintf(w, "questions: %d  answered by tests: %d  by assertions: %d  remembered: %d  slices: %d\n",
 		out.Questions, out.ByTests, out.ByAssertions, out.ByMemo, out.Slices)

@@ -12,8 +12,12 @@
 //	-seed n        campaign seed (mutant sampling; default 1)
 //	-budget n      total mutants across all subjects (0 = all; default 240)
 //	-workers n     worker pool size (0 = GOMAXPROCS)
-//	-strategy s    comma list of top-down,divide,bottom-up, or "all"
+//	-strategy s    comma list of top-down,divide,weighted,bottom-up, or "all"
 //	-operators s   comma list of mutation operators, or "all"
+//	-gate          exit non-zero if weighted D&Q's median question count
+//	               exceeds plain divide-and-query's (CI regression gate)
+//	-no-harvest    skip harvesting the reference run into call/assertion
+//	               databases (every query then reaches the oracle)
 //	-subject s     only subjects whose name contains s
 //	-fuel n        per-execution statement budget
 //	-depth n       per-execution call-depth budget
@@ -44,21 +48,23 @@ import (
 
 func main() {
 	var (
-		seed     = flag.Int64("seed", 1, "campaign seed")
-		budget   = flag.Int("budget", 240, "total mutants across subjects (0 = all)")
-		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		strategy = flag.String("strategy", "all", "comma list of top-down,divide,bottom-up, or all")
-		opsFlag  = flag.String("operators", "all", "comma list of mutation operators, or all")
-		subject  = flag.String("subject", "", "only subjects whose name contains this")
-		fuel     = flag.Int("fuel", 0, "per-execution statement budget (0 = default)")
-		depth    = flag.Int("depth", 0, "per-execution call-depth budget (0 = default)")
-		timeout  = flag.Duration("timeout", 0, "per-mutant wall-clock backstop (0 = default)")
-		jsonOut  = flag.String("json", "BENCH_mutation.json", "report destination (\"-\" = stdout)")
-		stats    = flag.Bool("stats", false, "print a metrics snapshot on exit")
-		opsAddr  = flag.String("ops", "", "serve the live ops endpoint (/metrics, /healthz, pprof) on this address")
-		traceOut = flag.String("trace-out", "", "write a Chrome trace-event JSON file (Perfetto-loadable; \".jsonl\" = raw events, \"-\" = stderr text)")
-		progress = flag.Bool("progress", false, "heartbeat lines on stderr (throughput, ETA, kills so far)")
-		verbose  = flag.Bool("v", false, "per-subject progress")
+		seed      = flag.Int64("seed", 1, "campaign seed")
+		budget    = flag.Int("budget", 240, "total mutants across subjects (0 = all)")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		strategy  = flag.String("strategy", "all", "comma list of top-down,divide,weighted,bottom-up, or all")
+		gate      = flag.Bool("gate", false, "fail if weighted D&Q's median question count exceeds plain divide-and-query's")
+		noHarvest = flag.Bool("no-harvest", false, "skip the reference-run call/assertion harvest")
+		opsFlag   = flag.String("operators", "all", "comma list of mutation operators, or all")
+		subject   = flag.String("subject", "", "only subjects whose name contains this")
+		fuel      = flag.Int("fuel", 0, "per-execution statement budget (0 = default)")
+		depth     = flag.Int("depth", 0, "per-execution call-depth budget (0 = default)")
+		timeout   = flag.Duration("timeout", 0, "per-mutant wall-clock backstop (0 = default)")
+		jsonOut   = flag.String("json", "BENCH_mutation.json", "report destination (\"-\" = stdout)")
+		stats     = flag.Bool("stats", false, "print a metrics snapshot on exit")
+		opsAddr   = flag.String("ops", "", "serve the live ops endpoint (/metrics, /healthz, pprof) on this address")
+		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON file (Perfetto-loadable; \".jsonl\" = raw events, \"-\" = stderr text)")
+		progress  = flag.Bool("progress", false, "heartbeat lines on stderr (throughput, ETA, kills so far)")
+		verbose   = flag.Bool("v", false, "per-subject progress")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -70,7 +76,7 @@ func main() {
 		strategy: *strategy, opsFlag: *opsFlag, subject: *subject,
 		fuel: *fuel, depth: *depth, timeout: *timeout, jsonOut: *jsonOut,
 		stats: *stats, opsAddr: *opsAddr, traceOut: *traceOut,
-		progress: *progress, verbose: *verbose,
+		progress: *progress, verbose: *verbose, gate: *gate, noHarvest: *noHarvest,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "pmut:", err)
 		os.Exit(1)
@@ -83,16 +89,12 @@ func parseStrategies(s string) ([]debugger.Strategy, error) {
 	}
 	var out []debugger.Strategy
 	for _, part := range strings.Split(s, ",") {
-		switch strings.TrimSpace(part) {
-		case "top-down":
-			out = append(out, debugger.TopDown)
-		case "divide", "divide-and-query":
-			out = append(out, debugger.DivideAndQuery)
-		case "bottom-up":
-			out = append(out, debugger.BottomUp)
-		default:
+		part = strings.TrimSpace(part)
+		strat, ok := debugger.ParseStrategy(part)
+		if !ok || part == "" {
 			return nil, fmt.Errorf("unknown strategy %q", part)
 		}
+		out = append(out, strat)
 	}
 	return out, nil
 }
@@ -126,6 +128,8 @@ type runOpts struct {
 	traceOut        string
 	progress        bool
 	verbose         bool
+	gate            bool
+	noHarvest       bool
 }
 
 func run(o runOpts) (err error) {
@@ -179,6 +183,7 @@ func run(o runOpts) (err error) {
 		Timeout:    o.timeout,
 		Metrics:    reg,
 		Tracer:     tracer,
+		NoHarvest:  o.noHarvest,
 	}
 	if o.progress {
 		cfg.Progress = os.Stderr
@@ -247,6 +252,29 @@ func run(o runOpts) (err error) {
 		fmt.Fprintln(summaryDst, "\nmetrics:")
 		reg.Snapshot().WriteText(summaryDst)
 	}
+	if o.gate {
+		if err := gateMedians(rep); err != nil {
+			return err
+		}
+		fmt.Fprintln(summaryDst, "gate: weighted D&Q median is within the plain divide-and-query bound")
+	}
+	return nil
+}
+
+// gateMedians is the CI regression gate: the weighted strategy's whole
+// point is asking fewer questions, so its median must not drift above
+// plain divide-and-query's.
+func gateMedians(rep *campaign.Report) error {
+	plain := rep.ByStrategy[debugger.DivideAndQuery.String()]
+	weighted := rep.ByStrategy[debugger.WeightedDivideAndQuery.String()]
+	if plain == nil || weighted == nil {
+		return fmt.Errorf("gate: need both %s and %s in the campaign (got strategies: %v)",
+			debugger.DivideAndQuery, debugger.WeightedDivideAndQuery, sortedKeys(rep.ByStrategy))
+	}
+	if weighted.MedianQuestions > plain.MedianQuestions {
+		return fmt.Errorf("gate: weighted D&Q median questions %.1f exceeds plain divide-and-query's %.1f",
+			weighted.MedianQuestions, plain.MedianQuestions)
+	}
 	return nil
 }
 
@@ -273,11 +301,13 @@ func summarize(w io.Writer, rep *campaign.Report) {
 			op, st.Mutants, st.Killed, st.Survived, st.Timeout, st.Equivalent, 100*st.KillRate)
 	}
 
-	fmt.Fprintf(w, "\n%-18s %9s %10s %11s %10s %6s\n", "strategy", "sessions", "localized", "rate", "mean q", "max q")
+	fmt.Fprintf(w, "\n%-18s %9s %10s %11s %8s %8s %6s %8s %7s\n",
+		"strategy", "sessions", "localized", "rate", "mean q", "med q", "max q", "asserts", "tests")
 	for _, name := range sortedKeys(rep.ByStrategy) {
 		st := rep.ByStrategy[name]
-		fmt.Fprintf(w, "%-18s %9d %10d %10.1f%% %10.2f %6d\n",
-			name, st.Sessions, st.Localized, 100*st.LocalizationRate, st.MeanQuestions, st.MaxQuestions)
+		fmt.Fprintf(w, "%-18s %9d %10d %10.1f%% %8.2f %8.1f %6d %8d %7d\n",
+			name, st.Sessions, st.Localized, 100*st.LocalizationRate,
+			st.MeanQuestions, st.MedianQuestions, st.MaxQuestions, st.ByAssertions, st.ByTests)
 	}
 }
 

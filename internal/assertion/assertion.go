@@ -122,8 +122,17 @@ func NewDB() *DB {
 	return &DB{byUnit: make(map[string][]*Assertion), trusted: make(map[string]bool)}
 }
 
-// Add stores an assertion.
-func (db *DB) Add(a *Assertion) { db.byUnit[a.Unit] = append(db.byUnit[a.Unit], a) }
+// Add stores an assertion. Adding the same (unit, text) twice is a
+// no-op: the debugging engine inserts every oracle-supplied assertion,
+// and oracles that also write to the same DB must stay harmless.
+func (db *DB) Add(a *Assertion) {
+	for _, have := range db.byUnit[a.Unit] {
+		if have.Text == a.Text {
+			return
+		}
+	}
+	db.byUnit[a.Unit] = append(db.byUnit[a.Unit], a)
+}
 
 // AddText parses and stores an assertion for unit.
 func (db *DB) AddText(unit, text string) error {
@@ -145,6 +154,11 @@ func (db *DB) Len() int {
 		n += len(as)
 	}
 	return n
+}
+
+// ForUnit returns the stored assertions for a unit (by lowercased name).
+func (db *DB) ForUnit(unit string) []*Assertion {
+	return db.byUnit[strings.ToLower(unit)]
 }
 
 // Judge evaluates all assertions for the node's unit: any violation

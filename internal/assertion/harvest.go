@@ -1,0 +1,197 @@
+// Assertion harvesting: the loop the paper sketches between testing and
+// debugging. Passing unit invocations (e.g. every call in a mutation
+// campaign's reference run) are generalized into candidate assertions —
+// small integer templates over the unit's parameters — and a candidate
+// is kept only when it holds on every harvested sample. The resulting
+// DB answers later debugging queries without oracle interaction.
+package assertion
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gadt/internal/exectree"
+	"gadt/internal/pascal/ast"
+	"gadt/internal/pascal/interp"
+)
+
+// GeneralizeOptions tunes the harvest.
+type GeneralizeOptions struct {
+	// MinSamples is the minimum number of passing invocations of a unit
+	// before any generalization is attempted (0 = 3).
+	MinSamples int
+	// MinDistinct is the minimum number of distinct input vectors among
+	// those samples — repeated identical calls carry no evidence for a
+	// template (0 = 2).
+	MinDistinct int
+	// MaxPerUnit caps the assertions kept per unit, first candidate in
+	// deterministic template order wins (0 = 4).
+	MaxPerUnit int
+}
+
+func (o GeneralizeOptions) withDefaults() GeneralizeOptions {
+	if o.MinSamples <= 0 {
+		o.MinSamples = 3
+	}
+	if o.MinDistinct <= 0 {
+		o.MinDistinct = 2
+	}
+	if o.MaxPerUnit <= 0 {
+		o.MaxPerUnit = 4
+	}
+	return o
+}
+
+// Generalize derives assertions from passing invocations: the nodes are
+// grouped by unit, candidate templates (copies, offsets, scalings,
+// sums, differences, products, squares) are proposed per output, and a
+// candidate survives only if it holds on every sample of its unit. The
+// returned DB is ready for debugger.Options.Assertions.
+//
+// Every kept assertion is an equality fully determining an output, so a
+// later Holds verdict means "this call computes the same function the
+// reference did on the sampled domain" — an extrapolation, which is why
+// the sample thresholds exist.
+func Generalize(nodes []*exectree.Node, opt GeneralizeOptions) *DB {
+	opt = opt.withDefaults()
+	db := NewDB()
+	byUnit := make(map[string][]*exectree.Node)
+	var units []string
+	for _, n := range nodes {
+		if n == nil || n.Incomplete || n.IsRoot() {
+			continue
+		}
+		name := n.Unit.Name
+		if _, seen := byUnit[name]; !seen {
+			units = append(units, name)
+		}
+		byUnit[name] = append(byUnit[name], n)
+	}
+	sort.Strings(units)
+	for _, unit := range units {
+		samples := byUnit[unit]
+		if len(samples) < opt.MinSamples || distinctInputs(samples) < opt.MinDistinct {
+			continue
+		}
+		kept := 0
+		for _, text := range candidates(samples[0]) {
+			if kept >= opt.MaxPerUnit {
+				break
+			}
+			a, err := Parse(unit, text)
+			if err != nil {
+				continue
+			}
+			ok := true
+			for _, n := range samples {
+				if a.Eval(EnvFor(n)) != Holds {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				db.Add(a)
+				kept++
+			}
+		}
+	}
+	return db
+}
+
+// distinctInputs counts distinct rendered input vectors.
+func distinctInputs(nodes []*exectree.Node) int {
+	seen := make(map[string]bool)
+	for _, n := range nodes {
+		var parts []string
+		for _, b := range n.Ins {
+			parts = append(parts, interp.FormatValue(b.Value))
+		}
+		seen[strings.Join(parts, ",")] = true
+	}
+	return len(seen)
+}
+
+// candidates proposes template texts for one unit, from a prototype
+// invocation: constants are fitted on the prototype and verified (like
+// everything else) against all samples by the caller. Only
+// integer-valued parameters participate.
+func candidates(n *exectree.Node) []string {
+	env := EnvFor(n)
+	// Output terms: exit values of var/out parameters plus the function
+	// result pseudo-name.
+	var outs []string
+	for _, b := range n.Outs {
+		outs = append(outs, b.Name)
+	}
+	if n.Unit.Kind == ast.FuncKind {
+		outs = append(outs, "result")
+	}
+	// Input terms: entry values. A name that is also an output denotes
+	// the exit value in assertion syntax, so its entry value is reached
+	// through the old_ prefix.
+	isOut := make(map[string]bool, len(outs))
+	for _, o := range outs {
+		isOut[o] = true
+	}
+	var ins []string
+	for _, b := range n.Ins {
+		term := b.Name
+		if isOut[term] {
+			term = "old_" + term
+		}
+		ins = append(ins, term)
+	}
+
+	intOf := func(term string) (int64, bool) {
+		v, ok := env[term]
+		if !ok {
+			return 0, false
+		}
+		return v.AsInt()
+	}
+
+	var texts []string
+	for _, o := range outs {
+		ov, ok := intOf(o)
+		if !ok {
+			continue
+		}
+		for _, t := range ins {
+			tv, ok := intOf(t)
+			if !ok {
+				continue
+			}
+			texts = append(texts, fmt.Sprintf("%s = %s", o, t))
+			if c := ov - tv; c > 0 {
+				texts = append(texts, fmt.Sprintf("%s = %s + %d", o, t, c))
+			} else if c < 0 {
+				texts = append(texts, fmt.Sprintf("%s = %s - %d", o, t, -c))
+			}
+			if tv != 0 && ov%tv == 0 && ov/tv != 1 {
+				texts = append(texts, fmt.Sprintf("%s = %d * %s", o, ov/tv, t))
+			}
+			texts = append(texts, fmt.Sprintf("%s = sqr(%s)", o, t))
+			texts = append(texts, fmt.Sprintf("%s = abs(%s)", o, t))
+		}
+		for i, t1 := range ins {
+			if _, ok := intOf(t1); !ok {
+				continue
+			}
+			for j, t2 := range ins {
+				if i == j {
+					continue
+				}
+				if _, ok := intOf(t2); !ok {
+					continue
+				}
+				if i < j {
+					texts = append(texts, fmt.Sprintf("%s = %s + %s", o, t1, t2))
+					texts = append(texts, fmt.Sprintf("%s = %s * %s", o, t1, t2))
+				}
+				texts = append(texts, fmt.Sprintf("%s = %s - %s", o, t1, t2))
+			}
+		}
+	}
+	return texts
+}

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"gadt/internal/assertion"
 	"gadt/internal/corpus"
 	"gadt/internal/debugger"
 	"gadt/internal/gadt"
@@ -28,6 +29,7 @@ import (
 	"gadt/internal/paper"
 	"gadt/internal/pascal/interp"
 	"gadt/internal/progen"
+	"gadt/internal/tgen"
 )
 
 // Subject is one base program to mutate. Its own (unmutated) execution
@@ -88,8 +90,14 @@ type Config struct {
 	Budget int
 	// Workers sizes the pool (<= 0 = GOMAXPROCS).
 	Workers int
-	// Strategies to evaluate per killed mutant (nil = all three).
+	// Strategies to evaluate per killed mutant (nil = all four).
 	Strategies []debugger.Strategy
+	// NoHarvest disables the assertion/test-database harvest: by default
+	// every subject's reference run is harvested into an exact-call test
+	// database plus generalized assertions, and debugging sessions
+	// consult both before asking the oracle (the answers surface in the
+	// per-strategy by_assertions / by_tests tallies).
+	NoHarvest bool
 	// Fuel is the per-execution statement budget (0 = 60000); mutants
 	// that exhaust it are classified timeout, not hung.
 	Fuel int
@@ -98,8 +106,8 @@ type Config struct {
 	// Timeout is the per-mutant wall-clock backstop (0 = 20s).
 	Timeout time.Duration
 	// MaxTreeNodes skips debugging of mutants whose execution tree grew
-	// past this size (0 = 4000): divide-and-query is quadratic in tree
-	// weight and a pathological mutant must not sink the campaign.
+	// past this size (0 = 4000): even with the incremental selector a
+	// pathological mutant's tree must not sink the campaign.
 	MaxTreeNodes int
 	// MaxQuestions bounds oracle queries per debugging session (0 = 2000).
 	MaxQuestions int
@@ -126,7 +134,7 @@ func (c *Config) withDefaults() Config {
 		out.Workers = runtime.GOMAXPROCS(0)
 	}
 	if out.Strategies == nil {
-		out.Strategies = []debugger.Strategy{debugger.TopDown, debugger.DivideAndQuery, debugger.BottomUp}
+		out.Strategies = debugger.Strategies()
 	}
 	if out.Fuel <= 0 {
 		out.Fuel = 60_000
@@ -155,8 +163,13 @@ type StrategyScore struct {
 	// inconclusive.
 	Localized string `json:"localized,omitempty"`
 	// Correct reports Localized == the unit the fault was injected in.
-	Correct bool   `json:"correct"`
-	Error   string `json:"error,omitempty"`
+	Correct bool `json:"correct"`
+	// ByAssertions and ByTests count queries the session answered from
+	// the harvested assertion DB / exact-call test database instead of
+	// the oracle.
+	ByAssertions int    `json:"by_assertions,omitempty"`
+	ByTests      int    `json:"by_tests,omitempty"`
+	Error        string `json:"error,omitempty"`
 }
 
 // MutantOutcome is the campaign verdict on one mutant.
@@ -176,6 +189,13 @@ type job struct {
 	subject Subject
 	want    string // reference output
 	mutant  *mutate.Mutant
+
+	// Harvested from the subject's reference run, shared read-mostly by
+	// every session over this subject's mutants (CallDB locks; the
+	// assertion DB is never written after harvest — the reference oracle
+	// supplies no new assertions).
+	tests   *tgen.CallDB
+	asserts *assertion.DB
 }
 
 // Run executes the campaign and returns the aggregated report.
@@ -264,10 +284,20 @@ func Run(cfg Config) (*Report, error) {
 // free, so they are always reported.
 func buildJobs(cfg Config) (jobs []job, preclassified []MutantOutcome, subjectErrs []string, enumerated int, err error) {
 	for _, s := range cfg.Subjects {
-		want, werr := referenceOutput(s, cfg)
+		ref, werr := referenceRun(s, cfg)
 		if werr != nil {
 			subjectErrs = append(subjectErrs, fmt.Sprintf("%s: %v", s.Name, werr))
 			continue
+		}
+		want := ref.Output
+		var tests *tgen.CallDB
+		var asserts *assertion.DB
+		if !cfg.NoHarvest {
+			tests = tgen.NewCallDB().HarvestTree(ref.Tree)
+			asserts = assertion.Generalize(ref.Tree.Nodes, assertion.GeneralizeOptions{})
+			if asserts.Len() == 0 {
+				asserts = nil
+			}
 		}
 		en, merr := mutate.EnumerateProgram(s.Name+".pas", s.Source, mutate.Config{Ops: cfg.Ops, Metrics: cfg.Metrics})
 		if merr != nil {
@@ -294,7 +324,7 @@ func buildJobs(cfg Config) (jobs []job, preclassified []MutantOutcome, subjectEr
 				preclassified = append(preclassified, o)
 				continue
 			}
-			jobs = append(jobs, job{subject: s, want: want, mutant: m})
+			jobs = append(jobs, job{subject: s, want: want, mutant: m, tests: tests, asserts: asserts})
 		}
 	}
 	if len(jobs) == 0 && len(preclassified) == 0 {
@@ -319,21 +349,23 @@ func triage(en *mutate.Enumeration) (marked int) {
 	return mutate.TriageEquivalent(en)
 }
 
-// referenceOutput runs the unmutated subject once under campaign
-// budgets; its output is what mutants are compared against.
-func referenceOutput(s Subject, cfg Config) (string, error) {
+// referenceRun runs the unmutated subject once under campaign budgets;
+// its output is what mutants are compared against, and its execution
+// tree is the harvest source for the exact-call test database and the
+// generalized assertions.
+func referenceRun(s Subject, cfg Config) (*gadt.Run, error) {
 	sys, err := gadt.Load(s.Name+".pas", s.Source)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	run, err := sys.TraceLimited(s.Input, cfg.Fuel, cfg.MaxDepth)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	if run.RunErr != nil {
-		return "", fmt.Errorf("reference run failed: %w", run.RunErr)
+		return nil, fmt.Errorf("reference run failed: %w", run.RunErr)
 	}
-	return run.Output, nil
+	return run, nil
 }
 
 // evalWithBackstop runs one mutant with panic isolation and a
@@ -428,13 +460,20 @@ func debugOne(cfg Config, j job, run *gadt.Run, strat debugger.Strategy) Strateg
 		score.Error = err.Error()
 		return score
 	}
-	out, err := run.Debug(oracle, gadt.DebugConfig{
+	dc := gadt.DebugConfig{
 		Strategy:     strat,
 		Slicing:      true,
 		MaxQuestions: cfg.MaxQuestions,
-	})
+		Assertions:   j.asserts,
+	}
+	if j.tests != nil {
+		dc.Tests = j.tests
+	}
+	out, err := run.Debug(oracle, dc)
 	if out != nil {
 		score.Questions = out.Questions
+		score.ByAssertions = out.ByAssertions
+		score.ByTests = out.ByTests
 	}
 	if err != nil {
 		score.Error = err.Error()

@@ -45,8 +45,13 @@ type StrategyStats struct {
 	LocalizationRate float64 `json:"localization_rate"`
 	Questions        int     `json:"questions"`
 	MeanQuestions    float64 `json:"mean_questions"`
+	MedianQuestions  float64 `json:"median_questions"`
 	MaxQuestions     int     `json:"max_questions"`
-	Errors           int     `json:"errors"`
+	// ByAssertions and ByTests total the queries answered from the
+	// harvested assertion DB / exact-call test database.
+	ByAssertions int `json:"by_assertions"`
+	ByTests      int `json:"by_tests"`
+	Errors       int `json:"errors"`
 }
 
 // Report is the campaign summary written to BENCH_mutation.json.
@@ -105,6 +110,7 @@ func aggregate(cfg Config, outcomes []MutantOutcome, enumerated int, subjectErrs
 		SubjectErrors: subjectErrs,
 		Outcomes:      outcomes,
 	}
+	questionCounts := make(map[string][]int)
 	for _, o := range outcomes {
 		op := rep.ByOperator[o.Op]
 		if op == nil {
@@ -141,9 +147,12 @@ func aggregate(cfg Config, outcomes []MutantOutcome, enumerated int, subjectErrs
 			}
 			st.Sessions++
 			st.Questions += s.Questions
+			questionCounts[s.Strategy] = append(questionCounts[s.Strategy], s.Questions)
 			if s.Questions > st.MaxQuestions {
 				st.MaxQuestions = s.Questions
 			}
+			st.ByAssertions += s.ByAssertions
+			st.ByTests += s.ByTests
 			if s.Correct {
 				st.Localized++
 			}
@@ -157,13 +166,29 @@ func aggregate(cfg Config, outcomes []MutantOutcome, enumerated int, subjectErrs
 			op.KillRate = float64(op.Killed) / float64(den)
 		}
 	}
-	for _, st := range rep.ByStrategy {
+	for name, st := range rep.ByStrategy {
 		if st.Sessions > 0 {
 			st.LocalizationRate = float64(st.Localized) / float64(st.Sessions)
 			st.MeanQuestions = float64(st.Questions) / float64(st.Sessions)
+			st.MedianQuestions = median(questionCounts[name])
 		}
 	}
 	return rep
+}
+
+// median returns the middle value of the counts (the mean of the two
+// middle values for even lengths); 0 for an empty slice.
+func median(counts []int) float64 {
+	if len(counts) == 0 {
+		return 0
+	}
+	sorted := append([]int(nil), counts...)
+	sort.Ints(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		return float64(sorted[mid])
+	}
+	return float64(sorted[mid-1]+sorted[mid]) / 2
 }
 
 // record exports the campaign-specific end-of-run totals to the
@@ -184,6 +209,11 @@ func record(m *obs.Registry, rep *Report) {
 		sessions.With(name).Add(int64(st.Sessions))
 		localized.With(name).Add(int64(st.Localized))
 		questions.With(name).Add(int64(st.Questions))
+		// Campaign sessions run without per-session registries, so the
+		// harvest hits are accounted here under the standard debugger
+		// metric names.
+		m.Counter("debugger.answers.assertions").Add(int64(st.ByAssertions))
+		m.Counter("debugger.answers.tests").Add(int64(st.ByTests))
 	}
 }
 

@@ -16,14 +16,18 @@ import (
 
 // Strategy selects the execution-tree traversal order. The paper notes
 // the method is traversal-agnostic ("generally it doesn't matter which
-// traversal method is used"); all three are provided for the ablation
-// experiment.
+// traversal method is used"); the traversals differ only in how many
+// questions they spend. WeightedDivideAndQuery is the Insa–Silva
+// refinement ("Optimal Divide and Query"): nodes are weighted by
+// execution cost and the query minimizing the worst-case remaining
+// suspect weight is selected.
 type Strategy int
 
 const (
 	TopDown Strategy = iota
 	DivideAndQuery
 	BottomUp
+	WeightedDivideAndQuery
 )
 
 func (s Strategy) String() string {
@@ -32,8 +36,32 @@ func (s Strategy) String() string {
 		return "divide-and-query"
 	case BottomUp:
 		return "bottom-up"
+	case WeightedDivideAndQuery:
+		return "weighted-dq"
 	}
 	return "top-down"
+}
+
+// ParseStrategy maps the CLI/wire spellings (and their aliases) onto
+// strategies; it reports whether the input was recognized. The empty
+// string is the default traversal, top-down.
+func ParseStrategy(s string) (Strategy, bool) {
+	switch s {
+	case "", "top-down":
+		return TopDown, true
+	case "divide", "divide-and-query":
+		return DivideAndQuery, true
+	case "weighted", "weighted-divide", "weighted-dq", "weighted-divide-and-query":
+		return WeightedDivideAndQuery, true
+	case "bottom-up":
+		return BottomUp, true
+	}
+	return TopDown, false
+}
+
+// Strategies lists every traversal in report order.
+func Strategies() []Strategy {
+	return []Strategy{TopDown, DivideAndQuery, WeightedDivideAndQuery, BottomUp}
 }
 
 // TestLookup is the debugging-phase interface to the category-partition
@@ -69,6 +97,12 @@ type Options struct {
 
 	// MaxQuestions bounds user interactions (0 = 10000).
 	MaxQuestions int
+
+	// Weights, when non-nil, overrides the per-node weight used by
+	// WeightedDivideAndQuery (values < 1 are clamped to 1). When nil the
+	// weighted strategy uses 1 + Node.Steps — the invocation's recorded
+	// execution cost. Plain DivideAndQuery always weighs every node 1.
+	Weights func(n *exectree.Node) int64
 
 	// Hints maps unit names to static suspiciousness scores (package
 	// lint's Hints aggregation: routines carrying dataflow anomalies
@@ -306,16 +340,15 @@ func (s *Session) judge(n *exectree.Node) (Answer, error) {
 		return a, err
 	}
 	s.out.Questions++
-	// An assertion given as the answer is stored and evaluated now.
+	// An assertion given as the answer is stored and evaluated now. The
+	// engine owns the insertion — every oracle (interactive, scripted,
+	// HTTP, journal replay) funnels through here, and the DB de-dups, so
+	// an oracle that also writes to the same DB is harmless.
 	if a.Assertion != nil {
-		if s.Opts.Assertions != nil {
-			// Already added by the interactive oracle; adding here too
-			// would duplicate, so only add when absent is not tracked —
-			// the DB tolerates duplicates, but avoid doubling:
-		} else {
+		if s.Opts.Assertions == nil {
 			s.Opts.Assertions = assertion.NewDB()
-			s.Opts.Assertions.Add(a.Assertion)
 		}
+		s.Opts.Assertions.Add(a.Assertion)
 		switch a.Assertion.Eval(assertion.EnvFor(n)) {
 		case assertion.Holds:
 			a.Verdict = Correct
@@ -335,14 +368,16 @@ func (s *Session) judge(n *exectree.Node) (Answer, error) {
 	return a, nil
 }
 
-// applySlice prunes the view to the dynamic slice on (n, output).
-func (s *Session) applySlice(n *exectree.Node, output string) {
+// applySlice prunes the view to the dynamic slice on (n, output); it
+// reports whether the view actually changed (so divide-and-query knows
+// to rebuild its weight memo).
+func (s *Session) applySlice(n *exectree.Node, output string) bool {
 	if !s.Opts.Slicing || s.Opts.Recorder == nil || output == "" {
-		return
+		return false
 	}
 	sl, err := s.Opts.Recorder.SliceOnOutput(s.Tree, n, output)
 	if err != nil {
-		return // conservatively keep the full view
+		return false // conservatively keep the full view
 	}
 	if s.view == nil {
 		s.view = sl.Kept
@@ -364,6 +399,7 @@ func (s *Session) applySlice(n *exectree.Node, output string) {
 		Text:   fmt.Sprintf("slice on output %s of %s", output, s.renderUnitName(n)),
 		Detail: fmt.Sprintf("execution tree pruned to %d of %d nodes", len(s.view), before),
 	})
+	return true
 }
 
 // Run performs the search and returns the outcome. The program-block
@@ -378,7 +414,9 @@ func (s *Session) Run() (*Outcome, error) {
 	var err error
 	switch s.Opts.Strategy {
 	case DivideAndQuery:
-		bug, err = s.runDivideAndQuery()
+		bug, err = s.runDivideAndQuery(false)
+	case WeightedDivideAndQuery:
+		bug, err = s.runDivideAndQuery(true)
 	case BottomUp:
 		bug, err = s.runBottomUp()
 	default:
@@ -434,70 +472,169 @@ func (s *Session) runTopDown() (*exectree.Node, error) {
 	}
 }
 
-// runDivideAndQuery implements Shapiro's divide-and-query: repeatedly
-// query the descendant whose retained subtree is closest to half the
-// suspect subtree's weight.
-func (s *Session) runDivideAndQuery() (*exectree.Node, error) {
-	suspect := s.Tree.Root
-	if suspect == nil {
-		return nil, fmt.Errorf("debugger: empty execution tree")
-	}
-	// correctCut marks subtrees established correct (removed weight).
-	correctCut := make(map[*exectree.Node]bool)
+// dqState is the incremental suspect-region bookkeeping shared by the
+// two divide-and-query variants. Subtree weights are memoized once per
+// view and patched along the ancestor path when a Correct verdict
+// removes a subtree — O(depth) per verdict and one O(region) scan per
+// selection, replacing the old full weight recomputation per candidate
+// per question (quadratic in the region size).
+type dqState struct {
+	s        *Session
+	weighted bool
+	suspect  *exectree.Node
+	w        map[*exectree.Node]int64 // retained, uncut subtree weight
+	cut      map[*exectree.Node]bool  // roots of correct-judged subtrees
+	unq      map[*exectree.Node]bool  // don't-know nodes: still suspect, never re-asked
+}
 
-	countable := func(n *exectree.Node) bool { return s.kept(n) && !correctCut[n] }
-	var weight func(n *exectree.Node) int
-	weight = func(n *exectree.Node) int {
-		if !countable(n) {
+func newDQState(s *Session, weighted bool) *dqState {
+	d := &dqState{
+		s:        s,
+		weighted: weighted,
+		suspect:  s.Tree.Root,
+		cut:      make(map[*exectree.Node]bool),
+		unq:      make(map[*exectree.Node]bool),
+	}
+	d.rebuild()
+	return d
+}
+
+// indiv is the node's own weight: 1 for plain divide-and-query; for the
+// weighted variant the caller-supplied weight, defaulting to the
+// invocation's recorded execution cost (1 + direct statement count).
+func (d *dqState) indiv(n *exectree.Node) int64 {
+	if !d.weighted {
+		return 1
+	}
+	if f := d.s.Opts.Weights; f != nil {
+		if w := f(n); w > 0 {
+			return w
+		}
+		return 1
+	}
+	return 1 + n.Steps
+}
+
+// rebuild recomputes every memoized subtree weight (at session start,
+// and whenever a slice changes the view under the memo).
+func (d *dqState) rebuild() {
+	d.w = make(map[*exectree.Node]int64, len(d.s.Tree.Nodes))
+	var rec func(n *exectree.Node) int64
+	rec = func(n *exectree.Node) int64 {
+		if !d.s.kept(n) || d.cut[n] {
 			return 0
 		}
-		w := 1
+		w := d.indiv(n)
 		for _, c := range n.Children {
-			w += weight(c)
+			w += rec(c)
 		}
+		d.w[n] = w
 		return w
 	}
+	rec(d.s.Tree.Root)
+}
 
+// remove cuts a correct-judged subtree out of the suspect region,
+// patching the memoized weights on the ancestor path.
+func (d *dqState) remove(n *exectree.Node) {
+	delta := d.w[n]
+	d.cut[n] = true
+	for p := n; p != nil; p = p.Parent {
+		d.w[p] -= delta
+	}
+}
+
+// residue is the suspect-region weight strictly below the suspect node.
+// Once no queryable candidate remains, a nonzero residue is exactly the
+// weight of surviving don't-know subtrees.
+func (d *dqState) residue() int64 {
+	var below int64
+	for _, c := range d.suspect.Children {
+		below += d.w[c]
+	}
+	return below
+}
+
+// selectQuery scans the suspect region for the next node to ask: the
+// proper descendant whose retained subtree weight best bisects the
+// remaining suspect weight W. Plain divide-and-query keeps Shapiro's
+// rule (weight closest to half the candidate weight); the weighted
+// variant uses the Insa–Silva rule, minimizing the worst-case remaining
+// weight max(w(n), W−w(n)). Don't-know nodes are never candidates again
+// but their subtrees stay in the scan — the bug may still be inside.
+// Ties break toward the unit a static anomaly hint marks as suspicious,
+// then (weighted only) toward the heavier subtree, then pre-order.
+func (d *dqState) selectQuery() *exectree.Node {
+	W := d.w[d.suspect]
+	var target int64
+	if !d.weighted {
+		below := W - 1
+		target = (below + 1) / 2
+	}
+	var best *exectree.Node
+	bestScore := int64(1) << 62
+	var scan func(n *exectree.Node)
+	scan = func(n *exectree.Node) {
+		if !d.s.kept(n) || d.cut[n] {
+			return
+		}
+		if n != d.suspect && !d.unq[n] {
+			var score int64
+			if d.weighted {
+				if down, up := d.w[n], W-d.w[n]; down > up {
+					score = down
+				} else {
+					score = up
+				}
+			} else {
+				score = d.w[n] - target
+				if score < 0 {
+					score = -score
+				}
+			}
+			better := score < bestScore
+			if !better && score == bestScore && best != nil {
+				hn, hb := d.s.hintOf(n), d.s.hintOf(best)
+				better = hn > hb || (hn == hb && d.weighted && d.w[n] > d.w[best])
+			}
+			if better {
+				bestScore = score
+				best = n
+			}
+		}
+		for _, c := range n.Children {
+			scan(c)
+		}
+	}
+	scan(d.suspect)
+	return best
+}
+
+// runDivideAndQuery implements Shapiro's divide-and-query (weighted =
+// false) and the Insa–Silva weighted refinement (weighted = true):
+// repeatedly ask the descendant that best bisects the suspect region's
+// weight. Don't-know answers are handled soundly: the node's subtree
+// stays in the suspect set (only the node itself becomes unqueryable),
+// so a session whose region cannot be narrowed past unanswered nodes
+// ends inconclusive instead of blaming the suspect.
+func (s *Session) runDivideAndQuery(weighted bool) (*exectree.Node, error) {
+	if s.Tree.Root == nil {
+		return nil, fmt.Errorf("debugger: empty execution tree")
+	}
+	d := newDQState(s, weighted)
 	for {
-		w := weight(suspect) - 1 // candidates below the suspect
-		if w <= 0 {
-			if suspect.IsRoot() && s.Opts.NoRootAssumption {
-				return nil, nil
-			}
-			return suspect, nil
-		}
-		// Find the candidate (proper descendant) with weight closest to
-		// half of the suspect's.
-		target := (w + 1) / 2
-		var best *exectree.Node
-		bestDiff := 1 << 30
-		var scan func(n *exectree.Node)
-		scan = func(n *exectree.Node) {
-			if !countable(n) {
-				return
-			}
-			if n != suspect {
-				d := weight(n) - target
-				if d < 0 {
-					d = -d
-				}
-				// Among equally good bisection points, prefer the one whose
-				// unit a static anomaly hint marks as suspicious.
-				if d < bestDiff || (d == bestDiff && best != nil && s.hintOf(n) > s.hintOf(best)) {
-					bestDiff = d
-					best = n
-				}
-			}
-			for _, c := range n.Children {
-				scan(c)
-			}
-		}
-		scan(suspect)
+		best := d.selectQuery()
 		if best == nil {
-			if suspect.IsRoot() && s.Opts.NoRootAssumption {
+			if d.residue() > 0 {
+				// Don't-know subtrees survive in the region: the bug may
+				// be in any of their bodies, so pinning the suspect would
+				// be unsound. Inconclusive.
 				return nil, nil
 			}
-			return suspect, nil
+			if d.suspect.IsRoot() && s.Opts.NoRootAssumption {
+				return nil, nil
+			}
+			return d.suspect, nil
 		}
 		a, err := s.judge(best)
 		if err != nil {
@@ -505,12 +642,14 @@ func (s *Session) runDivideAndQuery() (*exectree.Node, error) {
 		}
 		switch a.Verdict {
 		case Incorrect:
-			if a.WrongOutput != "" {
-				s.applySlice(best, a.WrongOutput)
+			if a.WrongOutput != "" && s.applySlice(best, a.WrongOutput) {
+				d.rebuild()
 			}
-			suspect = best
-		default: // Correct and DontKnow both remove the subtree from search
-			correctCut[best] = true
+			d.suspect = best
+		case Correct:
+			d.remove(best)
+		default: // DontKnow: still suspect, just not askable again.
+			d.unq[best] = true
 		}
 	}
 }

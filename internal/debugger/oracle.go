@@ -214,18 +214,21 @@ func (o *InteractiveOracle) Ask(q *Query) (Answer, error) {
 			return Answer{Verdict: Incorrect}, nil
 		case strings.HasPrefix(lower, "n ") || strings.HasPrefix(lower, "no "):
 			out := strings.TrimSpace(line[strings.Index(line, " ")+1:])
-			out = strings.ToLower(out)
-			valid := false
+			// Match the reply case-insensitively but hand the canonical
+			// binding name to the engine: WrongOutput keys the dynamic
+			// slice, which compares exact binding names.
+			canonical := ""
 			for _, name := range q.Outputs {
-				if name == out {
-					valid = true
+				if strings.EqualFold(name, out) {
+					canonical = name
+					break
 				}
 			}
-			if !valid {
+			if canonical == "" {
 				fmt.Fprintf(o.Out, "unknown output %q (outputs: %s)\n", out, strings.Join(q.Outputs, ", "))
 				continue
 			}
-			return Answer{Verdict: Incorrect, WrongOutput: out}, nil
+			return Answer{Verdict: Incorrect, WrongOutput: canonical}, nil
 		case strings.HasPrefix(lower, "a "):
 			text := strings.TrimSpace(line[2:])
 			a, err := assertion.Parse(q.Node.Unit.Name, text)

@@ -62,6 +62,29 @@ func TestInteractiveOracleReplies(t *testing.T) {
 	}
 }
 
+// TestInteractiveOracleCanonicalOutputName pins the regression where a
+// case-folded reply was handed onward as typed: the slice lookup keys
+// on exact binding names, so the oracle must return the canonical
+// spelling, not the user's.
+func TestInteractiveOracleCanonicalOutputName(t *testing.T) {
+	q := &debugger.Query{
+		Node:    &exectree.Node{Unit: &sem.Routine{Name: "mixy"}},
+		Text:    "mixy(Out Res1: 7)?",
+		Outputs: []string{"Res1"},
+	}
+	for _, reply := range []string{"n res1\n", "n RES1\n", "no Res1\n"} {
+		var out strings.Builder
+		o := &debugger.InteractiveOracle{In: strings.NewReader(reply), Out: &out}
+		a, err := o.Ask(q)
+		if err != nil {
+			t.Fatalf("%q: %v", reply, err)
+		}
+		if a.Verdict != debugger.Incorrect || a.WrongOutput != "Res1" {
+			t.Errorf("%q: answer = %+v, want Incorrect on canonical Res1", reply, a)
+		}
+	}
+}
+
 func TestInteractiveOracleBadOutputReprompts(t *testing.T) {
 	a, out, err := askInteractive(t, "n bogus\ny\n", nil)
 	if err != nil {

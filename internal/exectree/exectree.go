@@ -28,6 +28,11 @@ type Node struct {
 	Outs   []interp.Binding
 	Result interp.Value
 
+	// Steps counts the statements executed directly by this invocation
+	// (statements of callees are charged to their own nodes). It is the
+	// per-node cost the weighted divide-and-query strategy uses.
+	Steps int64
+
 	// Location bookkeeping for dynamic slicing.
 	ArgLocs   []interp.Loc
 	ParamLocs []interp.Loc
@@ -164,8 +169,8 @@ func (t *Tree) String() string {
 }
 
 // Builder constructs a Tree from interpreter events; it implements
-// interp.EventSink (Read/Write/Stmt are ignored — see slicing/dynamic
-// for the dependence recorder).
+// interp.EventSink (Read/Write are ignored — see slicing/dynamic for
+// the dependence recorder; Stmt only charges the open call's step cost).
 type Builder struct {
 	interp.NopSink
 	root  *Node
@@ -220,6 +225,14 @@ func (b *Builder) ExitCall(ci *interp.CallInfo) {
 	n.Outs = append([]interp.Binding(nil), ci.Outs...)
 	n.Result = ci.Result
 	n.Incomplete = false
+}
+
+// Stmt implements interp.EventSink: each executed statement is charged
+// to the innermost open invocation as its step cost.
+func (b *Builder) Stmt(ast.Stmt, *sem.Routine) {
+	if len(b.stack) > 0 {
+		b.stack[len(b.stack)-1].Steps++
+	}
 }
 
 // Tree finalizes and returns the built tree. Safe to call after a failed

@@ -618,7 +618,7 @@ func RunTraversal() (string, error) {
 		})
 	}
 	for _, s := range subjects {
-		for _, strat := range []debugger.Strategy{debugger.TopDown, debugger.DivideAndQuery, debugger.BottomUp} {
+		for _, strat := range debugger.Strategies() {
 			// One registry per run: the question column is sourced from the
 			// observability counters rather than the outcome struct, so the
 			// experiment doubles as an end-to-end check of the metrics.
@@ -797,7 +797,7 @@ func HintsData() ([]HintsRow, error) {
 	}
 	var rows []HintsRow
 	for _, s := range subjects {
-		for _, strat := range []debugger.Strategy{debugger.TopDown, debugger.DivideAndQuery, debugger.BottomUp} {
+		for _, strat := range debugger.Strategies() {
 			row := HintsRow{Subject: s.name, Strategy: strat, Localized: "-"}
 			for _, withHints := range []bool{false, true} {
 				sys, err := gadt.Load(s.name+".pas", s.buggy)

@@ -419,11 +419,11 @@ func TestOpsSurfaceOnSameListener(t *testing.T) {
 	}
 }
 
-// TestStrategies runs the same subject under all three traversals via
-// the API (answers from locally recorded journals per strategy).
+// TestStrategies runs the same subject under every traversal via the
+// API (answers from locally recorded journals per strategy).
 func TestStrategies(t *testing.T) {
 	c, _, _ := newTestServer(t, serve.Options{})
-	for _, strategy := range []string{"top-down", "divide", "bottom-up"} {
+	for _, strategy := range []string{"top-down", "divide", "weighted", "bottom-up"} {
 		strategy := strategy
 		t.Run(strategy, func(t *testing.T) {
 			cc := c.with(t)
@@ -442,9 +442,10 @@ func TestStrategies(t *testing.T) {
 			}
 			var buf strings.Builder
 			jw := debugger.NewJournalWriter(&buf)
-			st, _ := map[string]debugger.Strategy{
-				"top-down": debugger.TopDown, "divide": debugger.DivideAndQuery, "bottom-up": debugger.BottomUp,
-			}[strategy], true
+			st, ok := debugger.ParseStrategy(strategy)
+			if !ok {
+				t.Fatalf("unknown strategy %q", strategy)
+			}
 			out, err := run.Debug(&debugger.JournalingOracle{Inner: oracle, Journal: jw},
 				gadt.DebugConfig{Strategy: st, Slicing: true, Hints: sys.LintHints()})
 			if err != nil {

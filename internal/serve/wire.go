@@ -41,7 +41,8 @@ type CreateRequest struct {
 	// Input is fed to read/readln during the traced execution.
 	Input string `json:"input,omitempty"`
 	// Strategy selects the traversal: "top-down" (default), "divide"
-	// (alias "divide-and-query") or "bottom-up".
+	// (alias "divide-and-query"), "weighted" (alias "weighted-dq",
+	// "weighted-divide-and-query") or "bottom-up".
 	Strategy string `json:"strategy,omitempty"`
 	// The pipeline defaults mirror the gadt CLI: transformation on,
 	// plint hints on, dynamic slicing on. A journal recorded by the CLI
@@ -168,13 +169,8 @@ func errf(status int, code, format string, args ...any) *apiError {
 // parseStrategy maps wire strategy names (the gadt CLI spelling and the
 // journal-header spelling) onto engine strategies.
 func parseStrategy(s string) (debugger.Strategy, *apiError) {
-	switch s {
-	case "", "top-down":
-		return debugger.TopDown, nil
-	case "divide", "divide-and-query":
-		return debugger.DivideAndQuery, nil
-	case "bottom-up":
-		return debugger.BottomUp, nil
+	if strat, ok := debugger.ParseStrategy(s); ok {
+		return strat, nil
 	}
 	return 0, errf(http.StatusBadRequest, CodeBadRequest, "unknown strategy %q", s)
 }
