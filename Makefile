@@ -8,6 +8,7 @@
 #   make bench-save    - record interpreter benchmarks to bench.old.txt
 #   make bench-compare - re-run them and diff against bench.old.txt
 #   make bench-interp  - write BENCH_interp.json (hot path vs recorded baseline)
+#   make bench-vm      - write BENCH_vm.json (VM vs interpreter, 3x geomean gate)
 #   make mutate     - run the full mutation campaign, write BENCH_mutation.json
 #   make diff       - run the differential equivalence campaign, write BENCH_diff.json
 #   make trace-smoke - record Chrome traces (gadt + pmut) and validate them
@@ -20,10 +21,10 @@ GO ?= go
 FUZZTIME ?= 5s
 # Benchmarks tracked by bench-save / bench-compare; -count 3 gives the
 # comparator (benchstat, or cmd/benchcmp as fallback) repeats to average.
-BENCH_PATTERN ?= BenchmarkInterp
+BENCH_PATTERN ?= BenchmarkInterp|BenchmarkVM
 BENCH_COUNT ?= 3
 
-.PHONY: check build test bench bench-json bench-save bench-compare bench-interp \
+.PHONY: check build test bench bench-json bench-save bench-compare bench-interp bench-vm \
 	mutate diff trace-smoke serve-smoke lint staticcheck fmt smoke-journal smoke-fuzz
 
 # Where trace-smoke leaves its artifacts (CI uploads this directory).
@@ -41,12 +42,14 @@ check:
 	$(MAKE) smoke-journal
 
 # Short coverage-guided fuzz runs: the lexer, the parser and the HTTP
-# session API must survive arbitrary inputs without panicking (one
-# -fuzz pattern per package).
+# session API must survive arbitrary inputs without panicking, and the
+# bytecode VM must agree with the interpreter on every generated
+# program (one -fuzz pattern per package).
 smoke-fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzLexer -fuzztime=$(FUZZTIME) ./internal/pascal/lexer
 	$(GO) test -run='^$$' -fuzz=FuzzParser -fuzztime=$(FUZZTIME) ./internal/pascal/parser
 	$(GO) test -run='^$$' -fuzz=FuzzSessionAPI -fuzztime=$(FUZZTIME) ./internal/serve
+	$(GO) test -run='^$$' -fuzz=FuzzVMvsInterp -fuzztime=$(FUZZTIME) ./internal/pascal/vm
 
 # Record a debugging session against the known-good reference, then
 # replay it with stdin closed: both runs must localize the same unit and
@@ -101,6 +104,13 @@ bench-compare:
 # pre-overhaul baseline (testdata/bench/baseline_interp.txt).
 bench-interp:
 	$(GO) run ./cmd/interp-bench -o BENCH_interp.json
+
+# Backend report: bytecode VM vs the current interpreter on the gate
+# workloads, timed in interleaved rounds (min-of-rounds per side, so a
+# noisy host degrades both numbers instead of skewing the ratio). Fails
+# below a 3x geometric-mean speedup — the VM's reason to exist.
+bench-vm:
+	$(GO) run ./cmd/interp-bench -vm -o BENCH_vm.json -gate 3.0
 
 # Fault-injection evaluation: mutate every subject program, run each
 # mutant through the debugger with the unmutated original as oracle.

@@ -122,12 +122,39 @@ func BenchmarkInterpIntLoop(b *testing.B) {
 	perfbench.IntLoop()(b)
 }
 
+// BenchmarkInterpRecursion measures interpreter call overhead on the
+// doubly-recursive Fibonacci workload (the denominator of the VM
+// recursion speedup in BENCH_vm.json).
+func BenchmarkInterpRecursion(b *testing.B) {
+	perfbench.Recursion()(b)
+}
+
 // BenchmarkInterpProgen measures whole-program interpretation of seeded
 // progen subjects of graded size, without tracing sinks: the cost the
 // mutation campaign and differential harness pay per evaluation.
 func BenchmarkInterpProgen(b *testing.B) {
 	for _, depth := range perfbench.ProgenDepths {
 		body := perfbench.Progen(depth)
+		b.Run(fmt.Sprintf("depth=%d", depth), body)
+	}
+}
+
+// BenchmarkVMIntLoop / BenchmarkVMRecursion / BenchmarkVMProgen are the
+// bytecode-VM counterparts of the interpreter workloads above: same
+// sources, compiled once, executed per iteration. Their ratios against
+// the Interp benchmarks are the speedups recorded in BENCH_vm.json and
+// gated in CI (vm-bench job).
+func BenchmarkVMIntLoop(b *testing.B) {
+	perfbench.VMIntLoop()(b)
+}
+
+func BenchmarkVMRecursion(b *testing.B) {
+	perfbench.VMRecursion()(b)
+}
+
+func BenchmarkVMProgen(b *testing.B) {
+	for _, depth := range perfbench.ProgenDepths {
+		body := perfbench.VMProgen(depth)
 		b.Run(fmt.Sprintf("depth=%d", depth), body)
 	}
 }

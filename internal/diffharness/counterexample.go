@@ -3,15 +3,16 @@ package diffharness
 import (
 	"fmt"
 	"strings"
-
-	"gadt/internal/transform"
 )
 
 // Counterexample is the header metadata of a testdata/diff reproducer:
-// enough to replay the comparison that once diverged.
+// enough to replay the comparison that once diverged. Stages is the
+// combo name as recorded — a transform stage combination like
+// "loops+globals", or a backend axis like "backend:vm" — and replays
+// through CompareByStages.
 type Counterexample struct {
 	Subject string
-	Stages  transform.Stages
+	Stages  string
 	Kind    string
 	Input   string
 	Detail  string
@@ -59,7 +60,7 @@ func ParseCounterexample(text string) (*Counterexample, error) {
 		case "subject":
 			c.Subject = val
 		case "stages":
-			c.Stages = parseStages(val)
+			c.Stages = val
 		case "kind":
 			c.Kind = val
 		case "input":

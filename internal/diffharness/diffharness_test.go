@@ -30,6 +30,45 @@ func TestSmallCampaignIsEquivalent(t *testing.T) {
 	}
 }
 
+// TestBackendAxisCampaign runs a compact campaign under the vm backend:
+// the transform comparisons execute on the VM (with interpreter
+// fallback) and every subject additionally runs interpreter-vs-VM,
+// untransformed and fully transformed. Any backend divergence is an
+// engine bug.
+func TestBackendAxisCampaign(t *testing.T) {
+	rep, err := Run(Config{Programs: 10, Seed: 42, Workers: 2, Backend: "vm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10 * (len(Combos()) + 2)
+	if rep.Compared != want {
+		t.Fatalf("compared %d, want %d (transform combos + 2 backend axes)", rep.Compared, want)
+	}
+	if rep.Divergent != 0 || rep.Panics != 0 {
+		for _, d := range rep.Divergences {
+			t.Errorf("divergence %s [%s] %s: %s", d.Subject, d.Stages, d.Kind, d.Detail)
+		}
+		t.Fatalf("divergent %d, panics %d", rep.Divergent, rep.Panics)
+	}
+	for _, axis := range []string{AxisVM, AxisVMFull} {
+		st := rep.ByStages[axis]
+		if st == nil || st.Compared != 10 {
+			t.Fatalf("axis %s compared %+v, want 10", axis, st)
+		}
+		if st.Equivalent == 0 {
+			t.Fatalf("axis %s produced no equivalent comparisons", axis)
+		}
+	}
+}
+
+// TestRunRejectsUnknownBackend: a typo'd backend name must fail fast,
+// not silently compare interpreter against interpreter.
+func TestRunRejectsUnknownBackend(t *testing.T) {
+	if _, err := Run(Config{Programs: 1, Backend: "jit"}); err == nil {
+		t.Fatal("Run with unknown backend should error")
+	}
+}
+
 // TestCompareDetectsSeededOutputBug checks the harness actually fires:
 // comparing a program against a transformation of a DIFFERENT program
 // is simulated by checking that diff() reports ok on identity and that
@@ -121,8 +160,8 @@ func TestCounterexampleRoundTrip(t *testing.T) {
 	if c.Subject != "rnd9" || c.Kind != "state" || c.Input != "3 4" {
 		t.Fatalf("round trip lost metadata: %+v", c)
 	}
-	if !c.Stages.Loops || c.Stages.Gotos || !c.Stages.Globals {
-		t.Fatalf("stages round trip: %+v", c.Stages)
+	if c.Stages != "loops+globals" {
+		t.Fatalf("stages round trip: %q", c.Stages)
 	}
 	if c.Source != "program p;\nbegin\nend.\n" {
 		t.Fatalf("source round trip: %q", c.Source)

@@ -27,6 +27,7 @@ type Report struct {
 	Combos    []string `json:"combos"`
 	Workers   int      `json:"workers"`
 	Fuel      int      `json:"fuel"`
+	Backend   string   `json:"backend,omitempty"`
 	ElapsedMS int64    `json:"elapsed_ms"`
 
 	Compared     int `json:"compared"`
@@ -47,10 +48,7 @@ type Report struct {
 }
 
 func aggregate(cfg Config, subjects int, outcomes []Outcome, elapsed time.Duration) *Report {
-	var combos []string
-	for _, c := range Combos() {
-		combos = append(combos, c.String())
-	}
+	combos := combosFor(cfg)
 	rep := &Report{
 		Seed:      cfg.Seed,
 		Programs:  cfg.Programs,
@@ -58,6 +56,7 @@ func aggregate(cfg Config, subjects int, outcomes []Outcome, elapsed time.Durati
 		Combos:    combos,
 		Workers:   cfg.Workers,
 		Fuel:      cfg.Fuel,
+		Backend:   cfg.Backend,
 		ElapsedMS: elapsed.Milliseconds(),
 		ByStages:  make(map[string]*StageStats),
 		Outcomes:  outcomes,

@@ -1,0 +1,109 @@
+// Package backend selects between the tree-walking interpreter and the
+// bytecode VM as execution engines for analyzed Pascal programs.
+//
+// Both engines satisfy Runner; callers that only need untraced
+// execution (campaign mutant runs, diff-harness subjects, pdiff shrink
+// re-tests) pick an engine by name and stay agnostic to which one runs.
+// The VM backend is transparently conservative: traced runs (a non-nil
+// Config.Sink) and programs the bytecode compiler rejects
+// (vm.ErrUnsupported — e.g. non-local gotos) fall back to the
+// interpreter, so selecting "vm" never changes observable behavior,
+// only speed.
+package backend
+
+import (
+	"fmt"
+	"sort"
+
+	"gadt/internal/pascal/interp"
+	"gadt/internal/pascal/sem"
+	"gadt/internal/pascal/vm"
+)
+
+// Runner is the common surface of interp.Interp and vm.VM that the
+// harnesses consume: run to completion, then inspect statement count
+// and final global bindings.
+type Runner interface {
+	Run() error
+	Steps() int
+	Globals() []interp.Binding
+}
+
+// Backend constructs Runners for analyzed programs.
+type Backend interface {
+	// Name is the flag-facing identifier ("interp" or "vm").
+	Name() string
+	// NewRunner prepares a runner for one execution. key is a
+	// content-addressed identity for the program source (see
+	// vm.SourceKey); the VM backend uses it to reuse compiled
+	// bytecode across runs, and "" disables that reuse. The
+	// interpreter ignores it.
+	NewRunner(key string, info *sem.Info, cfg interp.Config) Runner
+}
+
+type interpBackend struct{}
+
+func (interpBackend) Name() string { return "interp" }
+
+func (interpBackend) NewRunner(_ string, info *sem.Info, cfg interp.Config) Runner {
+	return interp.New(info, cfg)
+}
+
+type vmBackend struct{}
+
+func (vmBackend) Name() string { return "vm" }
+
+func (vmBackend) NewRunner(key string, info *sem.Info, cfg interp.Config) Runner {
+	if cfg.Sink != nil {
+		// The VM is untraced by design; event-sink runs need the
+		// interpreter's per-node dispatch.
+		return interp.New(info, cfg)
+	}
+	prog, err := vm.CompileKeyed(key, info)
+	if err != nil {
+		return interp.New(info, cfg)
+	}
+	return vm.New(prog, cfg)
+}
+
+var backends = map[string]Backend{
+	"interp": interpBackend{},
+	"vm":     vmBackend{},
+}
+
+// Default is the backend used when no flag is given.
+const Default = "interp"
+
+// Select resolves a backend by name.
+func Select(name string) (Backend, error) {
+	if name == "" {
+		name = Default
+	}
+	b, ok := backends[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown backend %q (have %s)", name, namesString())
+	}
+	return b, nil
+}
+
+// Names lists the available backend names, sorted.
+func Names() []string {
+	ns := make([]string, 0, len(backends))
+	for n := range backends {
+		ns = append(ns, n)
+	}
+	sort.Strings(ns)
+	return ns
+}
+
+func namesString() string {
+	ns := Names()
+	s := ""
+	for i, n := range ns {
+		if i > 0 {
+			s += ", "
+		}
+		s += n
+	}
+	return s
+}

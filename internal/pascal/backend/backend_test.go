@@ -1,0 +1,127 @@
+package backend_test
+
+import (
+	"strings"
+	"testing"
+
+	"gadt/internal/pascal/ast"
+	"gadt/internal/pascal/backend"
+	"gadt/internal/pascal/interp"
+	"gadt/internal/pascal/parser"
+	"gadt/internal/pascal/sem"
+)
+
+// countSink counts statement events to prove tracing still flows when
+// the vm backend falls back to the interpreter for traced runs.
+type countSink struct {
+	interp.NopSink
+	stmts int
+}
+
+func (c *countSink) Stmt(ast.Stmt, *sem.Routine) { c.stmts++ }
+
+const loopSrc = `
+program p;
+var i, s: integer;
+begin
+  s := 0;
+  for i := 1 to 100 do s := s + i;
+  writeln(s)
+end.
+`
+
+// nonLocalGoto is rejected by the bytecode compiler and must fall back
+// to the interpreter under the vm backend.
+const nonLocalGoto = `
+program p;
+label 9;
+procedure esc;
+begin
+  goto 9
+end;
+begin
+  esc;
+  writeln('skipped');
+9:
+  writeln('landed')
+end.
+`
+
+func analyze(t *testing.T, src string) *sem.Info {
+	t.Helper()
+	prog, err := parser.ParseProgram("t.pas", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sem.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func runOn(t *testing.T, name, src string, cfg interp.Config) string {
+	t.Helper()
+	b, err := backend.Select(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	cfg.Input = strings.NewReader("")
+	cfg.Output = &out
+	r := b.NewRunner("", analyze(t, src), cfg)
+	if err := r.Run(); err != nil {
+		t.Fatalf("%s run: %v", name, err)
+	}
+	return out.String()
+}
+
+func TestSelect(t *testing.T) {
+	for _, name := range backend.Names() {
+		b, err := backend.Select(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Name() != name {
+			t.Errorf("Select(%q).Name() = %q", name, b.Name())
+		}
+	}
+	if b, err := backend.Select(""); err != nil || b.Name() != backend.Default {
+		t.Errorf("Select(\"\") = %v, %v; want default backend", b, err)
+	}
+	if _, err := backend.Select("jit"); err == nil {
+		t.Error("Select(\"jit\") should fail")
+	}
+}
+
+func TestBackendsAgree(t *testing.T) {
+	for _, src := range []string{loopSrc, nonLocalGoto} {
+		want := runOn(t, "interp", src, interp.Config{})
+		got := runOn(t, "vm", src, interp.Config{})
+		if got != want {
+			t.Errorf("backend disagreement:\n  interp: %q\n  vm:     %q", want, got)
+		}
+	}
+}
+
+// TestVMBackendTracedFallback: a non-nil Sink must route through the
+// interpreter so trace events still flow.
+func TestVMBackendTracedFallback(t *testing.T) {
+	b, err := backend.Select("vm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := analyze(t, loopSrc)
+	sink := &countSink{}
+	var out strings.Builder
+	r := b.NewRunner("", info, interp.Config{Output: &out, Sink: sink})
+	if _, ok := r.(*interp.Interp); !ok {
+		t.Fatalf("traced vm runner is %T, want *interp.Interp", r)
+	}
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.stmts == 0 {
+		t.Error("traced run produced no statement events")
+	}
+}

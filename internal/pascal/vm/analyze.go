@@ -1,0 +1,220 @@
+package vm
+
+import (
+	"gadt/internal/pascal/ast"
+	"gadt/internal/pascal/sem"
+	"gadt/internal/pascal/types"
+)
+
+// Escape analysis for the unboxed integer register tier.
+//
+// A variable can live in a per-activation int64 register (instead of a
+// tagged-value frame cell) only when every access to it is a direct
+// read or write from its own routine: up-level access from a nested
+// routine and by-reference argument passing both need a real cell that
+// other activations can alias. The walker below visits every routine
+// body once and marks the symbols that escape; anything it cannot
+// classify conservatively poisons the enclosing routine (the compiler
+// would reject such a program anyway, so the only cost is a missed
+// optimization on the bail-out path).
+type escapeInfo struct {
+	// escaped vars need a frame cell: accessed up-level, passed by
+	// reference, or owned by a routine the walker could not fully
+	// classify.
+	escaped map[*sem.VarSym]bool
+	// usesOuter marks routines that read or write state owned by an
+	// enclosing routine (they need a static chain, so they can never be
+	// frameless fastcall routines).
+	usesOuter map[*sem.Routine]bool
+}
+
+type escWalker struct {
+	info *sem.Info
+	esc  *escapeInfo
+	r    *sem.Routine // routine whose body is being walked
+}
+
+func analyzeEscapes(info *sem.Info) *escapeInfo {
+	esc := &escapeInfo{
+		escaped:   make(map[*sem.VarSym]bool),
+		usesOuter: make(map[*sem.Routine]bool),
+	}
+	for _, r := range info.Routines {
+		w := &escWalker{info: info, r: r, esc: esc}
+		if r.Block != nil {
+			w.stmt(r.Block.Body)
+		}
+	}
+	return esc
+}
+
+// poison marks every variable of the current routine as escaped and the
+// routine as outer-using: the walker met a node it cannot classify, so
+// no register optimization applies there.
+func (w *escWalker) poison() {
+	for _, v := range w.r.Params {
+		w.esc.escaped[v] = true
+	}
+	for _, v := range w.r.Locals {
+		w.esc.escaped[v] = true
+	}
+	if w.r.Result != nil {
+		w.esc.escaped[w.r.Result] = true
+	}
+	w.esc.usesOuter[w.r] = true
+}
+
+func (w *escWalker) useVar(id *ast.Ident) {
+	if v, ok := w.info.UseOf(id).(*sem.VarSym); ok && v.Owner != w.r {
+		w.esc.escaped[v] = true
+		w.esc.usesOuter[w.r] = true
+	}
+}
+
+func (w *escWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.CompoundStmt:
+		for _, st := range s.Stmts {
+			w.stmt(st)
+		}
+	case *ast.AssignStmt:
+		w.expr(s.Lhs)
+		w.expr(s.Rhs)
+	case *ast.CallStmt:
+		w.call(s.UID, s, s.Args)
+	case *ast.IfStmt:
+		w.expr(s.Cond)
+		w.stmt(s.Then)
+		w.stmt(s.Else)
+	case *ast.WhileStmt:
+		w.expr(s.Cond)
+		w.stmt(s.Body)
+	case *ast.RepeatStmt:
+		for _, st := range s.Stmts {
+			w.stmt(st)
+		}
+		w.expr(s.Cond)
+	case *ast.ForStmt:
+		w.useVar(s.Var)
+		w.expr(s.From)
+		w.expr(s.Limit)
+		w.stmt(s.Body)
+	case *ast.CaseStmt:
+		w.expr(s.Expr)
+		for _, arm := range s.Arms {
+			for _, ce := range arm.Consts {
+				w.expr(ce)
+			}
+			w.stmt(arm.Body)
+		}
+		w.stmt(s.Else)
+	case *ast.GotoStmt:
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.EmptyStmt:
+	default:
+		w.poison()
+	}
+}
+
+func (w *escWalker) expr(e ast.Expr) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.IntLit, *ast.RealLit, *ast.StringLit:
+	case *ast.Ident:
+		w.useVar(e)
+	case *ast.BinaryExpr:
+		w.expr(e.X)
+		w.expr(e.Y)
+	case *ast.UnaryExpr:
+		w.expr(e.X)
+	case *ast.IndexExpr:
+		w.expr(e.X)
+		for _, ie := range e.Indices {
+			w.expr(ie)
+		}
+	case *ast.FieldExpr:
+		w.expr(e.X)
+	case *ast.CallExpr:
+		w.call(e.UID, e, e.Args)
+	case *ast.SetLit:
+		for _, el := range e.Elems {
+			w.expr(el)
+		}
+	default:
+		w.poison()
+	}
+}
+
+// call visits a call's arguments and marks whole-variable arguments
+// bound to by-reference parameters as escaped (the callee aliases their
+// cell). Builtins take no by-reference parameters the register tier
+// cares about: read/readln targets are stores, not aliases.
+func (w *escWalker) call(uid int, n ast.Node, args []ast.Expr) {
+	var target *sem.Routine
+	if w.info.BuiltinAt(uid, n) == nil {
+		target = w.info.CallAt(uid, n)
+	}
+	for i, a := range args {
+		w.expr(a)
+		if target == nil || i >= len(target.Params) {
+			continue
+		}
+		if target.Params[i].Mode != ast.Value {
+			if id, ok := a.(*ast.Ident); ok {
+				if v, ok := w.info.UseOf(id).(*sem.VarSym); ok {
+					w.esc.escaped[v] = true
+				}
+			}
+		}
+	}
+}
+
+// regCandidate reports whether v can live in a register of its owner's
+// activation: an integer scalar, declared by r itself, never aliased.
+func (esc *escapeInfo) regCandidate(r *sem.Routine, v *sem.VarSym) bool {
+	if v == nil || v.Owner != r || esc.escaped[v] {
+		return false
+	}
+	if v.Kind == sem.ParamVar && v.Mode != ast.Value {
+		return false
+	}
+	return types.IsInteger(v.Type)
+}
+
+// fastEligible seeds the fastcall candidate set: routines whose entire
+// activation is integer registers (all parameters by-value integers,
+// integer or absent result, integer locals, nothing escaping, no outer
+// state) can run without a frame on the contiguous register stack. The
+// compiler confirms each candidate by actually lowering its body to
+// pure register code; candidates whose bodies need stack or cell
+// operations are demoted and recompiled normally (see Compile).
+func fastEligible(info *sem.Info, esc *escapeInfo) map[*sem.Routine]bool {
+	set := make(map[*sem.Routine]bool)
+	for _, r := range info.Routines {
+		if r == info.Main || esc.usesOuter[r] {
+			continue
+		}
+		ok := true
+		for _, v := range r.Params {
+			if v.Mode != ast.Value || !esc.regCandidate(r, v) {
+				ok = false
+				break
+			}
+		}
+		if r.Result != nil && !esc.regCandidate(r, r.Result) {
+			ok = false
+		}
+		for _, v := range r.Locals {
+			if !esc.regCandidate(r, v) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			set[r] = true
+		}
+	}
+	return set
+}

@@ -1,0 +1,58 @@
+package vm
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+
+	"gadt/internal/pascal/sem"
+)
+
+// cacheEntry records one compilation outcome. Failed compilations are
+// cached too (negative entries): a program that trips ErrUnsupported
+// will do so every time, and callers probing the VM before falling back
+// to the interpreter should not pay the compile walk twice.
+type cacheEntry struct {
+	prog *Program
+	err  error
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]cacheEntry{}
+)
+
+// SourceKey derives a content-addressed cache key from program source,
+// matching the serve artifact cache's hashing scheme.
+func SourceKey(source string) string {
+	sum := sha256.Sum256([]byte(source))
+	return hex.EncodeToString(sum[:])
+}
+
+// CompileKeyed compiles info, memoizing the result under key. Keys are
+// expected to be content-addressed (SourceKey, or serve's artifact
+// hash); the empty key bypasses the cache. The cached *Program is
+// shared across callers — Programs are immutable after compilation and
+// every VM gets its own frames and stacks, so concurrent reuse is safe.
+func CompileKeyed(key string, info *sem.Info) (*Program, error) {
+	if key == "" {
+		return Compile(info)
+	}
+	cacheMu.Lock()
+	e, ok := cache[key]
+	cacheMu.Unlock()
+	if ok {
+		return e.prog, e.err
+	}
+	prog, err := Compile(info)
+	cacheMu.Lock()
+	// A racing compile of the same key wins ties arbitrarily; both
+	// results are equivalent, so keep whichever landed first.
+	if prev, ok := cache[key]; ok {
+		cacheMu.Unlock()
+		return prev.prog, prev.err
+	}
+	cache[key] = cacheEntry{prog: prog, err: err}
+	cacheMu.Unlock()
+	return prog, err
+}

@@ -1,0 +1,1174 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gadt/internal/pascal/ast"
+	"gadt/internal/pascal/interp"
+	"gadt/internal/pascal/sem"
+	"gadt/internal/pascal/token"
+	"gadt/internal/pascal/types"
+)
+
+// opcode is the bytecode instruction set. Operands a/b per op:
+//
+//	opStep                          fuel charge at statement entry
+//	opConst       a=const pool idx
+//	opLoadLocal   a=slot            push slot value
+//	opLoadOuter   a=slot b=hops     push via static chain
+//	opStoreLocal  a=slot            pop → slot (assign semantics)
+//	opStoreOuter  a=slot b=hops
+//	opIncLocal    a=slot b=delta    fused i := i ± k (int fast path)
+//	opAddrVar     a=slot b=hops     push whole-variable address
+//	opAddrIndex                     pop index, step address into element
+//	opAddrField   a=field pool idx  step address into record field
+//	opLoadAddr                      pop address, push its value
+//	opStoreAddr                     pop address+value, prepareStore
+//	opCopyV                         deep-copy stack top (value-param composites)
+//	opJump        a=target pc
+//	opBrFalse     a=target pc       pop bool, branch when false
+//	opBrCmpIF     a=target b=cmpOp  fused int compare + branch-if-false
+//	opPop / opPopTo a=frame depth   goto unwinding, case selector drop
+//	opSwap                          for-loop limit/counter ordering
+//	opAddI..opGeI                   int fast-path binary ops (generic fallback)
+//	opBinary      a=token.Kind      generic binary dispatch
+//	opNeg/opNot                     unary ops
+//	opIntChk                        for-loop bound must be integer
+//	opForCheck    a=exit pc b=down  stack [limit,i]: exit-test, pops both on exit
+//	opForStore*   a=slot (b=hops)   store loop counter into control var
+//	opForIncr     b=down            i±1 on stack top
+//	opCaseBr      a=target          pop const, on ValuesEqual pop selector+branch
+//	opCall        a=proc idx b=hops
+//	opWrite       a=nargs b=newline
+//	opReadTok     a=typecode        read+parse one input token, push
+//	opAbs..opRound                  builtin functions
+//	opMakeArr     a=nelems b=array type idx (-1 = 1..n)
+//	opRet
+type opcode uint8
+
+const (
+	opInvalid opcode = iota
+	opStep
+	opConst
+	opLoadLocal
+	opLoadOuter
+	opStoreLocal
+	opStoreOuter
+	opIncLocal
+	opAddrVar
+	opAddrIndex
+	opAddrField
+	opLoadAddr
+	opStoreAddr
+	opCopyV
+	opJump
+	opBrFalse
+	opBrCmpIF
+	opPop
+	opPopTo
+	opSwap
+	opAddI
+	opSubI
+	opMulI
+	opDivI
+	opModI
+	opSlashI
+	opEqI
+	opNeI
+	opLtI
+	opLeI
+	opGtI
+	opGeI
+	opBinary
+	opNeg
+	opNot
+	opIntChk
+	opForCheck
+	opForStoreLocal
+	opForStoreOuter
+	opForIncr
+	opCaseBr
+	opCall
+	opWrite
+	opReadTok
+	opAbs
+	opSqr
+	opOdd
+	opTrunc
+	opRound
+	opMakeArr
+	opRet
+
+	// Register tier (regcomp.go). R operands are window-relative
+	// register indices, I operands are int32 immediates, K operands
+	// index the iconsts pool. Compare-branches jump to a when the
+	// relation holds; the six relations appear in Eq, Ne, Lt, Le, Gt,
+	// Ge order in both the RR and RI blocks (regBr does opcode
+	// arithmetic over them).
+	opPushR     // a=reg          push IntV(reg) onto the operand stack
+	opPopR      // a=reg          pop operand stack into reg (must be int)
+	opForStoreR // a=reg          peek loop counter into reg
+	opIMovRR    // a=dst b=src
+	opIMovRI    // a=dst b=imm
+	opIMovRK    // a=dst b=iconst idx
+	opIAddRR    // a=dst b=s1 c=s2
+	opIAddRI    // a=dst b=src c=imm
+	opISubRR
+	opIMulRR
+	opIMulRI
+	opIDivRR
+	opIDivRI // c=imm, never 0
+	opIModRR
+	opIModRI   // c=imm, never 0
+	opIDivM    // a=dst b=src c=magics idx (divisor >= 2)
+	opIModM    // a=dst b=src c=magics idx (divisor >= 2)
+	opIModAccM // a=acc b=src c=magics idx: acc += src mod divisor
+	opINegR    // a=dst b=src
+	opIAbsR    // a=dst b=src
+	opIBrEqRR
+	opIBrNeRR
+	opIBrLtRR
+	opIBrLeRR
+	opIBrGtRR
+	opIBrGeRR
+	opIBrEqRI
+	opIBrNeRI
+	opIBrLtRI
+	opIBrLeRI
+	opIBrGtRI
+	opIBrGeRI
+	opIBrOdd    // a=target b=reg branch when odd
+	opIBrEven   // a=target b=reg branch when even
+	opCallR     // a=proc idx b=arg window base c=result disposition
+	opCallF     // a=proc idx: stack-args fastcall bridge
+	opCallRI    // a=proc idx b=src c=(arg window)<<16|imm16: window reg = src+imm, result to window-1
+	opForLoopR  // a=body target b=counter reg (limit at b+1) c=control reg
+	opForLoopRD // downto variant of opForLoopR
+
+	// Charge-on-continue variants of the loop back-edges: when the loop
+	// body starts with a plain opStep, the back-edge retargets past it
+	// and charges that fuel itself — but only when the loop continues,
+	// so the exiting iteration charges exactly what the interpreter
+	// does. (The entry path still falls through the body's own opStep.)
+	opForLoopRS
+	opForLoopRDS
+
+	// opSteppedBase starts a block mirroring [opIMovRR, opForLoopRD]:
+	// op+steppedDelta has op's semantics preceded by one fuel charge.
+	// emit3 fuses a statement-entry opStep into its successor when the
+	// successor cannot fault on its own (so the statement position the
+	// opStep carried stays the only position the fused instruction can
+	// ever report). The dispatch loop gives each twin its own case that
+	// charges the step and falls through into the base op's case.
+	opSteppedBase
+)
+
+const steppedDelta = opSteppedBase - opIMovRR
+
+// Fused-return and fused-call forms live above the stepped mirror
+// block. The opRet* opcodes perform one register op and then return in
+// a single dispatch (retFuse rewrites op+opRet pairs); the S variants
+// additionally charge the statement-entry fuel the register op had
+// absorbed. opCallRIS is opCallRI whose argument add carried a
+// statement step: it charges the step (reporting the statement
+// position from the proc's side table) before the call proper.
+const (
+	opRetMovRR opcode = opSteppedBase + steppedDelta + iota
+	opRetMovRRS
+	opRetMovRI
+	opRetMovRIS
+	opRetAddRR
+	opRetAddRRS
+	opRetAddRI
+	opRetAddRIS
+	opCallRIS
+
+	// opStepped2Base starts a second mirror of [opIMovRR, opForLoopRD]:
+	// op+stepped2Delta has op's semantics preceded by TWO fuel charges —
+	// the routine-entry (body compound) charge, whose position lives in
+	// the proc's side table, then the statement charge. Produced only by
+	// entryFuse, which also moves the routine entry point past the dead
+	// opStep slot.
+	opStepped2Base
+)
+
+const stepped2Delta = opStepped2Base - opIMovRR
+
+// stepFusable reports whether op may absorb a preceding opStep: register
+// ops that cannot produce their own runtime error (division by a
+// register and the two call forms keep their own positions).
+func stepFusable(op opcode) bool {
+	return op >= opIMovRR && op <= opForLoopRD &&
+		op != opIDivRR && op != opIModRR &&
+		op != opCallR && op != opCallF && op != opCallRI
+}
+
+// opReadTok typecodes, matching the interpreter's TypeOf dispatch.
+const (
+	readInt int32 = iota
+	readReal
+	readStr
+	readBool
+)
+
+// ErrUnsupported marks a program the compiler declines to lower: its
+// dynamic semantics (non-local gotos, gotos into structured statements,
+// constructs sem could not resolve) cannot be reproduced exactly in
+// flat bytecode. Callers fall back to the interpreter.
+var ErrUnsupported = errors.New("program not vm-compilable")
+
+type bail struct{ err error }
+
+type constKey struct {
+	k   interp.Kind
+	num int64
+	s   string
+}
+
+type compiler struct {
+	info     *sem.Info
+	prog     *Program
+	procIdx  map[*sem.Routine]int32
+	constIdx map[constKey]int32
+	arrIdx   map[*types.Array]int32
+	fieldIdx map[string]int32
+
+	esc         *escapeInfo
+	fastSet     map[*sem.Routine]bool
+	iconstIdx   map[int64]int32
+	magicIdxMap map[int64]int32
+}
+
+// Compile lowers every routine of an analyzed program to bytecode.
+// Returns an error wrapping ErrUnsupported when the program uses a
+// construct the VM does not reproduce.
+//
+// Fastcall candidates (fastEligible) are confirmed by construction:
+// compileOnce demotes a candidate whose body turns out to need stack or
+// cell operations, and compilation restarts without it. Each retry
+// strictly shrinks the candidate set, so the loop terminates.
+func Compile(info *sem.Info) (*Program, error) {
+	if info == nil || info.Main == nil {
+		return nil, fmt.Errorf("%w: no analyzed program", ErrUnsupported)
+	}
+	esc := analyzeEscapes(info)
+	fastSet := fastEligible(info, esc)
+	for {
+		prog, demoted, err := compileOnce(info, esc, fastSet)
+		if err != nil {
+			return nil, err
+		}
+		if demoted != nil {
+			delete(fastSet, demoted)
+			continue
+		}
+		return prog, nil
+	}
+}
+
+func compileOnce(info *sem.Info, esc *escapeInfo, fastSet map[*sem.Routine]bool) (prog *Program, demoted *sem.Routine, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if b, ok := r.(bail); ok {
+				prog, err = nil, b.err
+				return
+			}
+			if fb, ok := r.(fastBail); ok {
+				prog, demoted = nil, fb.r
+				return
+			}
+			panic(r)
+		}
+	}()
+	c := &compiler{
+		info:        info,
+		prog:        &Program{info: info},
+		procIdx:     make(map[*sem.Routine]int32, len(info.Routines)),
+		constIdx:    make(map[constKey]int32),
+		arrIdx:      make(map[*types.Array]int32),
+		fieldIdx:    make(map[string]int32),
+		esc:         esc,
+		fastSet:     fastSet,
+		iconstIdx:   make(map[int64]int32),
+		magicIdxMap: make(map[int64]int32),
+	}
+	c.prog.procs = make([]*vproc, len(info.Routines))
+	for i, r := range info.Routines {
+		c.procIdx[r] = int32(i)
+		p := &vproc{r: r}
+		for _, prm := range r.Params {
+			if prm.Mode == ast.Value {
+				p.nvals++
+			} else {
+				p.naddrs++
+			}
+		}
+		c.prog.procs[i] = p
+	}
+	for i, r := range info.Routines {
+		c.compileRoutine(c.prog.procs[i], r)
+		if r == info.Main {
+			c.prog.main = c.prog.procs[i]
+		}
+	}
+	if c.prog.main == nil {
+		return nil, nil, fmt.Errorf("%w: program block not in routine list", ErrUnsupported)
+	}
+	return c.prog, nil, nil
+}
+
+func (c *compiler) unsupported(format string, args ...any) {
+	panic(bail{fmt.Errorf("%w: %s", ErrUnsupported, fmt.Sprintf(format, args...))})
+}
+
+func (c *compiler) constant(v interp.Value) int32 {
+	key := constKey{k: v.Kind()}
+	switch v.Kind() {
+	case interp.KindInt:
+		key.num, _ = v.AsInt()
+	case interp.KindReal:
+		rv, _ := v.AsReal()
+		key.num = int64(math.Float64bits(rv))
+	case interp.KindBool:
+		if b, _ := v.AsBool(); b {
+			key.num = 1
+		}
+	case interp.KindStr:
+		key.s, _ = v.AsStr()
+	default:
+		c.unsupported("non-scalar constant")
+	}
+	if idx, ok := c.constIdx[key]; ok {
+		return idx
+	}
+	idx := int32(len(c.prog.consts))
+	c.prog.consts = append(c.prog.consts, v)
+	c.constIdx[key] = idx
+	return idx
+}
+
+func (c *compiler) arrayType(t *types.Array) int32 {
+	if idx, ok := c.arrIdx[t]; ok {
+		return idx
+	}
+	idx := int32(len(c.prog.arrs))
+	c.prog.arrs = append(c.prog.arrs, t)
+	c.arrIdx[t] = idx
+	return idx
+}
+
+func (c *compiler) field(name string) int32 {
+	if idx, ok := c.fieldIdx[name]; ok {
+		return idx
+	}
+	idx := int32(len(c.prog.fields))
+	c.prog.fields = append(c.prog.fields, name)
+	c.fieldIdx[name] = idx
+	return idx
+}
+
+// listCtx tracks one enclosing statement list during compilation: the
+// labels it places at its own level (goto targets resolvable by the
+// interpreter's execList unwinding) and the operand stack depth at
+// which its statements run.
+type listCtx struct {
+	labels map[string]bool
+	depth  int
+}
+
+type gotoFix struct {
+	label  string
+	jumpPc int
+}
+
+// pcomp compiles one routine body.
+type pcomp struct {
+	c *compiler
+	r *sem.Routine
+	p *vproc
+
+	depth  int // compile-time operand stack depth
+	adepth int // compile-time address stack depth
+
+	// barrier: no peephole fusion may consume instructions before this
+	// pc (jump targets and statement entries land here).
+	barrier int
+
+	lists   []listCtx
+	labelPc map[string]int
+	pending []gotoFix
+
+	// Register tier (regcomp.go): register assignment for this
+	// routine's qualified variables, temporary-stack depth, and whether
+	// the routine must lower to pure register code (fastcall).
+	regOf    map[*sem.VarSym]int32
+	nvarRegs int32
+	rdepth   int32
+	fast     bool
+}
+
+func (c *compiler) compileRoutine(p *vproc, r *sem.Routine) {
+	pc := &pcomp{c: c, r: r, p: p, labelPc: make(map[string]int), regOf: make(map[*sem.VarSym]int32)}
+	pc.planRegs()
+	pc.fast = c.fastSet[r]
+	p.fast = pc.fast
+	pc.compileStmt(r.Block.Body)
+	pc.emit(opRet, 0, 0, token.Pos{}, 0)
+	if len(pc.pending) > 0 {
+		c.unsupported("goto %s did not resolve in %s", pc.pending[0].label, r.Name)
+	}
+	retThread(p.code)
+	retFuse(p.code)
+	p.entry = entryFuse(p)
+}
+
+// retThread replaces every jump whose target is a return with the
+// return itself, iterated to a fixpoint so jump chains collapse too.
+// Falling off a then-arm into the routine's final opRet is the common
+// producer (leaf-shaped functions pay one dispatch less per call).
+func retThread(code []instr) {
+	for changed := true; changed; {
+		changed = false
+		for i, ins := range code {
+			if ins.op == opJump && code[ins.a].op == opRet {
+				code[i] = instr{op: opRet}
+				changed = true
+			}
+		}
+	}
+}
+
+// retFuse rewrites a register move/add that falls through into a
+// return as the equivalent one-dispatch opRet* form. The opRet slot
+// itself stays behind so jumps that target the return directly remain
+// valid; only straight-line execution skips it.
+func retFuse(code []instr) {
+	for i := 0; i+1 < len(code); i++ {
+		if code[i+1].op != opRet {
+			continue
+		}
+		switch code[i].op {
+		case opIMovRR:
+			code[i].op = opRetMovRR
+		case opIMovRR + steppedDelta:
+			code[i].op = opRetMovRRS
+		case opIMovRI:
+			code[i].op = opRetMovRI
+		case opIMovRI + steppedDelta:
+			code[i].op = opRetMovRIS
+		case opIAddRR:
+			code[i].op = opRetAddRR
+		case opIAddRR + steppedDelta:
+			code[i].op = opRetAddRRS
+		case opIAddRI:
+			code[i].op = opRetAddRI
+		case opIAddRI + steppedDelta:
+			code[i].op = opRetAddRIS
+		}
+	}
+}
+
+// entryFuse folds the routine-entry opStep (the body compound
+// statement's fuel charge, paid once per activation) into the first
+// statement's stepped instruction, producing its doubly-stepped twin,
+// and returns the new entry pc past the now-dead slot 0. Bails (entry
+// stays 0) unless slot 1 holds a stepped twin and no branch re-enters
+// it: a back edge to the first statement expects the single-charge
+// form.
+func entryFuse(p *vproc) int {
+	code := p.code
+	if len(code) < 2 || code[0].op != opStep {
+		return 0
+	}
+	op := code[1].op
+	if op < opSteppedBase || op > opSteppedBase+(opForLoopRD-opIMovRR) {
+		return 0
+	}
+	for _, ins := range code {
+		if branchTarget(ins) == 1 {
+			return 0
+		}
+	}
+	code[1].op = op + (opStepped2Base - opSteppedBase)
+	if p.pos2 == nil {
+		p.pos2 = make(map[int]token.Pos)
+	}
+	p.pos2[1] = p.pos[0]
+	return 1
+}
+
+// branchTarget returns the static jump target of ins, or -1 when ins
+// cannot transfer control via its a operand.
+func branchTarget(ins instr) int {
+	op := ins.op
+	if op >= opSteppedBase && op <= opSteppedBase+(opForLoopRD-opIMovRR) {
+		op -= steppedDelta
+	}
+	switch op {
+	case opJump, opBrFalse, opBrCmpIF, opForCheck, opCaseBr,
+		opIBrEqRR, opIBrNeRR, opIBrLtRR, opIBrLeRR, opIBrGtRR, opIBrGeRR,
+		opIBrEqRI, opIBrNeRI, opIBrLtRI, opIBrLeRI, opIBrGtRI, opIBrGeRI,
+		opIBrOdd, opIBrEven,
+		opForLoopR, opForLoopRD, opForLoopRS, opForLoopRDS:
+		return int(ins.a)
+	}
+	return -1
+}
+
+// emit appends one instruction, tracking the operand-stack depth.
+// Returns the instruction's pc.
+func (p *pcomp) emit(op opcode, a, b int32, pos token.Pos, delta int) int {
+	pcv := len(p.p.code)
+	p.p.code = append(p.p.code, instr{op: op, a: a, b: b})
+	p.p.pos = append(p.p.pos, pos)
+	p.depth += delta
+	if p.depth > p.p.maxStack {
+		p.p.maxStack = p.depth
+	}
+	return pcv
+}
+
+func (p *pcomp) pushAddr() {
+	p.adepth++
+	if p.adepth > p.p.maxAddr {
+		p.p.maxAddr = p.adepth
+	}
+}
+
+// here returns the next pc and marks it as a jump target (fusion
+// barrier).
+func (p *pcomp) here() int {
+	p.barrier = len(p.p.code)
+	return len(p.p.code)
+}
+
+func (p *pcomp) patch(jumpPc, target int) {
+	p.p.code[jumpPc].a = int32(target)
+}
+
+// pop removes the last n emitted instructions (peephole fusion helper).
+func (p *pcomp) pop(n int) {
+	p.p.code = p.p.code[:len(p.p.code)-n]
+	p.p.pos = p.p.pos[:len(p.p.pos)-n]
+}
+
+func (p *pcomp) last(n int) instr {
+	return p.p.code[len(p.p.code)-n]
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (p *pcomp) compileStmt(s ast.Stmt) {
+	if s == nil {
+		return
+	}
+	p.here()
+	stepPc := p.emit(opStep, 0, 0, s.Pos(), 0)
+	switch s := s.(type) {
+	case *ast.CompoundStmt:
+		p.compileList(s.Stmts)
+
+	case *ast.AssignStmt:
+		if p.tryRegAssign(s) {
+			return
+		}
+		p.compileExpr(s.Rhs)
+		p.compileStore(s.Lhs, s.Pos())
+
+	case *ast.CallStmt:
+		if p.tryRegCallStmt(s) {
+			return
+		}
+		p.compileCallStmt(s)
+
+	case *ast.IfStmt:
+		br, regOK := p.tryRegBr(s.Cond)
+		if !regOK {
+			p.compileExpr(s.Cond)
+			br = p.emitBrFalse(s.Cond.Pos())
+		}
+		p.compileStmt(s.Then)
+		if s.Else != nil {
+			j := p.emit(opJump, -1, 0, s.Pos(), 0)
+			p.patch(br, p.here())
+			p.compileStmt(s.Else)
+			p.patch(j, p.here())
+		} else {
+			p.patch(br, p.here())
+		}
+
+	case *ast.WhileStmt:
+		if p.tryRegWhile(s) {
+			return
+		}
+		cond := p.here()
+		br, regOK := p.tryRegBr(s.Cond)
+		if !regOK {
+			p.compileExpr(s.Cond)
+			br = p.emitBrFalse(s.Cond.Pos())
+		}
+		p.compileStmt(s.Body)
+		p.emit(opJump, int32(cond), 0, s.Pos(), 0)
+		p.patch(br, p.here())
+
+	case *ast.RepeatStmt:
+		body := p.here()
+		p.compileList(s.Stmts)
+		if br, regOK := p.tryRegBr(s.Cond); regOK {
+			p.patch(br, body)
+		} else {
+			p.compileExpr(s.Cond)
+			p.emitBrFalseTo(body, s.Cond.Pos())
+		}
+
+	case *ast.ForStmt:
+		p.compileFor(s)
+
+	case *ast.CaseStmt:
+		p.compileCase(s)
+
+	case *ast.GotoStmt:
+		p.compileGoto(s)
+
+	case *ast.LabeledStmt:
+		// The label jump target is the statement's own opStep: the
+		// interpreter re-enters execStmt on the LabeledStmt, charging
+		// its fuel again.
+		p.labelPc[s.Label] = stepPc
+		p.barrier = len(p.p.code)
+		kept := p.pending[:0]
+		for _, g := range p.pending {
+			if g.label == s.Label {
+				p.patch(g.jumpPc, stepPc)
+			} else {
+				kept = append(kept, g)
+			}
+		}
+		p.pending = kept
+		p.compileStmt(s.Stmt)
+
+	case *ast.EmptyStmt:
+		// Fuel charge only.
+
+	default:
+		p.c.unsupported("cannot compile %T", s)
+	}
+}
+
+func (p *pcomp) compileList(stmts []ast.Stmt) {
+	lc := listCtx{depth: p.depth}
+	for _, s := range stmts {
+		if ls, ok := s.(*ast.LabeledStmt); ok {
+			if lc.labels == nil {
+				lc.labels = make(map[string]bool)
+			}
+			lc.labels[ls.Label] = true
+		}
+	}
+	p.lists = append(p.lists, lc)
+	for _, s := range stmts {
+		p.compileStmt(s)
+	}
+	p.lists = p.lists[:len(p.lists)-1]
+}
+
+func (p *pcomp) compileGoto(s *ast.GotoStmt) {
+	li := p.c.info.GotoTgt[s]
+	if li == nil {
+		p.c.unsupported("unresolved goto %s", s.Label)
+	}
+	if li.Routine != p.r {
+		p.c.unsupported("non-local goto %s", s.Label)
+	}
+	// The interpreter unwinds enclosing statement lists until one
+	// places the label at its own level; jumps into structured
+	// statements never resolve. Compile only gotos whose label sits in
+	// a lexically enclosing list (innermost wins, matching the dynamic
+	// unwind order); reject the rest.
+	idx := -1
+	for i := len(p.lists) - 1; i >= 0; i-- {
+		if p.lists[i].labels[s.Label] {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		p.c.unsupported("goto %s jumps out of its statement list nest", s.Label)
+	}
+	if d := p.lists[idx].depth; d != p.depth {
+		// Unwind operand-stack state (for-loop limit/counter pairs,
+		// case selectors) pushed between the label's list and here.
+		p.emit(opPopTo, int32(d), 0, s.Pos(), 0)
+	}
+	j := p.emit(opJump, -1, 0, s.Pos(), 0)
+	if target, ok := p.labelPc[s.Label]; ok {
+		p.patch(j, target)
+	} else {
+		p.pending = append(p.pending, gotoFix{label: s.Label, jumpPc: j})
+	}
+}
+
+func (p *pcomp) compileFor(s *ast.ForStmt) {
+	v, ok := p.c.info.UseOf(s.Var).(*sem.VarSym)
+	if !ok {
+		p.c.unsupported("for-loop control %s is not a variable", s.Var.Name)
+	}
+	if p.tryRegFor(s, v) {
+		return
+	}
+	d0 := p.depth
+	p.compileExpr(s.From)
+	p.emit(opIntChk, 0, 0, s.From.Pos(), 0)
+	p.compileExpr(s.Limit)
+	p.emit(opIntChk, 0, 0, s.Limit.Pos(), 0)
+	p.emit(opSwap, 0, 0, s.Pos(), 0) // [limit, from]
+	p.emitForStore(v, s.Pos())
+	down := int32(0)
+	if s.Down {
+		down = 1
+	}
+	check := p.here()
+	fc := p.emit(opForCheck, -1, down, s.Pos(), 0)
+	p.emitForStore(v, s.Pos())
+	p.compileStmt(s.Body)
+	p.emit(opForIncr, 0, down, s.Pos(), 0)
+	p.emit(opJump, int32(check), 0, s.Pos(), 0)
+	p.patch(fc, p.here())
+	p.depth = d0 // exit path popped [limit, i]
+}
+
+// emitForStore stores the stack-held loop counter into the control
+// variable: its register when qualified (a control var with non-
+// register-computable bounds still lands here), otherwise its cell.
+func (p *pcomp) emitForStore(v *sem.VarSym, pos token.Pos) {
+	if r, ok := p.regOf[v]; ok {
+		p.emit(opForStoreR, r, 0, pos, 0)
+		return
+	}
+	slot, hops := p.varRef(v)
+	if hops == 0 {
+		p.emit(opForStoreLocal, slot, 0, pos, 0)
+	} else {
+		p.emit(opForStoreOuter, slot, hops, pos, 0)
+	}
+}
+
+func (p *pcomp) compileCase(s *ast.CaseStmt) {
+	d0 := p.depth
+	p.compileExpr(s.Expr)
+	// Arm constants evaluate lazily in order until one matches
+	// (interpreter order); a match pops the selector and branches to
+	// the arm body.
+	type ref struct{ pc, arm int }
+	var brs []ref
+	for ai, arm := range s.Arms {
+		for _, ce := range arm.Consts {
+			p.compileExpr(ce)
+			brs = append(brs, ref{p.emit(opCaseBr, -1, 0, ce.Pos(), -1), ai})
+		}
+	}
+	// No arm matched: drop the selector, run else (if any).
+	p.emit(opPopTo, int32(d0), 0, s.Pos(), -1)
+	p.compileStmt(s.Else)
+	ends := []int{p.emit(opJump, -1, 0, s.Pos(), 0)}
+	// Arm bodies, each entered with the selector already popped.
+	bodyPc := make([]int, len(s.Arms))
+	for ai, arm := range s.Arms {
+		p.depth = d0
+		bodyPc[ai] = p.here()
+		p.compileStmt(arm.Body)
+		ends = append(ends, p.emit(opJump, -1, 0, s.Pos(), 0))
+	}
+	end := p.here()
+	for _, b := range brs {
+		p.patch(b.pc, bodyPc[b.arm])
+	}
+	for _, j := range ends {
+		p.patch(j, end)
+	}
+	p.depth = d0
+}
+
+func (p *pcomp) compileCallStmt(s *ast.CallStmt) {
+	if b := p.c.info.BuiltinAt(s.UID, s); b != nil {
+		switch b.Code {
+		case sem.BuiltinWrite, sem.BuiltinWriteln:
+			p.bailFast()
+			for _, a := range s.Args {
+				p.compileExpr(a)
+			}
+			nl := int32(0)
+			if b.Code == sem.BuiltinWriteln {
+				nl = 1
+			}
+			p.emit(opWrite, int32(len(s.Args)), nl, s.Pos(), -len(s.Args))
+		case sem.BuiltinRead, sem.BuiltinReadln:
+			p.bailFast()
+			for _, a := range s.Args {
+				// Read the token first (input side effect), then
+				// resolve the target designator — the interpreter's
+				// order.
+				p.emit(opReadTok, p.readCode(a), 0, a.Pos(), +1)
+				p.compileStore(a, a.Pos())
+			}
+		default:
+			p.c.unsupported("builtin %s cannot be called as a procedure", b.Name)
+		}
+		return
+	}
+	target := p.c.info.CallAt(s.UID, s)
+	if target == nil {
+		p.c.unsupported("call to unresolved routine %s", s.Name)
+	}
+	p.compileCall(target, s.Args, s.Pos())
+	if target.Result != nil {
+		// Function called as a statement: drop the result.
+		p.emit(opPop, 0, 0, s.Pos(), -1)
+	}
+}
+
+func (p *pcomp) readCode(a ast.Expr) int32 {
+	t := p.c.info.TypeOf[a]
+	switch {
+	case t != nil && t.Equal(types.RealT):
+		return readReal
+	case t != nil && t.Equal(types.String):
+		return readStr
+	case t != nil && t.Equal(types.Boolean):
+		return readBool
+	}
+	return readInt
+}
+
+// compileCall pushes arguments (value args on the operand stack,
+// by-reference args on the address stack, in declaration order) and
+// emits the call.
+func (p *pcomp) compileCall(target *sem.Routine, args []ast.Expr, pos token.Pos) {
+	p.bailFast()
+	if len(args) != len(target.Params) {
+		p.c.unsupported("%s expects %d arguments, got %d", target.Name, len(target.Params), len(args))
+	}
+	parent := target.Parent
+	if parent == nil {
+		p.c.unsupported("call to program block")
+	}
+	hops := p.r.Level - parent.Level
+	if hops < 0 {
+		p.c.unsupported("no enclosing frame for %s", target.Name)
+	}
+	if p.c.fastSet[target] {
+		if p.tryRegCallPush(target, args, pos) {
+			return
+		}
+		p.compileCallF(target, args, pos)
+		return
+	}
+	for i, prm := range target.Params {
+		a := args[i]
+		if prm.Mode == ast.Value {
+			p.compileExpr(a)
+			// The interpreter deep-copies each value argument into the
+			// callee slot before evaluating the next argument; copy at
+			// push time so a later argument mutating the source (via a
+			// by-reference alias) cannot leak into this one.
+			switch prm.Type.(type) {
+			case *types.Array, *types.Record:
+				p.emit(opCopyV, 0, 0, a.Pos(), 0)
+			}
+		} else {
+			p.compileAddr(a)
+		}
+	}
+	idx, ok := p.c.procIdx[target]
+	if !ok {
+		p.c.unsupported("call to unknown routine %s", target.Name)
+	}
+	t := p.c.prog.procs[idx]
+	delta := -t.nvals
+	if target.Result != nil {
+		delta++
+	}
+	p.adepth -= t.naddrs
+	p.emit(opCall, idx, int32(hops), pos, delta)
+	if p.depth > p.p.maxStack {
+		p.p.maxStack = p.depth
+	}
+}
+
+// compileStore assigns the stack top to the designator lhs.
+func (p *pcomp) compileStore(lhs ast.Expr, pos token.Pos) {
+	if id, ok := lhs.(*ast.Ident); ok {
+		v, ok := p.c.info.UseOf(id).(*sem.VarSym)
+		if !ok {
+			p.c.unsupported("%s is not a variable", id.Name)
+		}
+		if r, qual := p.regOf[v]; qual {
+			p.emit(opPopR, r, 0, pos, -1)
+			return
+		}
+		slot, hops := p.varRef(v)
+		if hops == 0 {
+			p.emitStoreLocal(slot, pos)
+		} else {
+			p.emit(opStoreOuter, slot, hops, pos, -1)
+		}
+		return
+	}
+	p.compileAddr(lhs)
+	p.adepth--
+	p.emit(opStoreAddr, 0, 0, pos, -1)
+}
+
+// emitStoreLocal emits a local store, fusing the
+// load-const-add/sub-store pattern into opIncLocal when the operand
+// chain is intact (no jump target inside the window).
+func (p *pcomp) emitStoreLocal(slot int32, pos token.Pos) {
+	if n := len(p.p.code); n >= 3 && p.barrier <= n-3 {
+		add, cst, ld := p.last(1), p.last(2), p.last(3)
+		if (add.op == opAddI || add.op == opSubI) &&
+			cst.op == opConst && ld.op == opLoadLocal && ld.a == slot {
+			cv := p.c.prog.consts[cst.a]
+			if k, ok := cv.AsInt(); ok && k >= 0 && k <= math.MaxInt32 {
+				delta := int32(k)
+				if add.op == opSubI {
+					delta = -delta
+				}
+				p.pop(3)
+				p.depth-- // the trio's net push
+				p.emit(opIncLocal, slot, delta, pos, 0)
+				return
+			}
+		}
+	}
+	p.emit(opStoreLocal, slot, 0, pos, -1)
+}
+
+// emitBrFalse emits a branch-if-false with an unresolved target,
+// fusing a preceding integer comparison. Returns the branch pc for
+// patching.
+func (p *pcomp) emitBrFalse(pos token.Pos) int {
+	if n := len(p.p.code); n >= 1 && p.barrier <= n-1 {
+		if cmp := p.last(1); cmp.op >= opEqI && cmp.op <= opGeI {
+			cmpPos := p.p.pos[n-1]
+			p.pop(1)
+			p.depth++ // revert the comparison's net -1
+			return p.emit(opBrCmpIF, -1, int32(cmp.op), cmpPos, -2)
+		}
+	}
+	return p.emit(opBrFalse, -1, 0, pos, -1)
+}
+
+// emitBrFalseTo is emitBrFalse with a known (backward) target.
+func (p *pcomp) emitBrFalseTo(target int, pos token.Pos) {
+	br := p.emitBrFalse(pos)
+	p.patch(br, target)
+}
+
+func (p *pcomp) varRef(v *sem.VarSym) (slot, hops int32) {
+	h := p.r.Level - v.Owner.Level
+	if h < 0 {
+		p.c.unsupported("no active frame holds %s", v.Name)
+	}
+	return int32(v.Slot), int32(h)
+}
+
+// compileAddr pushes the address of a designator onto the address
+// stack.
+func (p *pcomp) compileAddr(e ast.Expr) {
+	p.bailFast()
+	switch e := e.(type) {
+	case *ast.Ident:
+		v, ok := p.c.info.UseOf(e).(*sem.VarSym)
+		if !ok {
+			p.c.unsupported("%s is not a variable", e.Name)
+		}
+		if _, qual := p.regOf[v]; qual {
+			// Unreachable: escape analysis disqualifies any variable
+			// whose address is taken.
+			p.c.unsupported("internal: register variable %s used by address", v.Name)
+		}
+		slot, hops := p.varRef(v)
+		p.emit(opAddrVar, slot, hops, e.Pos(), 0)
+		p.pushAddr()
+	case *ast.IndexExpr:
+		p.compileAddr(e.X)
+		for _, ie := range e.Indices {
+			p.compileExpr(ie)
+			p.emit(opAddrIndex, 0, 0, ie.Pos(), -1)
+		}
+	case *ast.FieldExpr:
+		p.compileAddr(e.X)
+		p.emit(opAddrField, p.c.field(e.Field), 0, e.Pos(), 0)
+	default:
+		p.c.unsupported("expression is not assignable: %T", e)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+func (p *pcomp) isIntExpr(e ast.Expr) bool {
+	return types.IsInteger(p.c.info.TypeOf[e])
+}
+
+func (p *pcomp) compileExpr(e ast.Expr) {
+	p.bailFast()
+	switch e := e.(type) {
+	case *ast.IntLit:
+		p.emit(opConst, p.c.constant(interp.IntV(e.Value)), 0, e.Pos(), +1)
+
+	case *ast.RealLit:
+		p.emit(opConst, p.c.constant(interp.RealV(e.Value)), 0, e.Pos(), +1)
+
+	case *ast.StringLit:
+		p.emit(opConst, p.c.constant(interp.StrV(e.Value)), 0, e.Pos(), +1)
+
+	case *ast.Ident:
+		switch sym := p.c.info.UseOf(e).(type) {
+		case *sem.VarSym:
+			if r, qual := p.regOf[sym]; qual {
+				p.emit(opPushR, r, 0, e.Pos(), +1)
+				return
+			}
+			slot, hops := p.varRef(sym)
+			if hops == 0 {
+				p.emit(opLoadLocal, slot, 0, e.Pos(), +1)
+			} else {
+				p.emit(opLoadOuter, slot, hops, e.Pos(), +1)
+			}
+			return
+		case *sem.ConstSym:
+			p.emit(opConst, p.c.constant(constToValue(sym.Value)), 0, e.Pos(), +1)
+			return
+		}
+		// Parameterless function call.
+		if target := p.c.info.CallAt(e.UID, e); target != nil {
+			p.compileCall(target, nil, e.Pos())
+			return
+		}
+		p.c.unsupported("unresolved identifier %s", e.Name)
+
+	case *ast.BinaryExpr:
+		p.compileExpr(e.X)
+		p.compileExpr(e.Y)
+		if op, ok := intFastOp(e.Op); ok && p.isIntExpr(e.X) && p.isIntExpr(e.Y) {
+			delta := -1
+			p.emit(op, 0, 0, e.Pos(), delta)
+		} else {
+			p.emit(opBinary, int32(e.Op), 0, e.Pos(), -1)
+		}
+
+	case *ast.UnaryExpr:
+		p.compileExpr(e.X)
+		switch e.Op {
+		case token.Minus:
+			p.emit(opNeg, 0, 0, e.Pos(), 0)
+		case token.Plus:
+			// Identity on any operand, matching the interpreter.
+		case token.Not:
+			p.emit(opNot, 0, 0, e.Pos(), 0)
+		default:
+			p.c.unsupported("unary %s", e.Op)
+		}
+
+	case *ast.IndexExpr, *ast.FieldExpr:
+		p.compileAddr(e)
+		p.adepth--
+		p.emit(opLoadAddr, 0, 0, e.Pos(), +1)
+
+	case *ast.CallExpr:
+		if b := p.c.info.BuiltinAt(e.UID, e); b != nil {
+			p.compileBuiltinFunc(b, e)
+			return
+		}
+		target := p.c.info.CallAt(e.UID, e)
+		if target == nil {
+			p.c.unsupported("call to unresolved function %s", e.Name)
+		}
+		p.compileCall(target, e.Args, e.Pos())
+
+	case *ast.SetLit:
+		t, _ := p.c.info.TypeOf[e].(*types.Array)
+		ti := int32(-1)
+		if t != nil {
+			ti = p.c.arrayType(t)
+		}
+		for _, el := range e.Elems {
+			p.compileExpr(el)
+		}
+		p.emit(opMakeArr, int32(len(e.Elems)), ti, e.Pos(), -len(e.Elems)+1)
+
+	default:
+		p.c.unsupported("cannot compile expression %T", e)
+	}
+}
+
+func (p *pcomp) compileBuiltinFunc(b *sem.Builtin, e *ast.CallExpr) {
+	if len(e.Args) != 1 {
+		p.c.unsupported("%s expects 1 argument", b.Name)
+	}
+	p.compileExpr(e.Args[0])
+	var op opcode
+	switch b.Code {
+	case sem.BuiltinAbs:
+		op = opAbs
+	case sem.BuiltinSqr:
+		op = opSqr
+	case sem.BuiltinOdd:
+		op = opOdd
+	case sem.BuiltinTrunc:
+		op = opTrunc
+	case sem.BuiltinRound:
+		op = opRound
+	default:
+		p.c.unsupported("builtin %s cannot be called as a function", b.Name)
+	}
+	p.emit(op, 0, 0, e.Pos(), 0)
+}
+
+func intFastOp(op token.Kind) (opcode, bool) {
+	switch op {
+	case token.Plus:
+		return opAddI, true
+	case token.Minus:
+		return opSubI, true
+	case token.Star:
+		return opMulI, true
+	case token.Div:
+		return opDivI, true
+	case token.Mod:
+		return opModI, true
+	case token.Slash:
+		return opSlashI, true
+	case token.Eq:
+		return opEqI, true
+	case token.NotEq:
+		return opNeI, true
+	case token.Less:
+		return opLtI, true
+	case token.LessEq:
+		return opLeI, true
+	case token.Greater:
+		return opGtI, true
+	case token.GreatEq:
+		return opGeI, true
+	}
+	return opInvalid, false
+}
+
+func constToValue(v any) interp.Value {
+	switch v := v.(type) {
+	case int64:
+		return interp.IntV(v)
+	case float64:
+		return interp.RealV(v)
+	case bool:
+		return interp.BoolV(v)
+	case string:
+		return interp.StrV(v)
+	}
+	return interp.IntV(0)
+}

@@ -1,0 +1,83 @@
+package vm_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"gadt/internal/paper"
+	"gadt/internal/pascal/interp"
+	"gadt/internal/pascal/parser"
+	"gadt/internal/pascal/sem"
+	"gadt/internal/pascal/vm"
+	"gadt/internal/progen"
+)
+
+// FuzzVMvsInterp is the backend differential fuzzer: any program that
+// parses, analyzes and compiles must behave identically on the
+// interpreter and the VM — same stdout, same position-stripped error
+// message, same statement count, same final globals. Divergent inputs
+// found here should be re-run through `pdiff -backend vm` whose
+// shrinker minimizes them into testdata/diff/ for the replay
+// regression test to pin.
+func FuzzVMvsInterp(f *testing.F) {
+	for _, src := range []string{
+		paper.Sqrtest, paper.SqrtestFixed, paper.SliceExample, paper.PQR,
+		paper.GlobalSideEffects, paper.LoopGoto, paper.ArrsumProgram,
+	} {
+		f.Add(src, "")
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		p := progen.Random(progen.RandomConfig{Seed: seed, Gotos: seed%2 == 0, Reads: seed%3 == 0})
+		f.Add(p.Source, p.Input)
+	}
+	f.Add("program p; var a: integer; begin read(a); writeln(a div 0) end.", "3")
+	f.Add("program p; label 1; var i: integer; begin 1: i := i + 1; if i < 3 then goto 1 end.", "")
+	f.Add("program p; var a: array [1 .. 3] of integer; begin a := [1, 2, 3, 4] end.", "")
+
+	f.Fuzz(func(t *testing.T, src, input string) {
+		prog, err := parser.ParseProgram("fuzz.pas", src)
+		if err != nil {
+			return
+		}
+		info, err := sem.Analyze(prog)
+		if err != nil {
+			return
+		}
+		vprog, err := vm.Compile(info)
+		if err != nil {
+			if errors.Is(err, vm.ErrUnsupported) {
+				return // interpreter-fallback territory by design
+			}
+			t.Fatalf("compile failed on analyzed program: %v", err)
+		}
+
+		cfg := interp.Config{MaxSteps: 50_000, MaxDepth: 256}
+		var iout strings.Builder
+		icfg := cfg
+		icfg.Input = strings.NewReader(input)
+		icfg.Output = &iout
+		it := interp.New(info, icfg)
+		ierr := it.Run()
+
+		var vout strings.Builder
+		vcfg := cfg
+		vcfg.Input = strings.NewReader(input)
+		vcfg.Output = &vout
+		m := vm.New(vprog, vcfg)
+		verr := m.Run()
+
+		if iout.String() != vout.String() {
+			t.Errorf("output divergence:\n  interp: %q\n  vm:     %q", iout.String(), vout.String())
+		}
+		if normErr(ierr) != normErr(verr) {
+			t.Errorf("error divergence:\n  interp: %v\n  vm:     %v", ierr, verr)
+		}
+		if it.Steps() != m.Steps() {
+			t.Errorf("steps divergence: interp %d, vm %d", it.Steps(), m.Steps())
+		}
+		if ig, vg := globalsString(it.Globals()), globalsString(m.Globals()); ig != vg {
+			t.Errorf("globals divergence:\n  interp: %s\n  vm:     %s", ig, vg)
+		}
+	})
+}

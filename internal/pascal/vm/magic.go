@@ -1,0 +1,76 @@
+package vm
+
+import "math/bits"
+
+// Magic-number strength reduction for division by a constant (Hacker's
+// Delight, 2nd ed., §10-4). A signed 64-bit division by a fixed d >= 2
+// becomes a high multiply, a shift and a sign correction — an order of
+// magnitude cheaper than the hardware divide the generic opIDivRI /
+// opIModRI forms pay per execution. The compiler interns one magicDiv
+// per distinct divisor in Program.magics and rewrites the RI forms to
+// opIDivM / opIModM referencing it.
+type magicDiv struct {
+	m int64 // magic multiplier (interpreted signed)
+	s int32 // post-multiply shift
+	d int64 // original divisor, for the mod remainder step
+}
+
+// magicFor computes the multiplier and shift for divisor d >= 2. The
+// resulting quotient matches Go's truncated division for every int64
+// dividend, including math.MinInt64.
+func magicFor(d int64) magicDiv {
+	if d < 2 {
+		panic("vm: magicFor needs divisor >= 2")
+	}
+	const two63 = uint64(1) << 63
+	ad := uint64(d)
+	anc := two63 - 1 - two63%ad // absolute value of nc
+	p := 63
+	q1 := two63 / anc // quotient digits of 2^p / |nc|
+	r1 := two63 - q1*anc
+	q2 := two63 / ad // quotient digits of 2^p / d
+	r2 := two63 - q2*ad
+	for {
+		p++
+		q1 *= 2
+		r1 *= 2
+		if r1 >= anc {
+			q1++
+			r1 -= anc
+		}
+		q2 *= 2
+		r2 *= 2
+		if r2 >= ad {
+			q2++
+			r2 -= ad
+		}
+		delta := ad - r2
+		if q1 >= delta && !(q1 == delta && r1 == 0) {
+			break
+		}
+	}
+	return magicDiv{m: int64(q2 + 1), s: int32(p - 64), d: d}
+}
+
+// smulh returns the high 64 bits of the signed 128-bit product a*b.
+func smulh(a, b int64) int64 {
+	hi, _ := bits.Mul64(uint64(a), uint64(b))
+	t := int64(hi)
+	if a < 0 {
+		t -= b
+	}
+	if b < 0 {
+		t -= a
+	}
+	return t
+}
+
+// magicQuot applies mg to dividend n: the opIDivM runtime step.
+func (mg magicDiv) quot(n int64) int64 {
+	q := smulh(mg.m, n)
+	if mg.m < 0 {
+		q += n
+	}
+	q >>= uint(mg.s)
+	return q + int64(uint64(q)>>63) // round toward zero for negative n
+}

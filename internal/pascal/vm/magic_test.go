@@ -1,0 +1,45 @@
+package vm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMagicDivExhaustive cross-checks the magic-multiply quotient and
+// remainder against Go's native truncated division over every divisor
+// the compiler would intern for small programs plus adversarial large
+// ones, across edge-case and random dividends.
+func TestMagicDivExhaustive(t *testing.T) {
+	divisors := []int64{}
+	for d := int64(2); d <= 1024; d++ {
+		divisors = append(divisors, d)
+	}
+	divisors = append(divisors,
+		1<<20-1, 1<<20, 1<<20+1,
+		1<<31-1, 1<<31, 1<<31+1,
+		1<<62-3, 1<<62, math.MaxInt64-1, math.MaxInt64)
+
+	edges := []int64{
+		0, 1, -1, 2, -2, 3, -3, 96, 97, 98, -96, -97, -98,
+		math.MaxInt64, math.MaxInt64 - 1, math.MinInt64, math.MinInt64 + 1,
+		1<<32 - 1, 1 << 32, -(1 << 32),
+	}
+	rng := rand.New(rand.NewSource(1))
+	dividends := append([]int64{}, edges...)
+	for i := 0; i < 200; i++ {
+		dividends = append(dividends, rng.Int63()-rng.Int63())
+	}
+
+	for _, d := range divisors {
+		mg := magicFor(d)
+		for _, n := range dividends {
+			if q := mg.quot(n); q != n/d {
+				t.Fatalf("quot(%d / %d) = %d, want %d (m=%d s=%d)", n, d, q, n/d, mg.m, mg.s)
+			}
+			if r := n - mg.quot(n)*mg.d; r != n%d {
+				t.Fatalf("rem(%d %% %d) = %d, want %d", n, d, n-mg.quot(n)*mg.d, n%d)
+			}
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package vm_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"gadt/internal/obs"
+	"gadt/internal/pascal/interp"
+	"gadt/internal/pascal/vm"
+)
+
+// intLoopSrc mirrors the interpreter's zero-alloc workload: a tight
+// integer loop where every statement touches only integer slots. acc
+// is kept mod-bounded so the final writeln output has the same length
+// at every iteration count — otherwise a longer decimal rendering
+// crosses an allocator size class and shows up as a spurious +1.
+func intLoopSrc(n int) string {
+	return fmt.Sprintf(`program tight;
+var i, acc, tmp: integer;
+begin
+  acc := 0;
+  i := 0;
+  while i < %d do
+  begin
+    tmp := i * 3 + acc mod 7;
+    acc := (acc + tmp - i div 2) mod 10000;
+    i := i + 1
+  end;
+  writeln(acc)
+end.`, n)
+}
+
+// callLoopSrc drives the VM's call path: a nested procedure touching
+// its enclosing routine's locals across the static chain, once per
+// iteration. After the first call warms the frame free list, steady-
+// state calls must allocate nothing.
+func callLoopSrc(n int) string {
+	return fmt.Sprintf(`program slots;
+var i, acc: integer;
+procedure outer;
+var a, b: integer;
+  procedure inner;
+  begin
+    a := a + i;
+    b := b + a
+  end;
+begin
+  a := 1;
+  b := 2;
+  inner;
+  acc := (acc + b) mod 10000
+end;
+begin
+  acc := 0;
+  i := 0;
+  while i < %d do
+  begin
+    outer;
+    i := i + 1
+  end;
+  writeln(acc)
+end.`, n)
+}
+
+// funcLoopSrc exercises function calls with arguments and results on
+// the operand stack.
+func funcLoopSrc(n int) string {
+	return fmt.Sprintf(`program funcs;
+var i, acc: integer;
+function step(x, y: integer): integer;
+begin
+  step := x * 2 + y mod 5
+end;
+begin
+  acc := 0;
+  i := 0;
+  while i < %d do
+  begin
+    acc := (acc + step(i, acc)) mod 10000;
+    i := i + 1
+  end;
+  writeln(acc)
+end.`, n)
+}
+
+// allocsForVMRun measures one compile-free run (vm.New + Run).
+func allocsForVMRun(t *testing.T, src string, metrics *obs.Registry) float64 {
+	t.Helper()
+	info := analyze(t, src)
+	prog, err := vm.Compile(info)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return testing.AllocsPerRun(10, func() {
+		var out strings.Builder
+		m := vm.New(prog, interp.Config{Output: &out, Metrics: metrics})
+		if err := m.Run(); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	})
+}
+
+// assertZeroAllocsPerIteration runs the workload at two iteration
+// counts; identical totals mean the fixed setup cost is all there is —
+// no per-iteration allocation on the hot path.
+func assertZeroAllocsPerIteration(t *testing.T, gen func(int) string, metrics *obs.Registry) {
+	t.Helper()
+	const n = 2000
+	base := allocsForVMRun(t, gen(n), metrics)
+	double := allocsForVMRun(t, gen(2*n), metrics)
+	if double > base {
+		t.Errorf("hot path allocates: %.0f allocs at %d iterations vs %.0f at %d (%.3f allocs/iteration, want 0)",
+			double, 2*n, base, n, (double-base)/n)
+	}
+}
+
+func TestVMIntLoopZeroAllocs(t *testing.T) {
+	assertZeroAllocsPerIteration(t, intLoopSrc, nil)
+}
+
+func TestVMCallZeroAllocs(t *testing.T) {
+	assertZeroAllocsPerIteration(t, callLoopSrc, nil)
+}
+
+func TestVMFuncCallZeroAllocs(t *testing.T) {
+	assertZeroAllocsPerIteration(t, funcLoopSrc, nil)
+}
+
+func TestVMZeroAllocsWithMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	assertZeroAllocsPerIteration(t, intLoopSrc, reg)
+	assertZeroAllocsPerIteration(t, callLoopSrc, reg)
+	if reg.Counter("vm.statements").Value() == 0 {
+		t.Error("instrumented runs recorded no statements")
+	}
+	if reg.Counter("vm.calls").Value() == 0 {
+		t.Error("instrumented runs recorded no calls")
+	}
+}

@@ -1,0 +1,769 @@
+package vm
+
+import (
+	"math"
+
+	"gadt/internal/pascal/ast"
+	"gadt/internal/pascal/sem"
+	"gadt/internal/pascal/token"
+)
+
+// Register lowering: statements whose every operand is a
+// register-qualified integer (see analyze.go) compile to three-address
+// opcodes over the activation's int64 window instead of tagged-value
+// stack code. Lowering is attempt-based: each try records a compile
+// snapshot, emits code, and rolls back to the stack path on the first
+// construct it cannot handle, so the two tiers interleave freely within
+// one routine. Fastcall candidates must lower to pure register code;
+// tries that fail inside one panic fastBail, demoting the routine and
+// restarting compilation without it (Compile's retry loop).
+
+// fastBail aborts compileOnce when a fastcall candidate's body needs
+// stack or cell operations after all.
+type fastBail struct{ r *sem.Routine }
+
+// bailFast demotes the current routine out of the fastcall set. Called
+// at the head of every stack-tier emitter: fastcall bodies may contain
+// only opStep, register ops, opJump, opCallR and opRet, because they
+// run with no frame and no operand-stack region of their own.
+func (p *pcomp) bailFast() {
+	if p.fast {
+		panic(fastBail{p.r})
+	}
+}
+
+// csnap is a compile-state snapshot for attempt-based lowering.
+// Restoring truncates the emitted code; the nregs/maxStack high-water
+// marks are deliberately left alone (over-approximation is harmless).
+// The last pre-snapshot instruction is captured verbatim because step
+// fusion (emit3) may replace a trailing opStep in place — a plain
+// truncation would keep the mutated instruction.
+type csnap struct {
+	ncode   int
+	barrier int
+	depth   int
+	rdepth  int32
+	lastIns instr
+	lastPos token.Pos
+}
+
+func (p *pcomp) save() csnap {
+	s := csnap{ncode: len(p.p.code), barrier: p.barrier, depth: p.depth, rdepth: p.rdepth}
+	if s.ncode > 0 {
+		s.lastIns = p.p.code[s.ncode-1]
+		s.lastPos = p.p.pos[s.ncode-1]
+	}
+	return s
+}
+
+func (p *pcomp) restore(s csnap) {
+	p.p.code = p.p.code[:s.ncode]
+	p.p.pos = p.p.pos[:s.ncode]
+	if s.ncode > 0 {
+		p.p.code[s.ncode-1] = s.lastIns
+		p.p.pos[s.ncode-1] = s.lastPos
+	}
+	p.barrier = s.barrier
+	p.depth = s.depth
+	p.rdepth = s.rdepth
+}
+
+// talloc allocates an expression-temporary register above the variable
+// registers; temporaries form a compile-time stack.
+func (p *pcomp) talloc() int32 {
+	r := p.nvarRegs + p.rdepth
+	p.rdepth++
+	if n := int(p.nvarRegs + p.rdepth); n > p.p.nregs {
+		p.p.nregs = n
+	}
+	return r
+}
+
+func (p *pcomp) tfree(n int32) { p.rdepth -= n }
+
+// emit3 appends one three-address instruction. No operand-stack delta:
+// register code never touches the value stack.
+//
+// When the previous instruction is the enclosing statement's opStep
+// (barrier-guarded: loop-head fuel charges are jump targets and never
+// qualify) and op cannot fault, the pair fuses into one stepped
+// instruction carrying the opStep's statement position, saving a
+// dispatch per statement.
+func (p *pcomp) emit3(op opcode, a, b, c int32, pos token.Pos) int {
+	if n := len(p.p.code); stepFusable(op) && n > 0 && p.barrier <= n-1 && p.p.code[n-1].op == opStep {
+		spos := p.p.pos[n-1]
+		p.pop(1)
+		pcv := len(p.p.code)
+		p.p.code = append(p.p.code, instr{op: op + steppedDelta, a: a, b: b, c: c})
+		p.p.pos = append(p.p.pos, spos)
+		return pcv
+	}
+	pcv := len(p.p.code)
+	p.p.code = append(p.p.code, instr{op: op, a: a, b: b, c: c})
+	p.p.pos = append(p.p.pos, pos)
+	return pcv
+}
+
+func (c *compiler) magicIdx(d int64) int32 {
+	if idx, ok := c.magicIdxMap[d]; ok {
+		return idx
+	}
+	idx := int32(len(c.prog.magics))
+	c.prog.magics = append(c.prog.magics, magicFor(d))
+	c.magicIdxMap[d] = idx
+	return idx
+}
+
+func (c *compiler) iconst(v int64) int32 {
+	if idx, ok := c.iconstIdx[v]; ok {
+		return idx
+	}
+	idx := int32(len(c.prog.iconsts))
+	c.prog.iconsts = append(c.prog.iconsts, v)
+	c.iconstIdx[v] = idx
+	return idx
+}
+
+// planRegs assigns registers to the routine's qualified variables:
+// parameters first, then the function result, then locals — an order
+// fastcall depends on (parameter i lands in register i, result at
+// len(params), so a caller materializes the argument window and the
+// callee runs in place).
+func (p *pcomp) planRegs() {
+	r := p.r
+	add := func(v *sem.VarSym) {
+		if !p.c.esc.regCandidate(r, v) {
+			return
+		}
+		reg := int32(len(p.regOf))
+		p.regOf[v] = reg
+		p.p.regVars = append(p.p.regVars, regVar{slot: int32(v.Slot), reg: reg})
+	}
+	for _, v := range r.Params {
+		add(v)
+	}
+	if r.Result != nil {
+		add(r.Result)
+	}
+	for _, v := range r.Locals {
+		add(v)
+	}
+	p.nvarRegs = int32(len(p.regOf))
+	if int(p.nvarRegs) > p.p.nregs {
+		p.p.nregs = int(p.nvarRegs)
+	}
+	p.p.resReg = -1
+	if p.c.fastSet[r] {
+		p.p.nparams = len(r.Params)
+		p.p.nzero = len(p.regOf)
+		if r.Result != nil {
+			p.p.resReg = int32(len(r.Params))
+		}
+	}
+}
+
+func int32fits(v int64) bool { return v >= math.MinInt32 && v <= math.MaxInt32 }
+
+func (p *pcomp) emitMovImm(dst int32, v int64, pos token.Pos) {
+	if int32fits(v) {
+		p.emit3(opIMovRI, dst, int32(v), 0, pos)
+	} else {
+		p.emit3(opIMovRK, dst, p.c.iconst(v), 0, pos)
+	}
+}
+
+// intImm recognizes compile-time integer immediates: literals, named
+// integer constants, and sign-adorned forms of either.
+func (p *pcomp) intImm(e ast.Expr) (int64, bool) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return e.Value, true
+	case *ast.Ident:
+		if cs, ok := p.c.info.UseOf(e).(*sem.ConstSym); ok {
+			if iv, ok := cs.Value.(int64); ok {
+				return iv, true
+			}
+		}
+	case *ast.UnaryExpr:
+		switch e.Op {
+		case token.Minus:
+			if v, ok := p.intImm(e.X); ok {
+				return -v, true
+			}
+		case token.Plus:
+			return p.intImm(e.X)
+		}
+	}
+	return 0, false
+}
+
+// regExprTo compiles an integer expression into dst, returning false
+// (possibly after emitting partial code — callers hold a snapshot) when
+// any piece is not register-representable.
+//
+// Invariant: dst is written only by the final emitted instruction, so
+// compiling `s := s + f(s)` into s's own register stays sound — every
+// read of dst-as-source happens before the single write.
+func (p *pcomp) regExprTo(e ast.Expr, dst int32) bool {
+	if !p.isIntExpr(e) {
+		return false
+	}
+	switch e := e.(type) {
+	case *ast.IntLit:
+		p.emitMovImm(dst, e.Value, e.Pos())
+		return true
+
+	case *ast.Ident:
+		switch sym := p.c.info.UseOf(e).(type) {
+		case *sem.VarSym:
+			r, ok := p.regOf[sym]
+			if !ok {
+				return false
+			}
+			if r != dst {
+				p.emit3(opIMovRR, dst, r, 0, e.Pos())
+			}
+			return true
+		case *sem.ConstSym:
+			if iv, ok := sym.Value.(int64); ok {
+				p.emitMovImm(dst, iv, e.Pos())
+				return true
+			}
+			return false
+		}
+		// Parameterless function call.
+		if target := p.c.info.CallAt(e.UID, e); target != nil {
+			return p.regCall(target, nil, dst, e.Pos())
+		}
+		return false
+
+	case *ast.BinaryExpr:
+		return p.regBinary(e, dst)
+
+	case *ast.UnaryExpr:
+		switch e.Op {
+		case token.Plus:
+			return p.regExprTo(e.X, dst)
+		case token.Minus:
+			s, nt, ok := p.regOperand(e.X)
+			if !ok {
+				return false
+			}
+			p.emit3(opINegR, dst, s, 0, e.Pos())
+			p.tfree(nt)
+			return true
+		}
+		return false
+
+	case *ast.CallExpr:
+		if b := p.c.info.BuiltinAt(e.UID, e); b != nil {
+			if len(e.Args) != 1 || !p.isIntExpr(e.Args[0]) {
+				return false
+			}
+			// trunc/round are deliberately left to the stack tier: on an
+			// already-integer operand they are identity, but proving the
+			// operand integer-valued at runtime is the stack tier's job.
+			switch b.Code {
+			case sem.BuiltinAbs:
+				s, nt, ok := p.regOperand(e.Args[0])
+				if !ok {
+					return false
+				}
+				p.emit3(opIAbsR, dst, s, 0, e.Pos())
+				p.tfree(nt)
+				return true
+			case sem.BuiltinSqr:
+				s, nt, ok := p.regOperand(e.Args[0])
+				if !ok {
+					return false
+				}
+				p.emit3(opIMulRR, dst, s, s, e.Pos())
+				p.tfree(nt)
+				return true
+			}
+			return false
+		}
+		if target := p.c.info.CallAt(e.UID, e); target != nil {
+			return p.regCall(target, e.Args, dst, e.Pos())
+		}
+		return false
+	}
+	return false
+}
+
+// regOperand yields a register holding the expression's value: the
+// variable's own register when the expression is a qualified variable,
+// otherwise a fresh temporary (ntmp reports how many the caller must
+// tfree after its use).
+func (p *pcomp) regOperand(e ast.Expr) (reg, ntmp int32, ok bool) {
+	if id, isId := e.(*ast.Ident); isId {
+		if v, isVar := p.c.info.UseOf(id).(*sem.VarSym); isVar {
+			if r, qual := p.regOf[v]; qual {
+				return r, 0, true
+			}
+			return 0, 0, false
+		}
+	}
+	t := p.talloc()
+	if !p.regExprTo(e, t) {
+		p.tfree(1)
+		return 0, 0, false
+	}
+	return t, 1, true
+}
+
+func regRROp(op token.Kind) (opcode, bool) {
+	switch op {
+	case token.Plus:
+		return opIAddRR, true
+	case token.Minus:
+		return opISubRR, true
+	case token.Star:
+		return opIMulRR, true
+	case token.Div:
+		return opIDivRR, true
+	case token.Mod:
+		return opIModRR, true
+	}
+	return opInvalid, false
+}
+
+func (p *pcomp) regBinary(e *ast.BinaryExpr, dst int32) bool {
+	if !p.isIntExpr(e.X) || !p.isIntExpr(e.Y) {
+		return false
+	}
+	// Immediate right operand.
+	if iv, ok := p.intImm(e.Y); ok {
+		switch e.Op {
+		case token.Plus, token.Minus:
+			k := iv
+			if e.Op == token.Minus {
+				k = -iv // int64 wrap matches two's-complement subtraction
+			}
+			if int32fits(k) {
+				s, nt, ok := p.regOperand(e.X)
+				if !ok {
+					return false
+				}
+				p.emit3(opIAddRI, dst, s, int32(k), e.Pos())
+				p.tfree(nt)
+				return true
+			}
+		case token.Star:
+			if int32fits(iv) {
+				s, nt, ok := p.regOperand(e.X)
+				if !ok {
+					return false
+				}
+				p.emit3(opIMulRI, dst, s, int32(iv), e.Pos())
+				p.tfree(nt)
+				return true
+			}
+		case token.Div, token.Mod:
+			// Divisors >= 2 become a magic-number multiply (any int64
+			// magnitude — the multiplier table holds the divisor). Zero
+			// immediates stay on the generic path so the division-by-zero
+			// error carries the interpreter's exact shape.
+			if iv >= 2 {
+				op := opIDivM
+				if e.Op == token.Mod {
+					op = opIModM
+				}
+				s, nt, ok := p.regOperand(e.X)
+				if !ok {
+					return false
+				}
+				p.emit3(op, dst, s, p.c.magicIdx(iv), e.Pos())
+				p.tfree(nt)
+				return true
+			}
+			if iv != 0 && int32fits(iv) {
+				op := opIDivRI
+				if e.Op == token.Mod {
+					op = opIModRI
+				}
+				s, nt, ok := p.regOperand(e.X)
+				if !ok {
+					return false
+				}
+				p.emit3(op, dst, s, int32(iv), e.Pos())
+				p.tfree(nt)
+				return true
+			}
+		}
+	}
+	// Immediate left operand of a commutative op (literal evaluation has
+	// no side effects, so reordering is unobservable).
+	if iv, ok := p.intImm(e.X); ok && int32fits(iv) && (e.Op == token.Plus || e.Op == token.Star) {
+		op := opIAddRI
+		if e.Op == token.Star {
+			op = opIMulRI
+		}
+		s, nt, ok := p.regOperand(e.Y)
+		if !ok {
+			return false
+		}
+		p.emit3(op, dst, s, int32(iv), e.Pos())
+		p.tfree(nt)
+		return true
+	}
+	op, ok := regRROp(e.Op)
+	if !ok {
+		return false
+	}
+	s1, n1, ok := p.regOperand(e.X)
+	if !ok {
+		return false
+	}
+	s2, n2, ok := p.regOperand(e.Y)
+	if !ok {
+		p.tfree(n1)
+		return false
+	}
+	// Remainder-accumulate fusion: `acc := acc + x mod k` (the checksum
+	// shape) computes the remainder into a temporary that dies in the
+	// very next instruction. Fold the add into the magic-mod, preserving
+	// a fused statement charge if the mod carried one.
+	if n := len(p.p.code); op == opIAddRR && dst == s1 && n2 == 1 && p.barrier < n {
+		last := p.p.code[n-1]
+		if (last.op == opIModM || last.op == opIModM+steppedDelta) && last.a == s2 {
+			p.p.code[n-1] = instr{op: last.op + (opIModAccM - opIModM), a: dst, b: last.b, c: last.c}
+			p.tfree(n1 + n2)
+			return true
+		}
+	}
+	p.emit3(op, dst, s1, s2, e.Pos())
+	p.tfree(n1 + n2)
+	return true
+}
+
+// relOf maps a comparison token to its index in the opIBr*R{R,I} opcode
+// blocks (Eq, Ne, Lt, Le, Gt, Ge).
+func relOf(op token.Kind) (int32, bool) {
+	switch op {
+	case token.Eq:
+		return 0, true
+	case token.NotEq:
+		return 1, true
+	case token.Less:
+		return 2, true
+	case token.LessEq:
+		return 3, true
+	case token.Greater:
+		return 4, true
+	case token.GreatEq:
+		return 5, true
+	}
+	return 0, false
+}
+
+// negRel[i] is the relation index of the logical negation.
+var negRel = [6]int32{1, 0, 5, 4, 3, 2}
+
+// regBr compiles a branch taken exactly when the condition's value
+// equals `when`, with an unresolved target (patch the returned pc).
+// Handles integer comparisons, odd(), and not-wrapping thereof.
+func (p *pcomp) regBr(e ast.Expr, when bool) (int, bool) {
+	switch e := e.(type) {
+	case *ast.UnaryExpr:
+		if e.Op == token.Not {
+			return p.regBr(e.X, !when)
+		}
+
+	case *ast.BinaryExpr:
+		rel, ok := relOf(e.Op)
+		if !ok || !p.isIntExpr(e.X) || !p.isIntExpr(e.Y) {
+			return 0, false
+		}
+		if !when {
+			rel = negRel[rel]
+		}
+		if iv, ok := p.intImm(e.Y); ok && int32fits(iv) {
+			s, nt, ok := p.regOperand(e.X)
+			if !ok {
+				return 0, false
+			}
+			br := p.emit3(opIBrEqRI+opcode(rel), -1, s, int32(iv), e.Pos())
+			p.tfree(nt)
+			return br, true
+		}
+		s1, n1, ok := p.regOperand(e.X)
+		if !ok {
+			return 0, false
+		}
+		s2, n2, ok := p.regOperand(e.Y)
+		if !ok {
+			p.tfree(n1)
+			return 0, false
+		}
+		br := p.emit3(opIBrEqRR+opcode(rel), -1, s1, s2, e.Pos())
+		p.tfree(n1 + n2)
+		return br, true
+
+	case *ast.CallExpr:
+		if b := p.c.info.BuiltinAt(e.UID, e); b != nil && b.Code == sem.BuiltinOdd &&
+			len(e.Args) == 1 && p.isIntExpr(e.Args[0]) {
+			s, nt, ok := p.regOperand(e.Args[0])
+			if !ok {
+				return 0, false
+			}
+			op := opIBrEven
+			if when {
+				op = opIBrOdd
+			}
+			br := p.emit3(op, -1, s, 0, e.Pos())
+			p.tfree(nt)
+			return br, true
+		}
+	}
+	return 0, false
+}
+
+// tryRegBr is the statement-level entry: branch-when-false with
+// rollback, mirroring emitBrFalse's contract.
+func (p *pcomp) tryRegBr(e ast.Expr) (int, bool) {
+	snap := p.save()
+	br, ok := p.regBr(e, false)
+	if !ok {
+		p.restore(snap)
+		return 0, false
+	}
+	return br, true
+}
+
+// tryRegWhile rotates a while loop whose condition lowers to exactly
+// one compare-branch over in-place operands: the entry test fuses with
+// the statement's opStep, and the back edge re-evaluates the condition
+// itself — branching to the body when it still holds — so a steady
+// iteration pays one conditional branch instead of a test plus an
+// unconditional jump back to it. The single-instruction restriction
+// keeps re-emission sound: a condition that materializes temporaries
+// would duplicate that code, and one containing calls would double
+// their observable effects (fuel, depth, call metrics). Fuel accounting
+// is unchanged — the condition itself never charged per iteration, and
+// a trailing empty-statement opStep absorbed by either branch keeps its
+// per-execution charge and position.
+func (p *pcomp) tryRegWhile(s *ast.WhileStmt) bool {
+	snap := p.save()
+	br, ok := p.regBr(s.Cond, false)
+	if !ok || br > snap.ncode || br+1 != len(p.p.code) {
+		p.restore(snap)
+		return false
+	}
+	body := p.here()
+	p.compileStmt(s.Body)
+	back, ok := p.regBr(s.Cond, true)
+	if !ok {
+		// The same condition lowered a moment ago; it cannot fail now.
+		panic("vm: while condition failed to re-lower")
+	}
+	p.patch(back, body)
+	p.patch(br, p.here())
+	return true
+}
+
+// tryRegAssign lowers `v := intexpr` for a register-qualified v.
+func (p *pcomp) tryRegAssign(s *ast.AssignStmt) bool {
+	id, ok := s.Lhs.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v, ok := p.c.info.UseOf(id).(*sem.VarSym)
+	if !ok {
+		return false
+	}
+	dst, ok := p.regOf[v]
+	if !ok {
+		return false
+	}
+	snap := p.save()
+	if !p.regExprTo(s.Rhs, dst) {
+		p.restore(snap)
+		return false
+	}
+	return true
+}
+
+const (
+	// regCallPush as regCall's dst requests the result on the operand
+	// stack instead of a register.
+	regCallPush = -2
+	// callPushRes is opCallR's c operand for that disposition.
+	callPushRes = int32(-1)
+)
+
+// regCall emits a register-to-register fastcall: arguments materialize
+// in consecutive temporaries that become the callee's register window
+// in place (parameter i of the callee IS caller register argBase+i).
+// The result disposition rides in the instruction's c operand and is
+// applied by opRet when the callee returns: 0 discards the result,
+// k+1 copies it into caller register k, callPushRes pushes it onto the
+// operand stack. On false the caller restores its snapshot
+// (temporaries and any partial code roll back).
+func (p *pcomp) regCall(target *sem.Routine, args []ast.Expr, dst int32, pos token.Pos) bool {
+	if !p.c.fastSet[target] || len(args) != len(target.Params) {
+		return false
+	}
+	idx, ok := p.c.procIdx[target]
+	if !ok {
+		return false
+	}
+	argBase := p.nvarRegs + p.rdepth
+	n := int32(len(args))
+	for _, a := range args {
+		t := p.talloc()
+		if !p.regExprTo(a, t) {
+			return false
+		}
+	}
+	res := int32(0)
+	if target.Result != nil {
+		if dst >= 0 {
+			res = dst + 1
+		} else if dst == regCallPush {
+			res = callPushRes
+		}
+	}
+	callPc := p.emit3(opCallR, idx, argBase, res, pos)
+	// Argument-add fusion: a one-argument call whose argument just
+	// materialized as an unstepped add-immediate (`f(x - 1)`, the
+	// recursion shape) and whose result lands right below the argument
+	// window folds into one instruction. The add cannot fault and the
+	// fused slot keeps the call position, so depth-exhaustion errors
+	// still point at the call; a stepped add keeps its own slot (its
+	// statement position must survive for fuel errors).
+	if res == argBase && n == 1 && p.barrier < callPc && argBase < 1<<14 {
+		if prev := p.p.code[callPc-1]; (prev.op == opIAddRI || prev.op == opIAddRI+steppedDelta) &&
+			prev.a == argBase && prev.c >= -(1<<15) && prev.c < 1<<15 {
+			// A stepped add carried its statement's fuel charge: the fused
+			// opCallRIS keeps charging it, with the statement position in
+			// the side table (the main table keeps the call position for
+			// depth errors).
+			op, stmtPos := opCallRI, token.Pos{}
+			if prev.op != opIAddRI {
+				op, stmtPos = opCallRIS, p.p.pos[callPc-1]
+			}
+			p.pop(2)
+			fusedPc := len(p.p.code)
+			p.p.code = append(p.p.code, instr{
+				op: op, a: idx, b: prev.b,
+				c: argBase<<16 | int32(uint32(uint16(prev.c))),
+			})
+			p.p.pos = append(p.p.pos, pos)
+			if op == opCallRIS {
+				if p.p.pos2 == nil {
+					p.p.pos2 = make(map[int]token.Pos)
+				}
+				p.p.pos2[fusedPc] = stmtPos
+			}
+		}
+	}
+	if res == callPushRes {
+		p.depth++
+		if p.depth > p.p.maxStack {
+			p.p.maxStack = p.depth
+		}
+	}
+	p.tfree(n)
+	return true
+}
+
+// tryRegCallStmt lowers a procedure-statement call to a fastcall
+// routine (result, if any, simply ignored in its register).
+func (p *pcomp) tryRegCallStmt(s *ast.CallStmt) bool {
+	if p.c.info.BuiltinAt(s.UID, s) != nil {
+		return false
+	}
+	target := p.c.info.CallAt(s.UID, s)
+	if target == nil {
+		return false
+	}
+	snap := p.save()
+	if !p.regCall(target, s.Args, -1, s.Pos()) {
+		p.restore(snap)
+		return false
+	}
+	return true
+}
+
+// tryRegCallPush calls a fastcall routine from stack-expression context
+// with register-computed arguments, pushing the result (if any) onto
+// the operand stack on return.
+func (p *pcomp) tryRegCallPush(target *sem.Routine, args []ast.Expr, pos token.Pos) bool {
+	snap := p.save()
+	if !p.regCall(target, args, regCallPush, pos) {
+		p.restore(snap)
+		return false
+	}
+	return true
+}
+
+// compileCallF is the stack→fastcall bridge: arguments evaluate on the
+// operand stack (any expression shape), the call pops them into a fresh
+// register window.
+func (p *pcomp) compileCallF(target *sem.Routine, args []ast.Expr, pos token.Pos) {
+	p.bailFast()
+	idx, ok := p.c.procIdx[target]
+	if !ok {
+		p.c.unsupported("call to unknown routine %s", target.Name)
+	}
+	for _, a := range args {
+		p.compileExpr(a)
+	}
+	delta := -len(args)
+	if target.Result != nil {
+		delta++
+	}
+	p.emit(opCallF, idx, 0, pos, delta)
+}
+
+// tryRegFor lowers a for loop whose control variable is register-
+// qualified and whose bounds are register-computable. The hidden
+// counter and limit live in temporaries; the control variable is
+// stored before the first check and at each loop-head, exactly the
+// stack form's store points, so its value after zero-trip, normal exit
+// and body writes matches the interpreter.
+func (p *pcomp) tryRegFor(s *ast.ForStmt, v *sem.VarSym) bool {
+	vr, ok := p.regOf[v]
+	if !ok {
+		return false
+	}
+	snap := p.save()
+	ti := p.talloc()
+	tl := p.talloc()
+	if !p.regExprTo(s.From, ti) || !p.regExprTo(s.Limit, tl) {
+		p.restore(snap)
+		return false
+	}
+	p.emit3(opIMovRR, vr, ti, 0, s.Pos())
+	exitOp, loopOp := opIBrGtRR, opForLoopR
+	if s.Down {
+		exitOp, loopOp = opIBrLtRR, opForLoopRD
+	}
+	br := p.emit3(exitOp, -1, ti, tl, s.Pos())
+	body := p.here()
+	p.compileStmt(s.Body)
+	// Fused back-edge: advance the counter, test against the limit one
+	// register up, store the control variable and jump — the stack
+	// form's incr/check/store trio in one dispatch. The entry check
+	// above covers the first iteration (the control variable is already
+	// stored), so the loop body is entered with identical state either
+	// way.
+	lp := p.emit3(loopOp, int32(body), ti, vr, s.Pos())
+	// Forward fusion: when the body opens with a plain fuel charge, the
+	// back-edge jumps past it and charges on continue itself (the
+	// charge-on-continue variant), carrying the body statement's
+	// position for the fuel error. The entry path still runs the
+	// body's own opStep, so every iteration charges exactly once.
+	if p.p.code[lp].op == loopOp && p.p.code[body].op == opStep {
+		sOp := opForLoopRS
+		if loopOp == opForLoopRD {
+			sOp = opForLoopRDS
+		}
+		p.p.code[lp] = instr{op: sOp, a: int32(body + 1), b: ti, c: vr}
+		p.p.pos[lp] = p.p.pos[body]
+	}
+	p.patch(br, p.here())
+	p.tfree(2)
+	return true
+}

@@ -1,0 +1,2120 @@
+// Package vm executes sem-analyzed Pascal programs on a flat bytecode
+// machine instead of walking the AST.
+//
+// The compiler (compile.go) lowers each routine body to a dense
+// instruction stream over the interpreter's 32-byte tagged
+// interp.Value: slot-addressed locals reuse the layout pass
+// (sem.FrameLayout), scalar literals and named constants live in a
+// shared constant pool, and binary operators whose operand types are
+// statically integer get dedicated fast-path opcodes (plus fused
+// compare-and-branch and increment forms from a peephole pass). The VM
+// (this file) is a classic switch-dispatch loop over a shared operand
+// stack, with activation frames recycled through a free list so
+// steady-state calls allocate nothing.
+//
+// On top of the stack tier sits an unboxed integer register tier
+// (regcomp.go): an escape analysis (analyze.go) finds integer scalars
+// that are only ever read and written directly by their own routine and
+// assigns them int64 registers in a per-activation window on a shared
+// register stack. Statements whose every operand lives in registers
+// lower to three-address opcodes (opIAddRR, opIBrLtRI, ...) that touch
+// no tagged values at all; the window is loaded from the frame cells at
+// activation entry and flushed back on every exit (success and error),
+// so cell-level observers (Globals, result slots, error-state diffing)
+// see exactly the interpreter's values. Routines whose entire
+// activation fits in registers — by-value integer parameters, integer
+// or absent result, integer locals, no escapes, no outer access —
+// additionally run frameless ("fastcall", opCallR): no vframe, no
+// tagged stores, just a fresh register window above the caller's.
+//
+// Semantics are the interpreter's, bit for bit: fuel is charged exactly
+// once per statement entry (opStep mirrors Interp.execStmt), the call
+// depth budget is checked at call sites (opCall, opCallR, opCallF
+// alike), and both exhaustions produce the same messages with
+// interp.ErrFuelExhausted / interp.ErrDepthExhausted as their Cause, so
+// campaign classification and gadt-serve's 422 mapping behave
+// identically on either backend. Error call stacks come from an
+// explicit activation chain (fastcall activations have no frame to
+// walk) with the interpreter's truncation format. Runtime fault
+// messages (division by zero, index bounds, kind mismatches, read
+// failures) reproduce the interpreter's formatting verbatim; only
+// source positions may differ on a few impossible-for-sem-valid-
+// programs paths, and the differential harness strips positions before
+// comparing.
+//
+// The VM is untraced by design: it has no event sink, no location
+// bookkeeping and no call snapshots. Traced runs (execution-tree
+// construction, slicing) stay on the interpreter; Compile rejects the
+// few constructs whose dynamic semantics it cannot reproduce exactly
+// (non-local gotos, gotos into structured statements) with
+// ErrUnsupported so callers fall back to the interpreter.
+package vm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"gadt/internal/obs"
+	"gadt/internal/pascal/ast"
+	"gadt/internal/pascal/interp"
+	"gadt/internal/pascal/sem"
+	"gadt/internal/pascal/token"
+	"gadt/internal/pascal/types"
+)
+
+// instr is one bytecode instruction. Operand meaning depends on op; a
+// parallel position table on the proc (indexed by pc) carries source
+// positions, consulted only on error paths. c is used only by the
+// three-address register opcodes.
+type instr struct {
+	op      opcode
+	a, b, c int32
+}
+
+// regVar links a frame slot to its register within the routine's
+// window, for the entry load and the exit flush.
+type regVar struct {
+	slot int32
+	reg  int32
+}
+
+// vproc is one compiled routine body.
+type vproc struct {
+	r    *sem.Routine
+	code []instr
+	pos  []token.Pos // parallel to code
+	// pos2 carries the second source position of doubly-fused
+	// instructions (opCallRIS: the statement position of the absorbed
+	// opStep, while pos keeps the call position). Error paths only.
+	pos2 map[int]token.Pos
+	// Operand/address stack high-water marks, for preallocation.
+	maxStack int
+	maxAddr  int
+	// Parameter split: how many value arguments arrive on the operand
+	// stack and how many by-reference arguments on the address stack.
+	nvals  int
+	naddrs int
+
+	// Register tier: window size (variables + expression temporaries)
+	// and the slot↔register pairs loaded/flushed at activation
+	// boundaries.
+	nregs   int
+	regVars []regVar
+	// Fastcall (frameless) routines only: parameter count (= registers
+	// 0..nparams-1, filled by the caller), the end of the
+	// zero-initialized region (result + locals), and the result
+	// register (-1 when none).
+	fast    bool
+	nparams int
+	nzero   int
+	resReg  int32
+
+	// entry is the first executed pc (1 when entryFuse folded the
+	// body-entry opStep into the first statement, else 0).
+	entry int
+}
+
+// Program is a compiled program: every routine of one sem.Info lowered
+// to bytecode plus the shared pools. A Program is immutable after
+// Compile and safe for concurrent VMs.
+type Program struct {
+	info    *sem.Info
+	consts  []interp.Value
+	iconsts []int64    // register-tier constants outside the imm32 range
+	magics  []magicDiv // interned constant-division multipliers
+	arrs    []*types.Array
+	fields  []string
+	procs   []*vproc
+	main    *vproc
+}
+
+// Info returns the analysis the program was compiled from.
+func (p *Program) Info() *sem.Info { return p.info }
+
+// vcell is one variable cell. By-reference parameters alias the
+// caller's cell; partial (array-element / record-field) reference
+// arguments get a forwarding cell with a deferred writeback, exactly
+// like the interpreter.
+type vcell struct {
+	val interp.Value
+}
+
+type writeback struct {
+	dst *interp.Value
+	src *vcell
+}
+
+// addrRef is one entry on the address stack: a storage slot plus the
+// owning whole-variable cell when the slot IS the whole variable (used
+// to alias by-reference parameters; nil for interior slots).
+type addrRef struct {
+	ptr  *interp.Value
+	cell *vcell
+}
+
+// fframe is one suspended fastcall caller: the resume state for opRet
+// plus the callee result disposition — push register pushRes onto the
+// caller's operand stack (-1 for none), or copy the callee result into
+// caller register movDst (-1 for none).
+type fframe struct {
+	p       *vproc
+	pc      int
+	rbase   int
+	pushRes int32
+	movDst  int32
+}
+
+// vframe is one activation. Storage mirrors interp.frame: a dense slot
+// vector whose cells live contiguously in storage, with by-reference
+// parameter slots repointed at the caller's cells.
+type vframe struct {
+	p       *vproc
+	static  *vframe
+	caller  *vframe
+	level   int
+	slots   []*vcell
+	storage []vcell
+	wbs     []writeback
+	next    *vframe
+}
+
+const (
+	defaultMaxSteps = 5_000_000
+	defaultMaxDepth = 10_000
+)
+
+// VM executes one compiled program. A VM is single-use: construct with
+// New, call Run once, then read Globals/Steps.
+type VM struct {
+	prog *Program
+
+	in  *bufio.Reader
+	out io.Writer
+
+	steps    int
+	maxSteps int
+	depth    int
+	maxDepth int
+	depthMax int
+	calls    int64
+
+	stack []interp.Value
+	addrs []addrRef
+
+	// Register stack: every activation's window is iregs[rb:rb+nregs),
+	// itop is the first free register. Grown on demand; windows are
+	// re-sliced after any call that may have grown it.
+	iregs []int64
+	itop  int
+
+	// chain is the live activation chain (innermost last), used to build
+	// error call stacks: fastcall activations have no frame to walk.
+	chain []*vproc
+
+	// fstack holds suspended fastcall callers: fastcall activations run
+	// inside their caller's dispatch loop (opCallR/opCallF push, opRet
+	// pops), so a Pascal call costs no Go call. run unwinds any frames
+	// its loop invocation pushed when an error propagates.
+	fstack []fframe
+
+	mainFrame *vframe
+	free      *vframe
+
+	wbuf []byte // reusable write/writeln line buffer
+
+	mStatements *obs.Counter
+	mCalls      *obs.Counter
+	mDepthMax   *obs.Gauge
+}
+
+// New prepares a VM for one run of a compiled program. The
+// interpreter's Config is reused for the budgets and I/O; cfg.Sink is
+// ignored (the VM is untraced — route traced runs to the interpreter).
+func New(p *Program, cfg interp.Config) *VM {
+	m := &VM{prog: p, out: cfg.Output}
+	if cfg.Input != nil {
+		m.in = bufio.NewReader(cfg.Input)
+	}
+	if m.out == nil {
+		m.out = io.Discard
+	}
+	m.maxSteps = cfg.MaxSteps
+	if m.maxSteps <= 0 {
+		m.maxSteps = defaultMaxSteps
+	}
+	m.maxDepth = cfg.MaxDepth
+	if m.maxDepth <= 0 {
+		m.maxDepth = defaultMaxDepth
+	}
+	if reg := cfg.Metrics; reg != nil {
+		m.mStatements = reg.Counter("vm.statements")
+		m.mCalls = reg.Counter("vm.calls")
+		m.mDepthMax = reg.Gauge("vm.depth.max")
+	}
+	return m
+}
+
+func (m *VM) recordMetrics() {
+	if m.mStatements == nil {
+		return
+	}
+	m.mStatements.Add(int64(m.steps))
+	m.mCalls.Add(m.calls)
+	m.mDepthMax.SetMax(int64(m.depthMax))
+}
+
+// Run executes the program block to completion or error.
+func (m *VM) Run() error {
+	defer m.recordMetrics()
+	// Size the fastcall and register stacks up front so the hot paths
+	// never re-grow them mid-run (append's capacity check still runs,
+	// but the copy never happens for typical depths).
+	if cap(m.fstack) == 0 {
+		m.fstack = make([]fframe, 0, 256)
+	}
+	if cap(m.iregs) == 0 {
+		m.iregs = make([]int64, 4096)
+	}
+	main := m.prog.main
+	mf := m.newFrame(main, nil, nil)
+	m.mainFrame = mf
+	for _, v := range main.r.Frame.Vars {
+		mf.storage[v.Slot].val = interp.ZeroValue(v.Type)
+	}
+	m.calls++
+	return m.exec(mf, 0, 0)
+}
+
+// Steps reports the number of statements executed so far.
+func (m *VM) Steps() int { return m.steps }
+
+// Globals snapshots the program-level variables after a run, in
+// declaration order, mirroring Interp.Globals.
+func (m *VM) Globals() []interp.Binding {
+	f := m.mainFrame
+	if f == nil {
+		return nil
+	}
+	var out []interp.Binding
+	for _, v := range m.prog.info.Main.Locals {
+		if v.Slot >= len(f.slots) {
+			continue
+		}
+		c := f.slots[v.Slot]
+		out = append(out, interp.Binding{Name: v.Name, Value: interp.CopyValue(c.val), Sym: v})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Frames
+
+func (m *VM) newFrame(p *vproc, static, caller *vframe) *vframe {
+	n := len(p.r.Frame.Vars)
+	f := m.free
+	if f != nil {
+		m.free = f.next
+		f.next = nil
+	} else {
+		f = &vframe{}
+	}
+	f.p, f.static, f.caller, f.level = p, static, caller, p.r.Level
+	if cap(f.storage) < n {
+		f.storage = make([]vcell, n)
+		f.slots = make([]*vcell, n)
+	} else {
+		f.storage = f.storage[:n]
+		f.slots = f.slots[:n]
+	}
+	for i := 0; i < n; i++ {
+		f.slots[i] = &f.storage[i]
+	}
+	f.wbs = f.wbs[:0]
+	return f
+}
+
+func (m *VM) freeFrame(f *vframe) {
+	f.p, f.static, f.caller = nil, nil, nil
+	f.next = m.free
+	m.free = f
+}
+
+// runWB propagates deferred partial-slot writebacks, innermost-
+// registered last, matching the interpreter's defer (LIFO) order. Runs
+// on every exit path, including errors.
+func (f *vframe) runWB() {
+	for i := len(f.wbs) - 1; i >= 0; i-- {
+		*f.wbs[i].dst = f.wbs[i].src.val
+	}
+}
+
+const maxErrStack = 32
+
+// callStack renders the live activation chain innermost-first, with the
+// interpreter's truncation format past maxErrStack frames. Framed
+// activations come from m.chain; fastcall activations — which pay no
+// bookkeeping on the hot path — are decoded from the suspended-frame
+// stack: the instruction before each saved resume pc is the call that
+// entered the activation, so its a operand names the callee. Every
+// suspended fastcall frame belongs to the innermost dispatch loop
+// (framed opcodes only execute with no fastcall frames outstanding),
+// so the fast segment always sits above the framed chain.
+func (m *VM) callStack() []string {
+	nc := len(m.chain)
+	n := nc + len(m.fstack)
+	if n == 0 {
+		return nil
+	}
+	stack := make([]string, 0, maxErrStack)
+	for i := n - 1; i >= 0; i-- {
+		if len(stack) == maxErrStack {
+			stack = append(stack, fmt.Sprintf("... (%d more frames)", i+1))
+			break
+		}
+		if i >= nc {
+			fr := m.fstack[i-nc]
+			call := fr.p.code[fr.pc-1]
+			stack = append(stack, m.prog.procs[call.a].r.Name)
+		} else {
+			stack = append(stack, m.chain[i].r.Name)
+		}
+	}
+	return stack
+}
+
+func (m *VM) errf(pos token.Pos, format string, args ...any) error {
+	return &interp.RuntimeError{Pos: pos, Msg: fmt.Sprintf(format, args...), Stack: m.callStack()}
+}
+
+func (m *VM) ensure(vals, ads int) {
+	if vals > len(m.stack) {
+		n := 2 * len(m.stack)
+		if n < vals {
+			n = vals
+		}
+		if n < 64 {
+			n = 64
+		}
+		ns := make([]interp.Value, n)
+		copy(ns, m.stack)
+		m.stack = ns
+	}
+	if ads > len(m.addrs) {
+		n := 2 * len(m.addrs)
+		if n < ads {
+			n = ads
+		}
+		if n < 16 {
+			n = 16
+		}
+		na := make([]addrRef, n)
+		copy(na, m.addrs)
+		m.addrs = na
+	}
+}
+
+func (m *VM) growIRegs(need int) {
+	n := 2 * len(m.iregs)
+	if n < need {
+		n = need
+	}
+	if n < 128 {
+		n = 128
+	}
+	ns := make([]int64, n)
+	copy(ns, m.iregs)
+	m.iregs = ns
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+
+// exec runs one framed activation. base/abase are the frame's operand
+// and address stack bases; argument passing happens in the caller's
+// region directly below base. One Go frame per Pascal activation.
+//
+// Register variables are loaded from their cells at entry and flushed
+// back on every exit — including errors, so Globals and result slots
+// always reflect the values the interpreter would have stored.
+func (m *VM) exec(f *vframe, base, abase int) error {
+	p := f.p
+	m.ensure(base+p.maxStack, abase+p.maxAddr)
+	rb := m.itop
+	if p.nregs > 0 {
+		m.itop = rb + p.nregs
+		if m.itop > len(m.iregs) {
+			m.growIRegs(m.itop)
+		}
+		regs := m.iregs[rb:]
+		for _, rv := range p.regVars {
+			if iv, ok := f.slots[rv.slot].val.AsInt(); ok {
+				regs[rv.reg] = iv
+			} else {
+				regs[rv.reg] = 0
+			}
+		}
+	}
+	m.chain = append(m.chain, p)
+	err := m.run(f, p, base, abase, rb)
+	m.chain = m.chain[:len(m.chain)-1]
+	if p.nregs > 0 {
+		regs := m.iregs[rb:]
+		for _, rv := range p.regVars {
+			f.slots[rv.slot].val = interp.IntV(regs[rv.reg])
+		}
+		m.itop = rb
+	}
+	return err
+}
+
+// run executes one framed activation's dispatch loop and, on error,
+// unwinds whatever fastcall frames that loop invocation had pushed
+// (the error's call stack already rendered them — errf decodes live
+// fastcall activations straight from m.fstack).
+func (m *VM) run(f *vframe, p *vproc, base, abase, rbase int) error {
+	mark := len(m.fstack)
+	err := m.loop(f, p, base, abase, rbase, mark)
+	if err != nil && len(m.fstack) > mark {
+		m.depth -= len(m.fstack) - mark
+		m.fstack = m.fstack[:mark]
+	}
+	return err
+}
+
+// fuelErr builds the step-budget-exhausted error the interpreter
+// produces, anchored at the charging statement's position.
+func (m *VM) fuelErr(pos token.Pos) error {
+	err := m.errf(pos, "step budget exhausted (%d statements); possible infinite loop", m.maxSteps)
+	err.(*interp.RuntimeError).Cause = interp.ErrFuelExhausted
+	return err
+}
+
+// loop is the dispatch loop for one framed activation plus every
+// fastcall activation it (transitively) enters: opCallR/opCallF
+// suspend the caller on m.fstack and switch p/code/rbase in place, so
+// a fastcall costs no Go call frame. Fastcall code touches only the
+// register window at rbase — never the operand stack, the address
+// stack or f — so sp/ap/stk/ads stay valid across the switch.
+func (m *VM) loop(f *vframe, p *vproc, base, abase, rbase, mark int) error {
+	stk, ads := m.stack, m.addrs
+	regs := m.iregs[rbase:]
+	code := p.code
+	consts := m.prog.consts
+	magics := m.prog.magics
+	procs := m.prog.procs
+	maxSteps := m.maxSteps
+	sp, ap := base, abase
+	pc := p.entry
+	for {
+		ins := code[pc]
+		pc++
+		switch ins.op {
+		case opStep:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos[pc-1])
+			}
+
+		case opConst:
+			stk[sp] = consts[ins.a]
+			sp++
+
+		case opLoadLocal:
+			stk[sp] = f.slots[ins.a].val
+			sp++
+
+		case opLoadOuter:
+			g := f
+			for d := ins.b; d > 0; d-- {
+				g = g.static
+			}
+			stk[sp] = g.slots[ins.a].val
+			sp++
+
+		case opStoreLocal:
+			sp--
+			if err := m.storeCell(f.slots[ins.a], stk[sp], p.pos[pc-1]); err != nil {
+				return err
+			}
+
+		case opStoreOuter:
+			g := f
+			for d := ins.b; d > 0; d-- {
+				g = g.static
+			}
+			sp--
+			if err := m.storeCell(g.slots[ins.a], stk[sp], p.pos[pc-1]); err != nil {
+				return err
+			}
+
+		case opIncLocal:
+			c := f.slots[ins.a]
+			if iv, ok := c.val.AsInt(); ok {
+				c.val = interp.IntV(iv + int64(ins.b))
+			} else {
+				// Static type said integer but the cell holds something
+				// else: recompute through the generic path so behavior
+				// (including the error text) matches the interpreter.
+				op, rhs := token.Plus, int64(ins.b)
+				if rhs < 0 {
+					op, rhs = token.Minus, -rhs
+				}
+				v, err := m.binary(p.pos[pc-1], op, c.val, interp.IntV(rhs))
+				if err != nil {
+					return err
+				}
+				if err := m.storeCell(c, v, p.pos[pc-1]); err != nil {
+					return err
+				}
+			}
+
+		case opAddrVar:
+			g := f
+			for d := ins.b; d > 0; d-- {
+				g = g.static
+			}
+			c := g.slots[ins.a]
+			ads[ap] = addrRef{ptr: &c.val, cell: c}
+			ap++
+
+		case opAddrIndex:
+			sp--
+			iv, ok := stk[sp].AsInt()
+			if !ok {
+				return m.errf(p.pos[pc-1], "integer expected, have %s", interp.FormatValue(stk[sp]))
+			}
+			e := &ads[ap-1]
+			arr, ok := e.ptr.AsArray()
+			if !ok {
+				return m.errf(p.pos[pc-1], "indexing non-array value")
+			}
+			elem, err := arr.At(iv)
+			if err != nil {
+				return m.errf(p.pos[pc-1], "%v", err)
+			}
+			e.ptr, e.cell = elem, nil
+
+		case opAddrField:
+			e := &ads[ap-1]
+			rec, ok := e.ptr.AsRecord()
+			if !ok {
+				return m.errf(p.pos[pc-1], "selecting field of non-record value")
+			}
+			fa, err := rec.FieldAddr(m.prog.fields[ins.a])
+			if err != nil {
+				return m.errf(p.pos[pc-1], "%v", err)
+			}
+			e.ptr, e.cell = fa, nil
+
+		case opLoadAddr:
+			ap--
+			stk[sp] = *ads[ap].ptr
+			sp++
+
+		case opStoreAddr:
+			ap--
+			sp--
+			stored, err := m.prepareStore(ads[ap].ptr, stk[sp], p.pos[pc-1])
+			if err != nil {
+				return err
+			}
+			*ads[ap].ptr = stored
+
+		case opCopyV:
+			stk[sp-1] = interp.CopyValue(stk[sp-1])
+
+		case opJump:
+			pc = int(ins.a)
+
+		case opBrFalse:
+			sp--
+			b, ok := stk[sp].AsBool()
+			if !ok {
+				return m.errf(p.pos[pc-1], "boolean expected, have %s", interp.FormatValue(stk[sp]))
+			}
+			if !b {
+				pc = int(ins.a)
+			}
+
+		case opBrCmpIF:
+			xi, xok := stk[sp-2].AsInt()
+			yi, yok := stk[sp-1].AsInt()
+			sp -= 2
+			if xok && yok {
+				var r bool
+				switch opcode(ins.b) {
+				case opEqI:
+					r = xi == yi
+				case opNeI:
+					r = xi != yi
+				case opLtI:
+					r = xi < yi
+				case opLeI:
+					r = xi <= yi
+				case opGtI:
+					r = xi > yi
+				default:
+					r = xi >= yi
+				}
+				if !r {
+					pc = int(ins.a)
+				}
+			} else {
+				v, err := m.binary(p.pos[pc-1], cmpToken(opcode(ins.b)), stk[sp], stk[sp+1])
+				if err != nil {
+					return err
+				}
+				b, ok := v.AsBool()
+				if !ok {
+					return m.errf(p.pos[pc-1], "boolean expected, have %s", interp.FormatValue(v))
+				}
+				if !b {
+					pc = int(ins.a)
+				}
+			}
+
+		case opPop:
+			sp--
+
+		case opPopTo:
+			sp = base + int(ins.a)
+
+		case opSwap:
+			stk[sp-1], stk[sp-2] = stk[sp-2], stk[sp-1]
+
+		case opAddI:
+			xi, xok := stk[sp-2].AsInt()
+			yi, yok := stk[sp-1].AsInt()
+			if xok && yok {
+				sp--
+				stk[sp-1] = interp.IntV(xi + yi)
+			} else if err := m.slowBinary(p.pos[pc-1], token.Plus, stk, &sp); err != nil {
+				return err
+			}
+
+		case opSubI:
+			xi, xok := stk[sp-2].AsInt()
+			yi, yok := stk[sp-1].AsInt()
+			if xok && yok {
+				sp--
+				stk[sp-1] = interp.IntV(xi - yi)
+			} else if err := m.slowBinary(p.pos[pc-1], token.Minus, stk, &sp); err != nil {
+				return err
+			}
+
+		case opMulI:
+			xi, xok := stk[sp-2].AsInt()
+			yi, yok := stk[sp-1].AsInt()
+			if xok && yok {
+				sp--
+				stk[sp-1] = interp.IntV(xi * yi)
+			} else if err := m.slowBinary(p.pos[pc-1], token.Star, stk, &sp); err != nil {
+				return err
+			}
+
+		case opDivI:
+			xi, xok := stk[sp-2].AsInt()
+			yi, yok := stk[sp-1].AsInt()
+			if xok && yok {
+				if yi == 0 {
+					return m.errf(p.pos[pc-1], "division by zero")
+				}
+				sp--
+				stk[sp-1] = interp.IntV(xi / yi)
+			} else if err := m.slowBinary(p.pos[pc-1], token.Div, stk, &sp); err != nil {
+				return err
+			}
+
+		case opModI:
+			xi, xok := stk[sp-2].AsInt()
+			yi, yok := stk[sp-1].AsInt()
+			if xok && yok {
+				if yi == 0 {
+					return m.errf(p.pos[pc-1], "division by zero")
+				}
+				sp--
+				stk[sp-1] = interp.IntV(xi % yi)
+			} else if err := m.slowBinary(p.pos[pc-1], token.Mod, stk, &sp); err != nil {
+				return err
+			}
+
+		case opSlashI:
+			xi, xok := stk[sp-2].AsInt()
+			yi, yok := stk[sp-1].AsInt()
+			if xok && yok {
+				if yi == 0 {
+					return m.errf(p.pos[pc-1], "division by zero")
+				}
+				sp--
+				stk[sp-1] = interp.RealV(float64(xi) / float64(yi))
+			} else if err := m.slowBinary(p.pos[pc-1], token.Slash, stk, &sp); err != nil {
+				return err
+			}
+
+		case opEqI:
+			xi, xok := stk[sp-2].AsInt()
+			yi, yok := stk[sp-1].AsInt()
+			if xok && yok {
+				sp--
+				stk[sp-1] = interp.BoolV(xi == yi)
+			} else if err := m.slowBinary(p.pos[pc-1], token.Eq, stk, &sp); err != nil {
+				return err
+			}
+
+		case opNeI:
+			xi, xok := stk[sp-2].AsInt()
+			yi, yok := stk[sp-1].AsInt()
+			if xok && yok {
+				sp--
+				stk[sp-1] = interp.BoolV(xi != yi)
+			} else if err := m.slowBinary(p.pos[pc-1], token.NotEq, stk, &sp); err != nil {
+				return err
+			}
+
+		case opLtI:
+			xi, xok := stk[sp-2].AsInt()
+			yi, yok := stk[sp-1].AsInt()
+			if xok && yok {
+				sp--
+				stk[sp-1] = interp.BoolV(xi < yi)
+			} else if err := m.slowBinary(p.pos[pc-1], token.Less, stk, &sp); err != nil {
+				return err
+			}
+
+		case opLeI:
+			xi, xok := stk[sp-2].AsInt()
+			yi, yok := stk[sp-1].AsInt()
+			if xok && yok {
+				sp--
+				stk[sp-1] = interp.BoolV(xi <= yi)
+			} else if err := m.slowBinary(p.pos[pc-1], token.LessEq, stk, &sp); err != nil {
+				return err
+			}
+
+		case opGtI:
+			xi, xok := stk[sp-2].AsInt()
+			yi, yok := stk[sp-1].AsInt()
+			if xok && yok {
+				sp--
+				stk[sp-1] = interp.BoolV(xi > yi)
+			} else if err := m.slowBinary(p.pos[pc-1], token.Greater, stk, &sp); err != nil {
+				return err
+			}
+
+		case opGeI:
+			xi, xok := stk[sp-2].AsInt()
+			yi, yok := stk[sp-1].AsInt()
+			if xok && yok {
+				sp--
+				stk[sp-1] = interp.BoolV(xi >= yi)
+			} else if err := m.slowBinary(p.pos[pc-1], token.GreatEq, stk, &sp); err != nil {
+				return err
+			}
+
+		case opBinary:
+			v, err := m.binary(p.pos[pc-1], token.Kind(ins.a), stk[sp-2], stk[sp-1])
+			if err != nil {
+				return err
+			}
+			sp--
+			stk[sp-1] = v
+
+		case opNeg:
+			v := stk[sp-1]
+			if iv, ok := v.AsInt(); ok {
+				stk[sp-1] = interp.IntV(-iv)
+			} else if rv, ok := v.AsReal(); ok {
+				stk[sp-1] = interp.RealV(-rv)
+			} else {
+				return m.errf(p.pos[pc-1], "invalid unary operand %s", interp.FormatValue(v))
+			}
+
+		case opNot:
+			if b, ok := stk[sp-1].AsBool(); ok {
+				stk[sp-1] = interp.BoolV(!b)
+			} else {
+				return m.errf(p.pos[pc-1], "invalid unary operand %s", interp.FormatValue(stk[sp-1]))
+			}
+
+		case opIntChk:
+			if stk[sp-1].Kind() != interp.KindInt {
+				return m.errf(p.pos[pc-1], "integer expected, have %s", interp.FormatValue(stk[sp-1]))
+			}
+
+		case opForCheck:
+			iv, _ := stk[sp-1].AsInt()
+			lim, _ := stk[sp-2].AsInt()
+			down := ins.b != 0
+			if down && iv < lim || !down && iv > lim {
+				sp -= 2
+				pc = int(ins.a)
+			}
+
+		case opForStoreLocal:
+			f.slots[ins.a].val = stk[sp-1]
+
+		case opForStoreOuter:
+			g := f
+			for d := ins.b; d > 0; d-- {
+				g = g.static
+			}
+			g.slots[ins.a].val = stk[sp-1]
+
+		case opForStoreR:
+			iv, _ := stk[sp-1].AsInt()
+			regs[ins.a] = iv
+
+		case opForIncr:
+			iv, _ := stk[sp-1].AsInt()
+			if ins.b != 0 {
+				iv--
+			} else {
+				iv++
+			}
+			stk[sp-1] = interp.IntV(iv)
+
+		case opCaseBr:
+			sp--
+			if interp.ValuesEqual(stk[sp-1], stk[sp]) {
+				sp--
+				pc = int(ins.a)
+			}
+
+		case opCall:
+			t := procs[ins.a]
+			if m.depth >= m.maxDepth {
+				err := m.errf(p.pos[pc-1], "call depth budget exhausted (%d); runaway recursion?", m.maxDepth)
+				err.(*interp.RuntimeError).Cause = interp.ErrDepthExhausted
+				return err
+			}
+			st := f
+			for d := ins.b; d > 0; d-- {
+				st = st.static
+			}
+			nf := m.newFrame(t, st, f)
+			m.calls++
+			sp -= t.nvals
+			ap -= t.naddrs
+			if err := m.bind(nf, t, sp, ap, p.pos[pc-1]); err != nil {
+				nf.runWB()
+				m.freeFrame(nf)
+				return err
+			}
+			m.depth++
+			if m.depth > m.depthMax {
+				m.depthMax = m.depth
+			}
+			err := m.exec(nf, sp, ap)
+			m.depth--
+			nf.runWB()
+			var res interp.Value
+			hasRes := t.r.Result != nil
+			if hasRes {
+				res = nf.slots[t.r.Result.Slot].val
+			}
+			m.freeFrame(nf)
+			if err != nil {
+				return err
+			}
+			// The callee may have grown the shared stacks.
+			stk, ads = m.stack, m.addrs
+			regs = m.iregs[rbase:]
+			if hasRes {
+				stk[sp] = res
+				sp++
+			}
+
+		case opPushR:
+			stk[sp] = interp.IntV(regs[ins.a])
+			sp++
+
+		case opPopR:
+			sp--
+			iv, ok := stk[sp].AsInt()
+			if !ok {
+				return m.errf(p.pos[pc-1], "integer expected, have %s", interp.FormatValue(stk[sp]))
+			}
+			regs[ins.a] = iv
+
+		case opIMovRR + stepped2Delta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos2[pc-1])
+			}
+			fallthrough
+		case opIMovRR + steppedDelta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos[pc-1])
+			}
+			fallthrough
+		case opIMovRR:
+			regs[ins.a] = regs[ins.b]
+
+		case opIMovRI + stepped2Delta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos2[pc-1])
+			}
+			fallthrough
+		case opIMovRI + steppedDelta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos[pc-1])
+			}
+			fallthrough
+		case opIMovRI:
+			regs[ins.a] = int64(ins.b)
+
+		case opIMovRK + stepped2Delta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos2[pc-1])
+			}
+			fallthrough
+		case opIMovRK + steppedDelta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos[pc-1])
+			}
+			fallthrough
+		case opIMovRK:
+			regs[ins.a] = m.prog.iconsts[ins.b]
+
+		case opIAddRR + stepped2Delta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos2[pc-1])
+			}
+			fallthrough
+		case opIAddRR + steppedDelta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos[pc-1])
+			}
+			fallthrough
+		case opIAddRR:
+			regs[ins.a] = regs[ins.b] + regs[ins.c]
+
+		case opIAddRI + stepped2Delta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos2[pc-1])
+			}
+			fallthrough
+		case opIAddRI + steppedDelta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos[pc-1])
+			}
+			fallthrough
+		case opIAddRI:
+			regs[ins.a] = regs[ins.b] + int64(ins.c)
+
+		case opISubRR + stepped2Delta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos2[pc-1])
+			}
+			fallthrough
+		case opISubRR + steppedDelta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos[pc-1])
+			}
+			fallthrough
+		case opISubRR:
+			regs[ins.a] = regs[ins.b] - regs[ins.c]
+
+		case opIMulRR + stepped2Delta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos2[pc-1])
+			}
+			fallthrough
+		case opIMulRR + steppedDelta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos[pc-1])
+			}
+			fallthrough
+		case opIMulRR:
+			regs[ins.a] = regs[ins.b] * regs[ins.c]
+
+		case opIMulRI + stepped2Delta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos2[pc-1])
+			}
+			fallthrough
+		case opIMulRI + steppedDelta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos[pc-1])
+			}
+			fallthrough
+		case opIMulRI:
+			regs[ins.a] = regs[ins.b] * int64(ins.c)
+
+		case opIDivRR:
+			d := regs[ins.c]
+			if d == 0 {
+				return m.errf(p.pos[pc-1], "division by zero")
+			}
+			regs[ins.a] = regs[ins.b] / d
+
+		case opIDivRI + stepped2Delta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos2[pc-1])
+			}
+			fallthrough
+		case opIDivRI + steppedDelta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos[pc-1])
+			}
+			fallthrough
+		case opIDivRI:
+			// The compiler never emits a zero immediate divisor.
+			regs[ins.a] = regs[ins.b] / int64(ins.c)
+
+		case opIModRR:
+			d := regs[ins.c]
+			if d == 0 {
+				return m.errf(p.pos[pc-1], "division by zero")
+			}
+			regs[ins.a] = regs[ins.b] % d
+
+		case opIModRI + stepped2Delta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos2[pc-1])
+			}
+			fallthrough
+		case opIModRI + steppedDelta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos[pc-1])
+			}
+			fallthrough
+		case opIModRI:
+			regs[ins.a] = regs[ins.b] % int64(ins.c)
+
+		case opIDivM + stepped2Delta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos2[pc-1])
+			}
+			fallthrough
+		case opIDivM + steppedDelta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos[pc-1])
+			}
+			fallthrough
+		case opIDivM:
+			regs[ins.a] = magics[ins.c].quot(regs[ins.b])
+
+		case opIModM + stepped2Delta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos2[pc-1])
+			}
+			fallthrough
+		case opIModM + steppedDelta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos[pc-1])
+			}
+			fallthrough
+		case opIModM:
+			mg := magics[ins.c]
+			n := regs[ins.b]
+			regs[ins.a] = n - mg.quot(n)*mg.d
+
+		case opIModAccM + stepped2Delta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos2[pc-1])
+			}
+			fallthrough
+		case opIModAccM + steppedDelta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos[pc-1])
+			}
+			fallthrough
+		case opIModAccM:
+			mg := magics[ins.c]
+			n := regs[ins.b]
+			regs[ins.a] += n - mg.quot(n)*mg.d
+
+		case opINegR + stepped2Delta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos2[pc-1])
+			}
+			fallthrough
+		case opINegR + steppedDelta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos[pc-1])
+			}
+			fallthrough
+		case opINegR:
+			regs[ins.a] = -regs[ins.b]
+
+		case opIAbsR + stepped2Delta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos2[pc-1])
+			}
+			fallthrough
+		case opIAbsR + steppedDelta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos[pc-1])
+			}
+			fallthrough
+		case opIAbsR:
+			v := regs[ins.b]
+			if v < 0 {
+				v = -v
+			}
+			regs[ins.a] = v
+
+		case opIBrEqRR + stepped2Delta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos2[pc-1])
+			}
+			fallthrough
+		case opIBrEqRR + steppedDelta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos[pc-1])
+			}
+			fallthrough
+		case opIBrEqRR:
+			if regs[ins.b] == regs[ins.c] {
+				pc = int(ins.a)
+			}
+
+		case opIBrNeRR + stepped2Delta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos2[pc-1])
+			}
+			fallthrough
+		case opIBrNeRR + steppedDelta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos[pc-1])
+			}
+			fallthrough
+		case opIBrNeRR:
+			if regs[ins.b] != regs[ins.c] {
+				pc = int(ins.a)
+			}
+
+		case opIBrLtRR + stepped2Delta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos2[pc-1])
+			}
+			fallthrough
+		case opIBrLtRR + steppedDelta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos[pc-1])
+			}
+			fallthrough
+		case opIBrLtRR:
+			if regs[ins.b] < regs[ins.c] {
+				pc = int(ins.a)
+			}
+
+		case opIBrLeRR + stepped2Delta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos2[pc-1])
+			}
+			fallthrough
+		case opIBrLeRR + steppedDelta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos[pc-1])
+			}
+			fallthrough
+		case opIBrLeRR:
+			if regs[ins.b] <= regs[ins.c] {
+				pc = int(ins.a)
+			}
+
+		case opIBrGtRR + stepped2Delta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos2[pc-1])
+			}
+			fallthrough
+		case opIBrGtRR + steppedDelta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos[pc-1])
+			}
+			fallthrough
+		case opIBrGtRR:
+			if regs[ins.b] > regs[ins.c] {
+				pc = int(ins.a)
+			}
+
+		case opIBrGeRR + stepped2Delta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos2[pc-1])
+			}
+			fallthrough
+		case opIBrGeRR + steppedDelta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos[pc-1])
+			}
+			fallthrough
+		case opIBrGeRR:
+			if regs[ins.b] >= regs[ins.c] {
+				pc = int(ins.a)
+			}
+
+		case opIBrEqRI + stepped2Delta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos2[pc-1])
+			}
+			fallthrough
+		case opIBrEqRI + steppedDelta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos[pc-1])
+			}
+			fallthrough
+		case opIBrEqRI:
+			if regs[ins.b] == int64(ins.c) {
+				pc = int(ins.a)
+			}
+
+		case opIBrNeRI + stepped2Delta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos2[pc-1])
+			}
+			fallthrough
+		case opIBrNeRI + steppedDelta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos[pc-1])
+			}
+			fallthrough
+		case opIBrNeRI:
+			if regs[ins.b] != int64(ins.c) {
+				pc = int(ins.a)
+			}
+
+		case opIBrLtRI + stepped2Delta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos2[pc-1])
+			}
+			fallthrough
+		case opIBrLtRI + steppedDelta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos[pc-1])
+			}
+			fallthrough
+		case opIBrLtRI:
+			if regs[ins.b] < int64(ins.c) {
+				pc = int(ins.a)
+			}
+
+		case opIBrLeRI + stepped2Delta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos2[pc-1])
+			}
+			fallthrough
+		case opIBrLeRI + steppedDelta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos[pc-1])
+			}
+			fallthrough
+		case opIBrLeRI:
+			if regs[ins.b] <= int64(ins.c) {
+				pc = int(ins.a)
+			}
+
+		case opIBrGtRI + stepped2Delta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos2[pc-1])
+			}
+			fallthrough
+		case opIBrGtRI + steppedDelta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos[pc-1])
+			}
+			fallthrough
+		case opIBrGtRI:
+			if regs[ins.b] > int64(ins.c) {
+				pc = int(ins.a)
+			}
+
+		case opIBrGeRI + stepped2Delta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos2[pc-1])
+			}
+			fallthrough
+		case opIBrGeRI + steppedDelta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos[pc-1])
+			}
+			fallthrough
+		case opIBrGeRI:
+			if regs[ins.b] >= int64(ins.c) {
+				pc = int(ins.a)
+			}
+
+		case opIBrOdd + stepped2Delta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos2[pc-1])
+			}
+			fallthrough
+		case opIBrOdd + steppedDelta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos[pc-1])
+			}
+			fallthrough
+		case opIBrOdd:
+			if regs[ins.b]%2 != 0 {
+				pc = int(ins.a)
+			}
+
+		case opIBrEven + stepped2Delta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos2[pc-1])
+			}
+			fallthrough
+		case opIBrEven + steppedDelta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos[pc-1])
+			}
+			fallthrough
+		case opIBrEven:
+			if regs[ins.b]%2 == 0 {
+				pc = int(ins.a)
+			}
+
+		case opForLoopR + stepped2Delta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos2[pc-1])
+			}
+			fallthrough
+		case opForLoopR + steppedDelta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos[pc-1])
+			}
+			fallthrough
+		case opForLoopR:
+			ti := regs[ins.b] + 1
+			regs[ins.b] = ti
+			if ti <= regs[ins.b+1] {
+				regs[ins.c] = ti
+				pc = int(ins.a)
+			}
+
+		case opForLoopRD + stepped2Delta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos2[pc-1])
+			}
+			fallthrough
+		case opForLoopRD + steppedDelta:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos[pc-1])
+			}
+			fallthrough
+		case opForLoopRD:
+			ti := regs[ins.b] - 1
+			regs[ins.b] = ti
+			if ti >= regs[ins.b+1] {
+				regs[ins.c] = ti
+				pc = int(ins.a)
+			}
+
+		case opForLoopRS:
+			// Charge-on-continue back-edge: the body's entry fuel charge
+			// fused into the loop instruction, paid only when another
+			// iteration actually starts (the exiting pass charges
+			// nothing, exactly like falling out of the loop head).
+			ti := regs[ins.b] + 1
+			regs[ins.b] = ti
+			if ti <= regs[ins.b+1] {
+				regs[ins.c] = ti
+				m.steps++
+				if m.steps > maxSteps {
+					return m.fuelErr(p.pos[pc-1])
+				}
+				pc = int(ins.a)
+			}
+
+		case opForLoopRDS:
+			ti := regs[ins.b] - 1
+			regs[ins.b] = ti
+			if ti >= regs[ins.b+1] {
+				regs[ins.c] = ti
+				m.steps++
+				if m.steps > maxSteps {
+					return m.fuelErr(p.pos[pc-1])
+				}
+				pc = int(ins.a)
+			}
+
+		case opCallR:
+			// Register-to-register fastcall, run in this loop: suspend
+			// the caller on fstack and enter the callee's code with its
+			// window starting at the argument registers the caller just
+			// materialized.
+			t := procs[ins.a]
+			if m.depth >= m.maxDepth {
+				err := m.errf(p.pos[pc-1], "call depth budget exhausted (%d); runaway recursion?", m.maxDepth)
+				err.(*interp.RuntimeError).Cause = interp.ErrDepthExhausted
+				return err
+			}
+			cb := rbase + int(ins.b)
+			if need := cb + t.nregs; need > len(m.iregs) {
+				m.growIRegs(need)
+			}
+			m.calls++
+			m.depth++
+			if m.depth > m.depthMax {
+				m.depthMax = m.depth
+			}
+			pushRes, movDst := int32(-1), int32(-1)
+			if ins.c > 0 {
+				movDst = ins.c - 1
+			} else if ins.c == callPushRes {
+				pushRes = t.resReg
+			}
+			m.fstack = append(m.fstack, fframe{p: p, pc: pc, rbase: rbase, pushRes: pushRes, movDst: movDst})
+			p, code = t, t.code
+			rbase = cb
+			regs = m.iregs[rbase:]
+			for i := t.nparams; i < t.nzero; i++ {
+				regs[i] = 0
+			}
+			pc = t.entry
+
+		case opCallRIS:
+			// opCallRI whose argument add carried the statement's fuel
+			// charge: pay it first, reporting the statement position the
+			// original opStep held (side table), then fall into the call.
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos2[pc-1])
+			}
+			fallthrough
+		case opCallRI:
+			// Fused argument add + fastcall: window reg = regs[b] + imm16,
+			// callee result into the register just below the window.
+			t := procs[ins.a]
+			if m.depth >= m.maxDepth {
+				err := m.errf(p.pos[pc-1], "call depth budget exhausted (%d); runaway recursion?", m.maxDepth)
+				err.(*interp.RuntimeError).Cause = interp.ErrDepthExhausted
+				return err
+			}
+			ab := int(uint32(ins.c) >> 16)
+			cb := rbase + ab
+			if need := cb + t.nregs; need > len(m.iregs) {
+				m.growIRegs(need)
+				regs = m.iregs[rbase:]
+			}
+			m.iregs[cb] = regs[ins.b] + int64(int16(uint16(ins.c)))
+			m.calls++
+			m.depth++
+			if m.depth > m.depthMax {
+				m.depthMax = m.depth
+			}
+			m.fstack = append(m.fstack, fframe{p: p, pc: pc, rbase: rbase, pushRes: -1, movDst: int32(ab) - 1})
+			p, code = t, t.code
+			rbase = cb
+			regs = m.iregs[rbase:]
+			for i := t.nparams; i < t.nzero; i++ {
+				regs[i] = 0
+			}
+			pc = t.entry
+
+		case opCallF:
+			// Stack→register bridge: call a fastcall routine with
+			// arguments computed on the operand stack. Runs in this loop
+			// like opCallR; the suspended frame records the result
+			// register to push on return. Only framed code emits opCallF,
+			// so m.itop is this activation's window top and the callee
+			// window sits above every live register.
+			t := procs[ins.a]
+			if m.depth >= m.maxDepth {
+				err := m.errf(p.pos[pc-1], "call depth budget exhausted (%d); runaway recursion?", m.maxDepth)
+				err.(*interp.RuntimeError).Cause = interp.ErrDepthExhausted
+				return err
+			}
+			cb := m.itop
+			if need := cb + t.nregs; need > len(m.iregs) {
+				m.growIRegs(need)
+			}
+			sp -= t.nparams
+			for i := 0; i < t.nparams; i++ {
+				iv, ok := stk[sp+i].AsInt()
+				if !ok {
+					return m.errf(p.pos[pc-1], "integer expected, have %s", interp.FormatValue(stk[sp+i]))
+				}
+				m.iregs[cb+i] = iv
+			}
+			m.calls++
+			m.depth++
+			if m.depth > m.depthMax {
+				m.depthMax = m.depth
+			}
+			m.fstack = append(m.fstack, fframe{p: p, pc: pc, rbase: rbase, pushRes: t.resReg, movDst: -1})
+			p, code = t, t.code
+			rbase = cb
+			regs = m.iregs[rbase:]
+			for i := t.nparams; i < t.nzero; i++ {
+				regs[i] = 0
+			}
+			pc = t.entry
+
+		case opWrite:
+			n := int(ins.a)
+			buf := m.wbuf[:0]
+			for i := sp - n; i < sp; i++ {
+				if i > sp-n {
+					buf = append(buf, ' ')
+				}
+				if s, ok := stk[i].AsStr(); ok {
+					buf = append(buf, s...) // no quotes on program output
+				} else {
+					buf = append(buf, interp.FormatValue(stk[i])...)
+				}
+			}
+			if ins.b != 0 {
+				buf = append(buf, '\n')
+			}
+			m.wbuf = buf
+			sp -= n
+			if _, err := m.out.Write(buf); err != nil {
+				return m.errf(p.pos[pc-1], "write failed: %v", err)
+			}
+
+		case opReadTok:
+			tok, err := m.readToken()
+			if err != nil {
+				return m.errf(p.pos[pc-1], "read: %v", err)
+			}
+			var v interp.Value
+			switch ins.a {
+			case readReal:
+				fv, perr := strconv.ParseFloat(tok, 64)
+				if perr != nil {
+					return m.errf(p.pos[pc-1], "read: %q is not a real", tok)
+				}
+				v = interp.RealV(fv)
+			case readStr:
+				v = interp.StrV(tok)
+			case readBool:
+				switch strings.ToLower(tok) {
+				case "true":
+					v = interp.BoolV(true)
+				case "false":
+					v = interp.BoolV(false)
+				default:
+					return m.errf(p.pos[pc-1], "read: %q is not a boolean", tok)
+				}
+			default:
+				n, perr := strconv.ParseInt(tok, 10, 64)
+				if perr != nil {
+					return m.errf(p.pos[pc-1], "read: %q is not an integer", tok)
+				}
+				v = interp.IntV(n)
+			}
+			stk[sp] = v
+			sp++
+
+		case opAbs:
+			v := stk[sp-1]
+			if iv, ok := v.AsInt(); ok {
+				if iv < 0 {
+					stk[sp-1] = interp.IntV(-iv)
+				}
+			} else if rv, ok := v.AsReal(); ok {
+				if rv < 0 {
+					stk[sp-1] = interp.RealV(-rv)
+				}
+			} else {
+				return m.errf(p.pos[pc-1], "invalid argument to abs")
+			}
+
+		case opSqr:
+			v := stk[sp-1]
+			if iv, ok := v.AsInt(); ok {
+				stk[sp-1] = interp.IntV(iv * iv)
+			} else if rv, ok := v.AsReal(); ok {
+				stk[sp-1] = interp.RealV(rv * rv)
+			} else {
+				return m.errf(p.pos[pc-1], "invalid argument to sqr")
+			}
+
+		case opOdd:
+			if iv, ok := stk[sp-1].AsInt(); ok {
+				stk[sp-1] = interp.BoolV(iv%2 != 0)
+			} else {
+				return m.errf(p.pos[pc-1], "invalid argument to odd")
+			}
+
+		case opTrunc:
+			v := stk[sp-1]
+			if _, ok := v.AsInt(); ok {
+				// already integer
+			} else if rv, ok := v.AsReal(); ok {
+				stk[sp-1] = interp.IntV(int64(rv))
+			} else {
+				return m.errf(p.pos[pc-1], "invalid argument to trunc")
+			}
+
+		case opRound:
+			v := stk[sp-1]
+			if _, ok := v.AsInt(); ok {
+				// already integer
+			} else if rv, ok := v.AsReal(); ok {
+				if rv >= 0 {
+					stk[sp-1] = interp.IntV(int64(rv + 0.5))
+				} else {
+					stk[sp-1] = interp.IntV(int64(rv - 0.5))
+				}
+			} else {
+				return m.errf(p.pos[pc-1], "invalid argument to round")
+			}
+
+		case opMakeArr:
+			n := int(ins.a)
+			var arr *interp.ArrayVal
+			if ins.b >= 0 {
+				arr = interp.NewArray(m.prog.arrs[ins.b])
+			} else {
+				arr = &interp.ArrayVal{Lo: 1, Hi: int64(n), Elems: make([]interp.Value, n)}
+			}
+			for i := 0; i < n; i++ {
+				if i >= len(arr.Elems) {
+					return m.errf(p.pos[pc-1], "array display longer than target array")
+				}
+				arr.Elems[i] = interp.CopyValue(stk[sp-n+i])
+			}
+			sp -= n
+			stk[sp] = interp.ArrV(arr)
+			sp++
+
+		case opRet:
+			goto retpath
+
+		// Fused op-then-return forms (retFuse): the register op's
+		// effect, then the shared return path, one dispatch total. The S
+		// variants first pay the statement-entry fuel charge the
+		// register op had absorbed.
+		case opRetMovRRS:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos[pc-1])
+			}
+			fallthrough
+		case opRetMovRR:
+			regs[ins.a] = regs[ins.b]
+			goto retpath
+
+		case opRetMovRIS:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos[pc-1])
+			}
+			fallthrough
+		case opRetMovRI:
+			regs[ins.a] = int64(ins.b)
+			goto retpath
+
+		case opRetAddRRS:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos[pc-1])
+			}
+			fallthrough
+		case opRetAddRR:
+			regs[ins.a] = regs[ins.b] + regs[ins.c]
+			goto retpath
+
+		case opRetAddRIS:
+			m.steps++
+			if m.steps > maxSteps {
+				return m.fuelErr(p.pos[pc-1])
+			}
+			fallthrough
+		case opRetAddRI:
+			regs[ins.a] = regs[ins.b] + int64(ins.c)
+			goto retpath
+
+		default:
+			return m.errf(p.pos[pc-1], "vm: bad opcode %d", ins.op)
+		}
+		continue
+
+	retpath:
+		if len(m.fstack) == mark {
+			return nil
+		}
+		// Fastcall return: resume the suspended caller. rbase is still
+		// the callee's window while the bridge result (if any) is read
+		// out.
+		fr := m.fstack[len(m.fstack)-1]
+		m.fstack = m.fstack[:len(m.fstack)-1]
+		m.depth--
+		if fr.pushRes >= 0 {
+			stk[sp] = interp.IntV(m.iregs[rbase+int(fr.pushRes)])
+			sp++
+		}
+		if fr.movDst >= 0 {
+			m.iregs[fr.rbase+int(fr.movDst)] = m.iregs[rbase+int(p.resReg)]
+		}
+		p, pc, rbase = fr.p, fr.pc, fr.rbase
+		code = p.code
+		regs = m.iregs[rbase:]
+	}
+}
+
+// bind populates a callee frame from the argument regions the caller
+// left on the shared stacks (value args at stack[vbase:], by-reference
+// args at addrs[abase:]). Mirrors Interp.call's binding loop; composite
+// value arguments were already privatized by opCopyV at push time, so
+// the bind itself is copy-free.
+func (m *VM) bind(nf *vframe, t *vproc, vbase, abase int, pos token.Pos) error {
+	stk, ads := m.stack, m.addrs
+	vi, ai := vbase, abase
+	for _, prm := range t.r.Params {
+		if prm.Mode == ast.Value {
+			av := stk[vi]
+			vi++
+			// Array displays adapt to the parameter's array type.
+			if at, ok := prm.Type.(*types.Array); ok {
+				if src, ok2 := av.AsArray(); ok2 && (src.Lo != at.Lo || src.Hi != at.Hi) {
+					adapted := interp.NewArray(at)
+					if len(src.Elems) > len(adapted.Elems) {
+						return m.errf(pos, "array argument of %d elements does not fit %s", len(src.Elems), at)
+					}
+					for j, e := range src.Elems {
+						adapted.Elems[j] = interp.CopyValue(e)
+					}
+					av = interp.ArrV(adapted)
+				}
+			}
+			nf.slots[prm.Slot].val = av
+			continue
+		}
+		ar := ads[ai]
+		ai++
+		if ar.cell != nil {
+			// Whole-variable reference argument: alias the cell.
+			nf.slots[prm.Slot] = ar.cell
+		} else {
+			// Element/field slot: forwarding cell + deferred writeback.
+			b := &vcell{val: *ar.ptr}
+			nf.slots[prm.Slot] = b
+			nf.wbs = append(nf.wbs, writeback{dst: ar.ptr, src: b})
+		}
+	}
+	for _, v := range t.r.Locals {
+		nf.storage[v.Slot].val = interp.ZeroValue(v.Type)
+	}
+	if res := t.r.Result; res != nil {
+		nf.slots[res.Slot].val = interp.ZeroValue(res.Type)
+	}
+	return nil
+}
+
+// storeCell assigns val to a whole-variable cell with the
+// interpreter's scalar fast path and prepareStore fallback.
+func (m *VM) storeCell(c *vcell, val interp.Value, pos token.Pos) error {
+	k := val.Kind()
+	if c.val.Kind() == k && k <= interp.KindStr {
+		c.val = val
+		return nil
+	}
+	stored, err := m.prepareStore(&c.val, val, pos)
+	if err != nil {
+		return err
+	}
+	c.val = stored
+	return nil
+}
+
+// prepareStore mirrors Interp.prepareStore: int→real coercion, array
+// display refitting, deep copies for composites.
+func (m *VM) prepareStore(dst *interp.Value, val interp.Value, pos token.Pos) (interp.Value, error) {
+	if dst.Kind() == interp.KindReal && val.Kind() == interp.KindInt {
+		iv, _ := val.AsInt()
+		return interp.RealV(float64(iv)), nil
+	}
+	if val.Kind() == interp.KindArray {
+		if target, ok := dst.AsArray(); ok {
+			src, _ := val.AsArray()
+			if src.Lo != target.Lo || src.Hi != target.Hi {
+				if len(src.Elems) > len(target.Elems) {
+					return interp.Undef, m.errf(pos, "array value of %d elements does not fit target of %d", len(src.Elems), len(target.Elems))
+				}
+				fresh := &interp.ArrayVal{Lo: target.Lo, Hi: target.Hi, Elems: make([]interp.Value, len(target.Elems))}
+				for i := range fresh.Elems {
+					if i < len(src.Elems) {
+						fresh.Elems[i] = interp.CopyValue(src.Elems[i])
+					} else {
+						fresh.Elems[i] = zeroLike(target.Elems[i])
+					}
+				}
+				return interp.ArrV(fresh), nil
+			}
+		}
+	}
+	return interp.CopyValue(val), nil
+}
+
+func zeroLike(v interp.Value) interp.Value {
+	switch v.Kind() {
+	case interp.KindReal:
+		return interp.RealV(0)
+	case interp.KindBool:
+		return interp.BoolV(false)
+	case interp.KindStr:
+		return interp.StrV("")
+	case interp.KindArray, interp.KindRecord:
+		return interp.CopyValue(v) // keep shape; contents already zeroed at alloc
+	}
+	return interp.IntV(0)
+}
+
+// slowBinary is the shared non-int fallback of the integer fast-path
+// opcodes: recompute through the generic dispatcher (exactly the
+// interpreter's evalBinary order) and replace the two operands with the
+// result.
+func (m *VM) slowBinary(pos token.Pos, op token.Kind, stk []interp.Value, sp *int) error {
+	v, err := m.binary(pos, op, stk[*sp-2], stk[*sp-1])
+	if err != nil {
+		return err
+	}
+	*sp--
+	stk[*sp-1] = v
+	return nil
+}
+
+func cmpToken(op opcode) token.Kind {
+	switch op {
+	case opEqI:
+		return token.Eq
+	case opNeI:
+		return token.NotEq
+	case opLtI:
+		return token.Less
+	case opLeI:
+		return token.LessEq
+	case opGtI:
+		return token.Greater
+	}
+	return token.GreatEq
+}
+
+func vNumeric(v interp.Value) (float64, bool) {
+	if iv, ok := v.AsInt(); ok {
+		return float64(iv), true
+	}
+	if rv, ok := v.AsReal(); ok {
+		return rv, true
+	}
+	return 0, false
+}
+
+// binary replicates Interp.evalBinary (minus operand evaluation):
+// integer fast path, boolean connectives, arithmetic with real
+// promotion and string concatenation, equality via ValuesEqual,
+// ordering with the same error messages.
+func (m *VM) binary(pos token.Pos, op token.Kind, x, y interp.Value) (interp.Value, error) {
+	xi, xint := x.AsInt()
+	yi, yint := y.AsInt()
+	if xint && yint {
+		switch op {
+		case token.Plus:
+			return interp.IntV(xi + yi), nil
+		case token.Minus:
+			return interp.IntV(xi - yi), nil
+		case token.Star:
+			return interp.IntV(xi * yi), nil
+		case token.Div:
+			if yi == 0 {
+				return interp.Undef, m.errf(pos, "division by zero")
+			}
+			return interp.IntV(xi / yi), nil
+		case token.Mod:
+			if yi == 0 {
+				return interp.Undef, m.errf(pos, "division by zero")
+			}
+			return interp.IntV(xi % yi), nil
+		case token.Slash:
+			if yi == 0 {
+				return interp.Undef, m.errf(pos, "division by zero")
+			}
+			return interp.RealV(float64(xi) / float64(yi)), nil
+		case token.Eq:
+			return interp.BoolV(xi == yi), nil
+		case token.NotEq:
+			return interp.BoolV(xi != yi), nil
+		case token.Less:
+			return interp.BoolV(xi < yi), nil
+		case token.LessEq:
+			return interp.BoolV(xi <= yi), nil
+		case token.Greater:
+			return interp.BoolV(xi > yi), nil
+		case token.GreatEq:
+			return interp.BoolV(xi >= yi), nil
+		}
+	}
+	switch op {
+	case token.And:
+		if xb, ok := x.AsBool(); ok {
+			if yb, ok := y.AsBool(); ok {
+				return interp.BoolV(xb && yb), nil
+			}
+		}
+	case token.Or:
+		if xb, ok := x.AsBool(); ok {
+			if yb, ok := y.AsBool(); ok {
+				return interp.BoolV(xb || yb), nil
+			}
+		}
+	case token.Plus, token.Minus, token.Star, token.Slash:
+		return m.arith(pos, op, x, y)
+	case token.Div, token.Mod:
+		// int-int handled by the fast path above; anything else falls
+		// through to the invalid-operands error.
+	case token.Eq:
+		return interp.BoolV(interp.ValuesEqual(x, y)), nil
+	case token.NotEq:
+		return interp.BoolV(!interp.ValuesEqual(x, y)), nil
+	case token.Less, token.LessEq, token.Greater, token.GreatEq:
+		return m.compare(pos, op, x, y)
+	}
+	return interp.Undef, m.errf(pos, "invalid operands %s %s %s", interp.FormatValue(x), op, interp.FormatValue(y))
+}
+
+func (m *VM) arith(pos token.Pos, op token.Kind, x, y interp.Value) (interp.Value, error) {
+	xf, xnum := vNumeric(x)
+	yf, ynum := vNumeric(y)
+	if xnum && ynum {
+		switch op {
+		case token.Plus:
+			return interp.RealV(xf + yf), nil
+		case token.Minus:
+			return interp.RealV(xf - yf), nil
+		case token.Star:
+			return interp.RealV(xf * yf), nil
+		case token.Slash:
+			if yf == 0 {
+				return interp.Undef, m.errf(pos, "division by zero")
+			}
+			return interp.RealV(xf / yf), nil
+		}
+	}
+	// String concatenation with + (common Pascal dialect extension).
+	if xs, ok := x.AsStr(); ok {
+		if ys, ok := y.AsStr(); ok && op == token.Plus {
+			return interp.StrV(xs + ys), nil
+		}
+	}
+	return interp.Undef, m.errf(pos, "invalid operands %s %s %s", interp.FormatValue(x), op, interp.FormatValue(y))
+}
+
+func (m *VM) compare(pos token.Pos, op token.Kind, x, y interp.Value) (interp.Value, error) {
+	if xs, ok := x.AsStr(); ok {
+		if ys, ok := y.AsStr(); ok {
+			switch op {
+			case token.Less:
+				return interp.BoolV(xs < ys), nil
+			case token.LessEq:
+				return interp.BoolV(xs <= ys), nil
+			case token.Greater:
+				return interp.BoolV(xs > ys), nil
+			case token.GreatEq:
+				return interp.BoolV(xs >= ys), nil
+			}
+		}
+	}
+	xf, xnum := vNumeric(x)
+	yf, ynum := vNumeric(y)
+	if xnum && ynum {
+		switch op {
+		case token.Less:
+			return interp.BoolV(xf < yf), nil
+		case token.LessEq:
+			return interp.BoolV(xf <= yf), nil
+		case token.Greater:
+			return interp.BoolV(xf > yf), nil
+		case token.GreatEq:
+			return interp.BoolV(xf >= yf), nil
+		}
+	}
+	return interp.Undef, m.errf(pos, "cannot order %s against %s", interp.FormatValue(x), interp.FormatValue(y))
+}
+
+func (m *VM) readToken() (string, error) {
+	if m.in == nil {
+		return "", fmt.Errorf("no input available")
+	}
+	var b strings.Builder
+	// Skip whitespace.
+	for {
+		ch, err := m.in.ReadByte()
+		if err != nil {
+			return "", fmt.Errorf("end of input")
+		}
+		if ch == ' ' || ch == '\n' || ch == '\t' || ch == '\r' {
+			continue
+		}
+		b.WriteByte(ch)
+		break
+	}
+	for {
+		ch, err := m.in.ReadByte()
+		if err != nil {
+			break
+		}
+		if ch == ' ' || ch == '\n' || ch == '\t' || ch == '\r' {
+			break
+		}
+		b.WriteByte(ch)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,692 @@
+package vm_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"gadt/internal/paper"
+	"gadt/internal/pascal/interp"
+	"gadt/internal/pascal/parser"
+	"gadt/internal/pascal/sem"
+	"gadt/internal/pascal/vm"
+	"gadt/internal/progen"
+	"gadt/internal/transform"
+)
+
+func analyze(t *testing.T, src string) *sem.Info {
+	t.Helper()
+	prog, err := parser.ParseProgram("t.pas", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sem.Analyze(prog)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return info
+}
+
+type runResult struct {
+	out     string
+	err     error
+	steps   int
+	globals []interp.Binding
+}
+
+func runInterp(info *sem.Info, input string, cfg interp.Config) runResult {
+	var out strings.Builder
+	cfg.Input = strings.NewReader(input)
+	cfg.Output = &out
+	it := interp.New(info, cfg)
+	err := it.Run()
+	return runResult{out: out.String(), err: err, steps: it.Steps(), globals: it.Globals()}
+}
+
+func runVM(t *testing.T, info *sem.Info, input string, cfg interp.Config) runResult {
+	t.Helper()
+	prog, err := vm.Compile(info)
+	if err != nil {
+		t.Fatalf("vm compile: %v", err)
+	}
+	var out strings.Builder
+	cfg.Input = strings.NewReader(input)
+	cfg.Output = &out
+	m := vm.New(prog, cfg)
+	rerr := m.Run()
+	return runResult{out: out.String(), err: rerr, steps: m.Steps(), globals: m.Globals()}
+}
+
+// normErr reduces a runtime error to its position-independent message,
+// mirroring the differential harness's error-class comparison.
+func normErr(err error) string {
+	if err == nil {
+		return ""
+	}
+	var re *interp.RuntimeError
+	if errors.As(err, &re) {
+		return re.Msg
+	}
+	return err.Error()
+}
+
+func globalsString(bs []interp.Binding) string {
+	var sb strings.Builder
+	for _, b := range bs {
+		fmt.Fprintf(&sb, "%s=%s;", b.Name, interp.FormatValue(b.Value))
+	}
+	return sb.String()
+}
+
+// assertParity runs src on both backends and requires identical output,
+// error message, statement count and final globals.
+func assertParity(t *testing.T, src, input string, cfg interp.Config) {
+	t.Helper()
+	info := analyze(t, src)
+	want := runInterp(info, input, cfg)
+	got := runVM(t, info, input, cfg)
+	if got.out != want.out {
+		t.Errorf("output mismatch:\n  interp: %q\n  vm:     %q", want.out, got.out)
+	}
+	if normErr(got.err) != normErr(want.err) {
+		t.Errorf("error mismatch:\n  interp: %v\n  vm:     %v", want.err, got.err)
+	}
+	if got.steps != want.steps {
+		t.Errorf("steps mismatch: interp %d, vm %d", want.steps, got.steps)
+	}
+	if gg, wg := globalsString(got.globals), globalsString(want.globals); gg != wg {
+		t.Errorf("globals mismatch:\n  interp: %s\n  vm:     %s", wg, gg)
+	}
+}
+
+var parityPrograms = []struct {
+	name  string
+	src   string
+	input string
+}{
+	{"arith", `
+program p;
+var a, b: integer; r: real;
+begin
+  a := 7; b := 3;
+  writeln(a + b, a - b, a * b, a div b, a mod b);
+  r := a / b;
+  writeln(r);
+  writeln(a / 2, 1.5 + a, a * 0.5, 10.0 / 4)
+end.
+`, ""},
+	{"compare", `
+program p;
+var a, b: integer; s: string;
+begin
+  a := 2; b := 5; s := 'abc';
+  writeln(a < b, a <= b, a > b, a >= b, a = b, a <> b);
+  writeln(s < 'abd', s = 'abc', 1.5 < 2, 2.0 >= 2);
+  writeln((a < b) and (b < 10), (a > b) or true, not (a = b))
+end.
+`, ""},
+	{"whileloop", `
+program p;
+var i, s: integer;
+begin
+  i := 0; s := 0;
+  while i < 10 do begin s := s + i; i := i + 1 end;
+  writeln(s)
+end.
+`, ""},
+	{"forloops", `
+program p;
+var i, s: integer;
+begin
+  s := 0;
+  for i := 1 to 5 do s := s + i;
+  writeln(s, i);
+  for i := 5 downto 1 do s := s - 1;
+  writeln(s, i);
+  for i := 3 to 1 do s := 777;
+  writeln(s, i)
+end.
+`, ""},
+	{"repeatloop", `
+program p;
+var i: integer;
+begin
+  i := 10;
+  repeat
+    writeln(i);
+    i := i - 3
+  until i < 0
+end.
+`, ""},
+	{"casestmt", `
+program p;
+var i, r: integer;
+begin
+  for i := 0 to 6 do begin
+    case i of
+      0: r := 100;
+      1, 2: r := 200;
+      3: ;
+      4, 5: r := i * 10
+    else
+      r := -1
+    end;
+    writeln(i, r)
+  end
+end.
+`, ""},
+	{"caseNoElse", `
+program p;
+var i, r: integer;
+begin
+  r := 9;
+  case 42 of
+    1: r := 1;
+    2: r := 2
+  end;
+  writeln(r)
+end.
+`, ""},
+	{"nestedproc", `
+program p;
+var g: integer;
+procedure outer(x: integer);
+var o: integer;
+  procedure inner(y: integer);
+  begin
+    o := o + y;
+    g := g + o + x
+  end;
+begin
+  o := 1;
+  inner(10);
+  inner(20)
+end;
+begin
+  g := 0;
+  outer(5);
+  writeln(g)
+end.
+`, ""},
+	{"varparams", `
+program p;
+var a, b: integer;
+procedure swap(var x, y: integer);
+var t: integer;
+begin
+  t := x; x := y; y := t
+end;
+begin
+  a := 1; b := 2;
+  swap(a, b);
+  writeln(a, b)
+end.
+`, ""},
+	{"functions", `
+program p;
+var r: integer;
+function fib(n: integer): integer;
+begin
+  if n < 2 then fib := n
+  else fib := fib(n - 1) + fib(n - 2)
+end;
+begin
+  r := fib(15);
+  writeln(r)
+end.
+`, ""},
+	{"paramlessfunc", `
+program p;
+var c: integer;
+function next: integer;
+begin
+  c := c + 1;
+  next := c
+end;
+begin
+  c := 0;
+  writeln(next, next, next)
+end.
+`, ""},
+	{"arrays", `
+program p;
+var a: array [1 .. 5] of integer; i, s: integer;
+begin
+  for i := 1 to 5 do a[i] := i * i;
+  s := 0;
+  for i := 1 to 5 do s := s + a[i];
+  writeln(s, a[3])
+end.
+`, ""},
+	{"arraydisplay", `
+program p;
+var a: array [1 .. 4] of integer; i: integer;
+begin
+  a := [10, 20, 30];
+  for i := 1 to 4 do writeln(a[i])
+end.
+`, ""},
+	{"arrayelemvararg", `
+program p;
+var a: array [1 .. 3] of integer;
+procedure bump(var x: integer);
+begin
+  x := x + 100
+end;
+begin
+  a[2] := 5;
+  bump(a[2]);
+  writeln(a[1], a[2], a[3])
+end.
+`, ""},
+	{"arrayvalueparam", `
+program p;
+var a: array [1 .. 3] of integer;
+procedure clobber(b: array [1 .. 3] of integer);
+begin
+  b[1] := 999
+end;
+begin
+  a[1] := 1;
+  clobber(a);
+  writeln(a[1])
+end.
+`, ""},
+	{"records", `
+program p;
+var r: record x, y: integer end;
+begin
+  r.x := 3;
+  r.y := r.x * 2;
+  writeln(r.x, r.y)
+end.
+`, ""},
+	{"builtins", `
+program p;
+var i: integer; r: real;
+begin
+  i := -5;
+  writeln(abs(i), abs(5), sqr(3), odd(3), odd(4));
+  r := -2.7;
+  writeln(abs(r), sqr(1.5), trunc(2.9), trunc(-2.9), round(2.5), round(-2.5), round(2.4))
+end.
+`, ""},
+	{"readints", `
+program p;
+var a, b: integer; r: real; s: string; f: boolean;
+begin
+  read(a, b);
+  read(r);
+  read(s);
+  read(f);
+  writeln(a + b, r, s, f)
+end.
+`, " 3   4\n1.25\nhello\ntrue\n"},
+	{"strings", `
+program p;
+var s, t: string;
+begin
+  s := 'foo';
+  t := s + 'bar';
+  writeln(t, s < t, s = 'foo')
+end.
+`, ""},
+	{"gotoback", `
+program p;
+label 1;
+var i: integer;
+begin
+  i := 0;
+1:
+  i := i + 1;
+  if i < 5 then goto 1;
+  writeln(i)
+end.
+`, ""},
+	{"gotofwd", `
+program p;
+label 9;
+var i: integer;
+begin
+  i := 0;
+  while true do begin
+    i := i + 1;
+    if i > 3 then goto 9
+  end;
+9:
+  writeln(i)
+end.
+`, ""},
+	{"gotooutoffor", `
+program p;
+label 5;
+var i, s: integer;
+begin
+  s := 0;
+  for i := 1 to 100 do begin
+    s := s + i;
+    if i = 4 then goto 5
+  end;
+5:
+  writeln(i, s)
+end.
+`, ""},
+	{"divzero", `
+program p;
+var a, b: integer;
+begin
+  a := 1; b := 0;
+  writeln('before');
+  a := a div b;
+  writeln('after')
+end.
+`, ""},
+	{"modzero", `
+program p;
+var a: integer;
+begin
+  a := 3 mod (a - a)
+end.
+`, ""},
+	{"slashzero", `
+program p;
+var r: real; z: integer;
+begin
+  z := 0;
+  r := 1 / z
+end.
+`, ""},
+	{"indexoob", `
+program p;
+var a: array [1 .. 3] of integer; i: integer;
+begin
+  i := 7;
+  a[i] := 1
+end.
+`, ""},
+	{"readeof", `
+program p;
+var a: integer;
+begin
+  read(a);
+  read(a)
+end.
+`, "5"},
+	{"readbadint", `
+program p;
+var a: integer;
+begin
+  read(a)
+end.
+`, "zebra"},
+	{"intcoercereal", `
+program p;
+var r: real;
+begin
+  r := 3;
+  writeln(r);
+  r := r + 1;
+  writeln(r)
+end.
+`, ""},
+	{"writeempty", `
+program p;
+begin
+  write('a');
+  writeln;
+  writeln('b', 'c')
+end.
+`, ""},
+	{"negation", `
+program p;
+var i: integer; r: real;
+begin
+  i := 5;
+  r := 1.5;
+  writeln(-i, -r, +i, -(-i))
+end.
+`, ""},
+	{"sqrtest", paper.Sqrtest, ""},
+	{"sqrtestFixed", paper.SqrtestFixed, ""},
+	{"pqr", paper.PQR, ""},
+	{"sliceExample", paper.SliceExample, ""},
+	{"globalSideEffects", paper.GlobalSideEffects, ""},
+	{"arrsum", paper.ArrsumProgram, ""},
+}
+
+func TestParity(t *testing.T) {
+	for _, tc := range parityPrograms {
+		t.Run(tc.name, func(t *testing.T) {
+			assertParity(t, tc.src, tc.input, interp.Config{})
+		})
+	}
+}
+
+// TestParityProgen runs generated random programs (gotos, reads, nested
+// routines, loops of every form) on both backends, untransformed and
+// fully transformed, falling back to the interpreter-only path when the
+// compiler rejects a construct.
+func TestParityProgen(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		p := progen.Random(progen.RandomConfig{Seed: seed, Gotos: seed%2 == 0, Reads: seed%3 == 0})
+		t.Run(p.Name, func(t *testing.T) {
+			info := analyze(t, p.Source)
+			cfg := interp.Config{MaxSteps: 500_000, MaxDepth: 2000}
+			want := runInterp(info, p.Input, cfg)
+			prog, err := vm.Compile(info)
+			if err != nil {
+				if !errors.Is(err, vm.ErrUnsupported) {
+					t.Fatalf("compile: %v", err)
+				}
+				t.Skipf("not vm-compilable: %v", err)
+			}
+			var out strings.Builder
+			cfg.Input = strings.NewReader(p.Input)
+			cfg.Output = &out
+			m := vm.New(prog, cfg)
+			rerr := m.Run()
+			got := runResult{out: out.String(), err: rerr, steps: m.Steps(), globals: m.Globals()}
+			if got.out != want.out || normErr(got.err) != normErr(want.err) ||
+				got.steps != want.steps || globalsString(got.globals) != globalsString(want.globals) {
+				t.Errorf("divergence on %s:\n  interp: out=%q err=%v steps=%d globals=%s\n  vm:     out=%q err=%v steps=%d globals=%s",
+					p.Name, want.out, want.err, want.steps, globalsString(want.globals),
+					got.out, got.err, got.steps, globalsString(got.globals))
+			}
+		})
+	}
+}
+
+// TestParityTransformed compiles and runs fully transformed programs
+// (loop units, goto elimination, global lifting) on both backends.
+func TestParityTransformed(t *testing.T) {
+	sources := []struct {
+		name string
+		src  string
+	}{
+		{"sqrtest", paper.Sqrtest},
+		{"pqr", paper.PQR},
+		{"loopGoto", paper.LoopGoto},
+		{"globalGoto", paper.GlobalGoto},
+	}
+	for _, s := range sources {
+		t.Run(s.name, func(t *testing.T) {
+			info := analyze(t, s.src)
+			res, err := transform.ApplyStages(info, transform.AllStages())
+			if err != nil {
+				t.Fatalf("transform: %v", err)
+			}
+			cfg := interp.Config{MaxSteps: 2_000_000, MaxDepth: 5000}
+			want := runInterp(res.Info, "", cfg)
+			prog, cerr := vm.Compile(res.Info)
+			if cerr != nil {
+				if !errors.Is(cerr, vm.ErrUnsupported) {
+					t.Fatalf("compile: %v", cerr)
+				}
+				t.Skipf("not vm-compilable: %v", cerr)
+			}
+			var out strings.Builder
+			cfg.Input = strings.NewReader("")
+			cfg.Output = &out
+			m := vm.New(prog, cfg)
+			rerr := m.Run()
+			if out.String() != want.out || normErr(rerr) != normErr(want.err) || m.Steps() != want.steps {
+				t.Errorf("transformed divergence:\n  interp: out=%q err=%v steps=%d\n  vm:     out=%q err=%v steps=%d",
+					want.out, want.err, want.steps, out.String(), rerr, m.Steps())
+			}
+		})
+	}
+}
+
+// TestBudgetParity: fuel and depth bombs must produce the same typed
+// errors (message and errors.Is class) on both backends.
+func TestBudgetParity(t *testing.T) {
+	fuelBomb := `
+program p;
+var i: integer;
+begin
+  i := 0;
+  while true do i := i + 1
+end.
+`
+	depthBomb := `
+program p;
+function f(n: integer): integer;
+begin
+  f := f(n + 1)
+end;
+begin
+  writeln(f(0))
+end.
+`
+	t.Run("fuel", func(t *testing.T) {
+		cfg := interp.Config{MaxSteps: 1000}
+		info := analyze(t, fuelBomb)
+		want := runInterp(info, "", cfg)
+		got := runVM(t, info, "", cfg)
+		if !errors.Is(want.err, interp.ErrFuelExhausted) {
+			t.Fatalf("interp error not fuel-classified: %v", want.err)
+		}
+		if !errors.Is(got.err, interp.ErrFuelExhausted) {
+			t.Fatalf("vm error not fuel-classified: %v", got.err)
+		}
+		if normErr(got.err) != normErr(want.err) {
+			t.Errorf("fuel message mismatch:\n  interp: %v\n  vm:     %v", want.err, got.err)
+		}
+		if got.steps != want.steps {
+			t.Errorf("steps at exhaustion: interp %d, vm %d", want.steps, got.steps)
+		}
+	})
+	t.Run("depth", func(t *testing.T) {
+		cfg := interp.Config{MaxDepth: 100}
+		info := analyze(t, depthBomb)
+		want := runInterp(info, "", cfg)
+		got := runVM(t, info, "", cfg)
+		if !errors.Is(want.err, interp.ErrDepthExhausted) {
+			t.Fatalf("interp error not depth-classified: %v", want.err)
+		}
+		if !errors.Is(got.err, interp.ErrDepthExhausted) {
+			t.Fatalf("vm error not depth-classified: %v", got.err)
+		}
+		if normErr(got.err) != normErr(want.err) {
+			t.Errorf("depth message mismatch:\n  interp: %v\n  vm:     %v", want.err, got.err)
+		}
+	})
+}
+
+// TestUnsupportedFallback pins the compiler's refusal cases: non-local
+// gotos and jumps into structured statements must return ErrUnsupported
+// rather than compile to wrong code.
+func TestUnsupportedFallback(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"globalGoto", paper.GlobalGoto}, // procedure jumps to a main-block label
+		{"gotoIntoLoop", `
+program p;
+label 3;
+var i: integer;
+begin
+  i := 0;
+  goto 3;
+  while i < 10 do begin
+3:
+    i := i + 1
+  end;
+  writeln(i)
+end.
+`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			info := analyze(t, tc.src)
+			_, err := vm.Compile(info)
+			if err == nil {
+				t.Fatal("expected ErrUnsupported, compiled fine")
+			}
+			if !errors.Is(err, vm.ErrUnsupported) {
+				t.Fatalf("expected ErrUnsupported, got %v", err)
+			}
+		})
+	}
+}
+
+// TestDeepRecursionErrorStack: the bounded error call stack must match
+// the interpreter's shape (32 frames + summary).
+func TestDeepRecursionErrorStack(t *testing.T) {
+	src := `
+program p;
+function f(n: integer): integer;
+begin
+  f := f(n + 1)
+end;
+begin
+  writeln(f(0))
+end.
+`
+	info := analyze(t, src)
+	cfg := interp.Config{MaxDepth: 200}
+	got := runVM(t, info, "", cfg)
+	var re *interp.RuntimeError
+	if !errors.As(got.err, &re) {
+		t.Fatalf("expected RuntimeError, got %v", got.err)
+	}
+	if len(re.Stack) != 33 {
+		t.Fatalf("stack len = %d, want 32 frames + summary", len(re.Stack))
+	}
+	if !strings.Contains(re.Stack[32], "more frames") {
+		t.Errorf("last stack entry %q should summarize the rest", re.Stack[32])
+	}
+}
+
+func TestCompileCache(t *testing.T) {
+	info := analyze(t, paper.PQR)
+	p1, err := vm.CompileKeyed("k1", info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := vm.CompileKeyed("k1", info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("same key should return the cached Program")
+	}
+	info2 := analyze(t, paper.PQR)
+	p3, err := vm.CompileKeyed("", info2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == p1 {
+		t.Error("empty key must not hit the cache")
+	}
+	// Unsupported programs cache their error too.
+	bad := analyze(t, paper.GlobalGoto)
+	if _, err := vm.CompileKeyed("k2", bad); !errors.Is(err, vm.ErrUnsupported) {
+		t.Fatalf("want ErrUnsupported, got %v", err)
+	}
+	if _, err := vm.CompileKeyed("k2", bad); !errors.Is(err, vm.ErrUnsupported) {
+		t.Fatalf("cached negative entry: want ErrUnsupported, got %v", err)
+	}
+}

@@ -1,0 +1,93 @@
+// VM budget parity against the service surface: gadt-serve classifies
+// runaway programs into 422 codes by errors.Is over the typed
+// interp.ErrFuelExhausted / ErrDepthExhausted sentinels (manager.go).
+// The bytecode VM must produce errors that classify identically, so a
+// deployment switching untraced runs to the vm backend keeps the same
+// wire behavior for bombs.
+package serve_test
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+
+	"gadt/internal/pascal/backend"
+	"gadt/internal/pascal/interp"
+	"gadt/internal/pascal/parser"
+	"gadt/internal/pascal/sem"
+	"gadt/internal/serve"
+)
+
+// classify422 is the exact predicate serve's manager uses to map run
+// errors to 422 codes.
+func classify422(err error) string {
+	switch {
+	case errors.Is(err, interp.ErrFuelExhausted):
+		return serve.CodeFuelExhausted
+	case errors.Is(err, interp.ErrDepthExhausted):
+		return serve.CodeDepthExhausted
+	}
+	return ""
+}
+
+func runBackend(t *testing.T, name, src string, cfg interp.Config) error {
+	t.Helper()
+	prog, err := parser.ParseProgram("bomb.pas", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sem.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := backend.Select(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	cfg.Input = strings.NewReader("")
+	cfg.Output = &out
+	return b.NewRunner("", info, cfg).Run()
+}
+
+func TestVMBombsMatchServe422(t *testing.T) {
+	cases := []struct {
+		name     string
+		src      string
+		cfg      interp.Config
+		opts     serve.Options
+		wantCode string
+	}{
+		{"fuel", fuelBomb, interp.Config{MaxSteps: 50_000, MaxDepth: 1_000_000},
+			serve.Options{Fuel: 50_000, Depth: 1_000_000}, serve.CodeFuelExhausted},
+		{"depth", depthBomb, interp.Config{MaxSteps: 100_000_000, MaxDepth: 100},
+			serve.Options{Fuel: 100_000_000, Depth: 100}, serve.CodeDepthExhausted},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ierr := runBackend(t, "interp", tc.src, tc.cfg)
+			verr := runBackend(t, "vm", tc.src, tc.cfg)
+			ic, vc := classify422(ierr), classify422(verr)
+			if ic != tc.wantCode || vc != tc.wantCode {
+				t.Fatalf("classification: interp=%q vm=%q, want both %q (interp err: %v; vm err: %v)",
+					ic, vc, tc.wantCode, ierr, verr)
+			}
+
+			// The live server must agree with the offline classification.
+			c, _, _ := newTestServer(t, tc.opts)
+			status, raw := c.do("POST", "/v1/sessions", createBody(tc.src))
+			if status != http.StatusUnprocessableEntity {
+				t.Fatalf("server = %d, want 422\n%s", status, raw)
+			}
+			var resp serve.SessionResponse
+			if err := json.Unmarshal(raw, &resp); err != nil {
+				t.Fatal(err)
+			}
+			if resp.Error == nil || resp.Error.Code != tc.wantCode {
+				t.Fatalf("server error=%+v, want code %q", resp.Error, tc.wantCode)
+			}
+		})
+	}
+}
